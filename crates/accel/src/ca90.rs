@@ -1,0 +1,310 @@
+//! Rule-90 cellular-automaton rematerialization of hypervectors.
+//!
+//! Storing a codebook of `n` basis hypervectors costs `n · d` bits of
+//! memory — the dominant area term of an HDC accelerator. Schmuck et al.
+//! instead store a *single* seed hypervector and regenerate ("re-
+//! materialize") the `i`-th basis vector on the fly as the `i`-step
+//! evolution of a **rule-90 cellular automaton** seeded with it: each cell
+//! becomes the XOR of its two neighbours,
+//!
+//! ```text
+//! x'[j] = x[(j-1) mod d] ⊕ x[(j+1) mod d]
+//! ```
+//!
+//! Rule 90 is a good pseudo-random expander (successive states of a random
+//! seed are pairwise ~orthogonal) and — crucially for hardware — **linear
+//! over GF(2)**: the one-step operator is `L + R` where `L`/`R` are cyclic
+//! shifts. Linearity gives the freezing property this module exploits:
+//!
+//! ```text
+//! (L + R)^(2^j) = L^(2^j) + R^(2^j)        (over GF(2))
+//! ```
+//!
+//! so evolving `2^j` steps is a *single* stride-`2^j` XOR, and evolving any
+//! `k` steps costs only `popcount(k)` stride-XORs ([`Rematerializer`]
+//! uses this `O(log k)` shortcut; [`ca90_step`] is the literal automaton).
+
+use hdhash_hdc::ops::permute;
+use hdhash_hdc::Hypervector;
+
+/// Advances a hypervector by one rule-90 step (cyclic boundary).
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_accel::ca90_step;
+/// use hdhash_hdc::Hypervector;
+///
+/// // A single live cell spreads to exactly its two neighbours.
+/// let mut seed = Hypervector::zeros(101);
+/// seed.set_bit(50, true);
+/// let next = ca90_step(&seed);
+/// assert!(next.bit(49) && next.bit(51) && !next.bit(50));
+/// assert_eq!(next.count_ones(), 2);
+/// ```
+#[must_use]
+pub fn ca90_step(hv: &Hypervector) -> Hypervector {
+    stride_step(hv, 1)
+}
+
+/// Applies the `s`-stride operator `L^s + R^s`: each cell becomes the XOR
+/// of the cells `s` positions away on either side.
+///
+/// By linearity this equals `2^j` literal steps when `s = 2^j`. When the
+/// two shifts coincide (`2s ≡ 0 (mod d)`) the operator annihilates every
+/// state — a real property of rule 90 on cyclic lattices, not an edge
+/// case to paper over.
+#[must_use]
+pub fn stride_step(hv: &Hypervector, s: usize) -> Hypervector {
+    let d = hv.dimension();
+    let left = permute(hv, s % d);
+    let right = permute(hv, (d - s % d) % d);
+    left.xor(&right).expect("both rotations preserve the dimension")
+}
+
+/// Evolves a hypervector by `steps` rule-90 steps in `O(popcount(steps))`
+/// stride-XOR operations.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_accel::ca90::{ca90_step, evolve};
+/// use hdhash_hdc::{Hypervector, Rng};
+///
+/// let seed = Hypervector::random(777, &mut Rng::new(1));
+/// let mut literal = seed.clone();
+/// for _ in 0..13 {
+///     literal = ca90_step(&literal);
+/// }
+/// assert_eq!(evolve(&seed, 13), literal);
+/// ```
+#[must_use]
+pub fn evolve(hv: &Hypervector, steps: usize) -> Hypervector {
+    let mut state = hv.clone();
+    let mut remaining = steps;
+    let mut stride = 1usize;
+    while remaining > 0 {
+        if remaining & 1 == 1 {
+            state = stride_step(&state, stride);
+        }
+        // Strides only matter modulo d; keep them bounded.
+        stride = (stride * 2) % hv.dimension().max(1);
+        remaining >>= 1;
+    }
+    state
+}
+
+/// Regenerates basis hypervectors from a stored seed instead of a stored
+/// codebook.
+///
+/// Hardware holding `d` seed bits plus the CA logic replaces `n · d` bits
+/// of codebook ROM; [`Rematerializer::storage_bits`] vs.
+/// [`Rematerializer::replaced_bits`] quantifies the saving. Sequential
+/// access (`next`) costs one CA step; random access (`materialize`) costs
+/// `O(log i)` stride-XORs thanks to GF(2) linearity.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_accel::Rematerializer;
+/// use hdhash_hdc::{Hypervector, Rng};
+///
+/// let seed = Hypervector::random(10_000, &mut Rng::new(42));
+/// let remat = Rematerializer::new(seed.clone());
+/// assert_eq!(remat.materialize(0), seed);
+/// // Successive states of a random seed are pairwise quasi-orthogonal.
+/// let a = remat.materialize(3);
+/// let b = remat.materialize(9);
+/// let dist = a.hamming_distance(&b);
+/// assert!((4_000..6_000).contains(&dist));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rematerializer {
+    seed: Hypervector,
+}
+
+impl Rematerializer {
+    /// Wraps a seed hypervector.
+    #[must_use]
+    pub fn new(seed: Hypervector) -> Self {
+        Self { seed }
+    }
+
+    /// The stored seed (state `0`).
+    #[must_use]
+    pub fn seed(&self) -> &Hypervector {
+        &self.seed
+    }
+
+    /// The hypervector dimension.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.seed.dimension()
+    }
+
+    /// Regenerates the `index`-th basis hypervector (the `index`-step CA
+    /// evolution of the seed).
+    #[must_use]
+    pub fn materialize(&self, index: usize) -> Hypervector {
+        evolve(&self.seed, index)
+    }
+
+    /// Regenerates a whole prefix of the basis sequentially (one CA step
+    /// per element — the streaming discipline of the hardware).
+    #[must_use]
+    pub fn materialize_prefix(&self, count: usize) -> Vec<Hypervector> {
+        let mut out = Vec::with_capacity(count);
+        let mut state = self.seed.clone();
+        for _ in 0..count {
+            let next = ca90_step(&state);
+            out.push(state);
+            state = next;
+        }
+        out
+    }
+
+    /// Bits the accelerator actually stores: the seed only.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.seed.dimension()
+    }
+
+    /// Bits a stored codebook of `n` vectors would occupy instead.
+    #[must_use]
+    pub fn replaced_bits(&self, n: usize) -> usize {
+        n * self.seed.dimension()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdhash_hdc::Rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_state_is_a_fixed_point() {
+        let z = Hypervector::zeros(257);
+        assert_eq!(ca90_step(&z), z);
+        assert_eq!(evolve(&z, 1000), z);
+    }
+
+    #[test]
+    fn single_cell_spreads_symmetrically() {
+        let mut seed = Hypervector::zeros(1001);
+        seed.set_bit(500, true);
+        // After k < d/2 steps the pattern is the Pascal-triangle-mod-2 row,
+        // whose support is within [500-k, 500+k] and symmetric about 500.
+        let mut state = seed;
+        for k in 1..=20usize {
+            state = ca90_step(&state);
+            for j in 0..1001 {
+                let mirrored = 1000 - j + 0; // reflect about 500: j' = 1000 - j
+                assert_eq!(state.bit(j), state.bit(mirrored), "asymmetry at step {k}, bit {j}");
+                if state.bit(j) {
+                    let dist = j.abs_diff(500);
+                    assert!(dist <= k, "cell {j} outside the light cone at step {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sierpinski_row_weights() {
+        // Row k of Pascal's triangle mod 2 has 2^popcount(k) odd entries
+        // (Kummer), so a single seeded cell evolves to that many live cells
+        // while the light cone fits the lattice.
+        let mut seed = Hypervector::zeros(4096);
+        seed.set_bit(2048, true);
+        for k in [1usize, 2, 3, 4, 7, 8, 15, 16, 31] {
+            let state = evolve(&seed, k);
+            assert_eq!(
+                state.count_ones(),
+                1 << k.count_ones(),
+                "wrong live-cell count at step {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn evolve_matches_literal_iteration() {
+        for d in [64usize, 101, 1000] {
+            let seed = Hypervector::random(d, &mut Rng::new(d as u64));
+            let mut literal = seed.clone();
+            for k in 0..40usize {
+                assert_eq!(evolve(&seed, k), literal, "divergence at step {k}, d={d}");
+                literal = ca90_step(&literal);
+            }
+        }
+    }
+
+    #[test]
+    fn annihilation_on_power_of_two_lattice() {
+        // On a cyclic lattice whose size divides 2^j, 2^j steps annihilate
+        // every state: L^(2^j) = R^(2^j) so the operator is zero.
+        let seed = Hypervector::random(64, &mut Rng::new(9));
+        assert_eq!(evolve(&seed, 64).count_ones(), 0);
+        // Odd lattice sizes never annihilate a non-zero state this way.
+        let seed = Hypervector::random(63, &mut Rng::new(10));
+        assert_ne!(evolve(&seed, 64).count_ones(), 0);
+    }
+
+    #[test]
+    fn successive_states_decorrelate() {
+        let remat = Rematerializer::new(Hypervector::random(10_000, &mut Rng::new(77)));
+        let states = remat.materialize_prefix(8);
+        for i in 0..states.len() {
+            for j in (i + 1)..states.len() {
+                let dist = states[i].hamming_distance(&states[j]);
+                assert!(
+                    (4_200..5_800).contains(&dist),
+                    "states {i},{j} are correlated: distance {dist}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_matches_random_access() {
+        let remat = Rematerializer::new(Hypervector::random(512, &mut Rng::new(4)));
+        let prefix = remat.materialize_prefix(10);
+        for (i, hv) in prefix.iter().enumerate() {
+            assert_eq!(&remat.materialize(i), hv, "prefix diverges at index {i}");
+        }
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let remat = Rematerializer::new(Hypervector::random(10_000, &mut Rng::new(5)));
+        assert_eq!(remat.storage_bits(), 10_000);
+        assert_eq!(remat.replaced_bits(512), 5_120_000);
+        assert_eq!(remat.dimension(), 10_000);
+        assert_eq!(remat.seed().dimension(), 10_000);
+    }
+
+    proptest! {
+        #[test]
+        fn linearity_over_gf2(seed_a in any::<u64>(), seed_b in any::<u64>(), d in 2usize..300) {
+            let a = Hypervector::random(d, &mut Rng::new(seed_a));
+            let b = Hypervector::random(d, &mut Rng::new(seed_b));
+            let sum = a.xor(&b).expect("same dimension");
+            prop_assert_eq!(
+                ca90_step(&sum),
+                ca90_step(&a).xor(&ca90_step(&b)).expect("same dimension")
+            );
+        }
+
+        #[test]
+        fn evolve_is_additive_in_steps(seed in any::<u64>(), d in 2usize..200,
+                                       i in 0usize..64, j in 0usize..64) {
+            let hv = Hypervector::random(d, &mut Rng::new(seed));
+            prop_assert_eq!(evolve(&evolve(&hv, i), j), evolve(&hv, i + j));
+        }
+
+        #[test]
+        fn step_preserves_dimension(seed in any::<u64>(), d in 1usize..500) {
+            let hv = Hypervector::random(d, &mut Rng::new(seed));
+            prop_assert_eq!(ca90_step(&hv).dimension(), d);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! # hdhash-accel — a cycle-level model of an HDC inference accelerator
+//!
+//! The paper's efficiency argument (Sections 2.3 and 3) rests on Schmuck,
+//! Benini and Rahimi, *"Hardware optimizations of dense binary
+//! hyperdimensional computing: Rematerialization of hypervectors, binarized
+//! bundling, and combinational associative memory"* (JETC 2019) — the
+//! paper's reference \[18\]: on dedicated hardware, the similarity arg-max
+//! of Eq. 2 ("inference") executes in a **single clock cycle**, which would
+//! make every HD-hashing lookup `O(1)`.
+//!
+//! The authors could not build that hardware and substituted a GPU; we
+//! cannot either, so this crate provides the closest software equivalent a
+//! systems evaluation can use: a **functionally exact, cycle- and
+//! gate-level model** of the combinational associative memory. Every
+//! component both *computes the real answer* (bit-for-bit equal to the
+//! software path in `hdhash-hdc`) and *accounts for the hardware cost* of
+//! doing so — gate delays on the critical path, adder/comparator counts,
+//! and per-lookup switching energy.
+//!
+//! The model follows the three techniques of Schmuck et al.:
+//!
+//! * [`ca90`] — **rematerialization**: basis hypervectors are not stored
+//!   but regenerated on the fly from a small seed by iterating a rule-90
+//!   cellular automaton (linear over GF(2), which gives an `O(log k)`
+//!   stride-XOR shortcut for the `k`-step state);
+//! * [`majority`] — **binarized bundling**: bitwise majority evaluated by
+//!   a tree of 3-input majority gates on binary partial results instead of
+//!   wide counters, traded against fidelity to the exact majority;
+//! * [`datapath`] — the **combinational associative memory**: per stored
+//!   vector an XOR stage and a deep adder tree ([`adder_tree`]) compute the
+//!   Hamming distance, and a comparator tree ([`comparator`]) selects the
+//!   arg-min, all in one combinational pass — one clock cycle.
+//!
+//! [`timing`] schedules the datapath under three execution disciplines
+//! (fully combinational, pipelined, word-serial) against a technology
+//! corner from [`tech`], and [`projection`] projects the paper's Figure 4
+//! (average request-handling time vs. pool size) for accelerated HD
+//! hashing next to the CPU-measured baselines.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hdhash_accel::datapath::CombinationalAm;
+//! use hdhash_accel::tech::TechnologyParams;
+//! use hdhash_hdc::{Hypervector, Rng};
+//!
+//! let mut rng = Rng::new(5);
+//! let stored: Vec<Hypervector> =
+//!     (0..16).map(|_| Hypervector::random(2048, &mut rng)).collect();
+//! let am = CombinationalAm::new(2048, stored.clone())?;
+//!
+//! // Functional: the datapath returns the true nearest neighbour.
+//! let hit = am.infer(&stored[3]).expect("memory is non-empty");
+//! assert_eq!(hit.index, 3);
+//! assert_eq!(hit.distance, 0);
+//!
+//! // Timing: the whole inference fits in one (slow) combinational cycle.
+//! let timing = am.timing(&TechnologyParams::asic_22nm());
+//! assert!(timing.max_frequency_hz() > 1.0e6);
+//! # Ok::<(), hdhash_hdc::DimensionMismatchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder_tree;
+pub mod ca90;
+pub mod comparator;
+pub mod datapath;
+pub mod majority;
+pub mod projection;
+pub mod tech;
+pub mod timing;
+
+pub use adder_tree::AdderTree;
+pub use ca90::{ca90_step, Rematerializer};
+pub use comparator::ComparatorTree;
+pub use datapath::{CombinationalAm, Inference};
+pub use tech::TechnologyParams;
+pub use timing::{ExecutionModel, LookupSchedule};

@@ -1,0 +1,71 @@
+//! Microbenchmarks of the HDC accelerator model: what the *simulation*
+//! of the hardware costs on this CPU (the modelled hardware's own costs
+//! are analytic — see `accel_projection`).
+//!
+//! Covers the three Schmuck et al. techniques: CA90 rematerialization
+//! (sequential step and O(log k) random access), the functional
+//! combinational-AM inference, and binarized vs exact bundling.
+//!
+//! Run with `cargo bench -p hdhash-bench --bench accel_model`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hdhash_accel::ca90::{ca90_step, evolve};
+use hdhash_accel::datapath::CombinationalAm;
+use hdhash_accel::majority::{binarized_bundle, exact_majority};
+use hdhash_hdc::{Hypervector, Rng};
+
+fn ca90_rematerialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ca90");
+    for &d in &[1_000usize, 10_000] {
+        let seed = Hypervector::random(d, &mut Rng::new(3));
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::new("step", d), &d, |bench, _| {
+            bench.iter(|| ca90_step(&seed));
+        });
+        // Random access to a deep state: O(popcount(k)) stride XORs.
+        group.bench_with_input(BenchmarkId::new("evolve_1023", d), &d, |bench, _| {
+            bench.iter(|| evolve(&seed, 1023));
+        });
+    }
+    group.finish();
+}
+
+fn combinational_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combinational_am");
+    group.sample_size(10);
+    let d = 4096;
+    for &k in &[16usize, 64] {
+        let mut rng = Rng::new(4);
+        let stored: Vec<Hypervector> =
+            (0..k).map(|_| Hypervector::random(d, &mut rng)).collect();
+        let am = CombinationalAm::new(d, stored).expect("uniform dimensions");
+        let probe = Hypervector::random(d, &mut rng);
+        group.bench_with_input(BenchmarkId::new("infer", k), &k, |bench, _| {
+            bench.iter(|| am.infer(&probe).expect("non-empty"));
+        });
+    }
+    group.finish();
+}
+
+fn bundling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bundling");
+    let d = 10_000;
+    for &k in &[9usize, 27] {
+        let mut rng = Rng::new(5);
+        let inputs: Vec<Hypervector> =
+            (0..k).map(|_| Hypervector::random(d, &mut rng)).collect();
+        let refs: Vec<&Hypervector> = inputs.iter().collect();
+        let tie = Hypervector::random(d, &mut rng);
+        group.throughput(Throughput::Elements((k * d) as u64));
+        group.bench_with_input(BenchmarkId::new("exact_majority", k), &k, |bench, _| {
+            bench.iter(|| exact_majority(&refs).expect("same dimension"));
+        });
+        group.bench_with_input(BenchmarkId::new("binarized", k), &k, |bench, _| {
+            bench.iter(|| binarized_bundle(&refs, &tie).expect("same dimension"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ca90_rematerialization, combinational_inference, bundling);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion counterpart of Figure 4: lookup latency per algorithm and
+//! pool size (powers of two, 16..=1024).
+//!
+//! Run with `cargo bench -p hdhash-bench --bench fig4_efficiency`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hdhash_emulator::AlgorithmKind;
+use hdhash_table::{RequestKey, ServerId};
+
+fn lookup_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_lookup_latency");
+    for &servers in &[16usize, 64, 256, 1024] {
+        for kind in [
+            AlgorithmKind::Modular,
+            AlgorithmKind::Consistent,
+            AlgorithmKind::Rendezvous,
+            AlgorithmKind::Hd,
+            AlgorithmKind::HdParallel,
+        ] {
+            let mut table = kind.build(servers);
+            for i in 0..servers as u64 {
+                table.join(ServerId::new(i)).expect("fresh server");
+            }
+            group.throughput(Throughput::Elements(1));
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), servers),
+                &servers,
+                |b, _| {
+                    let mut key = 0u64;
+                    b.iter(|| {
+                        key = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                        table.lookup(RequestKey::new(key)).expect("non-empty pool")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn join_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_join_latency");
+    group.sample_size(20);
+    for kind in AlgorithmKind::PAPER {
+        group.bench_function(BenchmarkId::new(kind.name(), 256), |b| {
+            b.iter_with_large_drop(|| {
+                let mut table = kind.build(256);
+                for i in 0..256u64 {
+                    table.join(ServerId::new(i)).expect("fresh server");
+                }
+                table
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lookup_latency, join_latency);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks of the HDC substrate: the primitive costs behind every
+//! HD hashing operation (bind, Hamming distance, codebook generation,
+//! associative-memory inference).
+//!
+//! Run with `cargo bench -p hdhash-bench --bench ops_micro`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hdhash_hdc::basis::CircularBasis;
+use hdhash_hdc::ops::bind;
+use hdhash_hdc::similarity::hamming;
+use hdhash_hdc::{AssociativeMemory, Hypervector, Rng, SearchStrategy};
+
+fn hv_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdc_primitives");
+    for &d in &[1_000usize, 10_000, 100_000] {
+        let mut rng = Rng::new(1);
+        let a = Hypervector::random(d, &mut rng);
+        let b = Hypervector::random(d, &mut rng);
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::new("bind", d), &d, |bench, _| {
+            bench.iter(|| bind(&a, &b).expect("same dimension"));
+        });
+        group.bench_with_input(BenchmarkId::new("hamming", d), &d, |bench, _| {
+            bench.iter(|| hamming(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn codebook_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codebook_generation");
+    group.sample_size(10);
+    for &n in &[64usize, 512, 4096] {
+        group.bench_with_input(BenchmarkId::new("circular", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut rng = Rng::new(7);
+                CircularBasis::generate(n, 10_240, &mut rng).expect("valid parameters")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("associative_memory_inference");
+    for &entries in &[64usize, 512, 2048] {
+        let mut rng = Rng::new(3);
+        let probe = Hypervector::random(10_240, &mut rng);
+        let mut serial = AssociativeMemory::new(10_240);
+        for i in 0..entries {
+            serial.insert(i, Hypervector::random(10_240, &mut rng)).expect("same dimension");
+        }
+        let parallel = serial.clone().with_strategy(SearchStrategy::Parallel { threads: 8 });
+        group.throughput(Throughput::Elements(entries as u64));
+        group.bench_with_input(BenchmarkId::new("serial", entries), &entries, |b, _| {
+            b.iter(|| serial.nearest(&probe));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel8", entries), &entries, |b, _| {
+            b.iter(|| parallel.nearest(&probe));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hv_primitives, codebook_generation, inference);
+criterion_main!(benches);

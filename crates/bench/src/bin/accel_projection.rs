@@ -1,0 +1,96 @@
+//! Accelerator projection: Figure 4 with the hardware the paper invokes.
+//!
+//! Section 5.2 ends with "we expect the use of HDC accelerators to reduce
+//! the request handling time to a constant with the extreme of a single
+//! clock-cycle". This binary makes that expectation a computed series:
+//! it measures HD hashing's CPU curve with the emulator (the same driver
+//! as `fig4`), then prints, for each technology corner of the gate-level
+//! model in `hdhash-accel`, the projected single-cycle and pipelined
+//! request-handling times — plus the resulting speedups.
+//!
+//! Usage: `accel_projection [lookups=2000] [servers=2,8,...,2048] [dimension=10000] [seed=...]`
+//!
+//! Expected shape: the CPU series grows ~linearly in the pool size (a
+//! serial O(k·d) scan); every projected accelerator series is flat
+//! (logarithmic gate depth), restating the paper's O(1) claim with an
+//! auditable model instead of a sentence.
+
+use hdhash_accel::projection::{project_figure4, speedup_over_software};
+use hdhash_accel::{ExecutionModel, TechnologyParams};
+use hdhash_bench::Params;
+use hdhash_emulator::runner::{run_efficiency, EfficiencyConfig};
+use hdhash_emulator::AlgorithmKind;
+
+fn main() {
+    let params = Params::from_env();
+    let lookups = params.get_usize("lookups", 2000);
+    let server_counts = params.get_usize_list("servers", &[2, 8, 32, 128, 512, 2048]);
+    let dimension = params.get_usize("dimension", 10_000);
+    let seed = params.get_u64("seed", 0xF16_4);
+
+    eprintln!("# Accelerator projection: {lookups} lookups, servers {server_counts:?}");
+
+    // Measured CPU reference (HD hashing, serial inference).
+    let measured = run_efficiency(&EfficiencyConfig {
+        algorithms: vec![AlgorithmKind::Hd],
+        server_counts: server_counts.clone(),
+        lookups,
+        batch: 256,
+        seed,
+    });
+
+    println!("# Figure 4 projected onto HDC hardware (see DESIGN.md substitutions)");
+    println!("# cpu = measured on this machine; others = gate-level model projections");
+    println!(
+        "{:>8} {:>14} {:>16} {:>16} {:>16} {:>12}",
+        "servers", "cpu µs/req", "fpga-28nm µs", "asic-22nm µs", "asic-7nm µs", "speedup@22nm"
+    );
+    let corners = TechnologyParams::presets();
+    for sample in &measured {
+        let cpu_s = sample.avg_lookup.as_secs_f64();
+        let mut projected_us = Vec::new();
+        let mut speedup_22 = 0.0;
+        for corner in &corners {
+            let point = project_figure4(
+                &[sample.servers],
+                dimension,
+                ExecutionModel::Combinational,
+                corner,
+            )[0];
+            projected_us.push(point.seconds_per_request * 1.0e6);
+            if corner.name == "asic-22nm" && cpu_s > 0.0 {
+                speedup_22 = speedup_over_software(point, cpu_s);
+            }
+        }
+        println!(
+            "{:>8} {:>14.3} {:>16.6} {:>16.6} {:>16.6} {:>12.0}",
+            sample.servers,
+            cpu_s * 1.0e6,
+            projected_us[0],
+            projected_us[1],
+            projected_us[2],
+            speedup_22,
+        );
+    }
+
+    // The pipelined regime: same datapath, shorter clock, one lookup
+    // retired per cycle.
+    println!();
+    println!("# Pipelined (8 stages) streaming throughput, millions of lookups/s");
+    println!("{:>8} {:>14} {:>14} {:>14}", "servers", "fpga-28nm", "asic-22nm", "asic-7nm");
+    for &servers in &server_counts {
+        let row: Vec<f64> = corners
+            .iter()
+            .map(|corner| {
+                let point = project_figure4(
+                    &[servers],
+                    dimension,
+                    ExecutionModel::Pipelined { stages: 8 },
+                    corner,
+                )[0];
+                1.0 / point.seconds_per_request / 1.0e6
+            })
+            .collect();
+        println!("{:>8} {:>14.1} {:>14.1} {:>14.1}", servers, row[0], row[1], row[2]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 1: a walkthrough of HD hashing's operation.
+//!
+//! The paper's Figure 1 illustrates three servers and two requests encoded
+//! to circular-hypervectors, with each request assigned to the server
+//! whose hyperspace representation is closest — and, unlike consistent
+//! hashing, "the direction of rotation does not matter". This binary
+//! recreates that exact scenario and prints the similarity table behind
+//! the picture.
+//!
+//! Usage: `fig1 [d=10000] [codebook=16] [seed=1]`
+
+use hdhash_bench::Params;
+use hdhash_core::HdHashTable;
+use hdhash_hdc::similarity::cosine;
+use hdhash_table::{DynamicHashTable, RequestKey, ServerId};
+
+fn main() {
+    let params = Params::from_env();
+    let d = params.get_usize("d", 10_000);
+    let codebook = params.get_usize("codebook", 16);
+    let seed = params.get_u64("seed", 1);
+
+    let mut table = HdHashTable::builder()
+        .dimension(d)
+        .codebook_size(codebook)
+        .seed(seed)
+        .build()
+        .expect("valid parameters");
+
+    let servers = [ServerId::new(1), ServerId::new(2), ServerId::new(3)];
+    for s in servers {
+        table.join(s).expect("fresh server");
+    }
+    // Two requests, as in the figure.
+    let requests = [RequestKey::new(101), RequestKey::new(202)];
+
+    println!("# Figure 1 walkthrough: {} servers, {} requests on a {codebook}-node circle (d = {})", servers.len(), requests.len(), table.config().dimension());
+    println!();
+    println!("circle slots: {}",
+        servers
+            .iter()
+            .map(|&s| format!("{s}@{}", table.slot_of_server(s).expect("joined")))
+            .collect::<Vec<_>>()
+            .join("  "));
+    println!();
+    println!("{:<10} {:>6} {:>22} {:>10}", "request", "slot", "cosine to s1/s2/s3", "assigned");
+    for &r in &requests {
+        let (_, probe) = {
+            let slot = table.slot_of_request(r);
+            (slot, table.codebook().hypervector(slot).clone())
+        };
+        let sims: Vec<String> = servers
+            .iter()
+            .map(|&s| {
+                let hv = table.codebook().hypervector(table.slot_of_server(s).expect("joined"));
+                format!("{:+.2}", cosine(&probe, hv))
+            })
+            .collect();
+        let owner = table.lookup(r).expect("non-empty");
+        println!(
+            "{:<10} {:>6} {:>22} {:>10}",
+            r.to_string(),
+            table.slot_of_request(r),
+            sims.join("/"),
+            owner.to_string()
+        );
+    }
+    println!();
+    println!("# Note: the winner is the *circularly nearest* slot in either direction —");
+    println!("# 'unlike consistent hashing, the direction of rotation does not matter'.");
+}

@@ -1,0 +1,56 @@
+//! Figure 4: average request handling duration as the pool grows.
+//!
+//! Reproduces the efficiency sweep: for each algorithm and pool size
+//! (powers of two up to `max_servers`), joins the servers and measures the
+//! mean lookup latency over `lookups` requests drained in batches of
+//! `batch` (the paper batches 256 requests per GPU dispatch).
+//!
+//! Usage: `fig4 [lookups=10000] [batch=256] [max_servers=2048] [seed=...]`
+//!
+//! Expected shape (paper §5.2): rendezvous is clearly O(n); consistent
+//! hashing stays nearly flat; HD hashing on *commodity* hardware pays an
+//! O(n) associative-memory scan — the multi-threaded `hd-parallel` column
+//! is this repo's stand-in for the paper's GPU, and HDC accelerators would
+//! bring it to O(1) (single clock cycle, Schmuck et al.).
+
+use hdhash_bench::Params;
+use hdhash_emulator::report::format_efficiency;
+use hdhash_emulator::runner::{run_efficiency, EfficiencyConfig};
+use hdhash_emulator::AlgorithmKind;
+
+fn main() {
+    let params = Params::from_env();
+    let lookups = params.get_usize("lookups", 10_000);
+    let batch = params.get_usize("batch", 256);
+    let max_servers = params.get_usize("max_servers", 2048);
+    let seed = params.get_u64("seed", 0xF16_4);
+
+    let mut server_counts = Vec::new();
+    let mut n = 2;
+    while n <= max_servers {
+        server_counts.push(n);
+        n *= 2;
+    }
+
+    let config = EfficiencyConfig {
+        algorithms: vec![
+            AlgorithmKind::Modular,
+            AlgorithmKind::Consistent,
+            AlgorithmKind::Rendezvous,
+            AlgorithmKind::Hd,
+            AlgorithmKind::HdParallel,
+        ],
+        server_counts,
+        lookups,
+        batch,
+        seed,
+    };
+
+    eprintln!(
+        "# Figure 4 reproduction: {} lookups per point, batch {}, servers up to {}",
+        lookups, batch, max_servers
+    );
+    let samples = run_efficiency(&config);
+    println!("# Figure 4: average request handling duration (microseconds)");
+    print!("{}", format_efficiency(&samples));
+}

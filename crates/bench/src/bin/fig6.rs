@@ -1,0 +1,54 @@
+//! Figure 6: discrepancy between the request distribution and uniform,
+//! measured by Pearson's χ² test.
+//!
+//! Reproduces the uniformity sweep: for each pool size and bit-error
+//! count, distributes the workload and computes
+//! `χ² = Σ_s (R(s) − E)² / E` with `E = |R| / |S|`. The paper plots
+//! consistent hashing and HD hashing (rendezvous is omitted as perfectly
+//! pseudo-uniform by construction); we include rendezvous as a reference
+//! row.
+//!
+//! Usage: `fig6 [lookups=100000] [max_servers=2048] [errors=0,5,10] [seed=...]`
+//!
+//! Expected shape (paper §5.3): HD hashing more uniform than consistent
+//! hashing even without noise; bit errors worsen consistent hashing
+//! further while HD hashing's distribution is unchanged.
+
+use hdhash_bench::Params;
+use hdhash_emulator::report::format_uniformity;
+use hdhash_emulator::runner::{run_uniformity, UniformityConfig};
+use hdhash_emulator::AlgorithmKind;
+
+fn main() {
+    let params = Params::from_env();
+    let lookups = params.get_usize("lookups", 100_000);
+    let max_servers = params.get_usize("max_servers", 2048);
+    let errors = params.get_usize_list("errors", &[0, 5, 10]);
+    let seed = params.get_u64("seed", 0xF16_6);
+
+    let mut server_counts = Vec::new();
+    let mut n = 2;
+    while n <= max_servers {
+        server_counts.push(n);
+        n *= 2;
+    }
+
+    eprintln!(
+        "# Figure 6 reproduction: {lookups} lookups, servers up to {max_servers}, errors {errors:?}"
+    );
+
+    let config = UniformityConfig {
+        algorithms: vec![
+            AlgorithmKind::Consistent,
+            AlgorithmKind::Hd,
+            AlgorithmKind::Rendezvous,
+        ],
+        server_counts,
+        bit_errors: errors,
+        lookups,
+        seed,
+    };
+    let samples = run_uniformity(&config);
+    println!("# Figure 6: chi-squared vs uniform (columns: algorithm_e<bit errors>)");
+    print!("{}", format_uniformity(&samples));
+}

@@ -1,0 +1,83 @@
+//! Remap-on-resize measurement: the paper's "minimal rehashing" claim.
+//!
+//! The introduction motivates consistent/rendezvous/HD hashing with the
+//! failure of modular hashing: "a change in table size requires virtually
+//! all requests to be redistributed". This harness quantifies that for
+//! every algorithm — the fraction of requests that move when one server
+//! joins or leaves, across pool sizes (ideal: `1/(n+1)` on join, `1/n` on
+//! leave).
+//!
+//! Usage: `remap [lookups=20000] [max_servers=512]`
+
+use hdhash_bench::Params;
+use hdhash_emulator::AlgorithmKind;
+use hdhash_table::{remap_fraction, Assignment, RequestKey, ServerId};
+
+fn main() {
+    let params = Params::from_env();
+    let lookups = params.get_usize("lookups", 20_000);
+    let max_servers = params.get_usize("max_servers", 512);
+    let algorithms = [
+        AlgorithmKind::Modular,
+        AlgorithmKind::Consistent,
+        AlgorithmKind::Rendezvous,
+        AlgorithmKind::Maglev,
+        AlgorithmKind::Jump,
+        AlgorithmKind::Hd,
+    ];
+
+    let keys: Vec<RequestKey> =
+        (0..lookups as u64).map(|k| RequestKey::new(hdhash_hashfn::mix64(k))).collect();
+
+    let mut server_counts = Vec::new();
+    let mut n = 8;
+    while n <= max_servers {
+        server_counts.push(n);
+        n *= 4;
+    }
+
+    println!("# Remapped fraction when one server joins (ideal = 1/(n+1))");
+    print!("servers,ideal");
+    for kind in algorithms {
+        print!(",{kind}");
+    }
+    println!();
+    for &servers in &server_counts {
+        print!("{servers},{:.4}", 1.0 / (servers + 1) as f64);
+        for kind in algorithms {
+            let mut table = kind.build(servers + 2);
+            for i in 0..servers as u64 {
+                table.join(ServerId::new(i)).expect("fresh server");
+            }
+            let before =
+                Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+            table.join(ServerId::new(1_000_000)).expect("fresh");
+            let after = Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+            print!(",{:.4}", remap_fraction(&before, &after));
+        }
+        println!();
+    }
+
+    println!();
+    println!("# Remapped fraction when one server leaves (ideal = 1/n)");
+    print!("servers,ideal");
+    for kind in algorithms {
+        print!(",{kind}");
+    }
+    println!();
+    for &servers in &server_counts {
+        print!("{servers},{:.4}", 1.0 / servers as f64);
+        for kind in algorithms {
+            let mut table = kind.build(servers + 2);
+            for i in 0..servers as u64 {
+                table.join(ServerId::new(i)).expect("fresh server");
+            }
+            let before =
+                Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+            table.leave(ServerId::new(servers as u64 / 2)).expect("present");
+            let after = Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+            print!(",{:.4}", remap_fraction(&before, &after));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,23 @@
+//! # hdhash-bench — the benchmark and figure-regeneration harness
+//!
+//! Every table and figure of the paper's evaluation maps to a binary in
+//! `src/bin/` (deterministic data series on stdout) or a criterion bench
+//! in `benches/` (wall-clock measurements):
+//!
+//! | Paper artifact | Regenerate with |
+//! |---|---|
+//! | Figure 2 (similarity heatmaps) | `cargo run --release -p hdhash-bench --bin fig2` |
+//! | Figure 4 (efficiency sweep)    | `cargo run --release -p hdhash-bench --bin fig4` and `cargo bench -p hdhash-bench --bench fig4_efficiency` |
+//! | Figure 5 (mismatches vs bit errors) | `cargo run --release -p hdhash-bench --bin fig5` |
+//! | Figure 6 (χ² uniformity)       | `cargo run --release -p hdhash-bench --bin fig6` |
+//! | Ablations (DESIGN.md §4)       | `cargo run --release -p hdhash-bench --bin ablation` and `cargo bench -p hdhash-bench --bench ablations` |
+//!
+//! Binaries accept `KEY=VALUE` overrides on the command line (see
+//! [`params::Params`]), e.g. `fig4 lookups=2000 max_servers=512`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod params;
+
+pub use params::Params;

@@ -1,0 +1,121 @@
+//! Tiny `KEY=VALUE` command-line parameter parsing for figure binaries.
+
+use std::collections::HashMap;
+
+/// Parsed `KEY=VALUE` arguments with typed accessors.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_bench::Params;
+///
+/// let params = Params::from_args(["lookups=500", "seed=9"].iter().map(|s| s.to_string()));
+/// assert_eq!(params.get_usize("lookups", 10_000), 500);
+/// assert_eq!(params.get_u64("seed", 1), 9);
+/// assert_eq!(params.get_usize("missing", 7), 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    values: HashMap<String, String>,
+}
+
+impl Params {
+    /// Parses an argument iterator; items without `=` are ignored.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut values = HashMap::new();
+        for arg in args {
+            if let Some((key, value)) = arg.split_once('=') {
+                values.insert(key.to_string(), value.to_string());
+            }
+        }
+        Self { values }
+    }
+
+    /// Parses the process arguments (skipping the binary name).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// A `usize` parameter with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value fails to parse.
+    #[must_use]
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("invalid {key}={v}")))
+            .unwrap_or(default)
+    }
+
+    /// A `u64` parameter with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value fails to parse.
+    #[must_use]
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("invalid {key}={v}")))
+            .unwrap_or(default)
+    }
+
+    /// An `f64` parameter with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value fails to parse.
+    #[must_use]
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("invalid {key}={v}")))
+            .unwrap_or(default)
+    }
+
+    /// A comma-separated `usize` list parameter with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if any element fails to parse.
+    #[must_use]
+    pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.values.get(key) {
+            Some(v) => v
+                .split(',')
+                .map(|x| x.trim().parse().unwrap_or_else(|_| panic!("invalid {key}={v}")))
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(args: &[&str]) -> Params {
+        Params::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_and_defaults() {
+        let p = params(&["a=1", "b=2,4,8", "junk"]);
+        assert_eq!(p.get_usize("a", 9), 1);
+        assert_eq!(p.get_usize("z", 9), 9);
+        assert_eq!(p.get_u64("a", 0), 1);
+        assert_eq!(p.get_usize_list("b", &[1]), vec![2, 4, 8]);
+        assert_eq!(p.get_usize_list("c", &[1, 2]), vec![1, 2]);
+        assert_eq!(p.get_f64("a", 0.5), 1.0);
+        assert_eq!(p.get_f64("z", 0.5), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid a=x")]
+    fn invalid_value_panics() {
+        let _ = params(&["a=x"]).get_usize("a", 0);
+    }
+}

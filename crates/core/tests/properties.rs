@@ -1,0 +1,129 @@
+//! Property-based tests for the HD hashing core — including the
+//! robustness theorem.
+
+use hdhash_core::HdHashTable;
+use hdhash_table::{DynamicHashTable, NoisyTable, RequestKey, ServerId};
+use proptest::prelude::*;
+
+fn table_with(servers: &[u64], seed: u64) -> HdHashTable {
+    let mut t = HdHashTable::builder()
+        .dimension(4096)
+        .codebook_size(128) // quantum c = 32: tolerates 15 flips/vector
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    for &id in servers {
+        t.join(ServerId::new(id)).expect("distinct ids within capacity");
+    }
+    t
+}
+
+proptest! {
+    /// The geometric contract of Eq. 2: the winner is always at minimal
+    /// circular distance from the request's slot.
+    #[test]
+    fn winner_is_circularly_nearest(
+        ids in proptest::collection::hash_set(0u64..100_000, 1..32),
+        keys in proptest::collection::vec(any::<u64>(), 1..24),
+        seed in any::<u64>(),
+    ) {
+        let ids: Vec<u64> = ids.into_iter().collect();
+        let table = table_with(&ids, seed);
+        for &k in &keys {
+            let request = RequestKey::new(k);
+            let winner = table.lookup(request).expect("non-empty");
+            let r_slot = table.slot_of_request(request);
+            let w_dist = table
+                .codebook()
+                .circular_distance(r_slot, table.slot_of_server(winner).expect("joined"));
+            let min_dist = table
+                .servers()
+                .into_iter()
+                .map(|s| {
+                    table
+                        .codebook()
+                        .circular_distance(r_slot, table.slot_of_server(s).expect("joined"))
+                })
+                .min()
+                .expect("non-empty");
+            prop_assert_eq!(w_dist, min_dist);
+        }
+    }
+
+    /// The robustness theorem: ANY pattern of up to 15 bit flips (the
+    /// quantum bound) leaves every assignment unchanged — arbitrary pool,
+    /// seed and flip seed.
+    #[test]
+    fn quantized_robustness_theorem(
+        ids in proptest::collection::hash_set(0u64..100_000, 1..32),
+        seed in any::<u64>(),
+        noise_seed in any::<u64>(),
+        flips in 1usize..=15,
+    ) {
+        let ids: Vec<u64> = ids.into_iter().collect();
+        let mut table = table_with(&ids, seed);
+        let keys: Vec<RequestKey> = (0..100).map(RequestKey::new).collect();
+        let before: Vec<ServerId> =
+            keys.iter().map(|&k| table.lookup(k).expect("non-empty")).collect();
+        // All flips land on ONE stored vector in the worst case; even then
+        // the quantum (32/2 = 16 > 15) protects every comparison.
+        table.inject_bit_flips(flips, noise_seed);
+        let after: Vec<ServerId> =
+            keys.iter().map(|&k| table.lookup(k).expect("non-empty")).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Bursts within the quantum bound are equally harmless.
+    #[test]
+    fn burst_robustness_theorem(
+        ids in proptest::collection::hash_set(0u64..100_000, 2..24),
+        seed in any::<u64>(),
+        noise_seed in any::<u64>(),
+        length in 1usize..=15,
+    ) {
+        let ids: Vec<u64> = ids.into_iter().collect();
+        let mut table = table_with(&ids, seed);
+        let keys: Vec<RequestKey> = (0..100).map(RequestKey::new).collect();
+        let before: Vec<ServerId> =
+            keys.iter().map(|&k| table.lookup(k).expect("non-empty")).collect();
+        table.inject_burst(length, noise_seed);
+        let after: Vec<ServerId> =
+            keys.iter().map(|&k| table.lookup(k).expect("non-empty")).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Join/leave of the same server is an exact no-op on assignments.
+    #[test]
+    fn leave_rejoin_identity(
+        ids in proptest::collection::hash_set(0u64..100_000, 2..24),
+        seed in any::<u64>(),
+    ) {
+        let ids: Vec<u64> = ids.into_iter().collect();
+        let victim = ids[0];
+        let mut table = table_with(&ids, seed);
+        let keys: Vec<RequestKey> = (0..150).map(RequestKey::new).collect();
+        let before: Vec<ServerId> =
+            keys.iter().map(|&k| table.lookup(k).expect("non-empty")).collect();
+        table.leave(ServerId::new(victim)).expect("present");
+        table.join(ServerId::new(victim)).expect("fresh again");
+        let after: Vec<ServerId> =
+            keys.iter().map(|&k| table.lookup(k).expect("non-empty")).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// The config builder's padding invariant: dimension is always a
+    /// multiple of 2·codebook and the quantum is consistent.
+    #[test]
+    fn config_padding_invariant(d in 1usize..100_000, n_exp in 1u32..10) {
+        let n = 2usize.pow(n_exp);
+        let config = hdhash_core::HdConfig::builder()
+            .dimension(d)
+            .codebook_size(n)
+            .build_config()
+            .expect("valid");
+        prop_assert_eq!(config.dimension() % (2 * n), 0);
+        prop_assert!(config.dimension() >= d);
+        prop_assert!(config.dimension() < d + 2 * n);
+        prop_assert_eq!(config.quantum(), config.dimension() / n);
+    }
+}

@@ -1,0 +1,201 @@
+//! The shared request buffer between generator and hash table module.
+//!
+//! A bounded MPSC-style queue over `parking_lot` primitives: producers
+//! block when the backlog bound is reached, the consumer blocks until
+//! requests arrive or every producer has hung up. This is the "buffer" of
+//! the paper's two-module emulator architecture.
+
+use std::collections::VecDeque;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::request::Request;
+
+struct State {
+    queue: VecDeque<Request>,
+    closed: bool,
+    peak: usize,
+}
+
+/// A bounded, blocking request buffer.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_emulator::buffer::RequestBuffer;
+/// use hdhash_emulator::Request;
+/// use hdhash_table::RequestKey;
+///
+/// let buffer = RequestBuffer::new(8);
+/// buffer.push_chunk(&[Request::Lookup(RequestKey::new(1))]);
+/// buffer.close();
+/// let batch = buffer.pop_batch(4).expect("one request queued");
+/// assert_eq!(batch.len(), 1);
+/// assert!(buffer.pop_batch(4).is_none(), "closed and drained");
+/// ```
+pub struct RequestBuffer {
+    state: Mutex<State>,
+    capacity: usize,
+    readable: Condvar,
+    writable: Condvar,
+}
+
+impl RequestBuffer {
+    /// Creates a buffer holding at most `capacity` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        Self {
+            state: Mutex::new(State { queue: VecDeque::new(), closed: false, peak: 0 }),
+            capacity,
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        }
+    }
+
+    /// Pushes requests, blocking while the buffer is at capacity.
+    /// Requests pushed after [`close`](RequestBuffer::close) are dropped.
+    pub fn push_chunk(&self, requests: &[Request]) {
+        let mut remaining = requests;
+        while !remaining.is_empty() {
+            let mut state = self.state.lock();
+            while state.queue.len() >= self.capacity && !state.closed {
+                self.writable.wait(&mut state);
+            }
+            if state.closed {
+                return;
+            }
+            let space = self.capacity - state.queue.len();
+            let take = space.min(remaining.len());
+            state.queue.extend(remaining[..take].iter().copied());
+            let backlog = state.queue.len();
+            state.peak = state.peak.max(backlog);
+            remaining = &remaining[take..];
+            drop(state);
+            self.readable.notify_one();
+        }
+    }
+
+    /// Pops up to `batch` requests, blocking until data arrives. Returns
+    /// `None` once the buffer is closed *and* drained.
+    #[must_use]
+    pub fn pop_batch(&self, batch: usize) -> Option<Vec<Request>> {
+        let mut state = self.state.lock();
+        while state.queue.is_empty() {
+            if state.closed {
+                return None;
+            }
+            self.readable.wait(&mut state);
+        }
+        let take = batch.max(1).min(state.queue.len());
+        let out: Vec<Request> = state.queue.drain(..take).collect();
+        drop(state);
+        self.writable.notify_all();
+        Some(out)
+    }
+
+    /// Marks the stream complete; blocked producers and the consumer wake.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Current backlog.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Whether the backlog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().queue.is_empty()
+    }
+
+    /// The largest backlog observed so far.
+    #[must_use]
+    pub fn peak_backlog(&self) -> usize {
+        self.state.lock().peak
+    }
+}
+
+impl core::fmt::Debug for RequestBuffer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("RequestBuffer")
+            .field("backlog", &state.queue.len())
+            .field("capacity", &self.capacity)
+            .field("closed", &state.closed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdhash_table::RequestKey;
+
+    fn lookups(n: u64) -> Vec<Request> {
+        (0..n).map(|k| Request::Lookup(RequestKey::new(k))).collect()
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let buffer = RequestBuffer::new(100);
+        buffer.push_chunk(&lookups(10));
+        buffer.close();
+        let mut seen = Vec::new();
+        while let Some(batch) = buffer.pop_batch(3) {
+            seen.extend(batch);
+        }
+        assert_eq!(seen, lookups(10));
+    }
+
+    #[test]
+    fn closed_empty_returns_none() {
+        let buffer = RequestBuffer::new(4);
+        buffer.close();
+        assert!(buffer.pop_batch(1).is_none());
+        // Pushes after close are dropped.
+        buffer.push_chunk(&lookups(3));
+        assert!(buffer.is_empty());
+    }
+
+    #[test]
+    fn bounded_producer_blocks_until_consumer_drains() {
+        let buffer = RequestBuffer::new(16);
+        let requests = lookups(1000);
+        crossbeam::thread::scope(|scope| {
+            let b = &buffer;
+            let reqs = &requests;
+            scope.spawn(move |_| {
+                b.push_chunk(reqs);
+                b.close();
+            });
+            let mut total = 0;
+            while let Some(batch) = buffer.pop_batch(8) {
+                total += batch.len();
+            }
+            assert_eq!(total, 1000);
+        })
+        .expect("threads do not panic");
+        assert!(buffer.peak_backlog() <= 16, "bound violated: {}", buffer.peak_backlog());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = RequestBuffer::new(0);
+    }
+
+    #[test]
+    fn debug_format() {
+        let buffer = RequestBuffer::new(4);
+        assert!(format!("{buffer:?}").contains("capacity: 4"));
+    }
+}

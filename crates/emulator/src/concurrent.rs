@@ -1,0 +1,147 @@
+//! The two-thread emulator: a generator thread feeding the hash table
+//! module through the shared buffer.
+//!
+//! The paper's framework is explicitly two modules — "the generator
+//! emulates the requests from the outside world being sent to the hash
+//! table; the hash table module reads incoming requests from a buffer".
+//! [`run_concurrent`] realizes that architecture literally: a producer
+//! thread pushes the workload into a bounded [`RequestBuffer`] while this
+//! thread's consumer drains and executes batches until the stream closes.
+
+use crate::buffer::RequestBuffer;
+use crate::module::{ExecutionStats, HashTableModule};
+use crate::request::{Request, Response};
+
+/// Outcome of a concurrent emulator run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcurrentRunReport {
+    /// Total requests executed.
+    pub executed: usize,
+    /// Aggregated execution statistics.
+    pub stats: ExecutionStats,
+    /// Largest backlog the buffer reached (bounded by the buffer
+    /// capacity).
+    pub peak_backlog: usize,
+}
+
+/// Drives `module` with `requests` produced by a separate generator
+/// thread through a buffer of `capacity` requests, executing batches of
+/// `batch`.
+///
+/// Returns the aggregate statistics; responses are folded into them
+/// (`failures` counts error responses).
+///
+/// # Panics
+///
+/// Panics if `batch == 0` (buffer capacity is validated by
+/// [`RequestBuffer::new`]).
+pub fn run_concurrent(
+    module: &mut HashTableModule,
+    requests: &[Request],
+    batch: usize,
+    capacity: usize,
+) -> ConcurrentRunReport {
+    assert!(batch > 0, "batch size must be positive");
+    let buffer = RequestBuffer::new(capacity);
+
+    let mut executed = 0usize;
+    let mut stats = ExecutionStats::default();
+
+    crossbeam::thread::scope(|scope| {
+        let producer_buffer = &buffer;
+        scope.spawn(move |_| {
+            // The generator thread: stream the workload in, then hang up.
+            for chunk in requests.chunks(batch.max(1)) {
+                producer_buffer.push_chunk(chunk);
+            }
+            producer_buffer.close();
+        });
+
+        // The hash table module thread (here: the scope owner).
+        while let Some(drained) = buffer.pop_batch(batch) {
+            let (responses, batch_stats) = module.execute(&drained);
+            executed += responses.len();
+            debug_assert_eq!(
+                responses.iter().filter(|r| matches!(r, Response::Failed(_))).count(),
+                batch_stats.failures
+            );
+            stats.lookups += batch_stats.lookups;
+            stats.controls += batch_stats.controls;
+            stats.failures += batch_stats.failures;
+            stats.lookup_time += batch_stats.lookup_time;
+        }
+    })
+    .expect("emulator threads do not panic");
+
+    ConcurrentRunReport { executed, stats, peak_backlog: buffer.peak_backlog() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::AlgorithmKind;
+    use crate::generator::{Generator, Workload};
+
+    #[test]
+    fn concurrent_run_executes_everything() {
+        let workload = Workload { initial_servers: 16, lookups: 3_000, ..Workload::default() };
+        let requests = Generator::new(workload).requests();
+        let mut module = HashTableModule::new(AlgorithmKind::Consistent.build(32));
+        let report = run_concurrent(&mut module, &requests, 256, 1024);
+        assert_eq!(report.executed, requests.len());
+        assert_eq!(report.stats.failures, 0);
+        assert_eq!(report.stats.lookups, 3_000);
+        assert!(report.peak_backlog <= 1024);
+    }
+
+    #[test]
+    fn tight_buffer_still_completes() {
+        // Backlog bound far below the workload size: producer must block
+        // and resume correctly.
+        let workload = Workload { initial_servers: 4, lookups: 2_000, ..Workload::default() };
+        let requests = Generator::new(workload).requests();
+        let mut module = HashTableModule::new(AlgorithmKind::Modular.build(8));
+        let report = run_concurrent(&mut module, &requests, 16, 32);
+        assert_eq!(report.executed, requests.len());
+        assert!(report.peak_backlog <= 32, "bound violated: {}", report.peak_backlog);
+    }
+
+    #[test]
+    fn concurrent_matches_sequential_state() {
+        let workload = Workload { initial_servers: 8, lookups: 500, ..Workload::default() };
+        let requests = Generator::new(workload).requests();
+
+        let mut sequential = HashTableModule::new(AlgorithmKind::Hd.build(16));
+        let (seq_responses, _) = sequential.execute(&requests);
+
+        let mut concurrent = HashTableModule::new(AlgorithmKind::Hd.build(16));
+        let report = run_concurrent(&mut concurrent, &requests, 128, 512);
+        assert_eq!(report.executed, seq_responses.len());
+        for k in 0..100u64 {
+            let key = hdhash_table::RequestKey::new(k);
+            assert_eq!(
+                sequential.table().lookup(key).expect("non-empty"),
+                concurrent.table().lookup(key).expect("non-empty")
+            );
+        }
+    }
+
+    #[test]
+    fn all_algorithms_survive_concurrent_churn() {
+        let workload = Workload { initial_servers: 12, lookups: 1_000, ..Workload::default() };
+        let requests = Generator::new(workload).churn_requests(6);
+        for kind in AlgorithmKind::ALL {
+            let mut module = HashTableModule::new(kind.build(32));
+            let report = run_concurrent(&mut module, &requests, 64, 256);
+            assert_eq!(report.stats.failures, 0, "{kind}");
+            assert_eq!(report.stats.lookups, 1_000, "{kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_panics() {
+        let mut module = HashTableModule::new(AlgorithmKind::Modular.build(4));
+        let _ = run_concurrent(&mut module, &[], 0, 10);
+    }
+}

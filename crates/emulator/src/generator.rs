@@ -1,0 +1,238 @@
+//! The generator module: deterministic request workloads.
+//!
+//! "The generator emulates the requests from the outside world being sent
+//! to the hash table." (paper §5.1) All workloads here are pure functions
+//! of a seed, so every experiment in the repository is reproducible.
+
+use hdhash_hashfn::SplitMix64;
+use hdhash_table::{RequestKey, ServerId};
+
+use crate::request::Request;
+use crate::zipf::Zipf;
+
+/// How lookup keys are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Uniformly random 64-bit keys (the paper's efficiency/robustness
+    /// setup).
+    Uniform,
+    /// Zipf-distributed keys over a universe of `universe` distinct keys
+    /// with exponent `s` (web-cache style traffic).
+    Zipf {
+        /// Number of distinct keys.
+        universe: usize,
+        /// Skew exponent.
+        exponent: f64,
+    },
+    /// Sequential keys `0, 1, 2, …` (worst case for weak hash functions).
+    Sequential,
+}
+
+/// A description of a full experiment workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Servers joined before any lookups (the paper joins `n` servers
+    /// first, then sends lookups).
+    pub initial_servers: usize,
+    /// Number of lookup requests (the paper uses 10 000).
+    pub lookups: usize,
+    /// Key distribution of the lookups.
+    pub keys: KeyDistribution,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Self {
+            initial_servers: 16,
+            lookups: 10_000,
+            keys: KeyDistribution::Uniform,
+            seed: 0xE11_0D1E,
+        }
+    }
+}
+
+/// The generator: produces request streams from workload descriptions.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_emulator::{Generator, Workload};
+///
+/// let requests = Generator::new(Workload::default()).requests();
+/// assert_eq!(requests.len(), 16 + 10_000);
+/// assert!(requests[..16].iter().all(|r| r.is_control()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Generator {
+    workload: Workload,
+}
+
+impl Generator {
+    /// Creates a generator for the given workload.
+    #[must_use]
+    pub fn new(workload: Workload) -> Self {
+        Self { workload }
+    }
+
+    /// The workload description.
+    #[must_use]
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Materializes the full request stream: joins first, then lookups.
+    #[must_use]
+    pub fn requests(&self) -> Vec<Request> {
+        let mut out = Vec::with_capacity(self.workload.initial_servers + self.workload.lookups);
+        out.extend(self.join_requests());
+        out.extend(self.lookup_requests());
+        out
+    }
+
+    /// Only the join phase.
+    #[must_use]
+    pub fn join_requests(&self) -> Vec<Request> {
+        (0..self.workload.initial_servers as u64)
+            .map(|i| Request::Join(ServerId::new(i)))
+            .collect()
+    }
+
+    /// Only the lookup phase.
+    #[must_use]
+    pub fn lookup_requests(&self) -> Vec<Request> {
+        let mut rng = SplitMix64::new(self.workload.seed);
+        match self.workload.keys {
+            KeyDistribution::Uniform => (0..self.workload.lookups)
+                .map(|_| Request::Lookup(RequestKey::new(rng.next_u64())))
+                .collect(),
+            KeyDistribution::Zipf { universe, exponent } => {
+                let zipf = Zipf::new(universe, exponent);
+                (0..self.workload.lookups)
+                    .map(|_| {
+                        let rank = zipf.sample(&mut rng) as u64;
+                        // Scramble the rank so hot keys are not numerically
+                        // adjacent (they are arbitrary identifiers).
+                        Request::Lookup(RequestKey::new(hdhash_hashfn::mix64(rank)))
+                    })
+                    .collect()
+            }
+            KeyDistribution::Sequential => (0..self.workload.lookups as u64)
+                .map(|k| Request::Lookup(RequestKey::new(k)))
+                .collect(),
+        }
+    }
+
+    /// A churn schedule: after the initial joins, interleaves lookups with
+    /// `churn_events` alternating leave/join events at evenly spaced
+    /// positions (P2P-style membership flux).
+    #[must_use]
+    pub fn churn_requests(&self, churn_events: usize) -> Vec<Request> {
+        let mut out = self.join_requests();
+        let lookups = self.lookup_requests();
+        if churn_events == 0 || lookups.is_empty() {
+            out.extend(lookups);
+            return out;
+        }
+        let gap = lookups.len() / (churn_events + 1);
+        let mut next_new_server = self.workload.initial_servers as u64;
+        let mut departed: Vec<u64> = Vec::new();
+        let mut rng = SplitMix64::new(self.workload.seed ^ 0xC0FFEE);
+        for (i, lookup) in lookups.into_iter().enumerate() {
+            out.push(lookup);
+            if gap > 0 && (i + 1) % gap == 0 && (i + 1) / gap <= churn_events {
+                let event = (i + 1) / gap;
+                if event % 2 == 1 && self.workload.initial_servers > 0 {
+                    // Leave a pseudo-random live original server.
+                    let victim = rng.next_below(self.workload.initial_servers as u64);
+                    if !departed.contains(&victim) {
+                        departed.push(victim);
+                        out.push(Request::Leave(ServerId::new(victim)));
+                    }
+                } else {
+                    out.push(Request::Join(ServerId::new(next_new_server)));
+                    next_new_server += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stream_shape() {
+        let g = Generator::new(Workload::default());
+        let reqs = g.requests();
+        assert_eq!(reqs.len(), 16 + 10_000);
+        assert!(reqs[..16].iter().all(Request::is_control));
+        assert!(reqs[16..].iter().all(|r| !r.is_control()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = Workload { seed: 42, ..Workload::default() };
+        assert_eq!(Generator::new(w).requests(), Generator::new(w).requests());
+    }
+
+    #[test]
+    fn different_seeds_different_keys() {
+        let a = Generator::new(Workload { seed: 1, ..Workload::default() }).lookup_requests();
+        let b = Generator::new(Workload { seed: 2, ..Workload::default() }).lookup_requests();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sequential_keys_are_sequential() {
+        let w = Workload {
+            keys: KeyDistribution::Sequential,
+            lookups: 5,
+            ..Workload::default()
+        };
+        let keys: Vec<u64> = Generator::new(w)
+            .lookup_requests()
+            .iter()
+            .filter_map(Request::lookup_key)
+            .map(RequestKey::get)
+            .collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zipf_keys_have_hot_spots() {
+        let w = Workload {
+            keys: KeyDistribution::Zipf { universe: 100, exponent: 1.2 },
+            lookups: 20_000,
+            ..Workload::default()
+        };
+        let mut counts = std::collections::HashMap::new();
+        for r in Generator::new(w).lookup_requests() {
+            *counts.entry(r.lookup_key().expect("lookup")).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().expect("non-empty");
+        assert!(counts.len() <= 100);
+        assert!(max > 20_000 / 100 * 5, "hottest key should dominate: {max}");
+    }
+
+    #[test]
+    fn churn_schedule_interleaves_events() {
+        let w = Workload { initial_servers: 8, lookups: 1000, ..Workload::default() };
+        let reqs = Generator::new(w).churn_requests(6);
+        let controls_after_warmup =
+            reqs[8..].iter().filter(|r| r.is_control()).count();
+        assert!(controls_after_warmup >= 4, "expected churn events, saw {controls_after_warmup}");
+        // Total lookups preserved.
+        let lookups = reqs.iter().filter(|r| !r.is_control()).count();
+        assert_eq!(lookups, 1000);
+    }
+
+    #[test]
+    fn churn_zero_events_is_plain_stream() {
+        let w = Workload { initial_servers: 4, lookups: 100, ..Workload::default() };
+        assert_eq!(Generator::new(w).churn_requests(0), Generator::new(w).requests());
+    }
+}

@@ -1,0 +1,221 @@
+//! Result-sample types produced by the experiment runners.
+
+use std::time::Duration;
+
+use crate::algorithms::AlgorithmKind;
+
+/// One point of the efficiency experiment (paper Figure 4): the average
+/// request handling duration for one algorithm at one pool size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EfficiencySample {
+    /// Which algorithm was measured.
+    pub algorithm: AlgorithmKind,
+    /// Number of servers in the pool.
+    pub servers: usize,
+    /// Number of lookups measured.
+    pub lookups: usize,
+    /// Average wall time per lookup.
+    pub avg_lookup: Duration,
+}
+
+impl EfficiencySample {
+    /// Average lookup time in nanoseconds.
+    #[must_use]
+    pub fn avg_nanos(&self) -> f64 {
+        self.avg_lookup.as_nanos() as f64
+    }
+}
+
+/// One point of the robustness experiment (paper Figure 5): the fraction
+/// of requests mapped to the wrong server under injected bit errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MismatchSample {
+    /// Which algorithm was measured.
+    pub algorithm: AlgorithmKind,
+    /// Number of servers in the pool.
+    pub servers: usize,
+    /// Number of bit errors injected per trial.
+    pub bit_errors: usize,
+    /// Number of independent noise trials averaged.
+    pub trials: usize,
+    /// Mean fraction of mismatched requests over the trials, in `[0, 1]`.
+    pub mismatch_fraction: f64,
+}
+
+impl MismatchSample {
+    /// The mismatch fraction as a percentage.
+    #[must_use]
+    pub fn mismatch_percent(&self) -> f64 {
+        self.mismatch_fraction * 100.0
+    }
+}
+
+/// One point of the uniformity experiment (paper Figure 6): Pearson's χ²
+/// of the observed request distribution against uniform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformitySample {
+    /// Which algorithm was measured.
+    pub algorithm: AlgorithmKind,
+    /// Number of servers in the pool.
+    pub servers: usize,
+    /// Number of bit errors injected before measuring.
+    pub bit_errors: usize,
+    /// Number of lookups distributed.
+    pub lookups: usize,
+    /// The χ² statistic (lower is more uniform).
+    pub chi_squared: f64,
+}
+
+impl UniformitySample {
+    /// The χ² p-value against `servers − 1` degrees of freedom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers < 2`.
+    #[must_use]
+    pub fn p_value(&self) -> f64 {
+        crate::stats::chi_squared_p_value(self.chi_squared, self.servers - 1)
+    }
+}
+
+/// Latency percentiles of a lookup stream.
+///
+/// Mean lookup time (Figure 4's y-axis) hides tail behaviour, and load
+/// balancers live and die by their tails: one slow lookup delays a whole
+/// batch. This profile reports nearest-rank percentiles alongside the
+/// mean so the efficiency binaries can print both.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_emulator::LatencyProfile;
+/// use std::time::Duration;
+///
+/// let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+/// let profile = LatencyProfile::from_durations(samples).expect("non-empty");
+/// assert_eq!(profile.p50, Duration::from_micros(50));
+/// assert_eq!(profile.p99, Duration::from_micros(99));
+/// assert_eq!(profile.max, Duration::from_micros(100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyProfile {
+    /// Number of samples profiled.
+    pub samples: usize,
+    /// Median latency (50th percentile, nearest rank).
+    pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Worst observed latency.
+    pub max: Duration,
+}
+
+impl LatencyProfile {
+    /// Profiles a set of latency samples; `None` if empty.
+    #[must_use]
+    pub fn from_durations(mut samples: Vec<Duration>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let nearest_rank = |q: f64| {
+            // Nearest-rank percentile: the ⌈q·n⌉-th smallest sample.
+            let rank = (q * samples.len() as f64).ceil() as usize;
+            samples[rank.clamp(1, samples.len()) - 1]
+        };
+        Some(Self {
+            samples: samples.len(),
+            p50: nearest_rank(0.50),
+            p90: nearest_rank(0.90),
+            p99: nearest_rank(0.99),
+            max: *samples.last().expect("non-empty"),
+        })
+    }
+
+    /// The p99 / p50 tail ratio (1.0 for perfectly flat latency); `None`
+    /// when the median is zero.
+    #[must_use]
+    pub fn tail_ratio(&self) -> Option<f64> {
+        if self.p50.is_zero() {
+            None
+        } else {
+            Some(self.p99.as_secs_f64() / self.p50.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_nanos() {
+        let s = EfficiencySample {
+            algorithm: AlgorithmKind::Hd,
+            servers: 8,
+            lookups: 100,
+            avg_lookup: Duration::from_micros(3),
+        };
+        assert_eq!(s.avg_nanos(), 3000.0);
+    }
+
+    #[test]
+    fn mismatch_percent() {
+        let s = MismatchSample {
+            algorithm: AlgorithmKind::Consistent,
+            servers: 512,
+            bit_errors: 10,
+            trials: 5,
+            mismatch_fraction: 0.12,
+        };
+        assert!((s.mismatch_percent() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniformity_p_value() {
+        let s = UniformitySample {
+            algorithm: AlgorithmKind::Hd,
+            servers: 64,
+            bit_errors: 0,
+            lookups: 6400,
+            chi_squared: 63.0,
+        };
+        let p = s.p_value();
+        assert!(p > 0.2 && p < 0.8, "χ² ≈ dof should be unremarkable: p={p}");
+    }
+
+    #[test]
+    fn latency_profile_percentiles() {
+        let samples: Vec<Duration> = (1..=1000).map(Duration::from_nanos).collect();
+        let p = LatencyProfile::from_durations(samples).expect("non-empty");
+        assert_eq!(p.samples, 1000);
+        assert_eq!(p.p50, Duration::from_nanos(500));
+        assert_eq!(p.p90, Duration::from_nanos(900));
+        assert_eq!(p.p99, Duration::from_nanos(990));
+        assert_eq!(p.max, Duration::from_nanos(1000));
+        let ratio = p.tail_ratio().expect("non-zero median");
+        assert!((ratio - 1.98).abs() < 0.01, "tail ratio {ratio}");
+    }
+
+    #[test]
+    fn latency_profile_edge_cases() {
+        assert!(LatencyProfile::from_durations(Vec::new()).is_none());
+        let single =
+            LatencyProfile::from_durations(vec![Duration::from_micros(3)]).expect("non-empty");
+        assert_eq!(single.p50, Duration::from_micros(3));
+        assert_eq!(single.p99, Duration::from_micros(3));
+        assert_eq!(single.max, Duration::from_micros(3));
+        // Unsorted input is sorted internally.
+        let unsorted = LatencyProfile::from_durations(vec![
+            Duration::from_nanos(30),
+            Duration::from_nanos(10),
+            Duration::from_nanos(20),
+        ])
+        .expect("non-empty");
+        assert_eq!(unsorted.p50, Duration::from_nanos(20));
+        // A zero median yields no tail ratio.
+        let zeros = LatencyProfile::from_durations(vec![Duration::ZERO; 4]).expect("non-empty");
+        assert!(zeros.tail_ratio().is_none());
+    }
+}

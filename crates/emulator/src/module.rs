@@ -1,0 +1,254 @@
+//! The hash table module: buffered request execution.
+//!
+//! "The hash table module reads incoming requests from a buffer and uses a
+//! hashing algorithm to map them to an available server." (paper §5.1)
+//! The buffer is a [`parking_lot`]-guarded queue so a generator thread can
+//! feed the module while it drains — mirroring the paper's two-module
+//! architecture — though all experiments can also run single-threaded via
+//! [`HashTableModule::execute`].
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use hdhash_table::NoisyTable;
+
+use crate::request::{Request, Response};
+
+/// Execution statistics of a request batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecutionStats {
+    /// Number of lookup requests executed.
+    pub lookups: usize,
+    /// Number of control (join/leave) requests executed.
+    pub controls: usize,
+    /// Number of failed requests.
+    pub failures: usize,
+    /// Wall time spent executing lookups only.
+    pub lookup_time: Duration,
+}
+
+impl ExecutionStats {
+    /// Average wall time per lookup; zero if none executed.
+    #[must_use]
+    pub fn avg_lookup_time(&self) -> Duration {
+        if self.lookups == 0 {
+            Duration::ZERO
+        } else {
+            self.lookup_time / self.lookups as u32
+        }
+    }
+}
+
+/// The emulator's hash table module.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_emulator::{AlgorithmKind, Generator, HashTableModule, Workload};
+///
+/// let mut module = HashTableModule::new(AlgorithmKind::Hd.build(16));
+/// let requests = Generator::new(Workload { initial_servers: 16, lookups: 100, ..Workload::default() }).requests();
+/// let (responses, stats) = module.execute(&requests);
+/// assert_eq!(responses.len(), 116);
+/// assert_eq!(stats.lookups, 100);
+/// assert_eq!(stats.failures, 0);
+/// ```
+pub struct HashTableModule {
+    table: Box<dyn NoisyTable + Send>,
+    buffer: Mutex<VecDeque<Request>>,
+}
+
+impl HashTableModule {
+    /// Wraps a hash table behind the module interface.
+    #[must_use]
+    pub fn new(table: Box<dyn NoisyTable + Send>) -> Self {
+        Self { table, buffer: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Access to the underlying table (e.g. for noise injection).
+    pub fn table_mut(&mut self) -> &mut (dyn NoisyTable + Send) {
+        &mut *self.table
+    }
+
+    /// Read access to the underlying table.
+    #[must_use]
+    pub fn table(&self) -> &(dyn NoisyTable + Send) {
+        &*self.table
+    }
+
+    /// Queues requests into the module's buffer (generator side).
+    pub fn enqueue<I: IntoIterator<Item = Request>>(&self, requests: I) {
+        self.buffer.lock().extend(requests);
+    }
+
+    /// Number of requests waiting in the buffer.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buffer.lock().len()
+    }
+
+    /// Drains up to `batch` buffered requests and executes them (the
+    /// paper batches 256 requests per GPU dispatch).
+    pub fn drain_batch(&mut self, batch: usize) -> (Vec<Response>, ExecutionStats) {
+        let drained: Vec<Request> = {
+            let mut buffer = self.buffer.lock();
+            let take = batch.min(buffer.len());
+            buffer.drain(..take).collect()
+        };
+        self.execute(&drained)
+    }
+
+    /// Executes a request slice directly, timing the lookup portion.
+    ///
+    /// Runs of consecutive lookups are dispatched through
+    /// [`DynamicHashTable::lookup_batch`](hdhash_table::DynamicHashTable::lookup_batch),
+    /// matching the paper's batched GPU dispatch; control requests act as
+    /// batch boundaries (membership changes must order with lookups).
+    pub fn execute(&mut self, requests: &[Request]) -> (Vec<Response>, ExecutionStats) {
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut stats = ExecutionStats::default();
+        let mut pending_keys: Vec<hdhash_table::RequestKey> = Vec::new();
+
+        let flush =
+            |keys: &mut Vec<hdhash_table::RequestKey>,
+             table: &(dyn NoisyTable + Send),
+             responses: &mut Vec<Response>,
+             stats: &mut ExecutionStats| {
+                if keys.is_empty() {
+                    return;
+                }
+                let start = Instant::now();
+                let results = table.lookup_batch(keys);
+                stats.lookup_time += start.elapsed();
+                stats.lookups += keys.len();
+                for result in results {
+                    match result {
+                        Ok(server) => responses.push(Response::Mapped(server)),
+                        Err(e) => {
+                            stats.failures += 1;
+                            responses.push(Response::Failed(e));
+                        }
+                    }
+                }
+                keys.clear();
+            };
+
+        for request in requests {
+            match *request {
+                Request::Join(server) => {
+                    flush(&mut pending_keys, &*self.table, &mut responses, &mut stats);
+                    stats.controls += 1;
+                    match self.table.join(server) {
+                        Ok(()) => responses.push(Response::ControlApplied),
+                        Err(e) => {
+                            stats.failures += 1;
+                            responses.push(Response::Failed(e));
+                        }
+                    }
+                }
+                Request::Leave(server) => {
+                    flush(&mut pending_keys, &*self.table, &mut responses, &mut stats);
+                    stats.controls += 1;
+                    match self.table.leave(server) {
+                        Ok(()) => responses.push(Response::ControlApplied),
+                        Err(e) => {
+                            stats.failures += 1;
+                            responses.push(Response::Failed(e));
+                        }
+                    }
+                }
+                Request::Lookup(key) => pending_keys.push(key),
+            }
+        }
+        flush(&mut pending_keys, &*self.table, &mut responses, &mut stats);
+        (responses, stats)
+    }
+}
+
+impl core::fmt::Debug for HashTableModule {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("HashTableModule")
+            .field("algorithm", &self.table.algorithm_name())
+            .field("servers", &self.table.server_count())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::AlgorithmKind;
+    use crate::generator::{Generator, Workload};
+    use hdhash_table::{RequestKey, ServerId};
+
+    fn module(kind: AlgorithmKind) -> HashTableModule {
+        HashTableModule::new(kind.build(64))
+    }
+
+    #[test]
+    fn executes_mixed_stream_without_failures() {
+        for kind in AlgorithmKind::ALL {
+            let mut m = module(kind);
+            let w = Workload { initial_servers: 8, lookups: 200, ..Workload::default() };
+            let (responses, stats) = m.execute(&Generator::new(w).requests());
+            assert_eq!(stats.failures, 0, "{kind}");
+            assert_eq!(stats.lookups, 200);
+            assert_eq!(stats.controls, 8);
+            assert_eq!(responses.iter().filter(|r| r.server().is_some()).count(), 200);
+        }
+    }
+
+    #[test]
+    fn lookup_on_empty_pool_fails_gracefully() {
+        let mut m = module(AlgorithmKind::Consistent);
+        let (responses, stats) = m.execute(&[Request::Lookup(RequestKey::new(1))]);
+        assert_eq!(stats.failures, 1);
+        assert!(matches!(responses[0], Response::Failed(_)));
+    }
+
+    #[test]
+    fn buffer_enqueue_and_drain_in_batches() {
+        let mut m = module(AlgorithmKind::Modular);
+        m.enqueue([Request::Join(ServerId::new(1))]);
+        let w = Workload { initial_servers: 0, lookups: 700, ..Workload::default() };
+        m.enqueue(Generator::new(w).lookup_requests());
+        assert_eq!(m.pending(), 701);
+
+        let mut total = 0;
+        while m.pending() > 0 {
+            let (responses, _) = m.drain_batch(256);
+            assert!(responses.len() <= 256);
+            total += responses.len();
+        }
+        assert_eq!(total, 701);
+    }
+
+    #[test]
+    fn stats_average() {
+        let stats = ExecutionStats {
+            lookups: 4,
+            controls: 0,
+            failures: 0,
+            lookup_time: Duration::from_micros(100),
+        };
+        assert_eq!(stats.avg_lookup_time(), Duration::from_micros(25));
+        assert_eq!(ExecutionStats::default().avg_lookup_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn duplicate_join_counts_as_failure() {
+        let mut m = module(AlgorithmKind::Rendezvous);
+        let reqs = [Request::Join(ServerId::new(1)), Request::Join(ServerId::new(1))];
+        let (_, stats) = m.execute(&reqs);
+        assert_eq!(stats.failures, 1);
+    }
+
+    #[test]
+    fn debug_output() {
+        let m = module(AlgorithmKind::Hd);
+        assert!(format!("{m:?}").contains("algorithm"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Plain-text and CSV rendering of experiment series.
+//!
+//! The figure binaries in `hdhash-bench` print these tables; the text
+//! format pivots each series into one row per x-axis value and one column
+//! per algorithm, matching how the paper's figures are read.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::algorithms::AlgorithmKind;
+use crate::correlated::TimelineSample;
+use crate::metrics::{EfficiencySample, MismatchSample, UniformitySample};
+
+fn algorithms_in<'a, T, F>(samples: &'a [T], f: F) -> Vec<AlgorithmKind>
+where
+    F: Fn(&T) -> AlgorithmKind + 'a,
+{
+    let mut seen = Vec::new();
+    for s in samples {
+        let a = f(s);
+        if !seen.contains(&a) {
+            seen.push(a);
+        }
+    }
+    seen
+}
+
+/// Formats Figure 4 data: average request handling duration (µs) per pool
+/// size and algorithm.
+#[must_use]
+pub fn format_efficiency(samples: &[EfficiencySample]) -> String {
+    let algorithms = algorithms_in(samples, |s| s.algorithm);
+    let servers: BTreeSet<usize> = samples.iter().map(|s| s.servers).collect();
+    let mut out = String::from("servers");
+    for a in &algorithms {
+        let _ = write!(out, ",{a}_us");
+    }
+    out.push('\n');
+    for &n in &servers {
+        let _ = write!(out, "{n}");
+        for &a in &algorithms {
+            match samples.iter().find(|s| s.servers == n && s.algorithm == a) {
+                Some(s) => {
+                    let _ = write!(out, ",{:.3}", s.avg_nanos() / 1000.0);
+                }
+                None => out.push_str(",-"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats Figure 5 data: mismatch percentage per bit-error count, one
+/// block per pool size.
+#[must_use]
+pub fn format_mismatches(samples: &[MismatchSample]) -> String {
+    let algorithms = algorithms_in(samples, |s| s.algorithm);
+    let servers: BTreeSet<usize> = samples.iter().map(|s| s.servers).collect();
+    let mut out = String::new();
+    for &n in &servers {
+        let _ = writeln!(out, "# servers = {n}");
+        out.push_str("bit_errors");
+        for a in &algorithms {
+            let _ = write!(out, ",{a}_pct");
+        }
+        out.push('\n');
+        let errors: BTreeSet<usize> =
+            samples.iter().filter(|s| s.servers == n).map(|s| s.bit_errors).collect();
+        for &e in &errors {
+            let _ = write!(out, "{e}");
+            for &a in &algorithms {
+                match samples
+                    .iter()
+                    .find(|s| s.servers == n && s.bit_errors == e && s.algorithm == a)
+                {
+                    Some(s) => {
+                        let _ = write!(out, ",{:.3}", s.mismatch_percent());
+                    }
+                    None => out.push_str(",-"),
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Formats Figure 6 data: χ² per pool size, one column per
+/// (algorithm, bit-error) series.
+#[must_use]
+pub fn format_uniformity(samples: &[UniformitySample]) -> String {
+    let algorithms = algorithms_in(samples, |s| s.algorithm);
+    let servers: BTreeSet<usize> = samples.iter().map(|s| s.servers).collect();
+    let errors: BTreeSet<usize> = samples.iter().map(|s| s.bit_errors).collect();
+    let mut out = String::from("servers");
+    for &a in &algorithms {
+        for &e in &errors {
+            let _ = write!(out, ",{a}_e{e}");
+        }
+    }
+    out.push('\n');
+    for &n in &servers {
+        let _ = write!(out, "{n}");
+        for &a in &algorithms {
+            for &e in &errors {
+                match samples
+                    .iter()
+                    .find(|s| s.servers == n && s.algorithm == a && s.bit_errors == e)
+                {
+                    Some(s) => {
+                        let _ = write!(out, ",{:.2}", s.chi_squared);
+                    }
+                    None => out.push_str(",-"),
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats Figure 7 data: cumulative mismatch percentage per month, one
+/// column per algorithm, with error months marked.
+#[must_use]
+pub fn format_timeline(samples: &[TimelineSample]) -> String {
+    let algorithms = algorithms_in(samples, |s| s.algorithm);
+    let months: BTreeSet<usize> = samples.iter().map(|s| s.month).collect();
+    let mut out = String::from("month,errored,bits");
+    for a in &algorithms {
+        let _ = write!(out, ",{a}_pct");
+    }
+    out.push('\n');
+    for &m in &months {
+        let row: Vec<&TimelineSample> = samples.iter().filter(|s| s.month == m).collect();
+        let errored = row.first().is_some_and(|s| s.errored);
+        let bits = row.first().map_or(0, |s| s.cumulative_bits);
+        let _ = write!(out, "{m},{},{bits}", u8::from(errored));
+        for &a in &algorithms {
+            match row.iter().find(|s| s.algorithm == a) {
+                Some(s) => {
+                    let _ = write!(out, ",{:.3}", s.mismatch_fraction * 100.0);
+                }
+                None => out.push_str(",-"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn efficiency_table_shape() {
+        let samples = vec![
+            EfficiencySample {
+                algorithm: AlgorithmKind::Consistent,
+                servers: 2,
+                lookups: 10,
+                avg_lookup: Duration::from_nanos(1500),
+            },
+            EfficiencySample {
+                algorithm: AlgorithmKind::Hd,
+                servers: 2,
+                lookups: 10,
+                avg_lookup: Duration::from_micros(2),
+            },
+        ];
+        let text = format_efficiency(&samples);
+        assert!(text.starts_with("servers,consistent_us,hd_us"));
+        assert!(text.contains("2,1.500,2.000"));
+    }
+
+    #[test]
+    fn mismatch_table_blocks_per_pool() {
+        let mk = |servers, bit_errors, pct| MismatchSample {
+            algorithm: AlgorithmKind::Rendezvous,
+            servers,
+            bit_errors,
+            trials: 1,
+            mismatch_fraction: pct,
+        };
+        let text = format_mismatches(&[mk(128, 0, 0.0), mk(128, 10, 0.04), mk(512, 10, 0.02)]);
+        assert!(text.contains("# servers = 128"));
+        assert!(text.contains("# servers = 512"));
+        assert!(text.contains("10,4.000"));
+    }
+
+    #[test]
+    fn uniformity_table_columns() {
+        let mk = |a, e, chi| UniformitySample {
+            algorithm: a,
+            servers: 16,
+            bit_errors: e,
+            lookups: 100,
+            chi_squared: chi,
+        };
+        let text = format_uniformity(&[
+            mk(AlgorithmKind::Consistent, 0, 30.0),
+            mk(AlgorithmKind::Hd, 0, 12.0),
+        ]);
+        assert!(text.starts_with("servers,consistent_e0,hd_e0"));
+        assert!(text.contains("16,30.00,12.00"));
+    }
+
+    #[test]
+    fn timeline_table_shape() {
+        let mk = |a, month, errored, pct| TimelineSample {
+            algorithm: a,
+            month,
+            errored,
+            cumulative_bits: if errored { month } else { 0 },
+            mismatch_fraction: pct,
+        };
+        let text = format_timeline(&[
+            mk(AlgorithmKind::Consistent, 1, false, 0.0),
+            mk(AlgorithmKind::Hd, 1, false, 0.0),
+            mk(AlgorithmKind::Consistent, 2, true, 0.045),
+            mk(AlgorithmKind::Hd, 2, true, 0.0),
+        ]);
+        assert!(text.starts_with("month,errored,bits,consistent_pct,hd_pct"));
+        assert!(text.contains("1,0,0,0.000,0.000"));
+        assert!(text.contains("2,1,2,4.500,0.000"));
+    }
+
+    #[test]
+    fn missing_cells_render_dashes() {
+        let samples = vec![EfficiencySample {
+            algorithm: AlgorithmKind::Modular,
+            servers: 4,
+            lookups: 1,
+            avg_lookup: Duration::ZERO,
+        }];
+        let mut extended = samples.clone();
+        extended.push(EfficiencySample {
+            algorithm: AlgorithmKind::Hd,
+            servers: 8,
+            lookups: 1,
+            avg_lookup: Duration::ZERO,
+        });
+        let text = format_efficiency(&extended);
+        assert!(text.contains("4,0.000,-"));
+        assert!(text.contains("8,-,0.000"));
+    }
+}

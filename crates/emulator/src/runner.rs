@@ -1,0 +1,430 @@
+//! Experiment drivers regenerating the paper's figures.
+//!
+//! Each runner is a deterministic function of its configuration, built on
+//! the generator + hash-table-module emulator:
+//!
+//! * [`run_efficiency`] — Figure 4 (average request handling duration vs
+//!   pool size);
+//! * [`run_robustness`] — Figure 5 (% mismatched requests vs bit errors);
+//! * [`run_uniformity`] — Figure 6 (χ² against uniform vs pool size and
+//!   bit errors).
+
+use hdhash_table::{Assignment, NoisyTable, RequestKey, ServerId};
+
+use crate::algorithms::AlgorithmKind;
+use crate::generator::{Generator, KeyDistribution, Workload};
+use crate::metrics::{EfficiencySample, MismatchSample, UniformitySample};
+use crate::module::HashTableModule;
+use crate::noise::NoisePlan;
+use crate::request::Request;
+
+
+/// Configuration of the efficiency experiment (paper §5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficiencyConfig {
+    /// Algorithms to measure.
+    pub algorithms: Vec<AlgorithmKind>,
+    /// Pool sizes to sweep (the paper: powers of two, 2..=2048).
+    pub server_counts: Vec<usize>,
+    /// Lookups per measurement (the paper: 10 000).
+    pub lookups: usize,
+    /// Batch size for draining the module buffer (the paper: 256).
+    pub batch: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for EfficiencyConfig {
+    fn default() -> Self {
+        Self {
+            algorithms: AlgorithmKind::PAPER.to_vec(),
+            server_counts: (1..=11).map(|e| 1usize << e).collect(),
+            lookups: 10_000,
+            batch: 256,
+            seed: 0xF16_4,
+        }
+    }
+}
+
+/// Runs the efficiency experiment: for each algorithm and pool size, joins
+/// the servers, then measures the average lookup latency over the
+/// workload, drained through the module buffer in batches.
+#[must_use]
+pub fn run_efficiency(config: &EfficiencyConfig) -> Vec<EfficiencySample> {
+    let mut samples = Vec::new();
+    for &servers in &config.server_counts {
+        let workload = Workload {
+            initial_servers: servers,
+            lookups: config.lookups,
+            keys: KeyDistribution::Uniform,
+            seed: config.seed,
+        };
+        let generator = Generator::new(workload);
+        for &algorithm in &config.algorithms {
+            let mut module = HashTableModule::new(algorithm.build(servers));
+            // Join phase (untimed, as in the paper).
+            let (_, join_stats) = module.execute(&generator.join_requests());
+            debug_assert_eq!(join_stats.failures, 0);
+            // Lookup phase through the batched buffer.
+            module.enqueue(generator.lookup_requests());
+            let mut lookups = 0;
+            let mut lookup_time = std::time::Duration::ZERO;
+            while module.pending() > 0 {
+                let (_, stats) = module.drain_batch(config.batch);
+                lookups += stats.lookups;
+                lookup_time += stats.lookup_time;
+            }
+            samples.push(EfficiencySample {
+                algorithm,
+                servers,
+                lookups,
+                avg_lookup: if lookups == 0 {
+                    std::time::Duration::ZERO
+                } else {
+                    lookup_time / lookups as u32
+                },
+            });
+        }
+    }
+    samples
+}
+
+/// Which noise pattern the robustness experiment injects per trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobustnessNoise {
+    /// `bit_errors` independent single-bit flips (the Figure 5 x-axis).
+    Seu,
+    /// One burst of `bit_errors` adjacent bits (the "10-bit MCU" headline).
+    Mcu,
+}
+
+/// Configuration of the robustness experiment (paper §5.3, Figure 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessConfig {
+    /// Algorithms to measure.
+    pub algorithms: Vec<AlgorithmKind>,
+    /// Pool sizes to test.
+    pub server_counts: Vec<usize>,
+    /// Bit-error counts to sweep (the paper: 0..=10).
+    pub bit_errors: Vec<usize>,
+    /// Lookups per trial (the paper: 10 000).
+    pub lookups: usize,
+    /// Independent noise trials to average per point.
+    pub trials: usize,
+    /// Noise pattern.
+    pub noise: RobustnessNoise,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        Self {
+            algorithms: AlgorithmKind::PAPER.to_vec(),
+            server_counts: vec![512],
+            bit_errors: (0..=10).collect(),
+            lookups: 10_000,
+            trials: 10,
+            noise: RobustnessNoise::Seu,
+            seed: 0xF16_5,
+        }
+    }
+}
+
+/// Runs the robustness experiment: the clean assignment of the workload is
+/// the ground truth; each trial corrupts the table, re-captures the
+/// assignment and counts mismatches, then restores the table.
+#[must_use]
+pub fn run_robustness(config: &RobustnessConfig) -> Vec<MismatchSample> {
+    let mut samples = Vec::new();
+    for &servers in &config.server_counts {
+        let keys = shared_lookup_keys(servers, config.lookups, config.seed);
+        for &algorithm in &config.algorithms {
+            let mut table = algorithm.build(servers);
+            join_all(&mut *table, servers);
+            let reference =
+                Assignment::capture(&*table, keys.iter().copied()).expect("pool is non-empty");
+            for &bit_errors in &config.bit_errors {
+                let mut mismatch_sum = 0.0;
+                for trial in 0..config.trials {
+                    let plan = match config.noise {
+                        RobustnessNoise::Seu => NoisePlan::Seu { count: bit_errors },
+                        RobustnessNoise::Mcu => NoisePlan::Mcu { length: bit_errors },
+                    };
+                    let noise_seed = config
+                        .seed
+                        .wrapping_add(hdhash_hashfn::mix64(
+                            (trial as u64) << 32 | bit_errors as u64,
+                        ));
+                    plan.apply(&mut *table, noise_seed);
+                    let noisy = Assignment::capture(&*table, keys.iter().copied())
+                        .expect("pool is non-empty");
+                    mismatch_sum += hdhash_table::remap_fraction(&reference, &noisy);
+                    table.clear_noise();
+                }
+                samples.push(MismatchSample {
+                    algorithm,
+                    servers,
+                    bit_errors,
+                    trials: config.trials,
+                    mismatch_fraction: mismatch_sum / config.trials as f64,
+                });
+            }
+        }
+    }
+    samples
+}
+
+/// Configuration of the uniformity experiment (paper §5.3, Figure 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformityConfig {
+    /// Algorithms to measure (the paper plots consistent and HD; it omits
+    /// rendezvous as perfectly uniform by construction).
+    pub algorithms: Vec<AlgorithmKind>,
+    /// Pool sizes to sweep.
+    pub server_counts: Vec<usize>,
+    /// Bit-error counts to sweep.
+    pub bit_errors: Vec<usize>,
+    /// Lookups to distribute per measurement.
+    pub lookups: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for UniformityConfig {
+    fn default() -> Self {
+        Self {
+            algorithms: vec![AlgorithmKind::Consistent, AlgorithmKind::Hd],
+            server_counts: (1..=11).map(|e| 1usize << e).collect(),
+            bit_errors: vec![0, 5, 10],
+            lookups: 100_000,
+            seed: 0xF16_6,
+        }
+    }
+}
+
+/// Runs the uniformity experiment: distributes the workload, counts
+/// requests per *live* server and computes χ² against the uniform
+/// expectation `E = |R| / |S|`. Requests mapped to identifiers outside the
+/// live pool (possible for corrupted slot-array algorithms) lose their
+/// mass, which the statistic correctly penalizes.
+#[must_use]
+pub fn run_uniformity(config: &UniformityConfig) -> Vec<UniformitySample> {
+    let mut samples = Vec::new();
+    for &servers in &config.server_counts {
+        let keys = shared_lookup_keys(servers, config.lookups, config.seed);
+        for &algorithm in &config.algorithms {
+            let mut table = algorithm.build(servers);
+            join_all(&mut *table, servers);
+            for &bit_errors in &config.bit_errors {
+                if bit_errors > 0 {
+                    let noise_seed =
+                        config.seed ^ hdhash_hashfn::mix64(bit_errors as u64 | 0xA5A5_0000);
+                    NoisePlan::Seu { count: bit_errors }.apply(&mut *table, noise_seed);
+                }
+                let mut counts = vec![0usize; servers];
+                for &key in &keys {
+                    if let Ok(server) = table.lookup(key) {
+                        // Count only live servers; corrupted identifiers
+                        // fall outside and lose their mass.
+                        if (server.get() as usize) < servers {
+                            counts[server.get() as usize] += 1;
+                        }
+                    }
+                }
+                // The paper's statistic: E = |R| / |S| over all requests,
+                // even those whose mass was corrupted away.
+                let expected = config.lookups as f64 / servers as f64;
+                let chi_squared = if counts.iter().sum::<usize>() == 0 {
+                    f64::INFINITY
+                } else {
+                    counts
+                        .iter()
+                        .map(|&c| {
+                            let d = c as f64 - expected;
+                            d * d / expected
+                        })
+                        .sum()
+                };
+                samples.push(UniformitySample {
+                    algorithm,
+                    servers,
+                    bit_errors,
+                    lookups: config.lookups,
+                    chi_squared,
+                });
+                table.clear_noise();
+            }
+        }
+    }
+    samples
+}
+
+/// The shared lookup key stream for one pool size.
+pub(crate) fn shared_lookup_keys(
+    servers: usize,
+    lookups: usize,
+    seed: u64,
+) -> Vec<RequestKey> {
+    let workload = Workload {
+        initial_servers: servers,
+        lookups,
+        keys: KeyDistribution::Uniform,
+        seed,
+    };
+    Generator::new(workload)
+        .lookup_requests()
+        .into_iter()
+        .filter_map(|r| match r {
+            Request::Lookup(k) => Some(k),
+            _ => None,
+        })
+        .collect()
+}
+
+fn join_all(table: &mut (dyn NoisyTable + Send), servers: usize) {
+    for i in 0..servers as u64 {
+        table.join(ServerId::new(i)).expect("fresh server within capacity");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_produces_full_grid() {
+        let config = EfficiencyConfig {
+            algorithms: vec![AlgorithmKind::Consistent, AlgorithmKind::Rendezvous],
+            server_counts: vec![4, 16],
+            lookups: 500,
+            batch: 128,
+            seed: 1,
+        };
+        let samples = run_efficiency(&config);
+        assert_eq!(samples.len(), 4);
+        assert!(samples.iter().all(|s| s.lookups == 500));
+    }
+
+    #[test]
+    fn efficiency_rendezvous_scales_linearly() {
+        let config = EfficiencyConfig {
+            algorithms: vec![AlgorithmKind::Rendezvous],
+            server_counts: vec![8, 512],
+            lookups: 3000,
+            batch: 256,
+            seed: 2,
+        };
+        let samples = run_efficiency(&config);
+        let small = samples[0].avg_nanos();
+        let large = samples[1].avg_nanos();
+        // 64× the servers should cost clearly more than 4× the time.
+        assert!(large > small * 4.0, "O(n) not visible: {small} vs {large}");
+    }
+
+    #[test]
+    fn robustness_zero_errors_zero_mismatch() {
+        let config = RobustnessConfig {
+            algorithms: AlgorithmKind::PAPER.to_vec(),
+            server_counts: vec![64],
+            bit_errors: vec![0],
+            lookups: 500,
+            trials: 2,
+            noise: RobustnessNoise::Seu,
+            seed: 3,
+        };
+        for s in run_robustness(&config) {
+            assert_eq!(s.mismatch_fraction, 0.0, "{}", s.algorithm);
+        }
+    }
+
+    #[test]
+    fn robustness_orders_algorithms_like_the_paper() {
+        // The paper's Figure 5 ordering at 512 servers and ten bit errors:
+        // consistent (≈12%) > rendezvous (≈4%) > hd (= 0).
+        let config = RobustnessConfig {
+            algorithms: AlgorithmKind::PAPER.to_vec(),
+            server_counts: vec![512],
+            bit_errors: vec![10],
+            lookups: 2000,
+            trials: 5,
+            noise: RobustnessNoise::Seu,
+            seed: 4,
+        };
+        let samples = run_robustness(&config);
+        let get = |kind: AlgorithmKind| {
+            samples
+                .iter()
+                .find(|s| s.algorithm == kind)
+                .expect("present")
+                .mismatch_fraction
+        };
+        let consistent = get(AlgorithmKind::Consistent);
+        let rendezvous = get(AlgorithmKind::Rendezvous);
+        let hd = get(AlgorithmKind::Hd);
+        assert_eq!(hd, 0.0, "HD hashing must be unaffected");
+        assert!(rendezvous > 0.0, "rendezvous should degrade mildly");
+        assert!(consistent > rendezvous, "consistent should degrade most: {consistent} vs {rendezvous}");
+    }
+
+    #[test]
+    fn uniformity_hd_beats_consistent_cleanly() {
+        let config = UniformityConfig {
+            algorithms: vec![AlgorithmKind::Consistent, AlgorithmKind::Hd],
+            server_counts: vec![64],
+            bit_errors: vec![0],
+            lookups: 20_000,
+            seed: 5,
+        };
+        let samples = run_uniformity(&config);
+        let chi = |kind: AlgorithmKind| {
+            samples.iter().find(|s| s.algorithm == kind).expect("present").chi_squared
+        };
+        // The paper's Figure 6: HD distributes more uniformly than
+        // consistent hashing even without noise.
+        assert!(chi(AlgorithmKind::Hd) < chi(AlgorithmKind::Consistent));
+    }
+
+    #[test]
+    fn uniformity_noise_hurts_consistent_not_hd() {
+        let config = UniformityConfig {
+            algorithms: vec![AlgorithmKind::Consistent, AlgorithmKind::Hd],
+            server_counts: vec![64],
+            bit_errors: vec![0, 10],
+            lookups: 20_000,
+            seed: 6,
+        };
+        let samples = run_uniformity(&config);
+        let chi = |kind: AlgorithmKind, errors: usize| {
+            samples
+                .iter()
+                .find(|s| s.algorithm == kind && s.bit_errors == errors)
+                .expect("present")
+                .chi_squared
+        };
+        assert!(
+            chi(AlgorithmKind::Consistent, 10) > chi(AlgorithmKind::Consistent, 0),
+            "noise should worsen consistent hashing's uniformity"
+        );
+        let hd_clean = chi(AlgorithmKind::Hd, 0);
+        let hd_noisy = chi(AlgorithmKind::Hd, 10);
+        assert!(
+            (hd_clean - hd_noisy).abs() < 1e-9,
+            "HD uniformity must be unaffected by noise: {hd_clean} vs {hd_noisy}"
+        );
+    }
+
+    #[test]
+    fn runners_are_deterministic() {
+        let config = RobustnessConfig {
+            algorithms: vec![AlgorithmKind::Consistent],
+            server_counts: vec![32],
+            bit_errors: vec![5],
+            lookups: 500,
+            trials: 3,
+            noise: RobustnessNoise::Seu,
+            seed: 7,
+        };
+        assert_eq!(run_robustness(&config), run_robustness(&config));
+    }
+}

@@ -1,0 +1,255 @@
+//! Statistical machinery: Pearson's χ² goodness-of-fit (paper Figure 6).
+//!
+//! The paper measures load uniformity with
+//! `χ² = Σ_s (R(s) − E)² / E`, `E = |R| / |S|`, and we additionally provide
+//! the χ² survival function (p-value) through a from-scratch implementation
+//! of the regularized incomplete gamma function (series + continued
+//! fraction, as in *Numerical Recipes*).
+
+/// Pearson's χ² statistic of observed counts against the uniform
+/// expectation (the paper's Figure 6 metric).
+///
+/// Servers that received zero requests must be included as zero counts.
+///
+/// # Panics
+///
+/// Panics if `counts` is empty or the total count is zero.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_emulator::stats::chi_squared_uniform;
+///
+/// // Perfectly uniform: χ² = 0.
+/// assert_eq!(chi_squared_uniform(&[25, 25, 25, 25]), 0.0);
+/// ```
+#[must_use]
+pub fn chi_squared_uniform(counts: &[usize]) -> f64 {
+    assert!(!counts.is_empty(), "chi-squared needs at least one category");
+    let total: usize = counts.iter().sum();
+    assert!(total > 0, "chi-squared needs a positive total count");
+    let expected = total as f64 / counts.len() as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// The survival function of the χ² distribution with `dof` degrees of
+/// freedom: `P(X ≥ x)`.
+///
+/// # Panics
+///
+/// Panics if `dof == 0` or `x < 0`.
+#[must_use]
+pub fn chi_squared_p_value(x: f64, dof: usize) -> f64 {
+    assert!(dof > 0, "degrees of freedom must be positive");
+    assert!(x >= 0.0, "chi-squared statistic cannot be negative");
+    // P(X >= x) = Q(dof/2, x/2), the regularized upper incomplete gamma.
+    regularized_gamma_q(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`.
+#[must_use]
+pub fn regularized_gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "invalid incomplete gamma arguments");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_continued_fraction(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+#[must_use]
+pub fn regularized_gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "invalid incomplete gamma arguments");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_continued_fraction(a, x)
+    }
+}
+
+/// ln Γ(z) by the Lanczos approximation (g = 7, n = 9 coefficients).
+#[must_use]
+pub fn ln_gamma(z: f64) -> f64 {
+    assert!(z > 0.0, "ln_gamma requires a positive argument");
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    let z = z - 1.0;
+    let mut sum = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        sum += c / (z + i as f64);
+    }
+    let t = z + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + sum.ln()
+}
+
+/// Series expansion for `P(a, x)`, converges fast for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Lentz continued fraction for `Q(a, x)`, converges fast for `x ≥ a + 1`.
+fn gamma_q_continued_fraction(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Sample mean.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty sample");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (population, `n` denominator).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+#[must_use]
+pub fn std_dev(values: &[f64]) -> f64 {
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_squared_basics() {
+        assert_eq!(chi_squared_uniform(&[10, 10, 10, 10]), 0.0);
+        // One category takes everything: chi2 = sum over cats.
+        // counts [40,0,0,0]: E=10, chi2 = 900/10 + 3*100/10 = 120.
+        assert!((chi_squared_uniform(&[40, 0, 0, 0]) - 120.0).abs() < 1e-12);
+        // Mild skew.
+        let x = chi_squared_uniform(&[12, 8, 10, 10]);
+        assert!((x - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one category")]
+    fn chi_squared_empty_panics() {
+        let _ = chi_squared_uniform(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total")]
+    fn chi_squared_zero_total_panics() {
+        let _ = chi_squared_uniform(&[0, 0]);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_gamma_complementarity() {
+        for &(a, x) in &[(0.5, 0.3), (1.0, 1.0), (2.5, 4.0), (10.0, 8.0), (50.0, 60.0)] {
+            let p = regularized_gamma_p(a, x);
+            let q = regularized_gamma_q(a, x);
+            assert!((p + q - 1.0).abs() < 1e-10, "a={a} x={x}");
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn chi_squared_p_value_critical_points() {
+        // Classic table values: chi2_{0.05, 1} = 3.841; chi2_{0.05, 10} = 18.307.
+        assert!((chi_squared_p_value(3.841, 1) - 0.05).abs() < 0.002);
+        assert!((chi_squared_p_value(18.307, 10) - 0.05).abs() < 0.002);
+        // Exponential special case (dof = 2): P(X >= x) = exp(-x/2).
+        let x = 5.0;
+        assert!((chi_squared_p_value(x, 2) - (-x / 2.0f64).exp()).abs() < 1e-10);
+        // Extremes.
+        assert_eq!(chi_squared_p_value(0.0, 5), 1.0);
+        assert!(chi_squared_p_value(1000.0, 5) < 1e-10);
+    }
+
+    #[test]
+    fn p_value_monotone_in_statistic() {
+        let mut last = 1.0;
+        for x in [0.0, 1.0, 5.0, 10.0, 50.0] {
+            let p = chi_squared_p_value(x, 8);
+            assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_counts_pass_significance() {
+        // A genuinely uniform assignment should not be rejected at 5%.
+        let counts = vec![100usize; 64];
+        let chi2 = chi_squared_uniform(&counts);
+        assert!(chi_squared_p_value(chi2, 63) > 0.05);
+    }
+}

@@ -1,0 +1,178 @@
+//! A from-scratch Zipf-distributed key sampler.
+//!
+//! Web caching and P2P workloads — the paper's motivating applications —
+//! are famously Zipfian: a few hot keys receive most of the traffic. The
+//! emulator therefore offers Zipf(`s`) key generation next to uniform.
+//! Implementation: the normalized cumulative distribution over ranks
+//! `1..=n` with `P(rank = k) ∝ k^(−s)`, inverted by binary search.
+
+use hdhash_hashfn::SplitMix64;
+
+/// A Zipf distribution over `n` ranks with exponent `s ≥ 0`.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_emulator::Zipf;
+/// use hdhash_hashfn::SplitMix64;
+///
+/// let zipf = Zipf::new(1000, 1.0);
+/// let mut rng = SplitMix64::new(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=1000).contains(&rank));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Builds the distribution over ranks `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point: the last entry must be exactly 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf, exponent: s }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is empty (never true once constructed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The exponent `s`.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of a given rank (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is 0 or exceeds `n`.
+    #[must_use]
+    pub fn probability(&self, rank: usize) -> f64 {
+        assert!(rank >= 1 && rank <= self.cdf.len(), "rank out of range");
+        if rank == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank - 1] - self.cdf[rank - 2]
+        }
+    }
+
+    /// Draws a rank in `1..=n` (rank 1 is the hottest).
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        // First index with cdf >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_normalized_and_monotone() {
+        let z = Zipf::new(100, 1.2);
+        assert_eq!(z.len(), 100);
+        assert!((z.cdf.last().copied().expect("non-empty") - 1.0).abs() < 1e-12);
+        for w in z.cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        let mass: f64 = (1..=100).map(|k| z.probability(k)).sum();
+        assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_ranks_dominate() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = SplitMix64::new(3);
+        let mut counts = vec![0usize; 1001];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[10], "rank 1 should beat rank 10");
+        assert!(counts[1] > counts[100] * 10, "rank 1 should dwarf rank 100");
+        // Empirical share of rank 1 ≈ 1/H_1000 ≈ 0.133.
+        let share = counts[1] as f64 / 50_000.0;
+        assert!((share - 0.133).abs() < 0.02, "rank-1 share {share}");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 1..=10 {
+            assert!((z.probability(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_cover_support_and_stay_in_range() {
+        let z = Zipf::new(5, 0.5);
+        let mut rng = SplitMix64::new(9);
+        let mut seen = [false; 6];
+        for _ in 0..5000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=5).contains(&r));
+            seen[r] = true;
+        }
+        assert!(seen[1..].iter().all(|&s| s));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(50, 1.5);
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_exponent_panics() {
+        let _ = Zipf::new(10, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn probability_out_of_range_panics() {
+        let _ = Zipf::new(10, 1.0).probability(11);
+    }
+}

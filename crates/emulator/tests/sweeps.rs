@@ -1,0 +1,112 @@
+//! Integration tests for the emulator's experiment runners and reporting,
+//! exercising realistic (if reduced) sweeps end to end.
+
+use hdhash_emulator::report::{format_efficiency, format_mismatches, format_uniformity};
+use hdhash_emulator::runner::{
+    run_efficiency, run_robustness, run_uniformity, EfficiencyConfig, RobustnessConfig,
+    RobustnessNoise, UniformityConfig,
+};
+use hdhash_emulator::AlgorithmKind;
+
+#[test]
+fn efficiency_sweep_produces_report() {
+    let config = EfficiencyConfig {
+        algorithms: AlgorithmKind::ALL.to_vec(),
+        server_counts: vec![4, 16, 64],
+        lookups: 400,
+        batch: 128,
+        seed: 1,
+    };
+    let samples = run_efficiency(&config);
+    assert_eq!(samples.len(), AlgorithmKind::ALL.len() * 3);
+    let report = format_efficiency(&samples);
+    // One header plus one row per pool size; a column per algorithm.
+    assert_eq!(report.lines().count(), 4);
+    for kind in AlgorithmKind::ALL {
+        assert!(report.contains(kind.name()), "missing column {kind}");
+    }
+    assert!(!report.contains(",-"), "grid must be complete");
+}
+
+#[test]
+fn robustness_mcu_mode_full_grid() {
+    let config = RobustnessConfig {
+        algorithms: vec![AlgorithmKind::Consistent, AlgorithmKind::Hd],
+        server_counts: vec![32, 64],
+        bit_errors: vec![0, 10],
+        lookups: 300,
+        trials: 3,
+        noise: RobustnessNoise::Mcu,
+        seed: 2,
+    };
+    let samples = run_robustness(&config);
+    assert_eq!(samples.len(), 2 * 2 * 2);
+    for s in &samples {
+        assert!(s.mismatch_fraction >= 0.0 && s.mismatch_fraction <= 1.0);
+        assert_eq!(s.trials, 3);
+        if s.algorithm == AlgorithmKind::Hd {
+            assert_eq!(s.mismatch_fraction, 0.0, "HD must absorb MCU bursts");
+        }
+        if s.bit_errors == 0 {
+            assert_eq!(s.mismatch_fraction, 0.0, "no noise, no mismatch");
+        }
+    }
+    let report = format_mismatches(&samples);
+    assert!(report.contains("# servers = 32"));
+    assert!(report.contains("# servers = 64"));
+}
+
+#[test]
+fn uniformity_sweep_over_all_algorithms() {
+    let config = UniformityConfig {
+        algorithms: vec![
+            AlgorithmKind::Consistent,
+            AlgorithmKind::Rendezvous,
+            AlgorithmKind::Maglev,
+            AlgorithmKind::Jump,
+            AlgorithmKind::Hd,
+        ],
+        server_counts: vec![16],
+        bit_errors: vec![0],
+        lookups: 16_000,
+        seed: 3,
+    };
+    let samples = run_uniformity(&config);
+    assert_eq!(samples.len(), 5);
+    let chi = |kind: AlgorithmKind| {
+        samples.iter().find(|s| s.algorithm == kind).expect("present").chi_squared
+    };
+    // Pseudo-uniform families sit near the dof; positional families above.
+    assert!(chi(AlgorithmKind::Rendezvous) < 60.0);
+    assert!(chi(AlgorithmKind::Jump) < 60.0);
+    assert!(chi(AlgorithmKind::Maglev) < 120.0);
+    assert!(chi(AlgorithmKind::Hd) > chi(AlgorithmKind::Rendezvous));
+    assert!(chi(AlgorithmKind::Consistent) > chi(AlgorithmKind::Rendezvous));
+    let report = format_uniformity(&samples);
+    assert!(report.starts_with("servers,"));
+    assert!(report.lines().count() == 2);
+}
+
+#[test]
+fn robustness_grows_with_error_count_for_rendezvous() {
+    // Rendezvous's damage model is clean enough to assert monotonicity
+    // of the *averaged* curve.
+    let config = RobustnessConfig {
+        algorithms: vec![AlgorithmKind::Rendezvous],
+        server_counts: vec![64],
+        bit_errors: vec![0, 2, 4, 8, 16],
+        lookups: 2_000,
+        trials: 12,
+        noise: RobustnessNoise::Seu,
+        seed: 4,
+    };
+    let samples = run_robustness(&config);
+    let series: Vec<f64> = samples.iter().map(|s| s.mismatch_fraction).collect();
+    for pair in series.windows(2) {
+        assert!(
+            pair[1] >= pair[0] * 0.7,
+            "rendezvous curve should rise with errors: {series:?}"
+        );
+    }
+    assert!(series.last().expect("non-empty") > &0.1, "16 errors over 64 words must bite");
+}

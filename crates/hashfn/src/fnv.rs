@@ -1,0 +1,99 @@
+//! Fowler–Noll–Vo 1a, 64-bit variant.
+//!
+//! FNV-1a folds each input byte into the state with XOR and multiplies by a
+//! fixed prime. It is byte-serial and has weaker diffusion than XXH64 or
+//! Murmur3, but is tiny and historically the default choice for hash-table
+//! keying; we include it both as a usable [`Hasher64`] and as the "cheap
+//! but lower quality" point in hash-quality ablations.
+
+use crate::traits::{HashKind, Hasher64};
+
+/// The 64-bit FNV offset basis.
+pub const FNV_OFFSET_BASIS: u64 = 0xCBF2_9CE4_8422_2325;
+/// The 64-bit FNV prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// The FNV-1a 64-bit hash function.
+///
+/// The optional seed is folded into the offset basis (a standard keyed-FNV
+/// construction); a zero seed reproduces the canonical FNV-1a values.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hashfn::{Fnv1a64, Hasher64};
+///
+/// // Canonical test vector: FNV-1a("a") = 0xaf63dc4c8601ec8c.
+/// assert_eq!(Fnv1a64::new().hash_bytes(b"a"), 0xAF63_DC4C_8601_EC8C);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fnv1a64 {
+    seed: u64,
+}
+
+impl Fnv1a64 {
+    /// Creates the canonical (unseeded) FNV-1a hasher.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { seed: 0 }
+    }
+
+    /// Creates a keyed FNV-1a hasher.
+    #[must_use]
+    pub const fn with_seed(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Hasher64 for Fnv1a64 {
+    fn hash_bytes(&self, bytes: &[u8]) -> u64 {
+        let mut state = FNV_OFFSET_BASIS ^ self.seed;
+        for &b in bytes {
+            state ^= u64::from(b);
+            state = state.wrapping_mul(FNV_PRIME);
+        }
+        state
+    }
+
+    fn reseed(&self, seed: u64) -> Box<dyn Hasher64> {
+        Box::new(Self::with_seed(self.seed ^ crate::splitmix::splitmix64(seed)))
+    }
+
+    fn kind(&self) -> HashKind {
+        HashKind::Fnv1a64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known-answer vectors from the FNV reference tables (Landon Curt Noll).
+    #[test]
+    fn known_answer_vectors() {
+        let h = Fnv1a64::new();
+        assert_eq!(h.hash_bytes(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(h.hash_bytes(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(h.hash_bytes(b"b"), 0xAF63_DF4C_8601_F1A5);
+        assert_eq!(h.hash_bytes(b"foobar"), 0x8594_4171_F739_67E8);
+    }
+
+    #[test]
+    fn seeding_changes_output() {
+        let plain = Fnv1a64::new();
+        let keyed = Fnv1a64::with_seed(123);
+        assert_ne!(plain.hash_bytes(b"xyz"), keyed.hash_bytes(b"xyz"));
+    }
+
+    #[test]
+    fn reseed_is_deterministic() {
+        let a = Fnv1a64::new().reseed(9).hash_bytes(b"k");
+        let b = Fnv1a64::new().reseed(9).hash_bytes(b"k");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kind_is_fnv() {
+        assert_eq!(Fnv1a64::new().kind(), HashKind::Fnv1a64);
+    }
+}

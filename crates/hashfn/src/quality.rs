@@ -1,0 +1,157 @@
+//! Statistical quality checks for hash functions.
+//!
+//! The robustness and uniformity experiments (paper Figures 5 and 6) are
+//! only meaningful if the underlying `h(·)` behaves like a random oracle.
+//! This module provides small, fast estimators — bucket uniformity via a χ²
+//! statistic and bitwise avalanche — used both in this crate's test suite
+//! and by the `ablation_*` benches to compare hash families.
+
+use crate::traits::Hasher64;
+
+/// Summary of a bucket-uniformity trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformityReport {
+    /// Number of buckets the outputs were reduced into.
+    pub buckets: usize,
+    /// Number of hashed samples.
+    pub samples: usize,
+    /// The Pearson χ² statistic against the uniform expectation.
+    pub chi_squared: f64,
+    /// Degrees of freedom (`buckets - 1`).
+    pub degrees_of_freedom: usize,
+}
+
+impl UniformityReport {
+    /// A loose acceptance test: χ² within `slack` standard deviations of its
+    /// expectation (`k-1` mean, `sqrt(2(k-1))` std for large samples).
+    #[must_use]
+    pub fn is_plausibly_uniform(&self, slack: f64) -> bool {
+        let dof = self.degrees_of_freedom as f64;
+        (self.chi_squared - dof).abs() <= slack * (2.0 * dof).sqrt()
+    }
+}
+
+/// Hashes `samples` sequential keys and measures bucket-count uniformity.
+///
+/// Sequential keys are the adversarially *regular* input pattern that weak
+/// hashes (e.g. truncated multiplicative schemes) fail on, which makes this
+/// a discriminating test despite its simplicity.
+///
+/// # Panics
+///
+/// Panics if `buckets == 0` or `samples == 0`.
+#[must_use]
+pub fn sequential_key_uniformity<H: Hasher64 + ?Sized>(
+    hasher: &H,
+    buckets: usize,
+    samples: usize,
+) -> UniformityReport {
+    assert!(buckets > 0 && samples > 0, "buckets and samples must be positive");
+    let mut counts = vec![0u64; buckets];
+    for key in 0..samples as u64 {
+        let h = hasher.hash_u64(key);
+        counts[(h % buckets as u64) as usize] += 1;
+    }
+    let expected = samples as f64 / buckets as f64;
+    let chi_squared = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    UniformityReport {
+        buckets,
+        samples,
+        chi_squared,
+        degrees_of_freedom: buckets - 1,
+    }
+}
+
+/// Estimates the avalanche quality of a hasher on `u64` keys.
+///
+/// Returns the mean fraction of output bits flipped when a single input bit
+/// flips; 0.5 is ideal.
+#[must_use]
+pub fn avalanche_fraction<H: Hasher64 + ?Sized>(hasher: &H, samples: usize) -> f64 {
+    let mut flipped = 0u64;
+    let mut total = 0u64;
+    for i in 0..samples as u64 {
+        let x = crate::splitmix::splitmix64(i);
+        let hx = hasher.hash_u64(x);
+        for bit in 0..64 {
+            flipped += u64::from((hx ^ hasher.hash_u64(x ^ (1 << bit))).count_ones());
+            total += 64;
+        }
+    }
+    flipped as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fnv1a64, Murmur3_128, SipHash13, SipHash24, SplitMix64, XxHash64};
+
+    #[test]
+    fn strong_hashes_pass_uniformity() {
+        let hashers: [&dyn Hasher64; 4] = [
+            &XxHash64::new(),
+            &Murmur3_128::new(),
+            &SipHash24::new(),
+            &SipHash13::new(),
+        ];
+        for h in hashers {
+            let report = sequential_key_uniformity(h, 64, 64 * 200);
+            assert!(
+                report.is_plausibly_uniform(6.0),
+                "{} chi2={}",
+                h.kind(),
+                report.chi_squared
+            );
+        }
+    }
+
+    #[test]
+    fn strong_hashes_have_good_avalanche() {
+        let hashers: [&dyn Hasher64; 3] =
+            [&XxHash64::new(), &Murmur3_128::new(), &SipHash24::new()];
+        for h in hashers {
+            let a = avalanche_fraction(h, 32);
+            assert!((a - 0.5).abs() < 0.03, "{} avalanche {a}", h.kind());
+        }
+    }
+
+    #[test]
+    fn splitmix_stream_hash_is_uniform() {
+        let report = sequential_key_uniformity(&SplitMix64::new(1), 32, 32 * 300);
+        assert!(report.is_plausibly_uniform(6.0), "chi2={}", report.chi_squared);
+    }
+
+    #[test]
+    fn fnv_works_but_is_weaker_on_avalanche() {
+        // FNV's final byte multiply leaves the low bits under-mixed; we only
+        // require it to stay within a generous envelope, documenting that it
+        // is the low-quality member of the family.
+        let a = avalanche_fraction(&Fnv1a64::new(), 16);
+        assert!(a > 0.2, "FNV avalanche collapsed: {a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_buckets_panics() {
+        let _ = sequential_key_uniformity(&XxHash64::new(), 0, 10);
+    }
+
+    #[test]
+    fn report_acceptance_band() {
+        let r = UniformityReport {
+            buckets: 65,
+            samples: 1000,
+            chi_squared: 64.0,
+            degrees_of_freedom: 64,
+        };
+        assert!(r.is_plausibly_uniform(1.0));
+        let bad = UniformityReport { chi_squared: 640.0, ..r };
+        assert!(!bad.is_plausibly_uniform(6.0));
+    }
+}

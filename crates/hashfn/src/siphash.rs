@@ -1,0 +1,211 @@
+//! SipHash (Aumasson & Bernstein) with configurable compression/finalization
+//! rounds, implemented from the reference specification.
+//!
+//! SipHash is a keyed pseudo-random function; the 2-4 variant is the
+//! original security-oriented parameterization and 1-3 is the faster
+//! variant adopted by many hash-table implementations. In this workspace it
+//! serves as the "keyed, adversarial-input-safe" option for `h(·)` and as a
+//! quality reference in hash ablations.
+
+use crate::traits::{HashKind, Hasher64};
+
+/// Generic SipHash engine over `C` compression and `D` finalization rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Sip<const C: usize, const D: usize> {
+    k0: u64,
+    k1: u64,
+}
+
+impl<const C: usize, const D: usize> Sip<C, D> {
+    const fn new(k0: u64, k1: u64) -> Self {
+        Self { k0, k1 }
+    }
+
+    #[inline]
+    fn sipround(v: &mut [u64; 4]) {
+        v[0] = v[0].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(13);
+        v[1] ^= v[0];
+        v[0] = v[0].rotate_left(32);
+        v[2] = v[2].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(16);
+        v[3] ^= v[2];
+        v[0] = v[0].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(21);
+        v[3] ^= v[0];
+        v[2] = v[2].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(17);
+        v[1] ^= v[2];
+        v[2] = v[2].rotate_left(32);
+    }
+
+    fn hash(&self, data: &[u8]) -> u64 {
+        let mut v = [
+            self.k0 ^ 0x736F_6D65_7073_6575,
+            self.k1 ^ 0x646F_7261_6E64_6F6D,
+            self.k0 ^ 0x6C79_6765_6E65_7261,
+            self.k1 ^ 0x7465_6462_7974_6573,
+        ];
+
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let m = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+            v[3] ^= m;
+            for _ in 0..C {
+                Self::sipround(&mut v);
+            }
+            v[0] ^= m;
+        }
+
+        let rest = chunks.remainder();
+        let mut b = (data.len() as u64) << 56;
+        for (i, &byte) in rest.iter().enumerate() {
+            b |= u64::from(byte) << (8 * i);
+        }
+        v[3] ^= b;
+        for _ in 0..C {
+            Self::sipround(&mut v);
+        }
+        v[0] ^= b;
+
+        v[2] ^= 0xFF;
+        for _ in 0..D {
+            Self::sipround(&mut v);
+        }
+        v[0] ^ v[1] ^ v[2] ^ v[3]
+    }
+}
+
+macro_rules! sip_variant {
+    ($(#[$doc:meta])* $name:ident, $c:literal, $d:literal, $kind:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name {
+            k0: u64,
+            k1: u64,
+        }
+
+        impl $name {
+            /// Creates the hasher with the all-zero key.
+            #[must_use]
+            pub const fn new() -> Self {
+                Self { k0: 0, k1: 0 }
+            }
+
+            /// Creates the hasher with an explicit 128-bit key.
+            #[must_use]
+            pub const fn with_keys(k0: u64, k1: u64) -> Self {
+                Self { k0, k1 }
+            }
+        }
+
+        impl Hasher64 for $name {
+            fn hash_bytes(&self, bytes: &[u8]) -> u64 {
+                Sip::<$c, $d>::new(self.k0, self.k1).hash(bytes)
+            }
+
+            fn reseed(&self, seed: u64) -> Box<dyn Hasher64> {
+                let s = crate::splitmix::splitmix64(seed);
+                Box::new(Self::with_keys(
+                    self.k0 ^ s,
+                    self.k1 ^ crate::splitmix::splitmix64(s),
+                ))
+            }
+
+            fn kind(&self) -> HashKind {
+                $kind
+            }
+        }
+    };
+}
+
+sip_variant!(
+    /// SipHash-1-3: one compression round, three finalization rounds.
+    ///
+    /// ```
+    /// use hdhash_hashfn::{Hasher64, SipHash13};
+    /// let h = SipHash13::with_keys(1, 2);
+    /// assert_eq!(h.hash_bytes(b"req"), h.hash_bytes(b"req"));
+    /// ```
+    SipHash13,
+    1,
+    3,
+    HashKind::SipHash13
+);
+
+sip_variant!(
+    /// SipHash-2-4: the original, security-oriented parameterization.
+    ///
+    /// ```
+    /// use hdhash_hashfn::{Hasher64, SipHash24};
+    /// let h = SipHash24::new();
+    /// assert_ne!(h.hash_bytes(b"a"), h.hash_bytes(b"b"));
+    /// ```
+    SipHash24,
+    2,
+    4,
+    HashKind::SipHash24
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The official SipHash-2-4 test vector from the reference paper:
+    /// key = 000102…0f, input = 00 01 02 … 3e, checking the first entries
+    /// of `vectors_sip64`.
+    #[test]
+    fn siphash24_reference_vectors() {
+        let k0 = u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]);
+        let k1 = u64::from_le_bytes([8, 9, 10, 11, 12, 13, 14, 15]);
+        let h = SipHash24::with_keys(k0, k1);
+
+        let expected: [u64; 8] = [
+            u64::from_le_bytes([0x31, 0x0E, 0x0E, 0xDD, 0x47, 0xDB, 0x6F, 0x72]),
+            u64::from_le_bytes([0xFD, 0x67, 0xDC, 0x93, 0xC5, 0x39, 0xF8, 0x74]),
+            u64::from_le_bytes([0x5A, 0x4F, 0xA9, 0xD9, 0x09, 0x80, 0x6C, 0x0D]),
+            u64::from_le_bytes([0x2D, 0x7E, 0xFB, 0xD7, 0x96, 0x66, 0x67, 0x85]),
+            u64::from_le_bytes([0xB7, 0x87, 0x71, 0x27, 0xE0, 0x94, 0x27, 0xCF]),
+            u64::from_le_bytes([0x8D, 0xA6, 0x99, 0xCD, 0x64, 0x55, 0x76, 0x18]),
+            u64::from_le_bytes([0xCE, 0xE3, 0xFE, 0x58, 0x6E, 0x46, 0xC9, 0xCB]),
+            u64::from_le_bytes([0x37, 0xD1, 0x01, 0x8B, 0xF5, 0x00, 0x02, 0xAB]),
+        ];
+        let input: Vec<u8> = (0..8u8).collect();
+        for (len, want) in expected.iter().enumerate() {
+            assert_eq!(h.hash_bytes(&input[..len]), *want, "length {len}");
+        }
+    }
+
+    #[test]
+    fn siphash13_differs_from_24() {
+        let a = SipHash13::with_keys(1, 2).hash_bytes(b"payload");
+        let b = SipHash24::with_keys(1, 2).hash_bytes(b"payload");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        let base = SipHash24::with_keys(0, 0).hash_bytes(b"msg");
+        assert_ne!(base, SipHash24::with_keys(1, 0).hash_bytes(b"msg"));
+        assert_ne!(base, SipHash24::with_keys(0, 1).hash_bytes(b"msg"));
+    }
+
+    #[test]
+    fn reseed_changes_and_is_stable() {
+        let h = SipHash13::new();
+        let r1 = h.reseed(42);
+        let r2 = h.reseed(42);
+        assert_eq!(r1.hash_bytes(b"k"), r2.hash_bytes(b"k"));
+        assert_ne!(r1.hash_bytes(b"k"), h.hash_bytes(b"k"));
+    }
+
+    #[test]
+    fn tail_lengths_unique() {
+        let h = SipHash24::with_keys(3, 4);
+        let data = [0u8; 32];
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=32 {
+            assert!(seen.insert(h.hash_bytes(&data[..len])));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Bridge to `std::hash`: use the workspace hashers with `HashMap`.
+//!
+//! [`StdHasher`] adapts any [`Hasher64`] to `std::hash::Hasher` (buffering
+//! writes and digesting on `finish`), and [`BuildStdHasher`] is the
+//! corresponding `BuildHasher`, so a downstream user can key standard
+//! collections with, say, SipHash-1-3 from this crate:
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use hdhash_hashfn::{BuildStdHasher, SipHash13};
+//!
+//! let mut map: HashMap<u64, &str, _> =
+//!     HashMap::with_hasher(BuildStdHasher::new(SipHash13::with_keys(1, 2)));
+//! map.insert(7, "seven");
+//! assert_eq!(map[&7], "seven");
+//! ```
+
+use crate::traits::Hasher64;
+
+/// A `std::hash::Hasher` over any [`Hasher64`].
+///
+/// Writes are buffered and hashed as one message on
+/// [`finish`](std::hash::Hasher::finish) — the right semantics for
+/// one-shot message hashes like XXH64 (matching their reference streaming
+/// implementations' output).
+#[derive(Debug, Clone)]
+pub struct StdHasher<H> {
+    inner: H,
+    buffer: Vec<u8>,
+}
+
+impl<H: Hasher64> StdHasher<H> {
+    /// Wraps a hasher.
+    #[must_use]
+    pub fn new(inner: H) -> Self {
+        Self { inner, buffer: Vec::new() }
+    }
+}
+
+impl<H: Hasher64> std::hash::Hasher for StdHasher<H> {
+    fn finish(&self) -> u64 {
+        self.inner.hash_bytes(&self.buffer)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+}
+
+/// A `BuildHasher` producing [`StdHasher`]s from a cloneable [`Hasher64`].
+#[derive(Debug, Clone, Default)]
+pub struct BuildStdHasher<H> {
+    template: H,
+}
+
+impl<H: Hasher64 + Clone> BuildStdHasher<H> {
+    /// Creates a builder cloning `template` per hasher.
+    #[must_use]
+    pub fn new(template: H) -> Self {
+        Self { template }
+    }
+}
+
+impl<H: Hasher64 + Clone> std::hash::BuildHasher for BuildStdHasher<H> {
+    type Hasher = StdHasher<H>;
+
+    fn build_hasher(&self) -> StdHasher<H> {
+        StdHasher::new(self.template.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fnv1a64, SipHash24, XxHash64};
+    use std::hash::{BuildHasher, Hash, Hasher};
+
+    #[test]
+    fn finish_matches_one_shot() {
+        let mut std_hasher = StdHasher::new(XxHash64::with_seed(3));
+        std_hasher.write(b"hello ");
+        std_hasher.write(b"world");
+        assert_eq!(std_hasher.finish(), XxHash64::with_seed(3).hash_bytes(b"hello world"));
+    }
+
+    #[test]
+    fn hashmap_integration() {
+        let mut map = std::collections::HashMap::with_hasher(BuildStdHasher::new(
+            SipHash24::with_keys(9, 9),
+        ));
+        for i in 0..100u64 {
+            map.insert(i, i * 2);
+        }
+        for i in 0..100u64 {
+            assert_eq!(map[&i], i * 2);
+        }
+        assert!(!map.contains_key(&200));
+    }
+
+    #[test]
+    fn build_hasher_is_consistent() {
+        let build = BuildStdHasher::new(Fnv1a64::new());
+        let mut a = build.build_hasher();
+        let mut b = build.build_hasher();
+        "same".hash(&mut a);
+        "same".hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hashset_deduplicates() {
+        let mut set =
+            std::collections::HashSet::with_hasher(BuildStdHasher::new(XxHash64::new()));
+        assert!(set.insert("x"));
+        assert!(!set.insert("x"));
+        assert_eq!(set.len(), 1);
+    }
+}

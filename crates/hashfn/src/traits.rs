@@ -1,0 +1,168 @@
+//! Core hashing traits shared by every algorithm in the workspace.
+
+/// A deterministic function from byte strings to 64-bit words.
+///
+/// This is the `h(·)` of the paper: all four hashing algorithms (modular,
+/// consistent, rendezvous and HD hashing) are parameterized by one. The
+/// trait is object-safe so emulator configurations can carry
+/// `Box<dyn Hasher64>`.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hashfn::{Hasher64, Fnv1a64};
+///
+/// let h = Fnv1a64::new();
+/// assert_eq!(h.hash_bytes(b"abc"), h.hash_bytes(b"abc"));
+/// assert_ne!(h.hash_bytes(b"abc"), h.hash_bytes(b"abd"));
+/// ```
+pub trait Hasher64: Send + Sync {
+    /// Hashes a byte string to a 64-bit word.
+    fn hash_bytes(&self, bytes: &[u8]) -> u64;
+
+    /// Hashes a `u64` key.
+    ///
+    /// The default implementation hashes the little-endian encoding of the
+    /// key, so `hash_u64(x) == hash_bytes(&x.to_le_bytes())`. Implementations
+    /// may override this with a faster fixed-width path as long as that
+    /// equation continues to hold.
+    fn hash_u64(&self, key: u64) -> u64 {
+        self.hash_bytes(&key.to_le_bytes())
+    }
+
+    /// Returns a new hasher of the same family re-keyed with `seed`.
+    ///
+    /// Re-seeding is how consistent hashing derives independent hash
+    /// functions for virtual nodes and how rendezvous hashing derives the
+    /// pair hash.
+    fn reseed(&self, seed: u64) -> Box<dyn Hasher64>;
+
+    /// The family this hasher belongs to, for diagnostics and reports.
+    fn kind(&self) -> HashKind;
+}
+
+/// Identifies a hash function family.
+///
+/// ```
+/// use hdhash_hashfn::HashKind;
+/// assert_eq!(HashKind::XxHash64.to_string(), "xxhash64");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum HashKind {
+    /// Fowler–Noll–Vo 1a (64-bit).
+    Fnv1a64,
+    /// XXH64.
+    XxHash64,
+    /// MurmurHash3 x64/128, low word.
+    Murmur3,
+    /// SipHash-1-3.
+    SipHash13,
+    /// SipHash-2-4.
+    SipHash24,
+    /// SplitMix64 integer mixer.
+    SplitMix64,
+}
+
+impl core::fmt::Display for HashKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            HashKind::Fnv1a64 => "fnv1a64",
+            HashKind::XxHash64 => "xxhash64",
+            HashKind::Murmur3 => "murmur3-x64-128",
+            HashKind::SipHash13 => "siphash-1-3",
+            HashKind::SipHash24 => "siphash-2-4",
+            HashKind::SplitMix64 => "splitmix64",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Hashes *(server, request)* pairs, as rendezvous hashing requires.
+///
+/// Rendezvous hashing assigns request `r` to `argmax_s h(s, r)`; the pair
+/// hash must behave like an independent random oracle per pair. The blanket
+/// implementation for any [`Hasher64`] mixes the two pre-hashed identifiers
+/// through a strong 64-bit finalizer, which is the standard construction.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hashfn::{PairHasher, XxHash64};
+///
+/// let h = XxHash64::with_seed(7);
+/// let w1 = h.hash_pair(1, 99);
+/// let w2 = h.hash_pair(2, 99);
+/// assert_ne!(w1, w2);
+/// ```
+pub trait PairHasher: Hasher64 {
+    /// Hashes the pair `(a, b)` of pre-hashed 64-bit identifiers.
+    fn hash_pair(&self, a: u64, b: u64) -> u64 {
+        let mut buf = [0u8; 16];
+        buf[..8].copy_from_slice(&a.to_le_bytes());
+        buf[8..].copy_from_slice(&b.to_le_bytes());
+        self.hash_bytes(&buf)
+    }
+}
+
+impl<T: Hasher64 + ?Sized> PairHasher for T {}
+
+impl Hasher64 for Box<dyn Hasher64> {
+    fn hash_bytes(&self, bytes: &[u8]) -> u64 {
+        (**self).hash_bytes(bytes)
+    }
+
+    fn hash_u64(&self, key: u64) -> u64 {
+        (**self).hash_u64(key)
+    }
+
+    fn reseed(&self, seed: u64) -> Box<dyn Hasher64> {
+        (**self).reseed(seed)
+    }
+
+    fn kind(&self) -> HashKind {
+        (**self).kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fnv1a64, XxHash64};
+
+    #[test]
+    fn hash_u64_matches_le_bytes() {
+        let h = XxHash64::with_seed(3);
+        for k in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(h.hash_u64(k), h.hash_bytes(&k.to_le_bytes()));
+        }
+    }
+
+    #[test]
+    fn pair_hash_is_order_sensitive() {
+        let h = Fnv1a64::new();
+        assert_ne!(h.hash_pair(1, 2), h.hash_pair(2, 1));
+    }
+
+    #[test]
+    fn boxed_hasher_delegates() {
+        let h: Box<dyn Hasher64> = Box::new(XxHash64::with_seed(5));
+        assert_eq!(h.hash_bytes(b"x"), XxHash64::with_seed(5).hash_bytes(b"x"));
+        assert_eq!(h.kind(), HashKind::XxHash64);
+        let r = h.reseed(9);
+        assert_eq!(r.hash_bytes(b"x"), XxHash64::with_seed(9).hash_bytes(b"x"));
+    }
+
+    #[test]
+    fn kind_display_names() {
+        assert_eq!(HashKind::Fnv1a64.to_string(), "fnv1a64");
+        assert_eq!(HashKind::SipHash24.to_string(), "siphash-2-4");
+        assert_eq!(HashKind::Murmur3.to_string(), "murmur3-x64-128");
+    }
+
+    #[test]
+    fn traits_are_object_safe() {
+        fn takes(_: &dyn Hasher64) {}
+        takes(&Fnv1a64::new());
+    }
+}

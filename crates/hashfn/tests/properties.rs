@@ -1,0 +1,81 @@
+//! Property-based tests for the hash function substrate.
+
+use hdhash_hashfn::{
+    Fnv1a64, Hasher64, Murmur3_128, SipHash13, SipHash24, SplitMix64, XxHash64,
+};
+use proptest::prelude::*;
+
+fn all_hashers() -> Vec<Box<dyn Hasher64>> {
+    vec![
+        Box::new(Fnv1a64::new()),
+        Box::new(XxHash64::new()),
+        Box::new(Murmur3_128::new()),
+        Box::new(SipHash13::new()),
+        Box::new(SipHash24::new()),
+        Box::new(SplitMix64::new(7)),
+    ]
+}
+
+proptest! {
+    /// Hashing is a pure function: equal inputs give equal outputs.
+    #[test]
+    fn deterministic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        for h in all_hashers() {
+            prop_assert_eq!(h.hash_bytes(&data), h.hash_bytes(&data));
+        }
+    }
+
+    /// `hash_u64` is exactly the little-endian byte encoding hash.
+    #[test]
+    fn u64_path_consistent(key in any::<u64>()) {
+        for h in all_hashers() {
+            prop_assert_eq!(h.hash_u64(key), h.hash_bytes(&key.to_le_bytes()));
+        }
+    }
+
+    /// Appending a byte essentially never preserves the digest
+    /// (collision would require a 1-in-2^64 event; treat as failure).
+    #[test]
+    fn extension_changes_digest(data in proptest::collection::vec(any::<u8>(), 0..128), tail in any::<u8>()) {
+        for h in all_hashers() {
+            let mut extended = data.clone();
+            extended.push(tail);
+            prop_assert_ne!(h.hash_bytes(&data), h.hash_bytes(&extended), "{}", h.kind());
+        }
+    }
+
+    /// Reseeding produces a different function but remains deterministic.
+    #[test]
+    fn reseed_consistency(seed in 1u64.., data in proptest::collection::vec(any::<u8>(), 1..64)) {
+        for h in all_hashers() {
+            let a = h.reseed(seed);
+            let b = h.reseed(seed);
+            prop_assert_eq!(a.hash_bytes(&data), b.hash_bytes(&data));
+            prop_assert_eq!(a.kind(), h.kind());
+        }
+    }
+
+    /// Distinct short keys collide essentially never across the family.
+    #[test]
+    fn distinct_u64_keys_do_not_collide(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        for h in all_hashers() {
+            prop_assert_ne!(h.hash_u64(a), h.hash_u64(b), "{}", h.kind());
+        }
+    }
+
+    /// SplitMix64's bounded sampler respects its bound for arbitrary bounds.
+    #[test]
+    fn next_below_in_range(seed in any::<u64>(), bound in 1u64..=u64::MAX) {
+        let mut rng = SplitMix64::new(seed);
+        let x = rng.next_below(bound);
+        prop_assert!(x < bound);
+    }
+
+    /// Murmur3's 128-bit digest: low word matches the `Hasher64` view.
+    #[test]
+    fn murmur_low_word_consistent(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let h = Murmur3_128::with_seed(9);
+        prop_assert_eq!(h.hash128(&data).0, h.hash_bytes(&data));
+    }
+}

@@ -1,0 +1,234 @@
+//! Incremental bundling: integer-counter prototypes.
+//!
+//! Majority bundling ([`ops::bundle`](crate::ops::bundle)) is a one-shot
+//! operation; online HDC systems (classifiers, adaptive prototypes)
+//! instead keep an integer counter per dimension, add or retract
+//! hypervectors over time, and *threshold* to read out the current
+//! prototype. This is the "binarized bundling" of Schmuck et al. \[18\] —
+//! the hardware-optimization work the paper leans on for its O(1)
+//! inference claim — in software form.
+
+use crate::hypervector::{DimensionMismatchError, Hypervector};
+
+/// An integer-counter bundle accumulator.
+///
+/// Each dimension holds a signed counter; adding a hypervector increments
+/// counters where its bit is 1 and decrements where it is 0 (the bipolar
+/// interpretation). [`to_hypervector`](BundleAccumulator::to_hypervector)
+/// thresholds at zero, breaking exact ties toward the deterministic
+/// pattern of the dimension index parity (no RNG required, fully
+/// reproducible).
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hdc::{accumulator::BundleAccumulator, similarity::cosine, Hypervector, Rng};
+///
+/// let mut rng = Rng::new(3);
+/// let a = Hypervector::random(4096, &mut rng);
+/// let b = Hypervector::random(4096, &mut rng);
+/// let mut acc = BundleAccumulator::new(4096);
+/// acc.add(&a)?;
+/// acc.add(&b)?;
+/// let prototype = acc.to_hypervector();
+/// assert!(cosine(&prototype, &a) > 0.3);
+/// // Retracting `b` leaves (exactly) `a`.
+/// acc.subtract(&b)?;
+/// assert_eq!(acc.to_hypervector(), a);
+/// # Ok::<(), hdhash_hdc::DimensionMismatchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BundleAccumulator {
+    counters: Vec<i32>,
+    members: usize,
+}
+
+impl BundleAccumulator {
+    /// Creates an empty accumulator of dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        Self { counters: vec![0; d], members: 0 }
+    }
+
+    /// Dimensionality.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Number of hypervectors currently bundled (adds minus subtracts).
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// Adds a hypervector to the bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] on dimension mismatch.
+    pub fn add(&mut self, hv: &Hypervector) -> Result<(), DimensionMismatchError> {
+        self.apply(hv, 1)?;
+        self.members += 1;
+        Ok(())
+    }
+
+    /// Retracts a previously added hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] on dimension mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulator is empty.
+    pub fn subtract(&mut self, hv: &Hypervector) -> Result<(), DimensionMismatchError> {
+        assert!(self.members > 0, "cannot retract from an empty bundle");
+        self.apply(hv, -1)?;
+        self.members -= 1;
+        Ok(())
+    }
+
+    fn apply(&mut self, hv: &Hypervector, sign: i32) -> Result<(), DimensionMismatchError> {
+        if hv.dimension() != self.counters.len() {
+            return Err(DimensionMismatchError {
+                left: self.counters.len(),
+                right: hv.dimension(),
+            });
+        }
+        for (i, counter) in self.counters.iter_mut().enumerate() {
+            // Bipolar: bit 1 counts +1, bit 0 counts −1.
+            *counter += if hv.bit(i) { sign } else { -sign };
+        }
+        Ok(())
+    }
+
+    /// Thresholds the counters into a hypervector. Positive counters give
+    /// 1, negative give 0; exact zeros resolve to the dimension-index
+    /// parity (a fixed, unbiased tie-break pattern).
+    #[must_use]
+    pub fn to_hypervector(&self) -> Hypervector {
+        let mut out = Hypervector::zeros(self.counters.len());
+        for (i, &c) in self.counters.iter().enumerate() {
+            let bit = match c.cmp(&0) {
+                core::cmp::Ordering::Greater => true,
+                core::cmp::Ordering::Less => false,
+                core::cmp::Ordering::Equal => i % 2 == 0,
+            };
+            out.set_bit(i, bit);
+        }
+        out
+    }
+
+    /// Raw counter access (for diagnostics and tests).
+    #[must_use]
+    pub fn counters(&self) -> &[i32] {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::similarity::cosine;
+
+    #[test]
+    fn single_member_roundtrips() {
+        let mut rng = Rng::new(1);
+        let a = Hypervector::random(1000, &mut rng);
+        let mut acc = BundleAccumulator::new(1000);
+        acc.add(&a).expect("dims");
+        assert_eq!(acc.to_hypervector(), a);
+        assert_eq!(acc.members(), 1);
+    }
+
+    #[test]
+    fn odd_bundle_matches_majority() {
+        let mut rng = Rng::new(2);
+        let inputs: Vec<Hypervector> =
+            (0..5).map(|_| Hypervector::random(2048, &mut rng)).collect();
+        let mut acc = BundleAccumulator::new(2048);
+        for hv in &inputs {
+            acc.add(hv).expect("dims");
+        }
+        let refs: Vec<&Hypervector> = inputs.iter().collect();
+        let majority = crate::ops::bundle(&refs, &mut rng).expect("dims");
+        // Odd member count: no ties, both constructions agree exactly.
+        assert_eq!(acc.to_hypervector(), majority);
+    }
+
+    #[test]
+    fn add_then_subtract_is_identity() {
+        let mut rng = Rng::new(3);
+        let keep: Vec<Hypervector> =
+            (0..3).map(|_| Hypervector::random(512, &mut rng)).collect();
+        let churn: Vec<Hypervector> =
+            (0..4).map(|_| Hypervector::random(512, &mut rng)).collect();
+        let mut acc = BundleAccumulator::new(512);
+        for hv in &keep {
+            acc.add(hv).expect("dims");
+        }
+        let baseline = acc.clone();
+        for hv in &churn {
+            acc.add(hv).expect("dims");
+        }
+        for hv in &churn {
+            acc.subtract(hv).expect("dims");
+        }
+        assert_eq!(acc, baseline);
+    }
+
+    #[test]
+    fn prototype_tracks_dominant_class() {
+        let mut rng = Rng::new(4);
+        let center = Hypervector::random(8192, &mut rng);
+        let mut acc = BundleAccumulator::new(8192);
+        // Ten noisy variants of the same center.
+        for i in 0..10 {
+            let mut variant = center.clone();
+            let mut vrng = Rng::new(100 + i);
+            variant.flip_bits(vrng.distinct_indices(800, 8192));
+            acc.add(&variant).expect("dims");
+        }
+        let prototype = acc.to_hypervector();
+        assert!(cosine(&prototype, &center) > 0.7, "prototype drifted");
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let mut acc = BundleAccumulator::new(64);
+        let wrong = Hypervector::zeros(65);
+        assert!(acc.add(&wrong).is_err());
+        assert_eq!(acc.members(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bundle")]
+    fn retract_from_empty_panics() {
+        let mut acc = BundleAccumulator::new(64);
+        let hv = Hypervector::zeros(64);
+        let _ = acc.subtract(&hv);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dimension_panics() {
+        let _ = BundleAccumulator::new(0);
+    }
+
+    #[test]
+    fn empty_accumulator_thresholds_to_parity() {
+        let acc = BundleAccumulator::new(8);
+        let hv = acc.to_hypervector();
+        for i in 0..8 {
+            assert_eq!(hv.bit(i), i % 2 == 0);
+        }
+        assert_eq!(acc.counters().len(), 8);
+    }
+}

@@ -1,0 +1,356 @@
+//! Circular basis-hypervectors — the paper's novel encoding (Algorithm 1).
+//!
+//! Circular-hypervectors extend level-hypervectors by eliminating the
+//! similarity discontinuity between the last and the first element: the set
+//! has *circular* correlation, i.e. similarity is a function of circular
+//! distance only. They are the core component of HD hashing, providing the
+//! mechanism that maps requests to the nearest server on the circle.
+//!
+//! ## Construction
+//!
+//! Following Algorithm 1 and Figure 3 of the paper: start from a uniformly
+//! random hypervector `c₁`; perform forward transformations (`T`) — binding
+//! with freshly sampled sparse transformation-hypervectors `t`, which are
+//! pushed into a FIFO queue `Q` — to create the first half of the circle;
+//! then perform backward transformations (`T⁻¹`) — binding with vectors
+//! popped from `Q` — to create the second half. Because binding is an
+//! involution, re-applying the early transformations *removes* them again,
+//! which walks the similarity back up toward `c₁` and closes the circle:
+//! the final queue entry is exactly the edge `cₙ → c₁`.
+//!
+//! For a set of **odd** cardinality the paper's footnote applies: generate
+//! `2n` circular hypervectors and keep every other one.
+
+use super::{basis_accessors, partition_chunks, BasisError, FlipStrategy};
+use crate::hypervector::Hypervector;
+use crate::ops::transformation;
+use crate::rng::Rng;
+
+/// A set of `n` hypervectors with circular correlation structure.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hdc::{basis::CircularBasis, similarity::cosine, Rng};
+///
+/// let mut rng = Rng::new(2);
+/// let circle = CircularBasis::generate(12, 10_000, &mut rng)?;
+/// // No discontinuity: the last element is as similar to the first as any
+/// // other pair of neighbours on the circle.
+/// let wrap = cosine(&circle[11], &circle[0]);
+/// let step = cosine(&circle[0], &circle[1]);
+/// assert!((wrap - step).abs() < 0.1);
+/// # Ok::<(), hdhash_hdc::basis::BasisError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircularBasis {
+    hypervectors: Vec<Hypervector>,
+    dimension: usize,
+    strategy: FlipStrategy,
+}
+
+impl CircularBasis {
+    /// Generates `n` circular hypervectors of dimension `d` with the default
+    /// [`FlipStrategy::Partition`] (exactly circular similarity profile).
+    ///
+    /// # Errors
+    ///
+    /// See [`CircularBasis::generate_with_strategy`].
+    pub fn generate(n: usize, d: usize, rng: &mut Rng) -> Result<Self, BasisError> {
+        Self::generate_with_strategy(n, d, FlipStrategy::Partition, rng)
+    }
+
+    /// Generates `n` circular hypervectors of dimension `d`.
+    ///
+    /// Even `n` follows Algorithm 1 directly. Odd `n` follows the paper's
+    /// footnote: generate `2n` and keep `{c₁, c₃, c₅, …}`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BasisError::CardinalityTooSmall`] if `n < 2`;
+    /// * [`BasisError::DimensionTooSmall`] if `d < 2·n`;
+    /// * [`BasisError::FlipsExceedDimension`] if an independent strategy
+    ///   requests more flips than `d`.
+    pub fn generate_with_strategy(
+        n: usize,
+        d: usize,
+        strategy: FlipStrategy,
+        rng: &mut Rng,
+    ) -> Result<Self, BasisError> {
+        if n < 2 {
+            return Err(BasisError::CardinalityTooSmall { requested: n, minimum: 2 });
+        }
+        if d < 2 * n {
+            return Err(BasisError::DimensionTooSmall { dimension: d, cardinality: n });
+        }
+
+        if n % 2 == 1 {
+            // Footnote 1: generate 2n and return every other hypervector.
+            let doubled = Self::generate_even(2 * n, d, strategy, rng)?;
+            let hypervectors = doubled
+                .hypervectors
+                .into_iter()
+                .step_by(2)
+                .collect::<Vec<_>>();
+            debug_assert_eq!(hypervectors.len(), n);
+            return Ok(Self { hypervectors, dimension: d, strategy });
+        }
+
+        Self::generate_even(n, d, strategy, rng)
+    }
+
+    /// Algorithm 1 for even `n`.
+    fn generate_even(
+        n: usize,
+        d: usize,
+        strategy: FlipStrategy,
+        rng: &mut Rng,
+    ) -> Result<Self, BasisError> {
+        debug_assert!(n % 2 == 0);
+        let half = n / 2;
+
+        // Pre-draw the `half` transformation-hypervectors. The FIFO queue
+        // semantics of Algorithm 1 reduce to: forward steps apply
+        // t_1 … t_{half}, backward steps re-apply t_1 … t_{half−1}; the
+        // remaining t_{half} is the (implicit) closing edge c_n → c_1.
+        let transforms: Vec<Hypervector> = match strategy {
+            FlipStrategy::Independent { flips_per_step } => {
+                if flips_per_step > d {
+                    return Err(BasisError::FlipsExceedDimension {
+                        flips: flips_per_step,
+                        dimension: d,
+                    });
+                }
+                (0..half).map(|_| transformation(d, flips_per_step, rng)).collect()
+            }
+            FlipStrategy::Partition => {
+                // A random d/2-subset partitioned over the half-circle:
+                // antipodal elements end up exactly d/2 apart (cosine 0).
+                let span = rng.distinct_indices(d / 2, d);
+                partition_chunks(&span, half)
+                    .into_iter()
+                    .map(|chunk| {
+                        let mut t = Hypervector::zeros(d);
+                        t.flip_bits(chunk);
+                        t
+                    })
+                    .collect()
+            }
+        };
+
+        let mut hypervectors = Vec::with_capacity(n);
+        hypervectors.push(Hypervector::random(d, rng));
+
+        // Forward transformations (T): c_{i+1} = c_i ⊕ t_i, enqueueing each t.
+        let mut queue = std::collections::VecDeque::with_capacity(half);
+        for t in &transforms {
+            let next = hypervectors.last().expect("non-empty").xor(t).expect("same dim");
+            hypervectors.push(next);
+            queue.push_back(t);
+        }
+
+        // Backward transformations (T⁻¹): pop from Q (FIFO) and re-bind,
+        // cancelling the early transformations one by one. We need n − 1
+        // total edges; `half − 1` remain.
+        for _ in 0..half - 1 {
+            let t = queue.pop_front().expect("queue holds half transforms");
+            let next = hypervectors.last().expect("non-empty").xor(t).expect("same dim");
+            hypervectors.push(next);
+        }
+        debug_assert_eq!(hypervectors.len(), n);
+
+        // The final queued transformation is exactly the closing edge:
+        // c_n ⊕ t_half = c_1. This is what makes the set circular.
+        debug_assert_eq!(
+            hypervectors
+                .last()
+                .expect("non-empty")
+                .xor(queue.pop_front().expect("one left"))
+                .expect("same dim"),
+            hypervectors[0],
+            "circle failed to close"
+        );
+
+        Ok(Self { hypervectors, dimension: d, strategy })
+    }
+
+    /// The paper's per-step flip count `d/m` with `m = n`, as an
+    /// `Independent` strategy.
+    #[must_use]
+    pub fn paper_strategy(n: usize, d: usize) -> FlipStrategy {
+        FlipStrategy::Independent { flips_per_step: (d / n).max(1) }
+    }
+
+    /// The strategy this basis was built with.
+    #[must_use]
+    pub fn strategy(&self) -> FlipStrategy {
+        self.strategy
+    }
+
+    /// Circular distance between indices `i` and `j` on this basis.
+    #[must_use]
+    pub fn circular_distance(&self, i: usize, j: usize) -> usize {
+        let n = self.hypervectors.len();
+        let diff = (i % n).abs_diff(j % n);
+        diff.min(n - diff)
+    }
+}
+
+basis_accessors!(CircularBasis);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{cosine, hamming};
+
+    #[test]
+    fn partition_profile_is_exactly_circular() {
+        let mut rng = Rng::new(70);
+        let n = 12;
+        let d = 10_008; // divisible by n for exact chunk sizes
+        let circle = CircularBasis::generate(n, d, &mut rng).expect("valid");
+        // Distance depends only on circular index distance.
+        for i in 0..n {
+            for j in 0..n {
+                let dist = hamming(&circle[i], &circle[j]);
+                let k = circle.circular_distance(i, j);
+                let expected = k * (d / 2) / (n / 2);
+                assert_eq!(dist, expected, "pair ({i},{j}) circ-dist {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_wraparound_discontinuity() {
+        let mut rng = Rng::new(71);
+        let n = 16;
+        let circle = CircularBasis::generate(n, 10_000, &mut rng).expect("valid");
+        let step = cosine(&circle[0], &circle[1]);
+        let wrap = cosine(&circle[n - 1], &circle[0]);
+        assert!((step - wrap).abs() < 0.02, "step {step} vs wrap {wrap}");
+    }
+
+    #[test]
+    fn antipodes_are_quasi_orthogonal() {
+        let mut rng = Rng::new(72);
+        let n = 12;
+        let circle = CircularBasis::generate(n, 10_000, &mut rng).expect("valid");
+        for i in 0..n {
+            let sim = cosine(&circle[i], &circle[(i + n / 2) % n]);
+            assert!(sim.abs() < 0.02, "antipode similarity {sim}");
+        }
+    }
+
+    #[test]
+    fn odd_cardinality_footnote() {
+        let mut rng = Rng::new(73);
+        let n = 13;
+        let circle = CircularBasis::generate(n, 10_010, &mut rng).expect("valid");
+        assert_eq!(circle.len(), n);
+        // Still circular: similarity profile symmetric around the circle.
+        let step0 = hamming(&circle[0], &circle[1]);
+        let wrap = hamming(&circle[n - 1], &circle[0]);
+        let d = 10_010f64;
+        assert!(
+            ((step0 as f64 - wrap as f64) / d).abs() < 0.05,
+            "odd-n wraparound broke: {step0} vs {wrap}"
+        );
+    }
+
+    #[test]
+    fn paper_independent_strategy_closes_circle() {
+        // XOR cancellation closes the circle exactly even when the flips of
+        // different steps overlap — a structural property of Algorithm 1.
+        let mut rng = Rng::new(74);
+        let n = 10;
+        let d = 1000;
+        let strategy = CircularBasis::paper_strategy(n, d);
+        let circle =
+            CircularBasis::generate_with_strategy(n, d, strategy, &mut rng).expect("valid");
+        // Wrap edge weight equals one transformation weight (~d/n).
+        let wrap = hamming(&circle[n - 1], &circle[0]);
+        assert_eq!(wrap, d / n);
+    }
+
+    #[test]
+    fn independent_profile_monotone_to_antipode() {
+        let mut rng = Rng::new(75);
+        let n = 16;
+        let d = 10_000;
+        let circle = CircularBasis::generate_with_strategy(
+            n,
+            d,
+            CircularBasis::paper_strategy(n, d),
+            &mut rng,
+        )
+        .expect("valid");
+        let dists: Vec<usize> = (0..=n / 2).map(|k| hamming(&circle[0], &circle[k])).collect();
+        for w in dists.windows(2) {
+            assert!(w[1] + 100 > w[0], "profile should rise to the antipode: {dists:?}");
+        }
+    }
+
+    #[test]
+    fn minimum_cardinality_circle() {
+        let mut rng = Rng::new(76);
+        let circle = CircularBasis::generate(2, 100, &mut rng).expect("valid");
+        assert_eq!(circle.len(), 2);
+        // One partition chunk of size d/2 = 50 separates the two members.
+        assert_eq!(hamming(&circle[0], &circle[1]), 50);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut rng = Rng::new(77);
+        assert!(matches!(
+            CircularBasis::generate(1, 100, &mut rng),
+            Err(BasisError::CardinalityTooSmall { .. })
+        ));
+        assert!(matches!(
+            CircularBasis::generate(100, 100, &mut rng),
+            Err(BasisError::DimensionTooSmall { .. })
+        ));
+        assert!(matches!(
+            CircularBasis::generate_with_strategy(
+                4,
+                100,
+                FlipStrategy::Independent { flips_per_step: 200 },
+                &mut rng
+            ),
+            Err(BasisError::FlipsExceedDimension { .. })
+        ));
+    }
+
+    #[test]
+    fn circular_distance_helper() {
+        let mut rng = Rng::new(78);
+        let circle = CircularBasis::generate(8, 128, &mut rng).expect("valid");
+        assert_eq!(circle.circular_distance(0, 1), 1);
+        assert_eq!(circle.circular_distance(0, 7), 1);
+        assert_eq!(circle.circular_distance(0, 4), 4);
+        assert_eq!(circle.circular_distance(2, 6), 4);
+        assert_eq!(circle.circular_distance(6, 2), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = CircularBasis::generate(6, 512, &mut Rng::new(99)).expect("valid");
+        let b = CircularBasis::generate(6, 512, &mut Rng::new(99)).expect("valid");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearest_neighbour_on_circle_is_index_neighbour() {
+        let mut rng = Rng::new(80);
+        let n = 24;
+        let circle = CircularBasis::generate(n, 10_000, &mut rng).expect("valid");
+        for i in 0..n {
+            let (best, _) = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (j, hamming(&circle[i], &circle[j])))
+                .min_by_key(|&(_, d)| d)
+                .expect("non-empty");
+            assert_eq!(circle.circular_distance(i, best), 1, "index {i} best {best}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Level basis-hypervectors: linear correlation for scalar data.
+//!
+//! "Level-hypervectors are created by quantizing an interval to `m` levels
+//! and assigning a hypervector to each. […] a random `d`-dimensional
+//! hypervector [is assigned] to the first interval, and after this,
+//! subsequent intervals are obtained by flipping `d/m` random bits at each
+//! interval. As a result, the last hypervector is completely dissimilar to
+//! the first one." (paper, Section 4)
+//!
+//! Similarity between levels decays with the distance between them; unlike
+//! [`CircularBasis`](super::CircularBasis) there *is* a discontinuity
+//! between the last and first level — removing it is exactly what
+//! circular-hypervectors contribute.
+
+use super::{basis_accessors, partition_chunks, BasisError, FlipStrategy};
+use crate::hypervector::Hypervector;
+use crate::ops::transformation;
+use crate::rng::Rng;
+
+/// A chain of `m` level-correlated hypervectors.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hdc::{basis::LevelBasis, similarity::cosine, Rng};
+///
+/// let mut rng = Rng::new(9);
+/// let levels = LevelBasis::generate(12, 10_000, &mut rng)?;
+/// // Similarity decays with level distance…
+/// assert!(cosine(&levels[0], &levels[1]) > cosine(&levels[0], &levels[6]));
+/// // …and the extremes are quasi-orthogonal ("completely dissimilar").
+/// assert!(cosine(&levels[0], &levels[11]).abs() < 0.05);
+/// # Ok::<(), hdhash_hdc::basis::BasisError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelBasis {
+    hypervectors: Vec<Hypervector>,
+    dimension: usize,
+    strategy: FlipStrategy,
+}
+
+impl LevelBasis {
+    /// Generates `m` levels of dimension `d` with the default
+    /// [`FlipStrategy::Partition`] (exactly linear similarity profile).
+    ///
+    /// # Errors
+    ///
+    /// See [`LevelBasis::generate_with_strategy`].
+    pub fn generate(m: usize, d: usize, rng: &mut Rng) -> Result<Self, BasisError> {
+        Self::generate_with_strategy(m, d, FlipStrategy::Partition, rng)
+    }
+
+    /// Generates `m` levels of dimension `d` with an explicit strategy.
+    ///
+    /// With [`FlipStrategy::Independent`] this is the paper's literal
+    /// construction: each of the `m − 1` steps flips `flips_per_step`
+    /// independently sampled bits. With [`FlipStrategy::Partition`] a random
+    /// `d/2`-subset of positions is partitioned over the steps so the last
+    /// level is *exactly* quasi-orthogonal to the first.
+    ///
+    /// # Errors
+    ///
+    /// * [`BasisError::CardinalityTooSmall`] if `m < 2`;
+    /// * [`BasisError::DimensionTooSmall`] if `d < m`;
+    /// * [`BasisError::FlipsExceedDimension`] if an independent strategy
+    ///   requests more flips than `d`.
+    pub fn generate_with_strategy(
+        m: usize,
+        d: usize,
+        strategy: FlipStrategy,
+        rng: &mut Rng,
+    ) -> Result<Self, BasisError> {
+        if m < 2 {
+            return Err(BasisError::CardinalityTooSmall { requested: m, minimum: 2 });
+        }
+        if d < m {
+            return Err(BasisError::DimensionTooSmall { dimension: d, cardinality: m });
+        }
+
+        let mut hypervectors = Vec::with_capacity(m);
+        hypervectors.push(Hypervector::random(d, rng));
+
+        match strategy {
+            FlipStrategy::Independent { flips_per_step } => {
+                if flips_per_step > d {
+                    return Err(BasisError::FlipsExceedDimension {
+                        flips: flips_per_step,
+                        dimension: d,
+                    });
+                }
+                for _ in 1..m {
+                    let t = transformation(d, flips_per_step, rng);
+                    let next = hypervectors
+                        .last()
+                        .expect("non-empty")
+                        .xor(&t)
+                        .expect("same dimension");
+                    hypervectors.push(next);
+                }
+            }
+            FlipStrategy::Partition => {
+                let span = rng.distinct_indices(d / 2, d);
+                let chunks = partition_chunks(&span, m - 1);
+                for chunk in chunks {
+                    let mut next = hypervectors.last().expect("non-empty").clone();
+                    next.flip_bits(chunk);
+                    hypervectors.push(next);
+                }
+            }
+        }
+
+        Ok(Self { hypervectors, dimension: d, strategy })
+    }
+
+    /// The paper's per-step flip count, `d/m`, as an `Independent` strategy.
+    #[must_use]
+    pub fn paper_strategy(m: usize, d: usize) -> FlipStrategy {
+        FlipStrategy::Independent { flips_per_step: (d / m).max(1) }
+    }
+
+    /// The strategy this basis was built with.
+    #[must_use]
+    pub fn strategy(&self) -> FlipStrategy {
+        self.strategy
+    }
+}
+
+basis_accessors!(LevelBasis);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{cosine, hamming};
+
+    #[test]
+    fn partition_profile_is_exactly_linear() {
+        let mut rng = Rng::new(60);
+        let m = 11;
+        let d = 10_000;
+        let levels = LevelBasis::generate(m, d, &mut rng).expect("valid");
+        // Cumulative distance from level 0 grows by |chunk| each step and
+        // reaches exactly d/2 at the last level.
+        assert_eq!(hamming(&levels[0], &levels[m - 1]), d / 2);
+        let mut prev = 0;
+        for i in 1..m {
+            let dist = hamming(&levels[0], &levels[i]);
+            assert!(dist > prev, "distance must strictly grow");
+            prev = dist;
+        }
+    }
+
+    #[test]
+    fn similarity_decreases_with_level_distance() {
+        let mut rng = Rng::new(61);
+        let levels = LevelBasis::generate(12, 10_000, &mut rng).expect("valid");
+        for i in 0..12usize {
+            for j in 0..12usize {
+                for k in 0..12usize {
+                    if i.abs_diff(j) < i.abs_diff(k) {
+                        assert!(
+                            cosine(&levels[i], &levels[j]) > cosine(&levels[i], &levels[k]),
+                            "sim({i},{j}) should exceed sim({i},{k})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn has_endpoint_discontinuity_unlike_circular() {
+        // The defining gap that circular-hypervectors remove: first and
+        // last levels are quasi-orthogonal, NOT similar.
+        let mut rng = Rng::new(62);
+        let levels = LevelBasis::generate(12, 10_000, &mut rng).expect("valid");
+        let wraparound = cosine(&levels[0], &levels[11]);
+        let neighbour = cosine(&levels[0], &levels[1]);
+        assert!(neighbour > 0.8);
+        assert!(wraparound.abs() < 0.05, "wraparound similarity {wraparound}");
+    }
+
+    #[test]
+    fn paper_strategy_monotone_in_expectation() {
+        let mut rng = Rng::new(63);
+        let m = 12;
+        let d = 10_000;
+        let strategy = LevelBasis::paper_strategy(m, d);
+        assert_eq!(strategy, FlipStrategy::Independent { flips_per_step: d / m });
+        let levels =
+            LevelBasis::generate_with_strategy(m, d, strategy, &mut rng).expect("valid");
+        // With independent flips, distance from level 0 must be
+        // non-decreasing in expectation; allow small local noise.
+        let d0: Vec<usize> = (0..m).map(|i| hamming(&levels[0], &levels[i])).collect();
+        for w in d0.windows(2) {
+            assert!(w[1] + 400 > w[0], "profile collapsed: {d0:?}");
+        }
+        // "Completely dissimilar": similarity of extremes well below
+        // neighbours.
+        assert!(cosine(&levels[0], &levels[m - 1]) < 0.35);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut rng = Rng::new(64);
+        assert!(matches!(
+            LevelBasis::generate(1, 100, &mut rng),
+            Err(BasisError::CardinalityTooSmall { .. })
+        ));
+        assert!(matches!(
+            LevelBasis::generate(10, 5, &mut rng),
+            Err(BasisError::DimensionTooSmall { .. })
+        ));
+        assert!(matches!(
+            LevelBasis::generate_with_strategy(
+                4,
+                100,
+                FlipStrategy::Independent { flips_per_step: 101 },
+                &mut rng
+            ),
+            Err(BasisError::FlipsExceedDimension { .. })
+        ));
+    }
+
+    #[test]
+    fn strategy_accessor() {
+        let mut rng = Rng::new(65);
+        let basis = LevelBasis::generate(4, 256, &mut rng).expect("valid");
+        assert_eq!(basis.strategy(), FlipStrategy::Partition);
+    }
+}

@@ -1,0 +1,110 @@
+//! Random basis-hypervectors: independent uniform samples.
+//!
+//! Used for categorical information with no inherent correlation (the
+//! paper's example: letters). Any two members are quasi-orthogonal with
+//! overwhelming probability — pairwise cosine similarity concentrates
+//! around `0` with standard deviation `1/√d`.
+
+use super::{basis_accessors, BasisError};
+use crate::hypervector::Hypervector;
+use crate::rng::Rng;
+
+/// A set of independently sampled random hypervectors.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hdc::{basis::RandomBasis, similarity::cosine, Rng};
+///
+/// let mut rng = Rng::new(5);
+/// let basis = RandomBasis::generate(12, 10_000, &mut rng)?;
+/// let sim = cosine(&basis[0], &basis[1]);
+/// assert!(sim.abs() < 0.05);
+/// # Ok::<(), hdhash_hdc::basis::BasisError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomBasis {
+    hypervectors: Vec<Hypervector>,
+    dimension: usize,
+}
+
+impl RandomBasis {
+    /// Generates `n` independent random hypervectors of dimension `d`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BasisError::CardinalityTooSmall`] if `n == 0`;
+    /// * [`BasisError::DimensionTooSmall`] if `d == 0`.
+    pub fn generate(n: usize, d: usize, rng: &mut Rng) -> Result<Self, BasisError> {
+        if n == 0 {
+            return Err(BasisError::CardinalityTooSmall { requested: n, minimum: 1 });
+        }
+        if d == 0 {
+            return Err(BasisError::DimensionTooSmall { dimension: d, cardinality: n });
+        }
+        let hypervectors = (0..n).map(|_| Hypervector::random(d, rng)).collect();
+        Ok(Self { hypervectors, dimension: d })
+    }
+}
+
+basis_accessors!(RandomBasis);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::cosine;
+
+    #[test]
+    fn members_are_quasi_orthogonal() {
+        let mut rng = Rng::new(50);
+        let basis = RandomBasis::generate(12, 10_000, &mut rng).expect("valid");
+        for i in 0..12 {
+            for j in 0..12 {
+                let sim = cosine(&basis[i], &basis[j]);
+                if i == j {
+                    assert_eq!(sim, 1.0);
+                } else {
+                    assert!(sim.abs() < 0.06, "|cos({i},{j})| = {}", sim.abs());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_cardinality_rejected() {
+        let mut rng = Rng::new(0);
+        assert_eq!(
+            RandomBasis::generate(0, 100, &mut rng),
+            Err(BasisError::CardinalityTooSmall { requested: 0, minimum: 1 })
+        );
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let mut rng = Rng::new(0);
+        assert!(matches!(
+            RandomBasis::generate(3, 0, &mut rng),
+            Err(BasisError::DimensionTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors_work() {
+        let mut rng = Rng::new(51);
+        let basis = RandomBasis::generate(4, 128, &mut rng).expect("valid");
+        assert_eq!(basis.len(), 4);
+        assert!(!basis.is_empty());
+        assert_eq!(basis.dimension(), 128);
+        assert!(basis.get(3).is_some());
+        assert!(basis.get(4).is_none());
+        let hvs = basis.clone().into_hypervectors();
+        assert_eq!(hvs.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = RandomBasis::generate(3, 256, &mut Rng::new(7)).expect("valid");
+        let b = RandomBasis::generate(3, 256, &mut Rng::new(7)).expect("valid");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,298 @@
+//! A centroid classifier: the paper's anticipated ML use of circular
+//! hypervectors.
+//!
+//! Section 6 of the paper proposes circular-hypervectors as a new way to
+//! "represent periodic information […] seasons of the year, hours of a
+//! day or days of a week" and asks "whether this can be used to improve
+//! data representation in HDC, for instance in machine learning
+//! applications". This module provides the standard HDC learning
+//! machinery needed to answer that question — the centroid (prototype)
+//! classifier of VoiceHD and the biosignal literature the paper cites
+//! (\[8\], \[16\]) — and its tests answer it: on a periodic feature,
+//! swapping the level basis for a circular basis removes the
+//! wrap-around error (see `circular_beats_level_on_periodic_features`).
+//!
+//! Training bundles each class's encoded observations into an integer
+//! [`BundleAccumulator`]; prediction thresholds the accumulators into
+//! binary prototypes and returns the most similar class — exactly the
+//! inference operation HD hashing shares with HDC learning systems.
+
+use crate::accumulator::BundleAccumulator;
+use crate::hypervector::{DimensionMismatchError, Hypervector};
+use crate::similarity::SimilarityMetric;
+
+/// A centroid (prototype-per-class) HDC classifier.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hdc::{CentroidClassifier, Hypervector, Rng};
+///
+/// let mut rng = Rng::new(9);
+/// let red = Hypervector::random(4096, &mut rng);
+/// let blue = Hypervector::random(4096, &mut rng);
+///
+/// let mut classifier = CentroidClassifier::new(4096);
+/// // Observations are noisy copies of their class archetype.
+/// for i in 0..5 {
+///     let mut r = red.clone();
+///     r.flip_bits(rng.distinct_indices(400 + i, 4096));
+///     classifier.observe("red", &r)?;
+///     let mut b = blue.clone();
+///     b.flip_bits(rng.distinct_indices(400 + i, 4096));
+///     classifier.observe("blue", &b)?;
+/// }
+/// assert_eq!(classifier.predict(&red), Some("red"));
+/// assert_eq!(classifier.predict(&blue), Some("blue"));
+/// # Ok::<(), hdhash_hdc::DimensionMismatchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CentroidClassifier<L> {
+    dimension: usize,
+    metric: SimilarityMetric,
+    classes: Vec<(L, BundleAccumulator)>,
+}
+
+impl<L: Clone + PartialEq> CentroidClassifier<L> {
+    /// Creates an empty classifier over hypervectors of dimension `d`,
+    /// using inverse-Hamming similarity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        Self { dimension: d, metric: SimilarityMetric::default(), classes: Vec::new() }
+    }
+
+    /// Sets the similarity metric (builder style).
+    #[must_use]
+    pub fn with_metric(mut self, metric: SimilarityMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// The hypervector dimension.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// The labels observed so far, in first-observation order.
+    pub fn labels(&self) -> impl Iterator<Item = &L> {
+        self.classes.iter().map(|(l, _)| l)
+    }
+
+    /// Number of distinct classes.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total training observations across all classes.
+    #[must_use]
+    pub fn observation_count(&self) -> usize {
+        self.classes.iter().map(|(_, acc)| acc.members()).sum()
+    }
+
+    /// Adds one training observation for `label`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if the encoding has the wrong
+    /// dimension.
+    pub fn observe(
+        &mut self,
+        label: L,
+        encoding: &Hypervector,
+    ) -> Result<(), DimensionMismatchError> {
+        if encoding.dimension() != self.dimension {
+            return Err(DimensionMismatchError {
+                left: self.dimension,
+                right: encoding.dimension(),
+            });
+        }
+        match self.classes.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, acc)) => acc.add(encoding)?,
+            None => {
+                let mut acc = BundleAccumulator::new(self.dimension);
+                acc.add(encoding)?;
+                self.classes.push((label, acc));
+            }
+        }
+        Ok(())
+    }
+
+    /// The current binary prototype of a class, if observed.
+    #[must_use]
+    pub fn prototype(&self, label: &L) -> Option<Hypervector> {
+        self.classes
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, acc)| acc.to_hypervector())
+    }
+
+    /// Classifies an encoding: the label whose prototype is most similar,
+    /// or `None` if no classes were observed. Ties break toward the
+    /// earliest-observed class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoding` has the wrong dimension.
+    #[must_use]
+    pub fn predict(&self, encoding: &Hypervector) -> Option<L> {
+        let mut best: Option<(L, f64)> = None;
+        for (label, similarity) in self.scores(encoding) {
+            // Strict '>' keeps ties on the earliest-observed class.
+            if best.as_ref().is_none_or(|(_, s)| similarity > *s) {
+                best = Some((label, similarity));
+            }
+        }
+        best.map(|(label, _)| label)
+    }
+
+    /// The similarity of `encoding` to every class prototype, in
+    /// first-observation order (exposed for calibration and thresholds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoding` has the wrong dimension.
+    #[must_use]
+    pub fn scores(&self, encoding: &Hypervector) -> Vec<(L, f64)> {
+        assert_eq!(encoding.dimension(), self.dimension, "encoding dimension mismatch");
+        self.classes
+            .iter()
+            .map(|(label, acc)| {
+                (label.clone(), self.metric.evaluate(encoding, &acc.to_hypervector()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::{CircularBasis, LevelBasis};
+    use crate::rng::Rng;
+
+    const D: usize = 10_080; // divisible by 2·360 for exact circular steps
+
+    #[test]
+    fn recovers_cluster_archetypes() {
+        let mut rng = Rng::new(50);
+        let archetypes: Vec<Hypervector> =
+            (0..5).map(|_| Hypervector::random(D, &mut rng)).collect();
+        let mut classifier = CentroidClassifier::new(D);
+        for (label, archetype) in archetypes.iter().enumerate() {
+            for _ in 0..7 {
+                let mut sample = archetype.clone();
+                sample.flip_bits(rng.distinct_indices(2000, D));
+                classifier.observe(label, &sample).expect("dims");
+            }
+        }
+        assert_eq!(classifier.class_count(), 5);
+        assert_eq!(classifier.observation_count(), 35);
+        // Fresh noisy samples classify back to their archetype.
+        for (label, archetype) in archetypes.iter().enumerate() {
+            let mut probe = archetype.clone();
+            probe.flip_bits(rng.distinct_indices(2500, D));
+            assert_eq!(classifier.predict(&probe), Some(label), "class {label}");
+        }
+    }
+
+    #[test]
+    fn empty_classifier_predicts_none() {
+        let classifier: CentroidClassifier<u8> = CentroidClassifier::new(64);
+        assert_eq!(classifier.predict(&Hypervector::zeros(64)), None);
+        assert_eq!(classifier.class_count(), 0);
+        assert!(classifier.prototype(&0).is_none());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let mut classifier = CentroidClassifier::new(64);
+        assert!(classifier.observe("x", &Hypervector::zeros(65)).is_err());
+    }
+
+    #[test]
+    fn single_observation_prototype_is_the_observation() {
+        let mut rng = Rng::new(51);
+        let sample = Hypervector::random(D, &mut rng);
+        let mut classifier = CentroidClassifier::new(D);
+        classifier.observe("only", &sample).expect("dims");
+        assert_eq!(classifier.prototype(&"only").expect("observed"), sample);
+        assert_eq!(classifier.predict(&sample), Some("only"));
+        assert_eq!(classifier.labels().collect::<Vec<_>>(), vec![&"only"]);
+    }
+
+    #[test]
+    fn scores_expose_all_classes_in_order() {
+        let mut rng = Rng::new(52);
+        let a = Hypervector::random(D, &mut rng);
+        let b = Hypervector::random(D, &mut rng);
+        let mut classifier = CentroidClassifier::new(D);
+        classifier.observe("a", &a).expect("dims");
+        classifier.observe("b", &b).expect("dims");
+        let scores = classifier.scores(&a);
+        assert_eq!(scores.len(), 2);
+        assert_eq!(scores[0].0, "a");
+        assert_eq!(scores[1].0, "b");
+        assert!(scores[0].1 > scores[1].1);
+    }
+
+    /// The paper's future-work thesis, quantified: classifying the season
+    /// from the day of the year. Winter *wraps* (December → February), so
+    /// a level basis — whose first and last levels are maximally
+    /// dissimilar — tears winter apart at New Year, while the circular
+    /// basis represents it faithfully.
+    #[test]
+    fn circular_beats_level_on_periodic_features() {
+        let seasons = |day: usize| match day {
+            0..=58 | 334..=365 => "winter", // Jan, Feb, Dec
+            59..=150 => "spring",
+            151..=242 => "summer",
+            _ => "autumn",
+        };
+        let mut rng = Rng::new(53);
+        let circular = CircularBasis::generate(366, D, &mut rng).expect("valid parameters");
+        let level = LevelBasis::generate(366, D, &mut rng).expect("valid parameters");
+
+        // Train on every 4th day, test on the days between.
+        let accuracy = |encode: &dyn Fn(usize) -> Hypervector| {
+            let mut classifier = CentroidClassifier::new(D);
+            for day in (0..366).step_by(4) {
+                classifier.observe(seasons(day), &encode(day)).expect("dims");
+            }
+            let test_days: Vec<usize> = (0..366).filter(|d| d % 4 == 2).collect();
+            let correct = test_days
+                .iter()
+                .filter(|&&day| classifier.predict(&encode(day)) == Some(seasons(day)))
+                .count();
+            correct as f64 / test_days.len() as f64
+        };
+        let circular_accuracy = accuracy(&|day| circular[day].clone());
+        let level_accuracy = accuracy(&|day| level[day].clone());
+        assert!(
+            circular_accuracy > level_accuracy,
+            "circular {circular_accuracy:.3} must beat level {level_accuracy:.3}"
+        );
+        assert!(circular_accuracy > 0.9, "circular accuracy too low: {circular_accuracy:.3}");
+
+        // The failure is specifically at the wrap: level encoding around
+        // New Year's Eve misclassifies winter, circular does not.
+        let mut level_classifier = CentroidClassifier::new(D);
+        let mut circular_classifier = CentroidClassifier::new(D);
+        for day in (0..366).step_by(4) {
+            level_classifier.observe(seasons(day), &level[day]).expect("dims");
+            circular_classifier.observe(seasons(day), &circular[day]).expect("dims");
+        }
+        for day in [360usize, 362, 365, 1, 3] {
+            assert_eq!(
+                circular_classifier.predict(&circular[day]),
+                Some("winter"),
+                "circular misclassified day {day}"
+            );
+        }
+    }
+}

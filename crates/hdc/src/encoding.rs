@@ -1,0 +1,242 @@
+//! Compound encodings: sequences, n-grams and records.
+//!
+//! Section 4 of the paper situates circular-hypervectors within the wider
+//! family of HDC *encoding strategies*: "encoding strategies have already
+//! been proposed for various types of input data, such as images, time
+//! series and text. […] From these so-called basis-hypervectors more
+//! complex objects […] can be encoded by combining and manipulating the
+//! basis-hypervectors using bundling, binding and permutation operations."
+//!
+//! This module provides those standard compound encoders over any basis:
+//!
+//! * [`encode_sequence`] — position-by-permutation sequence encoding
+//!   (`ρ⁰(x₁) ⊕ ρ¹(x₂) ⊕ …` for binding-based chains, used by n-grams);
+//! * [`encode_ngrams`] — the classical text/trajectory encoding: bundle
+//!   of all `n`-gram bindings (Rahimi et al.; Najafabadi et al., the
+//!   paper's \[14\]);
+//! * [`encode_record`] — key–value record encoding: bundle of
+//!   `key ⊕ value` pairs (Kanerva's "holistic record").
+
+use crate::hypervector::{DimensionMismatchError, Hypervector};
+use crate::ops::{bind, bundle, permute};
+use crate::rng::Rng;
+
+/// Encodes an ordered sequence by binding permuted symbols:
+/// `ρ⁰(x₁) ⊕ ρ¹(x₂) ⊕ … ⊕ ρ^{k−1}(x_k)` where `ρ` is a 1-bit rotation.
+///
+/// The result is quasi-orthogonal to every input and to the same multiset
+/// in any other order — order *matters*, which is the point.
+///
+/// # Errors
+///
+/// Returns [`DimensionMismatchError`] if inputs disagree in dimension.
+///
+/// # Panics
+///
+/// Panics if `symbols` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hdc::encoding::encode_sequence;
+/// use hdhash_hdc::{similarity::cosine, Hypervector, Rng};
+///
+/// let mut rng = Rng::new(1);
+/// let a = Hypervector::random(4096, &mut rng);
+/// let b = Hypervector::random(4096, &mut rng);
+/// let ab = encode_sequence(&[&a, &b])?;
+/// let ba = encode_sequence(&[&b, &a])?;
+/// assert!(cosine(&ab, &ba).abs() < 0.1, "order must matter");
+/// # Ok::<(), hdhash_hdc::DimensionMismatchError>(())
+/// ```
+pub fn encode_sequence(symbols: &[&Hypervector]) -> Result<Hypervector, DimensionMismatchError> {
+    assert!(!symbols.is_empty(), "cannot encode an empty sequence");
+    let mut acc = symbols[0].clone();
+    for (position, symbol) in symbols.iter().enumerate().skip(1) {
+        let rotated = permute(symbol, position);
+        acc.xor_assign(&rotated)?;
+    }
+    Ok(acc)
+}
+
+/// Encodes a symbol stream as the bundle of its `n`-gram sequence
+/// encodings — the standard HDC text-classification encoding.
+///
+/// # Errors
+///
+/// Returns [`DimensionMismatchError`] if inputs disagree in dimension.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the stream is shorter than `n`.
+pub fn encode_ngrams(
+    stream: &[&Hypervector],
+    n: usize,
+    rng: &mut Rng,
+) -> Result<Hypervector, DimensionMismatchError> {
+    assert!(n > 0, "n-gram order must be positive");
+    assert!(stream.len() >= n, "stream shorter than one n-gram");
+    let grams: Vec<Hypervector> = stream
+        .windows(n)
+        .map(encode_sequence)
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&Hypervector> = grams.iter().collect();
+    bundle(&refs, rng)
+}
+
+/// Encodes a record `{(key₁, value₁), …}` as the bundle of `keyᵢ ⊕ valueᵢ`
+/// bindings. Values can be recovered approximately by unbinding:
+/// `record ⊕ keyᵢ` is closer to `valueᵢ` than to any other stored value.
+///
+/// # Errors
+///
+/// Returns [`DimensionMismatchError`] if inputs disagree in dimension.
+///
+/// # Panics
+///
+/// Panics if `fields` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hdc::encoding::encode_record;
+/// use hdhash_hdc::{similarity::cosine, Hypervector, Rng};
+///
+/// let mut rng = Rng::new(2);
+/// let (name_k, name_v) = (Hypervector::random(8192, &mut rng), Hypervector::random(8192, &mut rng));
+/// let (age_k, age_v) = (Hypervector::random(8192, &mut rng), Hypervector::random(8192, &mut rng));
+/// let record = encode_record(&[(&name_k, &name_v), (&age_k, &age_v)], &mut rng)?;
+/// // Unbinding the name key points at the name value.
+/// let probe = record.xor(&name_k)?;
+/// assert!(cosine(&probe, &name_v) > cosine(&probe, &age_v));
+/// # Ok::<(), hdhash_hdc::DimensionMismatchError>(())
+/// ```
+pub fn encode_record(
+    fields: &[(&Hypervector, &Hypervector)],
+    rng: &mut Rng,
+) -> Result<Hypervector, DimensionMismatchError> {
+    assert!(!fields.is_empty(), "cannot encode an empty record");
+    let bound: Vec<Hypervector> =
+        fields.iter().map(|&(k, v)| bind(k, v)).collect::<Result<_, _>>()?;
+    let refs: Vec<&Hypervector> = bound.iter().collect();
+    bundle(&refs, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::RandomBasis;
+    use crate::memory::AssociativeMemory;
+    use crate::similarity::cosine;
+
+    const D: usize = 8192;
+
+    fn alphabet(n: usize, seed: u64) -> Vec<Hypervector> {
+        let mut rng = Rng::new(seed);
+        RandomBasis::generate(n, D, &mut rng).expect("valid").into_hypervectors()
+    }
+
+    #[test]
+    fn sequence_is_order_sensitive() {
+        let abc = alphabet(3, 1);
+        let refs: Vec<&Hypervector> = abc.iter().collect();
+        let fwd = encode_sequence(&refs).expect("dims");
+        let rev: Vec<&Hypervector> = abc.iter().rev().collect();
+        let bwd = encode_sequence(&rev).expect("dims");
+        assert!(cosine(&fwd, &bwd).abs() < 0.1);
+    }
+
+    #[test]
+    fn sequence_of_one_is_identity() {
+        let a = alphabet(1, 2);
+        assert_eq!(encode_sequence(&[&a[0]]).expect("dims"), a[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        let _ = encode_sequence(&[]);
+    }
+
+    #[test]
+    fn ngram_texts_classify_by_language_style() {
+        // Two "languages": streams over disjoint trigram statistics. A
+        // fresh sample from language A must encode closer to A's profile.
+        let symbols = alphabet(8, 3);
+        let mut rng = Rng::new(4);
+        let sample = |pattern: &[usize], rng: &mut Rng| {
+            let stream: Vec<&Hypervector> =
+                pattern.iter().map(|&i| &symbols[i]).collect();
+            encode_ngrams(&stream, 3, rng).expect("dims")
+        };
+        // Language A cycles 0,1,2,3; language B cycles 4,5,6,7.
+        let a_profile = sample(&[0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3], &mut rng);
+        let b_profile = sample(&[4, 5, 6, 7, 4, 5, 6, 7, 4, 5, 6, 7], &mut rng);
+        let a_test = sample(&[1, 2, 3, 0, 1, 2, 3, 0], &mut rng);
+        assert!(
+            cosine(&a_test, &a_profile) > cosine(&a_test, &b_profile),
+            "trigram profile failed to separate the languages"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than one n-gram")]
+    fn short_stream_panics() {
+        let a = alphabet(2, 5);
+        let mut rng = Rng::new(0);
+        let _ = encode_ngrams(&[&a[0], &a[1]], 3, &mut rng);
+    }
+
+    #[test]
+    fn record_recovers_all_values_via_cleanup_memory() {
+        let keys = alphabet(4, 6);
+        let values = alphabet(4, 7);
+        let mut rng = Rng::new(8);
+        let fields: Vec<(&Hypervector, &Hypervector)> =
+            keys.iter().zip(values.iter()).collect();
+        let record = encode_record(&fields, &mut rng).expect("dims");
+
+        // Cleanup memory over the value alphabet.
+        let mut memory = AssociativeMemory::new(D);
+        for (i, v) in values.iter().enumerate() {
+            memory.insert(i, v.clone()).expect("dims");
+        }
+        for (i, k) in keys.iter().enumerate() {
+            let probe = record.xor(k).expect("dims");
+            assert_eq!(
+                memory.nearest(&probe).expect("non-empty").key,
+                i,
+                "field {i} failed to decode"
+            );
+        }
+    }
+
+    #[test]
+    fn record_is_dissimilar_to_raw_parts() {
+        let keys = alphabet(3, 9);
+        let values = alphabet(3, 10);
+        let mut rng = Rng::new(11);
+        let fields: Vec<(&Hypervector, &Hypervector)> =
+            keys.iter().zip(values.iter()).collect();
+        let record = encode_record(&fields, &mut rng).expect("dims");
+        for hv in keys.iter().chain(values.iter()) {
+            assert!(cosine(&record, hv).abs() < 0.15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty record")]
+    fn empty_record_panics() {
+        let mut rng = Rng::new(0);
+        let _ = encode_record(&[], &mut rng);
+    }
+
+    #[test]
+    fn encoders_reject_dimension_mismatch() {
+        let mut rng = Rng::new(12);
+        let a = Hypervector::random(64, &mut rng);
+        let b = Hypervector::random(128, &mut rng);
+        assert!(encode_sequence(&[&a, &b]).is_err());
+        assert!(encode_record(&[(&a, &b)], &mut rng).is_err());
+    }
+}

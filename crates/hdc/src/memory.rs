@@ -1,0 +1,363 @@
+//! Associative memory: HDC *inference* (Eq. 2 of the paper).
+//!
+//! An associative memory stores `(key, hypervector)` entries and answers
+//! nearest-neighbour queries: given a probe hypervector, return the stored
+//! key whose hypervector maximizes the similarity metric. This is the
+//! operation Schmuck et al. show can be executed in a single clock cycle on
+//! HDC accelerator hardware; on a CPU we provide two paths:
+//!
+//! * [`SearchStrategy::Serial`] — one thread scanning all entries with
+//!   64-way word-parallel XOR + popcount;
+//! * [`SearchStrategy::Parallel`] — the paper's *GPU substitute*:
+//!   `crossbeam` scoped threads scanning disjoint shards of the memory
+//!   (documented in DESIGN.md as the substitution for the TITAN Xp).
+
+use crate::hypervector::{DimensionMismatchError, Hypervector};
+use crate::similarity::SimilarityMetric;
+
+/// How nearest-neighbour queries scan the memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SearchStrategy {
+    /// Single-threaded scan.
+    #[default]
+    Serial,
+    /// Multi-threaded scan over `threads` shards (the GPU substitute).
+    Parallel {
+        /// Number of worker threads (clamped to at least 1).
+        threads: usize,
+    },
+}
+
+/// A single stored match returned by a query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Match<K> {
+    /// The stored key.
+    pub key: K,
+    /// The similarity score under the memory's metric.
+    pub similarity: f64,
+}
+
+/// An associative memory over keys of type `K`.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hdc::{AssociativeMemory, Hypervector, Rng};
+///
+/// let mut rng = Rng::new(11);
+/// let mut memory = AssociativeMemory::new(10_000);
+/// let a = Hypervector::random(10_000, &mut rng);
+/// let b = Hypervector::random(10_000, &mut rng);
+/// memory.insert("a", a.clone())?;
+/// memory.insert("b", b)?;
+/// let hit = memory.nearest(&a).expect("non-empty memory");
+/// assert_eq!(hit.key, "a");
+/// # Ok::<(), hdhash_hdc::DimensionMismatchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AssociativeMemory<K> {
+    dimension: usize,
+    metric: SimilarityMetric,
+    strategy: SearchStrategy,
+    entries: Vec<(K, Hypervector)>,
+}
+
+impl<K: Clone + Send + Sync> AssociativeMemory<K> {
+    /// Creates an empty memory for hypervectors of dimension `d` using the
+    /// default metric (inverse Hamming) and serial search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        Self {
+            dimension: d,
+            metric: SimilarityMetric::default(),
+            strategy: SearchStrategy::default(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Sets the similarity metric (builder style).
+    #[must_use]
+    pub fn with_metric(mut self, metric: SimilarityMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the search strategy (builder style).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The hypervector dimension this memory accepts.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// The similarity metric used by queries.
+    #[must_use]
+    pub fn metric(&self) -> SimilarityMetric {
+        self.metric
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memory is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Stores an entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if the hypervector dimension does
+    /// not match the memory.
+    pub fn insert(&mut self, key: K, hv: Hypervector) -> Result<(), DimensionMismatchError> {
+        if hv.dimension() != self.dimension {
+            return Err(DimensionMismatchError { left: self.dimension, right: hv.dimension() });
+        }
+        self.entries.push((key, hv));
+        Ok(())
+    }
+
+    /// Removes all entries whose key satisfies the predicate; returns how
+    /// many were removed.
+    pub fn remove_where<F: FnMut(&K) -> bool>(&mut self, mut predicate: F) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(k, _)| !predicate(k));
+        before - self.entries.len()
+    }
+
+    /// Iterates over the stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &Hypervector)> {
+        self.entries.iter().map(|(k, hv)| (k, hv))
+    }
+
+    /// Mutable access to a stored hypervector by position (used by fault
+    /// injection, which corrupts stored memory words).
+    pub(crate) fn entry_mut(&mut self, index: usize) -> Option<&mut Hypervector> {
+        self.entries.get_mut(index).map(|(_, hv)| hv)
+    }
+
+    /// Returns the entry whose hypervector is most similar to `probe`
+    /// (Eq. 2: `argmax_s δ(Enc(s), Enc(r))`), or `None` if empty.
+    ///
+    /// Ties are broken toward the earliest-inserted entry, making the
+    /// operation deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe` has the wrong dimension.
+    #[must_use]
+    pub fn nearest(&self, probe: &Hypervector) -> Option<Match<K>> {
+        assert_eq!(probe.dimension(), self.dimension, "probe dimension mismatch");
+        match self.strategy {
+            SearchStrategy::Serial => self.nearest_in(&self.entries, probe),
+            SearchStrategy::Parallel { threads } => self.nearest_parallel(probe, threads.max(1)),
+        }
+    }
+
+    /// Returns the `k` most similar entries, best first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe` has the wrong dimension.
+    #[must_use]
+    pub fn nearest_k(&self, probe: &Hypervector, k: usize) -> Vec<Match<K>> {
+        assert_eq!(probe.dimension(), self.dimension, "probe dimension mismatch");
+        let mut scored: Vec<(usize, f64)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, (_, hv))| (i, self.metric.evaluate(probe, hv)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, s)| Match { key: self.entries[i].0.clone(), similarity: s })
+            .collect()
+    }
+
+    fn nearest_in(&self, entries: &[(K, Hypervector)], probe: &Hypervector) -> Option<Match<K>> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, (_, hv)) in entries.iter().enumerate() {
+            let s = self.metric.evaluate(probe, hv);
+            match best {
+                Some((_, bs)) if bs >= s => {}
+                _ => best = Some((i, s)),
+            }
+        }
+        best.map(|(i, s)| Match { key: entries[i].0.clone(), similarity: s })
+    }
+
+    fn nearest_parallel(&self, probe: &Hypervector, threads: usize) -> Option<Match<K>> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let shard = self.entries.len().div_ceil(threads);
+        let mut results: Vec<Option<(usize, f64)>> = vec![None; threads];
+        crossbeam::thread::scope(|scope| {
+            for (t, (chunk, slot)) in
+                self.entries.chunks(shard).zip(results.iter_mut()).enumerate()
+            {
+                let metric = self.metric;
+                scope.spawn(move |_| {
+                    let mut best: Option<(usize, f64)> = None;
+                    for (i, (_, hv)) in chunk.iter().enumerate() {
+                        let s = metric.evaluate(probe, hv);
+                        match best {
+                            Some((_, bs)) if bs >= s => {}
+                            _ => best = Some((t * shard + i, s)),
+                        }
+                    }
+                    *slot = best;
+                });
+            }
+        })
+        .expect("similarity workers do not panic");
+
+        let best = results
+            .into_iter()
+            .flatten()
+            // Global tie-break toward the lowest index, matching Serial.
+            .min_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)))?;
+        Some(Match { key: self.entries[best.0].0.clone(), similarity: best.1 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn filled_memory(n: usize, d: usize, seed: u64) -> (AssociativeMemory<usize>, Vec<Hypervector>) {
+        let mut rng = Rng::new(seed);
+        let mut mem = AssociativeMemory::new(d);
+        let mut hvs = Vec::new();
+        for i in 0..n {
+            let hv = Hypervector::random(d, &mut rng);
+            mem.insert(i, hv.clone()).expect("dims");
+            hvs.push(hv);
+        }
+        (mem, hvs)
+    }
+
+    #[test]
+    fn exact_probe_finds_itself() {
+        let (mem, hvs) = filled_memory(50, 4096, 90);
+        for (i, hv) in hvs.iter().enumerate() {
+            assert_eq!(mem.nearest(hv).expect("non-empty").key, i);
+        }
+    }
+
+    #[test]
+    fn noisy_probe_still_finds_owner() {
+        let (mem, hvs) = filled_memory(50, 10_000, 91);
+        let mut rng = Rng::new(1234);
+        // Even 2000 of 10000 bits flipped leaves the owner the clear winner.
+        for (i, hv) in hvs.iter().enumerate().take(10) {
+            let mut noisy = hv.clone();
+            noisy.flip_bits(rng.distinct_indices(2000, 10_000));
+            assert_eq!(mem.nearest(&noisy).expect("non-empty").key, i);
+        }
+    }
+
+    #[test]
+    fn empty_memory_returns_none() {
+        let mem: AssociativeMemory<u32> = AssociativeMemory::new(64);
+        let probe = Hypervector::zeros(64);
+        assert!(mem.nearest(&probe).is_none());
+        assert!(mem.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (mem, _) = filled_memory(101, 2048, 92);
+        let mut rng = Rng::new(5);
+        for threads in [1usize, 2, 3, 8, 200] {
+            let par = mem.clone().with_strategy(SearchStrategy::Parallel { threads });
+            for _ in 0..20 {
+                let probe = Hypervector::random(2048, &mut rng);
+                let a = mem.nearest(&probe).expect("non-empty");
+                let b = par.nearest(&probe).expect("non-empty");
+                assert_eq!(a.key, b.key, "threads={threads}");
+                assert!((a.similarity - b.similarity).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_is_first_inserted() {
+        let mut mem = AssociativeMemory::new(128);
+        let hv = Hypervector::ones(128);
+        mem.insert("first", hv.clone()).expect("dims");
+        mem.insert("second", hv.clone()).expect("dims");
+        assert_eq!(mem.nearest(&hv).expect("non-empty").key, "first");
+        let par = mem.clone().with_strategy(SearchStrategy::Parallel { threads: 2 });
+        assert_eq!(par.nearest(&hv).expect("non-empty").key, "first");
+    }
+
+    #[test]
+    fn nearest_k_orders_by_similarity() {
+        let mut rng = Rng::new(93);
+        let mut mem = AssociativeMemory::new(10_000);
+        let base = Hypervector::random(10_000, &mut rng);
+        for flips in [100usize, 400, 800, 1600] {
+            let mut hv = base.clone();
+            hv.flip_bits(rng.distinct_indices(flips, 10_000));
+            mem.insert(flips, hv).expect("dims");
+        }
+        let top = mem.nearest_k(&base, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].key, 100);
+        assert_eq!(top[1].key, 400);
+        assert_eq!(top[2].key, 800);
+        assert!(top[0].similarity > top[1].similarity);
+    }
+
+    #[test]
+    fn insert_wrong_dimension_errors() {
+        let mut mem = AssociativeMemory::new(100);
+        let hv = Hypervector::zeros(101);
+        assert!(mem.insert(0usize, hv).is_err());
+    }
+
+    #[test]
+    fn remove_where_removes() {
+        let (mut mem, _) = filled_memory(10, 256, 94);
+        let removed = mem.remove_where(|&k| k % 2 == 0);
+        assert_eq!(removed, 5);
+        assert_eq!(mem.len(), 5);
+        assert!(mem.iter().all(|(k, _)| k % 2 == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "probe dimension mismatch")]
+    fn probe_dimension_mismatch_panics() {
+        let (mem, _) = filled_memory(3, 128, 95);
+        let probe = Hypervector::zeros(64);
+        let _ = mem.nearest(&probe);
+    }
+
+    #[test]
+    fn metric_builder_roundtrip() {
+        let mem: AssociativeMemory<u8> =
+            AssociativeMemory::new(64).with_metric(SimilarityMetric::Cosine);
+        assert_eq!(mem.metric(), SimilarityMetric::Cosine);
+        assert_eq!(mem.dimension(), 64);
+    }
+}

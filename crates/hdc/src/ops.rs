@@ -1,0 +1,240 @@
+//! The HDC operation set: binding, bundling and permutation.
+//!
+//! For dense binary hypervectors the canonical operations are:
+//!
+//! * **bind** — elementwise XOR. Binding is its own inverse, preserves
+//!   distances (`δ(a ⊕ c, b ⊕ c) = δ(a, b)`) and produces a vector
+//!   dissimilar to both inputs. Algorithm 1 of the paper uses binding with
+//!   sparse *transformation-hypervectors* to walk around the circle.
+//! * **bundle** — bitwise majority vote of an odd number of vectors (ties
+//!   for even counts are broken by a deterministic tie-break vector). The
+//!   bundle is similar to each of its inputs.
+//! * **permute** — cyclic bit rotation, a fixed distance-preserving
+//!   bijection used to encode order.
+
+use crate::hypervector::{DimensionMismatchError, Hypervector};
+use crate::rng::Rng;
+
+/// Binds two hypervectors (elementwise XOR), returning a new vector.
+///
+/// # Errors
+///
+/// Returns [`DimensionMismatchError`] if dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hdc::{ops::bind, Hypervector, Rng};
+///
+/// let mut rng = Rng::new(3);
+/// let a = Hypervector::random(1000, &mut rng);
+/// let b = Hypervector::random(1000, &mut rng);
+/// let bound = bind(&a, &b)?;
+/// // Unbinding recovers the original exactly.
+/// assert_eq!(bind(&bound, &b)?, a);
+/// # Ok::<(), hdhash_hdc::DimensionMismatchError>(())
+/// ```
+pub fn bind(a: &Hypervector, b: &Hypervector) -> Result<Hypervector, DimensionMismatchError> {
+    a.xor(b)
+}
+
+/// Creates a sparse *transformation-hypervector*: a zero vector with
+/// exactly `flips` distinct random bits set.
+///
+/// This is lines 4–5 of the paper's Algorithm 1 (`t ← 0^d`, then flip
+/// `d/m` random bits of `t`).
+///
+/// # Panics
+///
+/// Panics if `flips > d` or `d == 0`.
+#[must_use]
+pub fn transformation(d: usize, flips: usize, rng: &mut Rng) -> Hypervector {
+    let mut t = Hypervector::zeros(d);
+    t.flip_bits(rng.distinct_indices(flips, d));
+    t
+}
+
+/// Bundles hypervectors by bitwise majority vote.
+///
+/// For an even number of inputs, ties are broken by `tie_break` bits drawn
+/// deterministically from `rng` (the conventional approach in binary HDC).
+///
+/// # Errors
+///
+/// Returns [`DimensionMismatchError`] if any input dimension differs from
+/// the first.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn bundle(
+    inputs: &[&Hypervector],
+    rng: &mut Rng,
+) -> Result<Hypervector, DimensionMismatchError> {
+    assert!(!inputs.is_empty(), "bundle of zero hypervectors is undefined");
+    let d = inputs[0].dimension();
+    for hv in inputs {
+        if hv.dimension() != d {
+            return Err(DimensionMismatchError { left: d, right: hv.dimension() });
+        }
+    }
+    let needs_tiebreak = inputs.len() % 2 == 0;
+    let tie = if needs_tiebreak { Some(Hypervector::random(d, rng)) } else { None };
+
+    let mut out = Hypervector::zeros(d);
+    let half = inputs.len() / 2;
+    for i in 0..d {
+        let mut count = inputs.iter().filter(|hv| hv.bit(i)).count();
+        if let Some(t) = &tie {
+            // A tie-break vote only matters when the count sits exactly at
+            // the boundary; adding it unconditionally keeps the majority
+            // semantics for all other counts because of the strict compare.
+            if count == half && t.bit(i) {
+                count += 1;
+            }
+        }
+        out.set_bit(i, count > half);
+    }
+    Ok(out)
+}
+
+/// Cyclically rotates the bits of a hypervector by `shift` positions.
+///
+/// Permutation is a distance-preserving bijection; `permute(hv, d)` is the
+/// identity.
+#[must_use]
+pub fn permute(hv: &Hypervector, shift: usize) -> Hypervector {
+    let d = hv.dimension();
+    let shift = shift % d;
+    let mut out = Hypervector::zeros(d);
+    for i in 0..d {
+        if hv.bit(i) {
+            out.set_bit((i + shift) % d, true);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::hamming;
+
+    #[test]
+    fn bind_preserves_distance() {
+        let mut rng = Rng::new(21);
+        let a = Hypervector::random(2000, &mut rng);
+        let b = Hypervector::random(2000, &mut rng);
+        let c = Hypervector::random(2000, &mut rng);
+        let d1 = hamming(&a, &b);
+        let d2 = hamming(&bind(&a, &c).expect("dims"), &bind(&b, &c).expect("dims"));
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn bind_with_self_is_zero() {
+        let mut rng = Rng::new(22);
+        let a = Hypervector::random(512, &mut rng);
+        assert_eq!(bind(&a, &a).expect("dims").count_ones(), 0);
+    }
+
+    #[test]
+    fn bind_dimension_mismatch_errors() {
+        let a = Hypervector::zeros(10);
+        let b = Hypervector::zeros(20);
+        assert!(bind(&a, &b).is_err());
+    }
+
+    #[test]
+    fn transformation_weight_is_exact() {
+        let mut rng = Rng::new(23);
+        for flips in [0usize, 1, 10, 100, 1000] {
+            let t = transformation(10_000, flips, &mut rng);
+            assert_eq!(t.count_ones(), flips);
+        }
+    }
+
+    #[test]
+    fn binding_with_transformation_moves_exactly_that_far() {
+        let mut rng = Rng::new(24);
+        let a = Hypervector::random(10_000, &mut rng);
+        let t = transformation(10_000, 500, &mut rng);
+        let b = bind(&a, &t).expect("dims");
+        assert_eq!(hamming(&a, &b), 500);
+    }
+
+    #[test]
+    fn bundle_is_similar_to_inputs() {
+        let mut rng = Rng::new(25);
+        let inputs: Vec<Hypervector> =
+            (0..3).map(|_| Hypervector::random(10_000, &mut rng)).collect();
+        let refs: Vec<&Hypervector> = inputs.iter().collect();
+        let m = bundle(&refs, &mut rng).expect("dims");
+        for hv in &inputs {
+            let dist = hamming(&m, hv);
+            // Majority of 3: expected distance d/4, far below random d/2.
+            assert!(dist < 3_000, "bundle too far from input: {dist}");
+        }
+    }
+
+    #[test]
+    fn bundle_of_one_is_identity() {
+        let mut rng = Rng::new(26);
+        let a = Hypervector::random(100, &mut rng);
+        assert_eq!(bundle(&[&a], &mut rng).expect("dims"), a);
+    }
+
+    #[test]
+    fn bundle_even_count_stays_between_inputs() {
+        let mut rng = Rng::new(27);
+        let inputs: Vec<Hypervector> =
+            (0..4).map(|_| Hypervector::random(4096, &mut rng)).collect();
+        let refs: Vec<&Hypervector> = inputs.iter().collect();
+        let m = bundle(&refs, &mut rng).expect("dims");
+        for hv in &inputs {
+            assert!(hamming(&m, hv) < 2048, "even bundle lost similarity");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn bundle_empty_panics() {
+        let mut rng = Rng::new(0);
+        let _ = bundle(&[], &mut rng);
+    }
+
+    #[test]
+    fn bundle_mixed_dims_errors() {
+        let mut rng = Rng::new(28);
+        let a = Hypervector::zeros(10);
+        let b = Hypervector::zeros(11);
+        assert!(bundle(&[&a, &b], &mut rng).is_err());
+    }
+
+    #[test]
+    fn permute_is_bijective_and_preserves_weight() {
+        let mut rng = Rng::new(29);
+        let a = Hypervector::random(1001, &mut rng);
+        let p = permute(&a, 17);
+        assert_eq!(p.count_ones(), a.count_ones());
+        // Rotating the rest of the way recovers the original.
+        assert_eq!(permute(&p, 1001 - 17), a);
+    }
+
+    #[test]
+    fn permute_full_rotation_is_identity() {
+        let mut rng = Rng::new(30);
+        let a = Hypervector::random(333, &mut rng);
+        assert_eq!(permute(&a, 333), a);
+        assert_eq!(permute(&a, 0), a);
+    }
+
+    #[test]
+    fn permute_decorrelates() {
+        let mut rng = Rng::new(31);
+        let a = Hypervector::random(10_000, &mut rng);
+        let p = permute(&a, 1);
+        let dist = hamming(&a, &p);
+        assert!((4_500..5_500).contains(&dist), "rotation should look random: {dist}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Pairwise similarity profiles (paper Figure 2).
+//!
+//! Figure 2 of the paper visualizes the pairwise cosine similarities of 12
+//! random, level and circular basis-hypervectors as heatmaps. This module
+//! computes those matrices and summary profiles so the `fig2` harness (and
+//! tests) can regenerate the figure's data.
+
+use crate::hypervector::Hypervector;
+use crate::similarity::SimilarityMetric;
+
+/// A dense pairwise similarity matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityMatrix {
+    n: usize,
+    values: Vec<f64>,
+    metric: SimilarityMetric,
+}
+
+impl SimilarityMatrix {
+    /// Computes the `n × n` pairwise similarity matrix of `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is empty or members have mismatched dimensions.
+    #[must_use]
+    pub fn compute(set: &[Hypervector], metric: SimilarityMetric) -> Self {
+        assert!(!set.is_empty(), "cannot profile an empty set");
+        let n = set.len();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let s = metric.evaluate(&set[i], &set[j]);
+                values[i * n + j] = s;
+                values[j * n + i] = s;
+            }
+        }
+        Self { n, values, metric }
+    }
+
+    /// Matrix order (the number of hypervectors profiled).
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// The metric the matrix was computed under.
+    #[must_use]
+    pub fn metric(&self) -> SimilarityMetric {
+        self.metric
+    }
+
+    /// Similarity between members `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        self.values[i * self.n + j]
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n, "row out of range");
+        &self.values[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Mean similarity of all off-diagonal pairs.
+    #[must_use]
+    pub fn mean_off_diagonal(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    sum += self.at(i, j);
+                }
+            }
+        }
+        sum / (self.n * (self.n - 1)) as f64
+    }
+
+    /// The similarity profile relative to member 0: `profile[k] = sim(0, k)`.
+    ///
+    /// For a circular basis this traces Figure 2's circular band: it decays
+    /// to the antipode and rises back up.
+    #[must_use]
+    pub fn profile_from_first(&self) -> Vec<f64> {
+        self.row(0).to_vec()
+    }
+
+    /// Renders the matrix as a fixed-width text heatmap (for the `fig2`
+    /// harness).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} similarity, {}x{}", self.metric, self.n, self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let _ = write!(out, "{:6.2} ", self.at(i, j));
+            }
+            out.pop();
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Checks whether a similarity profile is circularly symmetric:
+/// `profile[k] ≈ profile[n − k]` within `tolerance`.
+#[must_use]
+pub fn is_circularly_symmetric(profile: &[f64], tolerance: f64) -> bool {
+    let n = profile.len();
+    (1..n).all(|k| (profile[k] - profile[n - k]).abs() <= tolerance)
+}
+
+/// Checks that a profile decreases (within `slack`) from index 0 out to the
+/// antipode at `n/2` — the "similarity decays with circular distance" law.
+#[must_use]
+pub fn decays_to_antipode(profile: &[f64], slack: f64) -> bool {
+    let half = profile.len() / 2;
+    profile.windows(2).take(half).all(|w| w[1] <= w[0] + slack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::{CircularBasis, LevelBasis, RandomBasis};
+    use crate::rng::Rng;
+
+    #[test]
+    fn figure2_shapes() {
+        // The three similarity structures of Figure 2 at the figure's own
+        // parameters (12 hypervectors; d = 10k for tight concentration).
+        let mut rng = Rng::new(200);
+        let d = 10_008;
+
+        let random = RandomBasis::generate(12, d, &mut rng).expect("valid");
+        let m_random =
+            SimilarityMatrix::compute(random.hypervectors(), SimilarityMetric::Cosine);
+        // Random: identity diagonal, ~0 elsewhere.
+        assert!(m_random.mean_off_diagonal().abs() < 0.02);
+
+        let level = LevelBasis::generate(12, d, &mut rng).expect("valid");
+        let m_level = SimilarityMatrix::compute(level.hypervectors(), SimilarityMetric::Cosine);
+        // Level: monotone decay away from the diagonal, ends dissimilar.
+        let p = m_level.profile_from_first();
+        assert!(decays_to_antipode(&p[..], 1e-9));
+        assert!(p[11] < 0.1);
+        assert!(!is_circularly_symmetric(&p, 0.1), "level sets must NOT wrap");
+
+        let circular = CircularBasis::generate(12, d, &mut rng).expect("valid");
+        let m_circ =
+            SimilarityMatrix::compute(circular.hypervectors(), SimilarityMetric::Cosine);
+        let p = m_circ.profile_from_first();
+        assert!(is_circularly_symmetric(&p, 0.02), "circular profile must wrap: {p:?}");
+        assert!(decays_to_antipode(&p, 0.02));
+        assert!(p[6].abs() < 0.02, "antipode should be quasi-orthogonal");
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let mut rng = Rng::new(201);
+        let basis = RandomBasis::generate(6, 2048, &mut rng).expect("valid");
+        let m = SimilarityMatrix::compute(basis.hypervectors(), SimilarityMetric::Cosine);
+        for i in 0..6 {
+            assert_eq!(m.at(i, i), 1.0);
+            for j in 0..6 {
+                assert_eq!(m.at(i, j), m.at(j, i));
+            }
+        }
+        assert_eq!(m.order(), 6);
+        assert_eq!(m.metric(), SimilarityMetric::Cosine);
+        assert_eq!(m.row(0).len(), 6);
+    }
+
+    #[test]
+    fn text_rendering_has_expected_shape() {
+        let mut rng = Rng::new(202);
+        let basis = RandomBasis::generate(3, 512, &mut rng).expect("valid");
+        let m = SimilarityMatrix::compute(basis.hypervectors(), SimilarityMetric::Cosine);
+        let text = m.to_text();
+        assert_eq!(text.lines().count(), 4); // header + 3 rows
+        assert!(text.starts_with("# cosine similarity, 3x3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_set_panics() {
+        let _ = SimilarityMatrix::compute(&[], SimilarityMetric::Cosine);
+    }
+
+    #[test]
+    fn symmetry_helper_edge_cases() {
+        assert!(is_circularly_symmetric(&[1.0], 0.0));
+        assert!(is_circularly_symmetric(&[1.0, 0.5, 0.0, 0.5], 1e-12));
+        assert!(!is_circularly_symmetric(&[1.0, 0.9, 0.0, 0.2], 0.01));
+        assert!(decays_to_antipode(&[1.0, 0.5, 0.0, 0.5], 1e-12));
+        assert!(!decays_to_antipode(&[1.0, 0.2, 0.5, 0.2], 0.01));
+    }
+}

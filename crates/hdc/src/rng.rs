@@ -1,0 +1,188 @@
+//! Deterministic randomness for the HDC substrate.
+//!
+//! Every randomized construction in this crate (basis generation, noise
+//! injection) is driven by this splittable SplitMix64-based generator so
+//! that experiments are reproducible bit-for-bit from a single 64-bit seed.
+
+use hdhash_hashfn::SplitMix64;
+
+/// A deterministic, splittable random generator.
+///
+/// Thin wrapper over [`SplitMix64`] adding the sampling helpers the HDC
+/// constructions need (distinct index sampling, Bernoulli trials, shuffles).
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hdc::Rng;
+///
+/// let mut rng = Rng::new(42);
+/// let picks = rng.distinct_indices(5, 100);
+/// assert_eq!(picks.len(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rng {
+    inner: SplitMix64,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        Self { inner: SplitMix64::new(seed) }
+    }
+
+    /// Returns the next pseudo-random word.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Returns a uniform value below `bound` (rejection sampled, no bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.inner.next_below(bound)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.next_f64()
+    }
+
+    /// Splits off a statistically independent child generator.
+    pub fn split(&mut self) -> Self {
+        Self { inner: self.inner.split() }
+    }
+
+    /// Samples `k` *distinct* indices from `0..n` (Floyd's algorithm).
+    ///
+    /// The result is not sorted; order is part of the deterministic output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn distinct_indices(&mut self, k: usize, n: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
+        // Floyd's sampling: O(k) expected insertions.
+        let mut chosen = std::collections::HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.next_below((j + 1) as u64) as usize;
+            if chosen.insert(t) {
+                out.push(t);
+            } else {
+                chosen.insert(j);
+                out.push(j);
+            }
+        }
+        out
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        self.next_f64() < p
+    }
+}
+
+impl Default for Rng {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::new(9);
+        let mut b = Rng::new(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct_and_in_range() {
+        let mut rng = Rng::new(3);
+        for (k, n) in [(0usize, 10usize), (1, 1), (5, 5), (10, 100), (100, 128)] {
+            let picks = rng.distinct_indices(k, n);
+            assert_eq!(picks.len(), k);
+            let set: std::collections::HashSet<_> = picks.iter().copied().collect();
+            assert_eq!(set.len(), k, "duplicates for k={k} n={n}");
+            assert!(picks.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn distinct_indices_full_range_is_permutation() {
+        let mut rng = Rng::new(11);
+        let mut picks = rng.distinct_indices(64, 64);
+        picks.sort_unstable();
+        assert_eq!(picks, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn distinct_indices_oversample_panics() {
+        Rng::new(0).distinct_indices(11, 10);
+    }
+
+    #[test]
+    fn distinct_indices_cover_space_over_draws() {
+        let mut rng = Rng::new(5);
+        let mut seen = vec![false; 32];
+        for _ in 0..200 {
+            for i in rng.distinct_indices(4, 32) {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::new(17);
+        let mut data: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut data);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(data, (0..50).collect::<Vec<_>>(), "shuffle did nothing");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = Rng::new(23);
+        assert!((0..100).all(|_| !rng.bernoulli(0.0)));
+        assert!((0..100).all(|_| rng.bernoulli(1.0)));
+    }
+
+    #[test]
+    fn split_decorrelates() {
+        let mut parent = Rng::new(1);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the compound encoders and the incremental
+//! bundle accumulator.
+
+use hdhash_hdc::accumulator::BundleAccumulator;
+use hdhash_hdc::encoding::{encode_ngrams, encode_record, encode_sequence};
+use hdhash_hdc::similarity::{cosine, hamming};
+use hdhash_hdc::{Hypervector, Rng};
+use proptest::prelude::*;
+
+fn random_set(count: usize, d: usize, seed: u64) -> Vec<Hypervector> {
+    let mut rng = Rng::new(seed);
+    (0..count).map(|_| Hypervector::random(d, &mut rng)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sequence encoding is deterministic and dimension-preserving.
+    #[test]
+    fn sequence_deterministic(seed in any::<u64>(), len in 1usize..8) {
+        let symbols = random_set(len, 2048, seed);
+        let refs: Vec<&Hypervector> = symbols.iter().collect();
+        let a = encode_sequence(&refs).expect("dims");
+        let b = encode_sequence(&refs).expect("dims");
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.dimension(), 2048);
+    }
+
+    /// Swapping any two distinct positions changes the encoding
+    /// substantially (order sensitivity).
+    #[test]
+    fn sequence_order_sensitivity(seed in any::<u64>(), len in 2usize..6) {
+        let symbols = random_set(len, 4096, seed);
+        let forward: Vec<&Hypervector> = symbols.iter().collect();
+        let mut swapped = forward.clone();
+        swapped.swap(0, len - 1);
+        let a = encode_sequence(&forward).expect("dims");
+        let b = encode_sequence(&swapped).expect("dims");
+        // Identical symbols at swapped positions would be a no-op, but
+        // independent random symbols collide with negligible probability.
+        prop_assert!(hamming(&a, &b) > 1000, "swap changed too little");
+    }
+
+    /// Record encode/decode: every value decodes through its key better
+    /// than through any other key.
+    #[test]
+    fn record_unbinding_selectivity(seed in any::<u64>(), fields in 2usize..6) {
+        let keys = random_set(fields, 8192, seed ^ 1);
+        let values = random_set(fields, 8192, seed ^ 2);
+        let mut rng = Rng::new(seed ^ 3);
+        let pairs: Vec<(&Hypervector, &Hypervector)> =
+            keys.iter().zip(values.iter()).collect();
+        let record = encode_record(&pairs, &mut rng).expect("dims");
+        for (i, key) in keys.iter().enumerate() {
+            let probe = record.xor(key).expect("dims");
+            let own = cosine(&probe, &values[i]);
+            for (j, other) in values.iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        own > cosine(&probe, other),
+                        "field {} decoded toward field {}", i, j
+                    );
+                }
+            }
+        }
+    }
+
+    /// N-gram profiles are insensitive to where a window sits in a longer
+    /// repetition of the same pattern (approximate translation invariance).
+    #[test]
+    fn ngram_translation_tolerance(seed in any::<u64>()) {
+        let symbols = random_set(4, 8192, seed);
+        let mut rng = Rng::new(seed ^ 9);
+        let stream: Vec<&Hypervector> =
+            (0..16).map(|i| &symbols[i % 4]).collect();
+        let early = encode_ngrams(&stream[..8], 2, &mut rng).expect("dims");
+        let late = encode_ngrams(&stream[4..12], 2, &mut rng).expect("dims");
+        // Same bigram statistics: encodings must correlate strongly.
+        prop_assert!(cosine(&early, &late) > 0.3);
+    }
+
+    /// The accumulator is a commutative group action: any interleaving of
+    /// adds/subtracts with a net-zero churn returns to baseline.
+    #[test]
+    fn accumulator_group_property(seed in any::<u64>(), churn in 1usize..6) {
+        let base = random_set(3, 1024, seed);
+        let extra = random_set(churn, 1024, seed ^ 7);
+        let mut acc = BundleAccumulator::new(1024);
+        for hv in &base {
+            acc.add(hv).expect("dims");
+        }
+        let baseline = acc.clone();
+        // Interleave: add all extras, then retract them in reverse.
+        for hv in &extra {
+            acc.add(hv).expect("dims");
+        }
+        for hv in extra.iter().rev() {
+            acc.subtract(hv).expect("dims");
+        }
+        prop_assert_eq!(acc, baseline);
+    }
+
+    /// Accumulator thresholding agrees with one-shot majority for any odd
+    /// member count.
+    #[test]
+    fn accumulator_majority_agreement(seed in any::<u64>(), k in 0usize..4) {
+        let inputs = random_set(2 * k + 1, 2048, seed);
+        let mut acc = BundleAccumulator::new(2048);
+        for hv in &inputs {
+            acc.add(hv).expect("dims");
+        }
+        let refs: Vec<&Hypervector> = inputs.iter().collect();
+        let mut rng = Rng::new(seed);
+        let majority = hdhash_hdc::ops::bundle(&refs, &mut rng).expect("dims");
+        prop_assert_eq!(acc.to_hypervector(), majority);
+    }
+
+    /// Byte round-trip across arbitrary dimensions.
+    #[test]
+    fn hypervector_bytes_roundtrip(seed in any::<u64>(), d in 1usize..600) {
+        let mut rng = Rng::new(seed);
+        let hv = Hypervector::random(d, &mut rng);
+        let back = Hypervector::from_bytes(d, &hv.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(back, hv);
+    }
+}

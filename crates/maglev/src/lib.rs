@@ -1,0 +1,25 @@
+//! # hdhash-maglev — Maglev hashing
+//!
+//! Maglev (Eisenbud et al., NSDI 2016 — the paper's reference \[3\] for
+//! consistent hashing "used on Google Cloud Platform") trades the ring for
+//! a dense lookup table: each backend generates a permutation of the table
+//! slots from two hashes of its name, and backends take turns claiming
+//! their next preferred slot until the table is full. Lookups are then a
+//! single `table[h(key) % M]` — `O(1)`, with near-perfect balance and
+//! small disruption on membership change.
+//!
+//! We include it as a fourth baseline beyond the paper's three because it
+//! occupies a distinct point in the robustness landscape: its vulnerable
+//! state is the lookup table itself, and a corrupted entry damages exactly
+//! one slot (`≈ lookups/M` of traffic) — *dilution* rather than the
+//! ring-tree's amplification. The `fig5 algorithms` extension and the
+//! robustness ablations use it as the "how much does structure matter"
+//! control.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prime;
+pub mod table;
+
+pub use table::MaglevTable;

@@ -1,0 +1,143 @@
+//! Prime-size selection for the Maglev lookup table.
+//!
+//! Maglev requires the table size `M` to be prime (so every `skip` value
+//! generates a full permutation of the slots) and recommends `M ≫ N` for
+//! balance (the original paper uses 65537 for its measurements).
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64` inputs
+/// (the standard 12-witness set).
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_maglev::prime::is_prime;
+/// assert!(is_prime(65537));
+/// assert!(!is_prime(65536));
+/// ```
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // n - 1 = d · 2^r with d odd.
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..r {
+            x = mod_mul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The smallest prime `>= n` (and `>= 2`).
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_maglev::prime::next_prime;
+/// assert_eq!(next_prime(65530), 65537);
+/// assert_eq!(next_prime(2), 2);
+/// ```
+#[must_use]
+pub fn next_prime(n: u64) -> u64 {
+    let mut candidate = n.max(2);
+    while !is_prime(candidate) {
+        candidate += 1;
+    }
+    candidate
+}
+
+#[inline]
+fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base, m);
+        }
+        base = mod_mul(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47];
+        for p in primes {
+            assert!(is_prime(p), "{p}");
+        }
+        for c in [0u64, 1, 4, 6, 8, 9, 10, 12, 15, 21, 25, 49, 1001] {
+            assert!(!is_prime(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn known_large_cases() {
+        assert!(is_prime(65537)); // F4
+        assert!(is_prime(2_147_483_647)); // M31
+        assert!(!is_prime(2_147_483_649));
+        // Carmichael numbers must not fool the test.
+        for carmichael in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(!is_prime(carmichael), "{carmichael}");
+        }
+        // Large strong-pseudoprime trap: 3215031751 fools bases {2,3,5,7}.
+        assert!(!is_prime(3_215_031_751));
+    }
+
+    #[test]
+    fn next_prime_behaviour() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(14), 17);
+        assert_eq!(next_prime(17), 17);
+        assert_eq!(next_prime(100_000), 100_003);
+    }
+
+    #[test]
+    fn sieve_agreement() {
+        // Cross-check against a simple sieve up to 10_000.
+        let limit = 10_000usize;
+        let mut sieve = vec![true; limit];
+        sieve[0] = false;
+        sieve[1] = false;
+        for i in 2..limit {
+            if sieve[i] {
+                for j in (i * i..limit).step_by(i) {
+                    sieve[j] = false;
+                }
+            }
+        }
+        for n in 0..limit {
+            assert_eq!(is_prime(n as u64), sieve[n], "disagreement at {n}");
+        }
+    }
+}

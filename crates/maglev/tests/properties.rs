@@ -1,0 +1,77 @@
+//! Property-based tests for Maglev hashing.
+
+use hdhash_maglev::prime::{is_prime, next_prime};
+use hdhash_maglev::MaglevTable;
+use hdhash_table::{DynamicHashTable, RequestKey, ServerId};
+use proptest::prelude::*;
+
+proptest! {
+    /// `next_prime` returns a prime at least as large as its argument, and
+    /// there is no smaller prime in between.
+    #[test]
+    fn next_prime_is_correct(n in 0u64..1_000_000) {
+        let p = next_prime(n);
+        prop_assert!(p >= n.max(2));
+        prop_assert!(is_prime(p));
+        for candidate in n.max(2)..p {
+            prop_assert!(!is_prime(candidate), "skipped prime {candidate}");
+        }
+    }
+
+    /// Miller–Rabin agrees with trial division on arbitrary inputs.
+    #[test]
+    fn primality_matches_trial_division(n in 0u64..100_000) {
+        let trial = n >= 2 && (2..=((n as f64).sqrt() as u64)).all(|d| n % d != 0);
+        prop_assert_eq!(is_prime(n), trial, "disagreement at {}", n);
+    }
+
+    /// Every table slot is owned by a live server; the table fills
+    /// completely for any membership.
+    #[test]
+    fn table_fills_completely(
+        ids in proptest::collection::hash_set(0u64..10_000, 1..24),
+        table_size in 101usize..1000,
+    ) {
+        let mut table = MaglevTable::with_table_size(table_size);
+        for &id in &ids {
+            table.join(ServerId::new(id)).expect("distinct ids");
+        }
+        let counts = table.slot_counts();
+        prop_assert_eq!(counts.values().sum::<usize>(), table.table_size());
+        for server in counts.keys() {
+            prop_assert!(table.contains(*server));
+        }
+    }
+
+    /// Lookups land on live servers for arbitrary keys.
+    #[test]
+    fn lookup_total(
+        ids in proptest::collection::hash_set(0u64..1_000, 1..16),
+        keys in proptest::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let mut table = MaglevTable::with_table_size(211);
+        for &id in &ids {
+            table.join(ServerId::new(id)).expect("distinct ids");
+        }
+        for &k in &keys {
+            let owner = table.lookup(RequestKey::new(k)).expect("non-empty");
+            prop_assert!(table.contains(owner));
+        }
+    }
+
+    /// Balance: every server owns within 25% of its fair share of slots
+    /// (the Maglev paper proves much tighter bounds for M >> N; we check a
+    /// loose envelope across arbitrary memberships).
+    #[test]
+    fn slots_balanced(count in 2usize..16) {
+        let mut table = MaglevTable::with_table_size(2053);
+        for i in 0..count as u64 {
+            table.join(ServerId::new(i)).expect("fresh");
+        }
+        let fair = 2053 / count;
+        for (&server, &slots) in &table.slot_counts() {
+            let dev = (slots as f64 - fair as f64).abs() / fair as f64;
+            prop_assert!(dev < 0.25, "{}: {} vs fair {}", server, slots, fair);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Weighted rendezvous hashing via the logarithmic method.
+//!
+//! For heterogeneous capacities, the logarithmic method scores each server
+//! as `-w_s / ln(u)` where `u ∈ (0, 1)` is the uniform variate derived from
+//! `h(s, r)` and `w_s` is the server's weight. The winning probability of
+//! each server is then exactly proportional to its weight — a standard
+//! extension of HRW used by real deployments (e.g. weighted cache pools).
+
+use std::collections::HashMap;
+
+use hdhash_hashfn::{mix64, Hasher64, XxHash64};
+use hdhash_table::{RequestKey, ServerId, TableError};
+
+/// Rendezvous hashing with per-server weights.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_rendezvous::WeightedRendezvousTable;
+/// use hdhash_table::{RequestKey, ServerId};
+///
+/// let mut table = WeightedRendezvousTable::new();
+/// table.join(ServerId::new(1), 1.0)?;
+/// table.join(ServerId::new(2), 3.0)?; // 3× the capacity
+/// let owner = table.lookup(RequestKey::new(9))?;
+/// assert!(owner == ServerId::new(1) || owner == ServerId::new(2));
+/// # Ok::<(), hdhash_table::TableError>(())
+/// ```
+pub struct WeightedRendezvousTable {
+    hasher: Box<dyn Hasher64>,
+    entries: Vec<(ServerId, u64, f64)>,
+}
+
+impl WeightedRendezvousTable {
+    /// Creates an empty weighted table with the default hash function.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { hasher: Box::new(XxHash64::with_seed(0)), entries: Vec::new() }
+    }
+
+    /// Adds a server with a positive capacity weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::ServerAlreadyPresent`] on duplicate joins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not finite and positive.
+    pub fn join(&mut self, server: ServerId, weight: f64) -> Result<(), TableError> {
+        assert!(weight.is_finite() && weight > 0.0, "weight must be positive");
+        if self.entries.iter().any(|&(s, _, _)| s == server) {
+            return Err(TableError::ServerAlreadyPresent(server));
+        }
+        let pre = self.hasher.hash_bytes(&server.to_bytes());
+        self.entries.push((server, pre, weight));
+        Ok(())
+    }
+
+    /// Removes a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::ServerNotFound`] if absent.
+    pub fn leave(&mut self, server: ServerId) -> Result<(), TableError> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|&(s, _, _)| s == server)
+            .ok_or(TableError::ServerNotFound(server))?;
+        self.entries.remove(idx);
+        Ok(())
+    }
+
+    /// Maps a request to a server with probability proportional to weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::EmptyPool`] when no servers have joined.
+    pub fn lookup(&self, request: RequestKey) -> Result<ServerId, TableError> {
+        let request_hash = self.hasher.hash_bytes(&request.to_bytes());
+        self.entries
+            .iter()
+            .map(|&(s, pre, w)| {
+                let mixed = mix64(pre ^ request_hash.rotate_left(32));
+                // Map to u ∈ (0, 1); never exactly 0 (add half an ulp step).
+                let u = (mixed >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let u = u.max(f64::MIN_POSITIVE);
+                let score = -w / u.ln();
+                (s, score)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores").then(a.0.cmp(&b.0)))
+            .map(|(s, _)| s)
+            .ok_or(TableError::EmptyPool)
+    }
+
+    /// Number of live servers.
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Observed share of `samples` sequential keys per server — a helper
+    /// for validating weight proportionality.
+    #[must_use]
+    pub fn empirical_shares(&self, samples: u64) -> HashMap<ServerId, f64> {
+        let mut counts: HashMap<ServerId, usize> = HashMap::new();
+        for k in 0..samples {
+            if let Ok(s) = self.lookup(RequestKey::new(k)) {
+                *counts.entry(s).or_insert(0) += 1;
+            }
+        }
+        counts.into_iter().map(|(s, c)| (s, c as f64 / samples as f64)).collect()
+    }
+}
+
+impl Default for WeightedRendezvousTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for WeightedRendezvousTable {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("WeightedRendezvousTable")
+            .field("servers", &self.entries.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_reduce_to_uniform() {
+        let mut t = WeightedRendezvousTable::new();
+        for i in 0..8 {
+            t.join(ServerId::new(i), 1.0).expect("fresh");
+        }
+        let shares = t.empirical_shares(16_000);
+        for (&s, &share) in &shares {
+            assert!((share - 0.125).abs() < 0.03, "{s} share {share}");
+        }
+    }
+
+    #[test]
+    fn shares_track_weights() {
+        let mut t = WeightedRendezvousTable::new();
+        t.join(ServerId::new(1), 1.0).expect("fresh");
+        t.join(ServerId::new(2), 3.0).expect("fresh");
+        let shares = t.empirical_shares(20_000);
+        let s1 = shares.get(&ServerId::new(1)).copied().unwrap_or(0.0);
+        let s2 = shares.get(&ServerId::new(2)).copied().unwrap_or(0.0);
+        assert!((s1 - 0.25).abs() < 0.03, "share1 {s1}");
+        assert!((s2 - 0.75).abs() < 0.03, "share2 {s2}");
+    }
+
+    #[test]
+    fn lifecycle_and_errors() {
+        let mut t = WeightedRendezvousTable::new();
+        assert_eq!(t.lookup(RequestKey::new(0)), Err(TableError::EmptyPool));
+        t.join(ServerId::new(1), 2.0).expect("fresh");
+        assert_eq!(
+            t.join(ServerId::new(1), 2.0),
+            Err(TableError::ServerAlreadyPresent(ServerId::new(1)))
+        );
+        t.leave(ServerId::new(1)).expect("present");
+        assert_eq!(t.leave(ServerId::new(1)), Err(TableError::ServerNotFound(ServerId::new(1))));
+        assert_eq!(t.server_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_panics() {
+        let mut t = WeightedRendezvousTable::new();
+        let _ = t.join(ServerId::new(1), 0.0);
+    }
+
+    #[test]
+    fn minimal_disruption_on_leave() {
+        let mut t = WeightedRendezvousTable::new();
+        for i in 0..10 {
+            t.join(ServerId::new(i), 1.0 + i as f64 * 0.2).expect("fresh");
+        }
+        let before: Vec<(u64, ServerId)> =
+            (0..2000).map(|k| (k, t.lookup(RequestKey::new(k)).expect("non-empty"))).collect();
+        t.leave(ServerId::new(3)).expect("present");
+        for (k, s_before) in before {
+            if s_before != ServerId::new(3) {
+                assert_eq!(t.lookup(RequestKey::new(k)).expect("non-empty"), s_before);
+            }
+        }
+    }
+}

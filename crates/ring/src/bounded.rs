@@ -1,0 +1,287 @@
+//! Consistent hashing with bounded loads (Mirrokni, Thorup & Zadimoghaddam,
+//! SODA 2018).
+//!
+//! The classic ring can overload a server whose predecessor arc happens to
+//! be long. The bounded-loads refinement caps every server at
+//! `⌈(1 + ε) · average⌉` assignments: a request walks clockwise past full
+//! servers until it finds one with spare capacity. The paper cites this
+//! line of work (\[13\]) when discussing request distribution; we implement
+//! it as the uniformity ablation baseline (`ablation_vnodes` bench).
+
+use std::collections::HashMap;
+
+use hdhash_table::{DynamicHashTable, RequestKey, ServerId, TableError};
+
+use crate::ring::ConsistentTable;
+
+/// A consistent hashing table that assigns *stateful* items under a load
+/// cap of `⌈(1 + epsilon) · items / servers⌉` per server.
+///
+/// Unlike the stateless [`ConsistentTable`] lookups, bounded-loads
+/// assignment must remember placements (an item parked on an overflow
+/// server must keep resolving there), so this type exposes
+/// [`assign`](BoundedLoadTable::assign) / [`release`](BoundedLoadTable::release)
+/// rather than implementing the read-only lookup trait.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_ring::BoundedLoadTable;
+/// use hdhash_table::{RequestKey, ServerId};
+///
+/// let mut table = BoundedLoadTable::new(0.25);
+/// for id in 0..4 {
+///     table.join(ServerId::new(id))?;
+/// }
+/// for k in 0..100 {
+///     table.assign(RequestKey::new(k))?;
+/// }
+/// // No server exceeds the cap ⌈1.25 · 100 / 4⌉ = 32.
+/// assert!(table.loads().values().all(|&l| l <= 32));
+/// # Ok::<(), hdhash_table::TableError>(())
+/// ```
+#[derive(Debug)]
+pub struct BoundedLoadTable {
+    ring: ConsistentTable,
+    epsilon: f64,
+    placements: HashMap<RequestKey, ServerId>,
+    loads: HashMap<ServerId, usize>,
+}
+
+impl BoundedLoadTable {
+    /// Creates an empty table with load slack `epsilon` (must be > 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not finite and positive.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon.is_finite() && epsilon > 0.0, "epsilon must be positive");
+        Self {
+            ring: ConsistentTable::new(),
+            epsilon,
+            placements: HashMap::new(),
+            loads: HashMap::new(),
+        }
+    }
+
+    /// Adds a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TableError::ServerAlreadyPresent`].
+    pub fn join(&mut self, server: ServerId) -> Result<(), TableError> {
+        self.ring.join(server)?;
+        self.loads.entry(server).or_insert(0);
+        Ok(())
+    }
+
+    /// Removes a server; its items are re-assigned under the cap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TableError::ServerNotFound`].
+    pub fn leave(&mut self, server: ServerId) -> Result<(), TableError> {
+        self.ring.leave(server)?;
+        self.loads.remove(&server);
+        let orphans: Vec<RequestKey> = self
+            .placements
+            .iter()
+            .filter(|&(_, &s)| s == server)
+            .map(|(&r, _)| r)
+            .collect();
+        for r in &orphans {
+            self.placements.remove(r);
+        }
+        for r in orphans {
+            // Pool may be empty now; drop the item in that case.
+            let _ = self.assign(r);
+        }
+        Ok(())
+    }
+
+    /// The current per-server load cap.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        let servers = self.ring.server_count();
+        if servers == 0 {
+            return 0;
+        }
+        // Cap for the state *after* this assignment is made.
+        let items = self.placements.len() + 1;
+        (((items as f64) * (1.0 + self.epsilon)) / servers as f64).ceil() as usize
+    }
+
+    /// Assigns (or re-resolves) an item to a server under the load cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::EmptyPool`] when no servers have joined.
+    pub fn assign(&mut self, request: RequestKey) -> Result<ServerId, TableError> {
+        if let Some(&placed) = self.placements.get(&request) {
+            return Ok(placed);
+        }
+        if self.ring.server_count() == 0 {
+            return Err(TableError::EmptyPool);
+        }
+        let cap = self.capacity();
+        // Start at the natural successor, then walk clockwise over the
+        // *distinct servers* of the ring until one has spare capacity.
+        let natural = self.ring.lookup(request)?;
+        let order = self.clockwise_servers_from(natural);
+        let target = order
+            .into_iter()
+            .find(|s| self.loads.get(s).copied().unwrap_or(0) < cap)
+            .ok_or(TableError::CapacityExhausted {
+                servers: self.ring.server_count(),
+                capacity: cap,
+            })?;
+        self.placements.insert(request, target);
+        *self.loads.entry(target).or_insert(0) += 1;
+        Ok(target)
+    }
+
+    /// Releases a previously assigned item; returns its server if present.
+    pub fn release(&mut self, request: RequestKey) -> Option<ServerId> {
+        let server = self.placements.remove(&request)?;
+        if let Some(load) = self.loads.get_mut(&server) {
+            *load = load.saturating_sub(1);
+        }
+        Some(server)
+    }
+
+    /// Current per-server loads.
+    #[must_use]
+    pub fn loads(&self) -> &HashMap<ServerId, usize> {
+        &self.loads
+    }
+
+    /// Number of live servers.
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.ring.server_count()
+    }
+
+    /// Number of placed items.
+    #[must_use]
+    pub fn item_count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Distinct servers in clockwise ring order starting from `from`.
+    fn clockwise_servers_from(&self, from: ServerId) -> Vec<ServerId> {
+        let mut servers = self.ring.servers();
+        // Order servers by their first ring position.
+        let mut keyed: Vec<(u64, ServerId)> = servers
+            .drain(..)
+            .map(|s| {
+                let mut buf = [0u8; 16];
+                buf[..8].copy_from_slice(&s.to_bytes());
+                // replica 0 position, matching ConsistentTable::server_points.
+                (hdhash_hashfn::Hasher64::hash_bytes(&hdhash_hashfn::XxHash64::with_seed(0), &buf), s)
+            })
+            .collect();
+        keyed.sort_unstable_by_key(|&(p, s)| (p, s.get()));
+        let start = keyed.iter().position(|&(_, s)| s == from).unwrap_or(0);
+        keyed.rotate_left(start);
+        keyed.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(servers: u64, epsilon: f64) -> BoundedLoadTable {
+        let mut t = BoundedLoadTable::new(epsilon);
+        for i in 0..servers {
+            t.join(ServerId::new(i)).expect("fresh server");
+        }
+        t
+    }
+
+    #[test]
+    fn cap_is_never_exceeded() {
+        let mut t = filled(8, 0.25);
+        for k in 0..1000u64 {
+            t.assign(RequestKey::new(k)).expect("capacity available");
+        }
+        let cap = (((1000f64) * 1.25) / 8.0).ceil() as usize + 1;
+        for (&s, &load) in t.loads() {
+            assert!(load <= cap, "{s} overloaded: {load} > {cap}");
+        }
+        assert_eq!(t.loads().values().sum::<usize>(), 1000);
+        assert_eq!(t.item_count(), 1000);
+    }
+
+    #[test]
+    fn bounded_is_tighter_than_plain_ring() {
+        // Compare max loads: the cap must beat the plain ring's worst arc.
+        let mut bounded = filled(8, 0.25);
+        let mut plain = ConsistentTable::new();
+        for i in 0..8 {
+            plain.join(ServerId::new(i)).expect("fresh");
+        }
+        let mut plain_loads: HashMap<ServerId, usize> = HashMap::new();
+        for k in 0..2000u64 {
+            bounded.assign(RequestKey::new(k)).expect("capacity");
+            *plain_loads
+                .entry(plain.lookup(RequestKey::new(k)).expect("non-empty"))
+                .or_insert(0) += 1;
+        }
+        let bounded_max = *bounded.loads().values().max().expect("non-empty");
+        let plain_max = *plain_loads.values().max().expect("non-empty");
+        assert!(
+            bounded_max <= plain_max,
+            "bounded {bounded_max} should not exceed plain {plain_max}"
+        );
+        assert!(bounded_max <= ((2000.0f64 * 1.25) / 8.0).ceil() as usize);
+    }
+
+    #[test]
+    fn assignment_is_sticky() {
+        let mut t = filled(4, 0.5);
+        let first = t.assign(RequestKey::new(7)).expect("capacity");
+        for _ in 0..10 {
+            assert_eq!(t.assign(RequestKey::new(7)).expect("capacity"), first);
+        }
+        assert_eq!(t.item_count(), 1);
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut t = filled(2, 0.01);
+        for k in 0..100u64 {
+            t.assign(RequestKey::new(k)).expect("capacity");
+        }
+        let server = t.release(RequestKey::new(0)).expect("was placed");
+        assert!(t.loads()[&server] < 100);
+        assert_eq!(t.release(RequestKey::new(0)), None);
+        assert_eq!(t.item_count(), 99);
+    }
+
+    #[test]
+    fn leave_reassigns_orphans() {
+        let mut t = filled(4, 0.5);
+        for k in 0..200u64 {
+            t.assign(RequestKey::new(k)).expect("capacity");
+        }
+        t.leave(ServerId::new(2)).expect("present");
+        assert_eq!(t.server_count(), 3);
+        assert_eq!(t.item_count(), 200, "all items must survive a leave");
+        assert!(t.loads().values().sum::<usize>() == 200);
+        assert!(!t.loads().contains_key(&ServerId::new(2)));
+    }
+
+    #[test]
+    fn empty_pool_errors() {
+        let mut t = BoundedLoadTable::new(0.5);
+        assert_eq!(t.assign(RequestKey::new(1)), Err(TableError::EmptyPool));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn non_positive_epsilon_panics() {
+        let _ = BoundedLoadTable::new(0.0);
+    }
+}

@@ -1,0 +1,441 @@
+//! An arena-allocated treap: the ring's `O(log n)` search structure.
+//!
+//! Consistent hashing's `O(log n)` lookup (paper §2.1) is classically
+//! served by a balanced binary search tree over the ring positions
+//! (`std::map` in the original LKH/Chord-era implementations). This module
+//! provides that structure from scratch as a *treap* — a BST ordered by
+//! key whose heap priorities are derived by hashing the key, making the
+//! tree shape **history independent**: the same key set always yields the
+//! same tree, regardless of insertion order.
+//!
+//! ## Why a tree and not a sorted array
+//!
+//! Faithfulness of the robustness experiments. The tree stores, per node,
+//! a 64-bit ring position and two 32-bit child indices ("pointers"). A
+//! memory error that hits a position relocates one virtual node (small,
+//! local damage); an error that hits a *child index* detaches or misroutes
+//! an entire subtree — queries that should descend into it resolve to a
+//! wrong successor. This pointer amplification is what degrades consistent
+//! hashing so sharply in the paper's Figure 5, and it simply does not
+//! exist for rendezvous hashing (no pointers) or HD hashing (holographic
+//! encodings).
+//!
+//! Search under corruption is hardened the way real systems are: child
+//! indices are bounds-checked (out-of-range reads as a null link) and
+//! walks carry a step budget against cycles.
+
+use hdhash_table::ServerId;
+
+/// Null link sentinel.
+const NIL: u32 = u32::MAX;
+
+/// One treap node. The noise surface of a node is its `position` (64
+/// bits) followed by `left` and `right` (32 bits each): 128 bits total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Node {
+    position: u64,
+    left: u32,
+    right: u32,
+    /// Heap priority, derived from the key; not part of the noise surface
+    /// (it is only consulted during rebuilds).
+    priority: u64,
+    /// The owning server; identifiers live in the membership table, not
+    /// the search structure, so they are not part of the noise surface.
+    server: ServerId,
+}
+
+/// Number of noise-surface bits per node.
+pub const NODE_SURFACE_BITS: usize = 128;
+
+/// A treap keyed by `(position, server)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Treap {
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl Treap {
+    /// Creates an empty treap.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { nodes: Vec::new(), root: NIL }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the treap is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total noise-surface bits.
+    #[must_use]
+    pub fn surface_bits(&self) -> usize {
+        self.nodes.len() * NODE_SURFACE_BITS
+    }
+
+    fn priority_of(position: u64, server: ServerId) -> u64 {
+        hdhash_hashfn::mix64(position ^ hdhash_hashfn::rrmxmx(server.get()))
+    }
+
+    /// Key comparison: positions first, server id as tie-break.
+    fn key_less(a_pos: u64, a_srv: ServerId, b_pos: u64, b_srv: ServerId) -> bool {
+        (a_pos, a_srv.get()) < (b_pos, b_srv.get())
+    }
+
+    /// Inserts a `(position, server)` point.
+    pub fn insert(&mut self, position: u64, server: ServerId) {
+        let index = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            position,
+            left: NIL,
+            right: NIL,
+            priority: Self::priority_of(position, server),
+            server,
+        });
+        self.root = self.insert_at(self.root, index);
+    }
+
+    fn insert_at(&mut self, at: u32, index: u32) -> u32 {
+        if at == NIL {
+            return index;
+        }
+        let (at_pos, at_srv, at_prio) = {
+            let n = &self.nodes[at as usize];
+            (n.position, n.server, n.priority)
+        };
+        let (new_pos, new_srv, new_prio) = {
+            let n = &self.nodes[index as usize];
+            (n.position, n.server, n.priority)
+        };
+        if Self::key_less(new_pos, new_srv, at_pos, at_srv) {
+            let child = self.insert_at(self.nodes[at as usize].left, index);
+            self.nodes[at as usize].left = child;
+            if self.nodes[child as usize].priority > at_prio {
+                return self.rotate_right(at);
+            }
+        } else {
+            let child = self.insert_at(self.nodes[at as usize].right, index);
+            self.nodes[at as usize].right = child;
+            if self.nodes[child as usize].priority > at_prio {
+                return self.rotate_left(at);
+            }
+        }
+        let _ = new_prio;
+        at
+    }
+
+    fn rotate_right(&mut self, at: u32) -> u32 {
+        let left = self.nodes[at as usize].left;
+        self.nodes[at as usize].left = self.nodes[left as usize].right;
+        self.nodes[left as usize].right = at;
+        left
+    }
+
+    fn rotate_left(&mut self, at: u32) -> u32 {
+        let right = self.nodes[at as usize].right;
+        self.nodes[at as usize].right = self.nodes[right as usize].left;
+        self.nodes[right as usize].left = at;
+        right
+    }
+
+    /// Bounds-checked child read: corrupted out-of-range indices read as
+    /// null links.
+    fn link(&self, index: u32) -> Option<usize> {
+        let i = index as usize;
+        (i < self.nodes.len()).then_some(i)
+    }
+
+    /// The clockwise successor of `point`: the node with the smallest
+    /// `position >= point`, wrapping to the globally smallest position.
+    ///
+    /// The walk carries a step budget so corrupted links (including
+    /// cycles) terminate deterministically; `None` is returned only for an
+    /// empty treap or a walk that found no candidate within budget.
+    #[must_use]
+    pub fn successor(&self, point: u64) -> Option<ServerId> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let budget = Self::step_budget(self.nodes.len());
+        let mut best: Option<usize> = None;
+        let mut cursor = self.link(self.root);
+        let mut steps = 0;
+        while let Some(i) = cursor {
+            if steps >= budget {
+                break;
+            }
+            steps += 1;
+            let node = &self.nodes[i];
+            if node.position >= point {
+                best = Some(i);
+                cursor = self.link(node.left);
+            } else {
+                cursor = self.link(node.right);
+            }
+        }
+        if let Some(i) = best {
+            return Some(self.nodes[i].server);
+        }
+        // Wrap around: the globally smallest position.
+        self.minimum()
+    }
+
+    /// The server at the globally smallest position (step-budgeted walk).
+    #[must_use]
+    pub fn minimum(&self) -> Option<ServerId> {
+        let budget = Self::step_budget(self.nodes.len());
+        let mut cursor = self.link(self.root)?;
+        let mut steps = 0;
+        loop {
+            let node = &self.nodes[cursor];
+            match self.link(node.left) {
+                Some(next) if steps < budget => {
+                    cursor = next;
+                    steps += 1;
+                }
+                _ => return Some(node.server),
+            }
+        }
+    }
+
+    fn step_budget(n: usize) -> usize {
+        // Generous for a treap (expected depth ~1.39·log2 n), tight enough
+        // to terminate cycles quickly.
+        4 * (usize::BITS - n.leading_zeros()) as usize + 16
+    }
+
+    /// All `(position, server)` pairs in key order (clean traversal used
+    /// by rebuilds and tests; assumes an uncorrupted tree).
+    #[must_use]
+    pub fn entries_in_order(&self) -> Vec<(u64, ServerId)> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        self.in_order(self.root, &mut out, 0);
+        out
+    }
+
+    fn in_order(&self, at: u32, out: &mut Vec<(u64, ServerId)>, depth: usize) {
+        if depth > self.nodes.len() {
+            return; // cycle guard for corrupted trees
+        }
+        if let Some(i) = self.link(at) {
+            let node = self.nodes[i];
+            self.in_order(node.left, out, depth + 1);
+            out.push((node.position, node.server));
+            self.in_order(node.right, out, depth + 1);
+        }
+    }
+
+    /// Flips one bit of the noise surface. Bit `b` addresses node
+    /// `b / 128`; within a node, bits `0..64` hit the position, `64..96`
+    /// the left child index and `96..128` the right child index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= surface_bits()`.
+    pub fn flip_surface_bit(&mut self, bit: usize) {
+        assert!(bit < self.surface_bits(), "surface bit {bit} out of range");
+        let node = &mut self.nodes[bit / NODE_SURFACE_BITS];
+        match bit % NODE_SURFACE_BITS {
+            b @ 0..=63 => node.position ^= 1u64 << b,
+            b @ 64..=95 => node.left ^= 1u32 << (b - 64),
+            b => node.right ^= 1u32 << (b - 96),
+        }
+    }
+
+    /// Structural health check for tests: every node reachable exactly
+    /// once, keys in order, priorities heap-ordered.
+    #[must_use]
+    pub fn is_well_formed(&self) -> bool {
+        if self.nodes.is_empty() {
+            return self.root == NIL;
+        }
+        let entries = self.entries_in_order();
+        if entries.len() != self.nodes.len() {
+            return false;
+        }
+        if !entries.windows(2).all(|w| (w[0].0, w[0].1.get()) < (w[1].0, w[1].1.get())) {
+            return false;
+        }
+        self.heap_ok(self.root)
+    }
+
+    fn heap_ok(&self, at: u32) -> bool {
+        let Some(i) = self.link(at) else { return true };
+        let node = self.nodes[i];
+        for child in [node.left, node.right] {
+            if let Some(c) = self.link(child) {
+                if self.nodes[c].priority > node.priority {
+                    return false;
+                }
+            }
+        }
+        self.heap_ok(node.left) && self.heap_ok(node.right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdhash_hashfn::SplitMix64;
+
+    fn filled(n: u64, seed: u64) -> Treap {
+        let mut rng = SplitMix64::new(seed);
+        let mut t = Treap::new();
+        for i in 0..n {
+            t.insert(rng.next_u64(), ServerId::new(i));
+        }
+        t
+    }
+
+    #[test]
+    fn insert_produces_well_formed_tree() {
+        for n in [0u64, 1, 2, 3, 10, 100, 1000] {
+            let t = filled(n, 7);
+            assert_eq!(t.len(), n as usize);
+            assert!(t.is_well_formed(), "broken at n={n}");
+        }
+    }
+
+    #[test]
+    fn history_independence() {
+        // Same key set, different insertion orders → identical in-order
+        // AND identical shape (successor on every probe agrees).
+        let keys: Vec<(u64, ServerId)> =
+            (0..50u64).map(|i| (hdhash_hashfn::mix64(i), ServerId::new(i))).collect();
+        let mut forward = Treap::new();
+        for &(p, s) in &keys {
+            forward.insert(p, s);
+        }
+        let mut backward = Treap::new();
+        for &(p, s) in keys.iter().rev() {
+            backward.insert(p, s);
+        }
+        assert_eq!(forward.entries_in_order(), backward.entries_in_order());
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..500 {
+            let q = rng.next_u64();
+            assert_eq!(forward.successor(q), backward.successor(q));
+        }
+    }
+
+    #[test]
+    fn successor_matches_linear_reference() {
+        let t = filled(64, 9);
+        let entries = t.entries_in_order();
+        let mut rng = SplitMix64::new(4);
+        for _ in 0..2000 {
+            let q = rng.next_u64();
+            let reference = entries
+                .iter()
+                .find(|&&(p, _)| p >= q)
+                .or_else(|| entries.first())
+                .map(|&(_, s)| s);
+            assert_eq!(t.successor(q), reference);
+        }
+    }
+
+    #[test]
+    fn wraparound_hits_minimum() {
+        let mut t = Treap::new();
+        t.insert(100, ServerId::new(1));
+        t.insert(200, ServerId::new(2));
+        assert_eq!(t.successor(u64::MAX), Some(ServerId::new(1)));
+        assert_eq!(t.successor(150), Some(ServerId::new(2)));
+        assert_eq!(t.successor(0), Some(ServerId::new(1)));
+        assert_eq!(t.minimum(), Some(ServerId::new(1)));
+    }
+
+    #[test]
+    fn empty_treap_has_no_successor() {
+        let t = Treap::new();
+        assert_eq!(t.successor(5), None);
+        assert_eq!(t.minimum(), None);
+        assert!(t.is_well_formed());
+        assert_eq!(t.surface_bits(), 0);
+    }
+
+    #[test]
+    fn expected_logarithmic_depth() {
+        // Step budget must comfortably exceed the realized depth.
+        let t = filled(4096, 11);
+        let entries = t.entries_in_order();
+        assert_eq!(entries.len(), 4096);
+        // Probe many keys; all must resolve (i.e. within budget).
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..1000 {
+            assert!(t.successor(rng.next_u64()).is_some());
+        }
+    }
+
+    #[test]
+    fn surface_bit_flips_hit_documented_fields() {
+        let mut t = Treap::new();
+        t.insert(0b1000, ServerId::new(1));
+        let before = t.nodes[0];
+        t.flip_surface_bit(3);
+        assert_eq!(t.nodes[0].position, before.position ^ 0b1000);
+        t.flip_surface_bit(64);
+        assert_eq!(t.nodes[0].left, before.left ^ 1);
+        t.flip_surface_bit(96);
+        assert_eq!(t.nodes[0].right, before.right ^ 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn surface_bit_out_of_range_panics() {
+        let mut t = Treap::new();
+        t.insert(1, ServerId::new(1));
+        t.flip_surface_bit(128);
+    }
+
+    #[test]
+    fn corrupted_pointers_degrade_but_terminate() {
+        let mut t = filled(256, 13);
+        let mut rng = SplitMix64::new(6);
+        // Hammer the pointer region of many nodes.
+        for _ in 0..50 {
+            let node = rng.next_below(256) as usize;
+            let bit = 64 + rng.next_below(64) as usize;
+            t.flip_surface_bit(node * NODE_SURFACE_BITS + bit);
+        }
+        // Lookups still terminate and return *some* server.
+        for _ in 0..2000 {
+            let _ = t.successor(rng.next_u64());
+        }
+    }
+
+    #[test]
+    fn single_pointer_flip_misroutes_many_queries() {
+        // The amplification at the heart of Figure 5: one corrupted child
+        // index can move a whole subtree's worth of queries.
+        let clean = filled(512, 17);
+        let mut rng = SplitMix64::new(8);
+        let queries: Vec<u64> = (0..4000).map(|_| rng.next_u64()).collect();
+        let reference: Vec<_> = queries.iter().map(|&q| clean.successor(q)).collect();
+
+        let mut worst = 0usize;
+        for seed in 0..20u64 {
+            let mut noisy = clean.clone();
+            let mut nrng = SplitMix64::new(seed);
+            let node = nrng.next_below(512) as usize;
+            let bit = 64 + nrng.next_below(64) as usize;
+            noisy.flip_surface_bit(node * NODE_SURFACE_BITS + bit);
+            let moved = queries
+                .iter()
+                .zip(&reference)
+                .filter(|&(&q, r)| noisy.successor(q) != *r)
+                .count();
+            worst = worst.max(moved);
+        }
+        assert!(
+            worst > 40,
+            "a pointer flip should be able to misroute ≫ one arc: worst {worst} of 4000"
+        );
+    }
+}

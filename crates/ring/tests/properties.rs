@@ -1,0 +1,129 @@
+//! Property-based tests for the consistent hashing substrate.
+
+use hdhash_ring::jump::jump_hash;
+use hdhash_ring::{ConsistentTable, JumpTable, Treap};
+use hdhash_table::{DynamicHashTable, NoisyTable, RequestKey, ServerId};
+use proptest::prelude::*;
+
+proptest! {
+    /// The treap is history independent: any insertion order of the same
+    /// key set produces the same successor function.
+    #[test]
+    fn treap_history_independence(
+        mut positions in proptest::collection::hash_set(any::<u64>(), 1..64),
+        probes in proptest::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let keys: Vec<(u64, ServerId)> = positions
+            .drain()
+            .enumerate()
+            .map(|(i, p)| (p, ServerId::new(i as u64)))
+            .collect();
+        let mut forward = Treap::new();
+        for &(p, s) in &keys {
+            forward.insert(p, s);
+        }
+        let mut backward = Treap::new();
+        for &(p, s) in keys.iter().rev() {
+            backward.insert(p, s);
+        }
+        prop_assert!(forward.is_well_formed());
+        prop_assert!(backward.is_well_formed());
+        for &q in &probes {
+            prop_assert_eq!(forward.successor(q), backward.successor(q));
+        }
+    }
+
+    /// Treap successor agrees with the sorted-scan definition.
+    #[test]
+    fn treap_successor_reference(
+        positions in proptest::collection::hash_set(any::<u64>(), 1..64),
+        probes in proptest::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let mut treap = Treap::new();
+        let mut sorted: Vec<(u64, u64)> = Vec::new();
+        for (i, p) in positions.into_iter().enumerate() {
+            treap.insert(p, ServerId::new(i as u64));
+            sorted.push((p, i as u64));
+        }
+        sorted.sort_unstable();
+        for &q in &probes {
+            let reference = sorted
+                .iter()
+                .find(|&&(p, _)| p >= q)
+                .or_else(|| sorted.first())
+                .map(|&(_, s)| ServerId::new(s));
+            prop_assert_eq!(treap.successor(q), reference);
+        }
+    }
+
+    /// Corrupted treaps always terminate and never panic.
+    #[test]
+    fn treap_corruption_totality(
+        seed in any::<u64>(),
+        flips in proptest::collection::vec(any::<usize>(), 1..64),
+        probes in proptest::collection::vec(any::<u64>(), 1..16),
+    ) {
+        let mut rng = hdhash_hashfn::SplitMix64::new(seed);
+        let mut treap = Treap::new();
+        for i in 0..32u64 {
+            treap.insert(rng.next_u64(), ServerId::new(i));
+        }
+        let surface = treap.surface_bits();
+        for &f in &flips {
+            treap.flip_surface_bit(f % surface);
+        }
+        for &q in &probes {
+            let _ = treap.successor(q); // must not hang or panic
+        }
+    }
+
+    /// Jump hash stability: adding a bucket either keeps a key in place or
+    /// moves it to the new bucket — for arbitrary keys and sizes.
+    #[test]
+    fn jump_hash_stability(key in any::<u64>(), n in 1u32..512) {
+        let before = jump_hash(key, n);
+        let after = jump_hash(key, n + 1);
+        prop_assert!(before < n);
+        prop_assert!(after == before || after == n);
+    }
+
+    /// ConsistentTable serves only live servers across arbitrary churn.
+    #[test]
+    fn ring_lookup_total_under_churn(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..32), 1..40),
+        probes in proptest::collection::vec(any::<u64>(), 1..16),
+    ) {
+        let mut table = ConsistentTable::new();
+        for &(join, id) in &ops {
+            if join {
+                let _ = table.join(ServerId::new(id));
+            } else {
+                let _ = table.leave(ServerId::new(id));
+            }
+        }
+        for &k in &probes {
+            match table.lookup(RequestKey::new(k)) {
+                Ok(server) => prop_assert!(table.contains(server)),
+                Err(_) => prop_assert_eq!(table.server_count(), 0),
+            }
+        }
+    }
+
+    /// JumpTable noise + clear round-trips for arbitrary flip patterns.
+    #[test]
+    fn jump_table_noise_roundtrip(flips in 1usize..64, seed in any::<u64>()) {
+        let mut table = JumpTable::new();
+        for i in 0..16u64 {
+            table.join(ServerId::new(i)).expect("fresh");
+        }
+        let before: Vec<ServerId> = (0..200u64)
+            .map(|k| table.lookup(RequestKey::new(k)).expect("non-empty"))
+            .collect();
+        table.inject_bit_flips(flips, seed);
+        table.clear_noise();
+        let after: Vec<ServerId> = (0..200u64)
+            .map(|k| table.lookup(RequestKey::new(k)).expect("non-empty"))
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type shared by dynamic hash table implementations.
+
+use crate::ids::ServerId;
+
+/// Errors returned by [`DynamicHashTable`](crate::DynamicHashTable)
+/// operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TableError {
+    /// A join was attempted for a server already in the pool.
+    ServerAlreadyPresent(ServerId),
+    /// A leave was attempted for a server not in the pool.
+    ServerNotFound(ServerId),
+    /// A lookup was attempted against an empty pool.
+    EmptyPool,
+    /// The implementation ran out of slots (e.g. an HD codebook with
+    /// `n ≤ k` live servers, violating the paper's `n > k` requirement).
+    CapacityExhausted {
+        /// Live servers currently in the pool.
+        servers: usize,
+        /// Maximum the structure can hold.
+        capacity: usize,
+    },
+    /// A weighted join was attempted with weight zero (weighted tables
+    /// require every server to hold at least one replica).
+    ZeroWeight(ServerId),
+}
+
+impl core::fmt::Display for TableError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TableError::ServerAlreadyPresent(id) => {
+                write!(f, "server {id} already joined the pool")
+            }
+            TableError::ServerNotFound(id) => write!(f, "server {id} is not in the pool"),
+            TableError::EmptyPool => f.write_str("lookup against an empty server pool"),
+            TableError::CapacityExhausted { servers, capacity } => {
+                write!(f, "pool of {servers} servers exhausted capacity {capacity}")
+            }
+            TableError::ZeroWeight(id) => {
+                write!(f, "server {id} joined with weight zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TableError::ServerAlreadyPresent(ServerId::new(1))
+            .to_string()
+            .contains("already joined"));
+        assert!(TableError::ServerNotFound(ServerId::new(2)).to_string().contains("not in"));
+        assert!(TableError::EmptyPool.to_string().contains("empty"));
+        assert!(TableError::CapacityExhausted { servers: 9, capacity: 8 }
+            .to_string()
+            .contains("capacity 8"));
+        assert!(TableError::ZeroWeight(ServerId::new(3)).to_string().contains("weight zero"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn std::error::Error> = Box::new(TableError::EmptyPool);
+        assert!(!err.to_string().is_empty());
+    }
+}

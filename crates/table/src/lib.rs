@@ -1,0 +1,32 @@
+//! # hdhash-table — the dynamic hash table abstraction
+//!
+//! The problem every algorithm in this workspace solves is *request
+//! mapping*: given a changing population of servers, map each request to a
+//! server such that (1) requests spread evenly, and (2) few requests move
+//! when a server joins or leaves. This crate defines that contract:
+//!
+//! * [`ServerId`] / [`RequestKey`] — strongly typed identifiers;
+//! * [`DynamicHashTable`] — the join/leave/lookup trait implemented by
+//!   modular hashing (here), consistent hashing (`hdhash-ring`), rendezvous
+//!   hashing (`hdhash-rendezvous`) and HD hashing (`hdhash-core`);
+//! * [`NoisyTable`] — the fault-injection extension used by the paper's
+//!   robustness experiments (Figures 5 and 6);
+//! * [`ModularTable`] — the `h(r) mod n` baseline of the paper's
+//!   introduction, which remaps nearly everything on resize;
+//! * [`remap`] — utilities measuring remapped fractions between
+//!   assignment snapshots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod modular;
+pub mod remap;
+pub mod traits;
+
+pub use error::TableError;
+pub use ids::{RequestKey, ServerId};
+pub use modular::ModularTable;
+pub use remap::{mismatch_count, remap_fraction, Assignment};
+pub use traits::{DynamicHashTable, NoisyTable};

@@ -1,0 +1,191 @@
+//! Measuring request remapping between table states.
+//!
+//! Consistent, rendezvous and HD hashing exist to *minimize* the number of
+//! requests that move when the pool resizes; modular hashing moves nearly
+//! all of them. [`Assignment`] snapshots a workload's mapping and
+//! [`remap_fraction`] compares two snapshots — the quantity behind the
+//! paper's "minimal rehashing" claims and this repo's remap ablations.
+
+use std::collections::HashMap;
+
+use crate::error::TableError;
+use crate::ids::{RequestKey, ServerId};
+use crate::traits::DynamicHashTable;
+
+/// A snapshot of `request → server` assignments for a fixed workload.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Assignment {
+    map: HashMap<RequestKey, ServerId>,
+}
+
+impl Assignment {
+    /// Captures the assignment of every key in `requests` under `table`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TableError::EmptyPool`] from lookups.
+    pub fn capture<T: DynamicHashTable + ?Sized, I: IntoIterator<Item = RequestKey>>(
+        table: &T,
+        requests: I,
+    ) -> Result<Self, TableError> {
+        let mut map = HashMap::new();
+        for r in requests {
+            map.insert(r, table.lookup(r)?);
+        }
+        Ok(Self { map })
+    }
+
+    /// Number of captured requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the snapshot is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The server a captured request mapped to.
+    #[must_use]
+    pub fn server_of(&self, request: RequestKey) -> Option<ServerId> {
+        self.map.get(&request).copied()
+    }
+
+    /// Per-server request counts (the load vector for uniformity tests).
+    #[must_use]
+    pub fn load_by_server(&self) -> HashMap<ServerId, usize> {
+        let mut loads = HashMap::new();
+        for &server in self.map.values() {
+            *loads.entry(server).or_insert(0) += 1;
+        }
+        loads
+    }
+
+    /// Iterates over `(request, server)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (RequestKey, ServerId)> + '_ {
+        self.map.iter().map(|(&r, &s)| (r, s))
+    }
+}
+
+impl FromIterator<(RequestKey, ServerId)> for Assignment {
+    fn from_iter<I: IntoIterator<Item = (RequestKey, ServerId)>>(iter: I) -> Self {
+        Self { map: iter.into_iter().collect() }
+    }
+}
+
+/// Fraction of requests (present in both snapshots) whose server changed.
+///
+/// Returns `0.0` when no keys are shared.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_table::{remap_fraction, Assignment, RequestKey, ServerId};
+///
+/// let before: Assignment =
+///     [(RequestKey::new(1), ServerId::new(1)), (RequestKey::new(2), ServerId::new(2))]
+///         .into_iter()
+///         .collect();
+/// let after: Assignment =
+///     [(RequestKey::new(1), ServerId::new(1)), (RequestKey::new(2), ServerId::new(9))]
+///         .into_iter()
+///         .collect();
+/// assert_eq!(remap_fraction(&before, &after), 0.5);
+/// ```
+#[must_use]
+pub fn remap_fraction(before: &Assignment, after: &Assignment) -> f64 {
+    let mut shared = 0usize;
+    let mut moved = 0usize;
+    for (r, s) in before.iter() {
+        if let Some(s2) = after.server_of(r) {
+            shared += 1;
+            if s != s2 {
+                moved += 1;
+            }
+        }
+    }
+    if shared == 0 {
+        0.0
+    } else {
+        moved as f64 / shared as f64
+    }
+}
+
+/// Count of requests whose assignment differs between snapshots — the
+/// "mismatch" count of the paper's Figure 5 when `after` is a noisy rerun
+/// of the same table.
+#[must_use]
+pub fn mismatch_count(reference: &Assignment, observed: &Assignment) -> usize {
+    reference
+        .iter()
+        .filter(|&(r, s)| observed.server_of(r).is_some_and(|s2| s2 != s))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::ModularTable;
+
+    fn keys(n: u64) -> Vec<RequestKey> {
+        (0..n).map(RequestKey::new).collect()
+    }
+
+    #[test]
+    fn capture_and_loads() {
+        let mut t = ModularTable::new();
+        for i in 0..4 {
+            t.join(ServerId::new(i)).expect("fresh");
+        }
+        let snap = Assignment::capture(&t, keys(100)).expect("non-empty pool");
+        assert_eq!(snap.len(), 100);
+        assert!(!snap.is_empty());
+        let loads = snap.load_by_server();
+        assert_eq!(loads.values().sum::<usize>(), 100);
+        assert!(loads.len() <= 4);
+    }
+
+    #[test]
+    fn capture_empty_pool_errors() {
+        let t = ModularTable::new();
+        assert_eq!(Assignment::capture(&t, keys(3)), Err(TableError::EmptyPool));
+    }
+
+    #[test]
+    fn identical_snapshots_zero_remap() {
+        let mut t = ModularTable::new();
+        t.join(ServerId::new(1)).expect("fresh");
+        let a = Assignment::capture(&t, keys(50)).expect("non-empty");
+        let b = Assignment::capture(&t, keys(50)).expect("non-empty");
+        assert_eq!(remap_fraction(&a, &b), 0.0);
+        assert_eq!(mismatch_count(&a, &b), 0);
+    }
+
+    #[test]
+    fn disjoint_snapshots_zero_by_convention() {
+        let a: Assignment = [(RequestKey::new(1), ServerId::new(1))].into_iter().collect();
+        let b: Assignment = [(RequestKey::new(2), ServerId::new(1))].into_iter().collect();
+        assert_eq!(remap_fraction(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn partial_moves_counted() {
+        let a: Assignment = (0..10)
+            .map(|i| (RequestKey::new(i), ServerId::new(0)))
+            .collect();
+        let b: Assignment = (0..10)
+            .map(|i| (RequestKey::new(i), ServerId::new(u64::from(i < 3))))
+            .collect();
+        assert!((remap_fraction(&a, &b) - 0.3).abs() < 1e-12);
+        assert_eq!(mismatch_count(&a, &b), 3);
+    }
+
+    #[test]
+    fn server_of_missing_is_none() {
+        let a = Assignment::default();
+        assert_eq!(a.server_of(RequestKey::new(5)), None);
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! The dynamic hash table contract.
+
+use crate::error::TableError;
+use crate::ids::{RequestKey, ServerId};
+
+/// A dynamic hash table mapping requests to a changing pool of servers.
+///
+/// This is the interface the paper's emulator exercises: servers are added
+/// and removed through special *join* and *leave* requests, and ordinary
+/// requests are resolved to a live server by `lookup`.
+///
+/// Implementations in this workspace:
+///
+/// * [`ModularTable`](crate::ModularTable) — `h(r) mod n` (baseline);
+/// * `ConsistentTable` (`hdhash-ring`) — the unit circle with binary search;
+/// * `RendezvousTable` (`hdhash-rendezvous`) — highest random weight;
+/// * `HdHashTable` (`hdhash-core`) — the paper's contribution.
+pub trait DynamicHashTable {
+    /// Adds a server to the pool.
+    ///
+    /// # Errors
+    ///
+    /// * [`TableError::ServerAlreadyPresent`] if `server` already joined;
+    /// * [`TableError::CapacityExhausted`] if the structure cannot hold
+    ///   another server.
+    fn join(&mut self, server: ServerId) -> Result<(), TableError>;
+
+    /// Removes a server from the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::ServerNotFound`] if `server` is not in the pool.
+    fn leave(&mut self, server: ServerId) -> Result<(), TableError>;
+
+    /// Maps a request to a live server.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::EmptyPool`] if no servers have joined.
+    fn lookup(&self, request: RequestKey) -> Result<ServerId, TableError>;
+
+    /// Maps a batch of requests at once.
+    ///
+    /// The paper's emulator dispatches requests to its GPU in batches of
+    /// 256; implementations with internal parallelism (HD hashing's
+    /// multi-threaded inference) override this to amortize their dispatch
+    /// overhead. The default resolves requests one by one.
+    fn lookup_batch(&self, requests: &[RequestKey]) -> Vec<Result<ServerId, TableError>> {
+        requests.iter().map(|&r| self.lookup(r)).collect()
+    }
+
+    /// Number of live servers.
+    fn server_count(&self) -> usize;
+
+    /// The live servers, in implementation-defined order.
+    fn servers(&self) -> Vec<ServerId>;
+
+    /// Whether `server` is currently in the pool.
+    fn contains(&self, server: ServerId) -> bool {
+        self.servers().contains(&server)
+    }
+
+    /// A short human-readable algorithm name (used in reports and figures).
+    fn algorithm_name(&self) -> &'static str;
+}
+
+/// Fault injection for robustness experiments (paper Section 5.3).
+///
+/// Each implementation declares a *vulnerable state surface* — the bits it
+/// keeps in memory that a soft error could corrupt — and exposes uniform
+/// bit-flip injection over that surface:
+///
+/// * consistent hashing — the stored 64-bit ring positions;
+/// * rendezvous hashing — the per-(server, request) hash words as used;
+/// * HD hashing — the stored server hypervectors;
+/// * modular hashing — the stored server slot array.
+pub trait NoisyTable: DynamicHashTable {
+    /// Flips `count` uniformly random bits of the vulnerable state,
+    /// drawing positions from `seed` deterministically. Returns the number
+    /// of bits flipped (may be less than `count` if state is empty).
+    fn inject_bit_flips(&mut self, count: usize, seed: u64) -> usize;
+
+    /// Flips a contiguous burst of `length` bits at a random offset of the
+    /// vulnerable state (the multi-cell upset model). Returns the number of
+    /// bits flipped.
+    fn inject_burst(&mut self, length: usize, seed: u64) -> usize;
+
+    /// Restores the table to its noise-free state (rebuilds stored values
+    /// from the server list), so one table instance can be reused across
+    /// noise trials.
+    fn clear_noise(&mut self);
+
+    /// Total number of bits in the vulnerable state surface.
+    fn noise_surface_bits(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::ModularTable;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let table = ModularTable::new();
+        let obj: &dyn DynamicHashTable = &table;
+        assert_eq!(obj.server_count(), 0);
+        assert_eq!(obj.algorithm_name(), "modular");
+    }
+
+    #[test]
+    fn noisy_trait_is_object_safe() {
+        let mut table = ModularTable::new();
+        table.join(ServerId::new(1)).expect("fresh server");
+        let obj: &mut dyn NoisyTable = &mut table;
+        assert!(obj.noise_surface_bits() > 0);
+    }
+
+    #[test]
+    fn contains_default_impl() {
+        let mut table = ModularTable::new();
+        table.join(ServerId::new(5)).expect("fresh server");
+        assert!(table.contains(ServerId::new(5)));
+        assert!(!table.contains(ServerId::new(6)));
+    }
+}

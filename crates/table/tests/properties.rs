@@ -1,0 +1,103 @@
+//! Property-based tests for the table abstraction and remap metrics.
+
+use hdhash_table::{
+    mismatch_count, remap_fraction, Assignment, DynamicHashTable, ModularTable, NoisyTable,
+    RequestKey, ServerId,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// remap_fraction is a pseudo-metric on assignments: reflexive zero,
+    /// symmetric, bounded to [0, 1].
+    #[test]
+    fn remap_fraction_properties(
+        pairs in proptest::collection::vec((any::<u64>(), 0u64..8), 1..64),
+        flip_mask in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let a: Assignment = pairs
+            .iter()
+            .map(|&(r, s)| (RequestKey::new(r), ServerId::new(s)))
+            .collect();
+        let b: Assignment = pairs
+            .iter()
+            .zip(flip_mask.iter().cycle())
+            .map(|(&(r, s), &flip)| {
+                (RequestKey::new(r), ServerId::new(if flip { s + 100 } else { s }))
+            })
+            .collect();
+        prop_assert_eq!(remap_fraction(&a, &a), 0.0);
+        let ab = remap_fraction(&a, &b);
+        let ba = remap_fraction(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12, "symmetry violated");
+        prop_assert!((0.0..=1.0).contains(&ab));
+        // Mismatch count consistency.
+        prop_assert_eq!(mismatch_count(&a, &b), (ab * a.len() as f64).round() as usize);
+    }
+
+    /// Load accounting: per-server loads always sum to the workload size.
+    #[test]
+    fn load_by_server_conserves_mass(
+        ids in proptest::collection::hash_set(0u64..64, 1..16),
+        lookups in 1u64..500,
+    ) {
+        let mut table = ModularTable::new();
+        for &id in &ids {
+            table.join(ServerId::new(id)).expect("distinct");
+        }
+        let keys = (0..lookups).map(RequestKey::new);
+        let snapshot = Assignment::capture(&table, keys).expect("non-empty");
+        let loads = snapshot.load_by_server();
+        prop_assert_eq!(loads.values().sum::<usize>(), lookups as usize);
+        for server in loads.keys() {
+            prop_assert!(table.contains(*server));
+        }
+    }
+
+    /// Modular hashing's noise surface: injections report exact counts
+    /// and clear_noise always restores, for arbitrary patterns.
+    #[test]
+    fn modular_noise_roundtrip(
+        servers in 1u64..32,
+        flips in 0usize..100,
+        seed in any::<u64>(),
+    ) {
+        let mut table = ModularTable::new();
+        for i in 0..servers {
+            table.join(ServerId::new(i)).expect("fresh");
+        }
+        let keys: Vec<RequestKey> = (0..100).map(RequestKey::new).collect();
+        let before = Assignment::capture(&table, keys.iter().copied()).expect("non-empty");
+        let injected = table.inject_bit_flips(flips, seed);
+        prop_assert_eq!(injected, flips);
+        table.clear_noise();
+        let after = Assignment::capture(&table, keys.iter().copied()).expect("non-empty");
+        prop_assert_eq!(remap_fraction(&before, &after), 0.0);
+    }
+
+    /// Joining servers in any order yields the same modular assignment
+    /// only when the slot order matches — order matters, and the table
+    /// must be *deterministic* given the order.
+    #[test]
+    fn modular_determinism(order in proptest::collection::vec(0u64..16, 1..16)) {
+        let distinct: Vec<u64> = {
+            let mut seen = std::collections::HashSet::new();
+            order.into_iter().filter(|&x| seen.insert(x)).collect()
+        };
+        prop_assume!(!distinct.is_empty());
+        let build = || {
+            let mut t = ModularTable::new();
+            for &id in &distinct {
+                t.join(ServerId::new(id)).expect("distinct");
+            }
+            t
+        };
+        let a = build();
+        let b = build();
+        for k in 0..50u64 {
+            prop_assert_eq!(
+                a.lookup(RequestKey::new(k)).expect("non-empty"),
+                b.lookup(RequestKey::new(k)).expect("non-empty")
+            );
+        }
+    }
+}

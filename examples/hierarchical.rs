@@ -1,0 +1,87 @@
+//! Hierarchical HD hashing: the paper's scaling note (§5.1).
+//!
+//! "Like the other methods HD hashing can scale to much larger clusters,
+//! and even be used hierarchically (standard way to scale such hashing
+//! systems) to handle extremely high numbers of servers."
+//!
+//! This example builds a 4 096-server cluster two ways — one flat HD
+//! table, and a 16-group two-level hierarchy — and compares lookup cost
+//! (associative-memory scan work) and routing agreement properties.
+//!
+//! Run with `cargo run --release --example hierarchical`.
+
+use std::time::Instant;
+
+use hdhash::core::{HdConfig, HierarchicalHdTable};
+use hdhash::prelude::*;
+
+const SERVERS: u64 = 4096;
+const LOOKUPS: u64 = 2_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# Hierarchical vs flat HD hashing at {SERVERS} servers\n");
+
+    // Flat: one codebook over all servers.
+    let mut flat = HdHashTable::builder()
+        .dimension(10_000)
+        .codebook_size((2 * SERVERS as usize).next_power_of_two())
+        .build()?;
+    // Hierarchy: 16 groups of ~256; each level needs a much smaller
+    // codebook, and lookups scan two small memories instead of one huge one.
+    let config = HdConfig::builder()
+        .dimension(10_000)
+        .codebook_size(1024)
+        .build_config()?;
+    let mut hierarchical = HierarchicalHdTable::new(config, 16);
+
+    for id in 0..SERVERS {
+        flat.join(ServerId::new(id))?;
+        hierarchical.join(ServerId::new(id))?;
+    }
+    println!("flat:          {} servers in one table", flat.server_count());
+    println!(
+        "hierarchical:  {} servers over {} groups\n",
+        hierarchical.server_count(),
+        hierarchical.group_count()
+    );
+
+    // Lookup cost: wall time over the same key stream.
+    let keys: Vec<RequestKey> = (0..LOOKUPS).map(RequestKey::new).collect();
+    let start = Instant::now();
+    for &k in &keys {
+        let _ = flat.lookup(k)?;
+    }
+    let flat_time = start.elapsed();
+    let start = Instant::now();
+    for &k in &keys {
+        let _ = hierarchical.lookup(k)?;
+    }
+    let hier_time = start.elapsed();
+    println!(
+        "lookup wall time over {LOOKUPS} requests: flat {:.1?} vs hierarchical {:.1?} ({:.1}x)",
+        flat_time,
+        hier_time,
+        flat_time.as_secs_f64() / hier_time.as_secs_f64().max(1e-9)
+    );
+
+    // Both structures must keep every lookup inside the live pool and
+    // distribute broadly.
+    let loads = Assignment::capture(&hierarchical, keys.iter().copied())?.load_by_server();
+    println!(
+        "hierarchical routing spread: {} distinct servers answered {LOOKUPS} requests",
+        loads.len()
+    );
+
+    // Group-local containment: a request is always answered by its routed
+    // group (deterministic rack/zone affinity — the operational win).
+    let sample = RequestKey::new(77);
+    let owner = hierarchical.lookup(sample)?;
+    println!(
+        "request {sample} routes to group {} and is answered by {} (group {})",
+        hierarchical.group_of_request(sample)?,
+        owner,
+        hierarchical.group_of_server(owner)
+    );
+
+    Ok(())
+}

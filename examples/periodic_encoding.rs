@@ -1,0 +1,62 @@
+//! Future work (paper §6): circular-hypervectors for periodic data.
+//!
+//! "Circular-hypervectors provide a way to represent periodic information
+//! that has not been available in the HDC literature thus far. Consider,
+//! for example, the seasons of the year […] hours of a day or days of a
+//! week, as well as other angular data such as directions."
+//!
+//! This example encodes the 24 hours of a day as circular-hypervectors and
+//! shows (1) the wrap-around similarity structure (23:00 is close to
+//! 00:00), and (2) a tiny HDC classifier: bundling "business-hours"
+//! observations into a prototype and classifying unseen hours by
+//! similarity — the kind of machine-learning use the paper anticipates.
+//!
+//! Run with `cargo run --release --example periodic_encoding`.
+
+use hdhash::hdc::basis::CircularBasis;
+use hdhash::hdc::ops::bundle;
+use hdhash::hdc::similarity::cosine;
+use hdhash::hdc::{Hypervector, Rng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Rng::new(24);
+    let d = 10_008;
+    let hours = CircularBasis::generate(24, d, &mut rng)?;
+
+    println!("# Circular-hypervector encoding of the 24 hours of a day (d = {d})\n");
+
+    // 1. Wrap-around similarity: midnight's nearest neighbours.
+    println!("similarity of 00:00 to selected hours:");
+    for h in [1usize, 6, 12, 18, 23] {
+        println!("  00:00 vs {h:02}:00 -> {:+.2}", cosine(&hours[0], &hours[h]));
+    }
+    let wrap = cosine(&hours[0], &hours[23]);
+    let step = cosine(&hours[0], &hours[1]);
+    assert!((wrap - step).abs() < 0.05, "circular encoding must wrap");
+    println!("  (23:00 is as close to midnight as 01:00 — no discontinuity)\n");
+
+    // 2. A prototype classifier: bundle observations from business hours.
+    let business: Vec<&Hypervector> = (9..17).map(|h| &hours[h]).collect();
+    let prototype = bundle(&business, &mut rng)?;
+
+    println!("business-hours prototype (bundle of 09:00..16:00), similarity by hour:");
+    let mut classified_busy = Vec::new();
+    for h in 0..24 {
+        let sim = cosine(&prototype, &hours[h]);
+        let busy = sim > 0.35;
+        if busy {
+            classified_busy.push(h);
+        }
+        println!(
+            "  {h:02}:00 {}{}",
+            "#".repeat(((sim.max(0.0)) * 40.0) as usize),
+            if busy { "  <- business hours" } else { "" }
+        );
+    }
+    // The classifier must recover the trained window (allow ±1 hour bleed).
+    assert!(classified_busy.contains(&12));
+    assert!(!classified_busy.contains(&3));
+    println!("\nclassified as business hours: {classified_busy:?}");
+
+    Ok(())
+}

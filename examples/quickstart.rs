@@ -1,0 +1,50 @@
+//! Quickstart: build an HD hash table, route requests, scale the pool.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use hdhash::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An HD hash table with the paper's defaults: ~10k-bit hypervectors,
+    // a 512-slot circular codebook (room for 511 servers).
+    let mut table = HdHashTable::new();
+
+    // Eight servers announce themselves (join requests).
+    for id in 0..8 {
+        table.join(ServerId::new(id))?;
+    }
+    println!("pool: {} servers", table.server_count());
+
+    // Route a handful of requests.
+    let requests: Vec<RequestKey> = (0..10).map(|k| RequestKey::new(k * 1_000_003)).collect();
+    for &r in &requests {
+        println!("  {r} -> {}", table.lookup(r)?);
+    }
+
+    // Capture the full assignment of a workload, then scale up.
+    let workload: Vec<RequestKey> = (0..10_000).map(RequestKey::new).collect();
+    let before = Assignment::capture(&table, workload.iter().copied())?;
+    table.join(ServerId::new(100))?;
+    let after = Assignment::capture(&table, workload.iter().copied())?;
+    println!(
+        "adding one server remapped {:.2}% of requests (modular hashing would remap ~89%)",
+        100.0 * remap_fraction(&before, &after)
+    );
+
+    // The robustness headline: corrupt stored memory, nothing moves.
+    let reference = table.lookup(requests[0])?;
+    let flipped = table.inject_bit_flips(10, 42);
+    assert_eq!(table.lookup(requests[0])?, reference);
+    println!("{flipped} bit errors injected into stored hypervectors: assignments unchanged");
+
+    // Scale down: only the departing server's requests move.
+    let before = Assignment::capture(&table, workload.iter().copied())?;
+    table.leave(ServerId::new(3))?;
+    let after = Assignment::capture(&table, workload.iter().copied())?;
+    println!(
+        "removing one server remapped {:.2}% of requests",
+        100.0 * remap_fraction(&before, &after)
+    );
+
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Weighted cluster: heterogeneous server capacities with HD hashing.
+//!
+//! A realistic pool mixes instance sizes — say small, medium and large
+//! machines that should carry traffic 1 : 2 : 4. This example builds a
+//! weighted HD hash table where each server holds as many codebook
+//! replicas as its capacity class, verifies the observed load tracks the
+//! weights, and shows the robustness guarantee carries over unchanged.
+//!
+//! Run with `cargo run --release --example weighted_cluster`.
+
+use std::collections::BTreeMap;
+
+use hdhash::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut table = WeightedHdTable::with_config(
+        WeightedHdTable::builder().dimension(10_000).codebook_size(512).build_config()?,
+    );
+
+    // Four small (w=1), four medium (w=2) and four large (w=4) servers.
+    let mut class_of = BTreeMap::new();
+    for id in 0..12u64 {
+        let weight = match id / 4 {
+            0 => 1,
+            1 => 2,
+            _ => 4,
+        };
+        table.join_weighted(ServerId::new(id), weight)?;
+        class_of.insert(ServerId::new(id), weight);
+    }
+    println!(
+        "pool: {} servers holding {} replicas on a {}-slot circle",
+        table.server_count(),
+        table.replica_count(),
+        table.config().codebook_size()
+    );
+
+    // Route a large workload and aggregate load per capacity class.
+    let workload: Vec<RequestKey> = (0..60_000).map(RequestKey::new).collect();
+    let assignment = Assignment::capture(&table, workload.iter().copied())?;
+    let loads = assignment.load_by_server();
+    let mut per_class: BTreeMap<u32, usize> = BTreeMap::new();
+    for (server, &load) in &loads {
+        *per_class.entry(class_of[server]).or_default() += load;
+    }
+    let total: usize = per_class.values().sum();
+    println!("\nload by capacity class (weights 1:2:4, 4 servers each):");
+    for (weight, load) in &per_class {
+        println!(
+            "  weight {}: {:>6} requests ({:>5.1}% of traffic, fair share {:.1}%)",
+            weight,
+            load,
+            100.0 * *load as f64 / total as f64,
+            100.0 * (4 * weight) as f64 / 28.0,
+        );
+    }
+    // Heavier classes must carry more traffic.
+    assert!(per_class[&4] > per_class[&2]);
+    assert!(per_class[&2] > per_class[&1]);
+
+    // The robustness guarantee is replica-count independent.
+    let flipped = table.inject_bit_flips(10, 99);
+    let noisy = Assignment::capture(&table, workload.iter().copied())?;
+    println!(
+        "\n{} bit errors across {} replica hypervectors: {:.3}% of requests moved",
+        flipped,
+        table.replica_count(),
+        100.0 * remap_fraction(&assignment, &noisy)
+    );
+    assert_eq!(remap_fraction(&assignment, &noisy), 0.0);
+
+    // Scaling down a large server moves only its own traffic.
+    table.clear_noise();
+    let victim = ServerId::new(11);
+    table.leave(victim)?;
+    let after = Assignment::capture(&table, workload.iter().copied())?;
+    let moved = workload
+        .iter()
+        .filter(|&&r| assignment.server_of(r) != after.server_of(r))
+        .count();
+    let victim_load = loads.get(&victim).copied().unwrap_or(0);
+    println!(
+        "removing a weight-4 server moved {moved} requests (it carried {victim_load}); \
+         nobody else's traffic moved"
+    );
+    for &r in &workload {
+        if assignment.server_of(r) != Some(victim) {
+            assert_eq!(assignment.server_of(r), after.server_of(r));
+        }
+    }
+
+    Ok(())
+}

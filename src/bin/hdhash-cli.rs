@@ -1,0 +1,387 @@
+//! `hdhash-cli` — an interactive / scriptable dynamic hash table shell.
+//!
+//! Drives any algorithm in the workspace through a tiny command language,
+//! for demos and ad-hoc experiments:
+//!
+//! ```text
+//! $ cargo run --release --bin hdhash-cli
+//! > new hd 64            # also: modular|consistent|rendezvous|maglev|hd-parallel
+//! > join 1 2 3 4
+//! > lookup 42 99
+//! > spread 10000         # route 10k keys, print load distribution + chi^2
+//! > snapshot 10000       # remember the current assignment
+//! > noise 10             # inject 10 bit errors
+//! > diff 10000           # mismatch % against the snapshot
+//! > clear                # clear injected noise
+//! > leave 3
+//! > stats
+//! > quit
+//! ```
+//!
+//! Commands are also accepted on stdin non-interactively:
+//! `echo "new hd 8\njoin 1 2\nlookup 5" | hdhash-cli`.
+
+use std::io::{BufRead, Write};
+
+use hdhash::prelude::*;
+
+/// The shell's mutable state.
+struct Shell {
+    table: Option<Box<dyn NoisyTable + Send>>,
+    snapshot: Option<Assignment>,
+    noise_seed: u64,
+}
+
+impl Shell {
+    fn new() -> Self {
+        Self { table: None, snapshot: None, noise_seed: 1 }
+    }
+
+    fn table_mut(&mut self) -> Result<&mut (dyn NoisyTable + Send), String> {
+        match self.table.as_deref_mut() {
+            Some(t) => Ok(t),
+            None => Err("no table; run `new <algorithm> [capacity]` first".into()),
+        }
+    }
+
+    fn table(&self) -> Result<&(dyn NoisyTable + Send), String> {
+        match self.table.as_deref() {
+            Some(t) => Ok(t),
+            None => Err("no table; run `new <algorithm> [capacity]` first".into()),
+        }
+    }
+
+    /// Executes one command line; returns the text to print or an error.
+    fn execute(&mut self, line: &str) -> Result<String, String> {
+        let mut parts = line.split_whitespace();
+        let Some(command) = parts.next() else {
+            return Ok(String::new());
+        };
+        let args: Vec<&str> = parts.collect();
+        match command {
+            "help" => Ok(HELP.trim().to_string()),
+            "new" => self.cmd_new(&args),
+            "join" => self.cmd_membership(&args, true),
+            "leave" => self.cmd_membership(&args, false),
+            "lookup" => self.cmd_lookup(&args),
+            "spread" => self.cmd_spread(&args),
+            "snapshot" => self.cmd_snapshot(&args),
+            "diff" => self.cmd_diff(&args),
+            "noise" => self.cmd_noise(&args, false),
+            "burst" => self.cmd_noise(&args, true),
+            "clear" => {
+                self.table_mut()?.clear_noise();
+                Ok("noise cleared".into())
+            }
+            "stats" => self.cmd_stats(),
+            "accel" => self.cmd_accel(&args),
+            other => Err(format!("unknown command `{other}`; try `help`")),
+        }
+    }
+
+    fn cmd_new(&mut self, args: &[&str]) -> Result<String, String> {
+        let name = args.first().ok_or("usage: new <algorithm> [capacity]")?;
+        let capacity: usize = match args.get(1) {
+            Some(c) => c.parse().map_err(|_| format!("bad capacity `{c}`"))?,
+            None => 64,
+        };
+        let kind = AlgorithmKind::ALL
+            .into_iter()
+            .find(|k| k.name() == *name)
+            .ok_or_else(|| {
+                let names: Vec<&str> = AlgorithmKind::ALL.iter().map(|k| k.name()).collect();
+                format!("unknown algorithm `{name}`; one of {names:?}")
+            })?;
+        self.table = Some(kind.build(capacity));
+        self.snapshot = None;
+        Ok(format!("created `{name}` table with capacity {capacity}"))
+    }
+
+    fn cmd_membership(&mut self, args: &[&str], join: bool) -> Result<String, String> {
+        if args.is_empty() {
+            return Err(format!("usage: {} <id>...", if join { "join" } else { "leave" }));
+        }
+        let mut applied = 0;
+        for arg in args {
+            let id: u64 = arg.parse().map_err(|_| format!("bad server id `{arg}`"))?;
+            let result = if join {
+                self.table_mut()?.join(ServerId::new(id))
+            } else {
+                self.table_mut()?.leave(ServerId::new(id))
+            };
+            result.map_err(|e| e.to_string())?;
+            applied += 1;
+        }
+        Ok(format!(
+            "{} {applied} server(s); pool size {}",
+            if join { "joined" } else { "removed" },
+            self.table()?.server_count()
+        ))
+    }
+
+    fn cmd_lookup(&mut self, args: &[&str]) -> Result<String, String> {
+        if args.is_empty() {
+            return Err("usage: lookup <key>...".into());
+        }
+        let mut out = String::new();
+        for arg in args {
+            let key: u64 = arg.parse().map_err(|_| format!("bad key `{arg}`"))?;
+            let server =
+                self.table()?.lookup(RequestKey::new(key)).map_err(|e| e.to_string())?;
+            out.push_str(&format!("r{key} -> {server}\n"));
+        }
+        out.pop();
+        Ok(out)
+    }
+
+    fn workload(n: usize) -> Vec<RequestKey> {
+        (0..n as u64).map(|k| RequestKey::new(hdhash::hashfn::mix64(k))).collect()
+    }
+
+    fn cmd_spread(&mut self, args: &[&str]) -> Result<String, String> {
+        let n: usize = args.first().unwrap_or(&"10000").parse().map_err(|_| "bad count")?;
+        let keys = Self::workload(n);
+        let assignment =
+            Assignment::capture(self.table()?, keys).map_err(|e| e.to_string())?;
+        let loads = assignment.load_by_server();
+        let servers = self.table()?.server_count();
+        let counts: Vec<usize> = self
+            .table()?
+            .servers()
+            .iter()
+            .map(|s| loads.get(s).copied().unwrap_or(0))
+            .collect();
+        let chi2 = hdhash::emulator::stats::chi_squared_uniform(&counts.iter().map(|&c| c.max(0)).collect::<Vec<_>>());
+        let max = counts.iter().max().copied().unwrap_or(0);
+        let min = counts.iter().min().copied().unwrap_or(0);
+        Ok(format!(
+            "{n} keys over {servers} servers: min {min} / mean {:.0} / max {max}, chi^2 = {chi2:.1}",
+            n as f64 / servers as f64
+        ))
+    }
+
+    fn cmd_snapshot(&mut self, args: &[&str]) -> Result<String, String> {
+        let n: usize = args.first().unwrap_or(&"10000").parse().map_err(|_| "bad count")?;
+        let keys = Self::workload(n);
+        self.snapshot =
+            Some(Assignment::capture(self.table()?, keys).map_err(|e| e.to_string())?);
+        Ok(format!("snapshot of {n} assignments taken"))
+    }
+
+    fn cmd_diff(&mut self, args: &[&str]) -> Result<String, String> {
+        let n: usize = args.first().unwrap_or(&"10000").parse().map_err(|_| "bad count")?;
+        let reference = self.snapshot.as_ref().ok_or("no snapshot; run `snapshot` first")?;
+        let keys = Self::workload(n);
+        let current = Assignment::capture(self.table()?, keys).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "{:.3}% of assignments differ from the snapshot",
+            100.0 * remap_fraction(reference, &current)
+        ))
+    }
+
+    fn cmd_noise(&mut self, args: &[&str], burst: bool) -> Result<String, String> {
+        let amount: usize = args.first().unwrap_or(&"10").parse().map_err(|_| "bad amount")?;
+        let seed = match args.get(1) {
+            Some(s) => s.parse().map_err(|_| "bad seed")?,
+            None => {
+                self.noise_seed += 1;
+                self.noise_seed
+            }
+        };
+        let flipped = if burst {
+            self.table_mut()?.inject_burst(amount, seed)
+        } else {
+            self.table_mut()?.inject_bit_flips(amount, seed)
+        };
+        Ok(format!(
+            "injected {flipped} bit error(s) ({}) with seed {seed}",
+            if burst { "one burst" } else { "independent" }
+        ))
+    }
+
+    fn cmd_stats(&mut self) -> Result<String, String> {
+        let table = self.table()?;
+        Ok(format!(
+            "algorithm: {}\nservers:   {}\nsurface:   {} bits of vulnerable state",
+            table.algorithm_name(),
+            table.server_count(),
+            table.noise_surface_bits()
+        ))
+    }
+
+    fn cmd_accel(&mut self, args: &[&str]) -> Result<String, String> {
+        // Pool size from the live table if present, else the argument,
+        // else the paper's 512.
+        let servers = match args.first() {
+            Some(s) => s.parse().map_err(|_| format!("bad server count `{s}`"))?,
+            None => match self.table.as_deref() {
+                Some(t) if t.server_count() > 0 => t.server_count(),
+                _ => 512,
+            },
+        };
+        let dimension: usize = match args.get(1) {
+            Some(d) => d.parse().map_err(|_| format!("bad dimension `{d}`"))?,
+            None => 10_000,
+        };
+        let mut out = format!(
+            "single-cycle HDC inference for {servers} servers, d = {dimension}:\n"
+        );
+        for tech in TechnologyParams::presets() {
+            let schedule =
+                LookupSchedule::plan(ExecutionModel::Combinational, servers, dimension, &tech);
+            out.push_str(&format!(
+                "  {:>10}: {:>8.1} ns/lookup ({:>7.1} MHz single-cycle clock)\n",
+                tech.name,
+                schedule.time_per_lookup_ps() / 1000.0,
+                1.0e6 / schedule.cycle_time_ps,
+            ));
+        }
+        out.pop();
+        Ok(out)
+    }
+}
+
+const HELP: &str = r"
+commands:
+  new <algorithm> [capacity]   create a table (modular|consistent|rendezvous|hd|hd-parallel|maglev)
+  join <id>...                 add servers
+  leave <id>...                remove servers
+  lookup <key>...              route request keys
+  spread [n]                   route n keys (default 10000), print balance + chi^2
+  snapshot [n]                 remember the current assignment of n keys
+  diff [n]                     mismatch %% of current assignment vs snapshot
+  noise <bits> [seed]          inject independent bit errors into stored state
+  burst <bits> [seed]          inject one adjacent-bit burst (MCU)
+  clear                        repair all injected noise
+  stats                        table summary
+  accel [servers] [d]          projected single-cycle lookup time on HDC hardware
+  quit                         exit
+";
+
+fn main() {
+    let stdin = std::io::stdin();
+    let interactive = atty_stdin();
+    let mut shell = Shell::new();
+    if interactive {
+        println!("hdhash-cli — type `help` for commands");
+    }
+    loop {
+        if interactive {
+            print!("> ");
+            let _ = std::io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match shell.execute(line) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(err) => println!("error: {err}"),
+        }
+    }
+}
+
+/// Rough interactivity probe without extra dependencies: non-interactive
+/// runs set `HDHASH_CLI_BATCH=1` or pipe stdin (detected by the first
+/// failed prompt being harmless either way).
+fn atty_stdin() -> bool {
+    std::env::var_os("HDHASH_CLI_BATCH").is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(script: &[&str]) -> Vec<Result<String, String>> {
+        let mut shell = Shell::new();
+        script.iter().map(|line| shell.execute(line)).collect()
+    }
+
+    #[test]
+    fn happy_path_session() {
+        let results = run(&[
+            "new hd 16",
+            "join 1 2 3 4",
+            "lookup 42",
+            "spread 1000",
+            "snapshot 1000",
+            "noise 10",
+            "diff 1000",
+            "clear",
+            "stats",
+        ]);
+        for (i, r) in results.iter().enumerate() {
+            assert!(r.is_ok(), "step {i}: {r:?}");
+        }
+        assert!(results[6].as_ref().expect("diff ok").starts_with("0.000%"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let results = run(&[
+            "lookup 1",          // no table yet
+            "new bogus",         // unknown algorithm
+            "new consistent 8",
+            "join x",            // bad id
+            "leave 77",          // not joined
+            "lookup 1",          // empty pool
+            "diff",              // no snapshot
+            "frobnicate",        // unknown command
+        ]);
+        assert!(results[0].is_err());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+        assert!(results[3].is_err());
+        assert!(results[4].is_err());
+        assert!(results[5].is_err());
+        assert!(results[6].is_err());
+        assert!(results[7].is_err());
+    }
+
+    #[test]
+    fn noise_then_diff_shows_consistent_corruption() {
+        let mut shell = Shell::new();
+        shell.execute("new consistent 64").expect("ok");
+        shell
+            .execute(&format!("join {}", (0..64).map(|i| i.to_string()).collect::<Vec<_>>().join(" ")))
+            .expect("ok");
+        shell.execute("snapshot 4000").expect("ok");
+        shell.execute("noise 20 7").expect("ok");
+        let diff = shell.execute("diff 4000").expect("ok");
+        let pct: f64 = diff.split('%').next().expect("pct").parse().expect("number");
+        assert!(pct > 0.0, "consistent hashing should corrupt: {diff}");
+        shell.execute("clear").expect("ok");
+        let healed = shell.execute("diff 4000").expect("ok");
+        assert!(healed.starts_with("0.000%"), "{healed}");
+    }
+
+    #[test]
+    fn help_and_empty_lines() {
+        let mut shell = Shell::new();
+        assert!(shell.execute("help").expect("ok").contains("commands"));
+        assert_eq!(shell.execute("   ").expect("ok"), "");
+    }
+
+    #[test]
+    fn accel_reports_all_corners() {
+        let mut shell = Shell::new();
+        // Works without a table (defaults to the paper's 512 servers)...
+        let out = shell.execute("accel").expect("ok");
+        assert!(out.contains("512 servers"));
+        assert!(out.contains("fpga-28nm") && out.contains("asic-7nm"));
+        // ...picks up the live pool size...
+        shell.execute("new hd 16").expect("ok");
+        shell.execute("join 1 2 3").expect("ok");
+        assert!(shell.execute("accel").expect("ok").contains("3 servers"));
+        // ...and accepts explicit shape arguments.
+        assert!(shell.execute("accel 64 4096").expect("ok").contains("64 servers, d = 4096"));
+        assert!(shell.execute("accel x").is_err());
+    }
+}

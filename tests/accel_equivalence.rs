@@ -1,0 +1,136 @@
+//! Integration: the gate-level accelerator model agrees with the software
+//! HD hash table, end to end.
+//!
+//! The accelerator crate's unit tests pin each component against its
+//! software counterpart; these tests close the loop at the system level —
+//! a `CombinationalAm` loaded with a live table's stored hypervectors
+//! must route every request to the same server the table does, clean and
+//! under churn, and the schedule model must reproduce the complexity
+//! separation the paper's Figure 4 argues from.
+
+use hdhash::accel::datapath::CombinationalAm;
+use hdhash::accel::{ca90, ExecutionModel, LookupSchedule, Rematerializer, TechnologyParams};
+use hdhash::prelude::*;
+
+/// Builds the combinational AM mirroring a table's stored server state.
+fn mirror(table: &HdHashTable) -> (Vec<ServerId>, CombinationalAm) {
+    let servers = table.servers();
+    let stored = servers
+        .iter()
+        .map(|&s| {
+            let slot = table.slot_of_server(s).expect("listed server is joined");
+            table.codebook().hypervector(slot).clone()
+        })
+        .collect();
+    let am = CombinationalAm::new(table.config().dimension(), stored)
+        .expect("codebook dimensions are uniform");
+    (servers, am)
+}
+
+fn hardware_lookup(
+    table: &HdHashTable,
+    servers: &[ServerId],
+    am: &CombinationalAm,
+    request: RequestKey,
+) -> ServerId {
+    let probe = table.codebook().hypervector(table.slot_of_request(request));
+    servers[am.infer(probe).expect("memory is non-empty").index]
+}
+
+#[test]
+fn hardware_and_software_agree_on_every_request() {
+    let mut table =
+        HdHashTable::builder().dimension(4096).codebook_size(256).seed(31).build().expect("valid");
+    for id in 0..48 {
+        table.join(ServerId::new(id)).expect("fresh server");
+    }
+    let (servers, am) = mirror(&table);
+    for k in 0..2000u64 {
+        let request = RequestKey::new(k);
+        assert_eq!(
+            hardware_lookup(&table, &servers, &am, request),
+            table.lookup(request).expect("non-empty pool"),
+            "divergence at request {k}"
+        );
+    }
+}
+
+#[test]
+fn agreement_survives_churn() {
+    let mut table =
+        HdHashTable::builder().dimension(4096).codebook_size(256).seed(32).build().expect("valid");
+    for id in 0..32 {
+        table.join(ServerId::new(id)).expect("fresh server");
+    }
+    // Churn: remove a third of the pool, add replacements, re-mirror.
+    for id in (0..32).step_by(3) {
+        table.leave(ServerId::new(id)).expect("present");
+    }
+    for id in 100..110 {
+        table.join(ServerId::new(id)).expect("fresh server");
+    }
+    let (servers, am) = mirror(&table);
+    assert_eq!(am.len(), table.server_count());
+    for k in 5000..6000u64 {
+        let request = RequestKey::new(k);
+        assert_eq!(
+            hardware_lookup(&table, &servers, &am, request),
+            table.lookup(request).expect("non-empty pool"),
+        );
+    }
+}
+
+#[test]
+fn rematerializer_reproduces_any_access_order() {
+    // The hardware regenerates codebook states on demand; order of access
+    // must not matter.
+    let seed = Hypervector::random(2048, &mut Rng::new(33));
+    let remat = Rematerializer::new(seed);
+    let forward: Vec<Hypervector> = (0..16).map(|i| remat.materialize(i)).collect();
+    let backward: Vec<Hypervector> = (0..16).rev().map(|i| remat.materialize(i)).collect();
+    for (i, hv) in forward.iter().enumerate() {
+        assert_eq!(&backward[15 - i], hv, "order-dependent state at index {i}");
+    }
+    // And the streaming prefix equals random access.
+    assert_eq!(remat.materialize_prefix(16), forward);
+    // Evolving the last state once more continues the sequence.
+    assert_eq!(ca90::ca90_step(&forward[15]), remat.materialize(16));
+}
+
+#[test]
+fn schedule_model_reproduces_figure4_separation() {
+    // The complexity separation of Figure 4, restated on the model: the
+    // software regime (word-serial) scales linearly with the pool, the
+    // hardware regime (combinational) stays flat.
+    let tech = TechnologyParams::fpga_28nm();
+    let ratio = |model: ExecutionModel| {
+        let small = LookupSchedule::plan(model, 2, 10_000, &tech).time_per_lookup_ps();
+        let large = LookupSchedule::plan(model, 2048, 10_000, &tech).time_per_lookup_ps();
+        large / small
+    };
+    let software = ratio(ExecutionModel::WordSerial { lanes: 1 });
+    let hardware = ratio(ExecutionModel::Combinational);
+    assert!(software > 500.0, "software must scale ~linearly: {software:.0}x");
+    assert!(hardware < 2.0, "hardware must stay flat: {hardware:.2}x");
+}
+
+#[test]
+fn noise_does_not_break_hardware_agreement_within_quantum() {
+    // Both sides tolerate sub-quantum corruption: corrupt the table, and
+    // the (clean) hardware mirror still agrees with every software lookup
+    // because assignments did not move.
+    let mut table =
+        HdHashTable::builder().dimension(4096).codebook_size(128).seed(34).build().expect("valid");
+    for id in 0..24 {
+        table.join(ServerId::new(id)).expect("fresh server");
+    }
+    let (servers, am) = mirror(&table);
+    table.inject_bit_flips(10, 77);
+    for k in 0..800u64 {
+        let request = RequestKey::new(k);
+        assert_eq!(
+            hardware_lookup(&table, &servers, &am, request),
+            table.lookup(request).expect("non-empty pool"),
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based integration tests: invariants every dynamic hash table
+//! in the workspace must uphold, exercised across random pool
+//! configurations.
+
+use hdhash::prelude::*;
+use proptest::prelude::*;
+
+fn build_filled(kind: AlgorithmKind, server_ids: &[u64]) -> Box<dyn NoisyTable + Send> {
+    let mut table = kind.build(server_ids.len().max(1) + 8);
+    for &id in server_ids {
+        table.join(ServerId::new(id)).expect("distinct ids");
+    }
+    table
+}
+
+fn server_ids() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::hash_set(0u64..10_000, 1..24)
+        .prop_map(|set| set.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Lookups always land on a live server.
+    #[test]
+    fn lookup_lands_in_pool(ids in server_ids(), keys in proptest::collection::vec(any::<u64>(), 1..50)) {
+        for kind in AlgorithmKind::ALL {
+            let table = build_filled(kind, &ids);
+            for &k in &keys {
+                let owner = table.lookup(RequestKey::new(k)).expect("non-empty pool");
+                prop_assert!(table.contains(owner), "{kind}: {owner} not in pool");
+            }
+        }
+    }
+
+    /// Join disruption: no request moves between two *old* servers.
+    #[test]
+    fn join_moves_only_to_newcomer(ids in server_ids(), newcomer in 20_000u64..30_000) {
+        let keys: Vec<RequestKey> = (0..300).map(RequestKey::new).collect();
+        for kind in [AlgorithmKind::Consistent, AlgorithmKind::Rendezvous, AlgorithmKind::Hd] {
+            let mut table = build_filled(kind, &ids);
+            let before = Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+            table.join(ServerId::new(newcomer)).expect("fresh id range");
+            let after = Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+            for (r, s_before) in before.iter() {
+                let s_after = after.server_of(r).expect("captured");
+                prop_assert!(
+                    s_after == s_before || s_after == ServerId::new(newcomer),
+                    "{kind}: {r} moved {s_before} -> {s_after}"
+                );
+            }
+        }
+    }
+
+    /// Leave disruption: only the departed server's requests move.
+    #[test]
+    fn leave_moves_only_victims(ids in server_ids()) {
+        prop_assume!(ids.len() >= 2);
+        let victim = ids[0];
+        let keys: Vec<RequestKey> = (0..300).map(RequestKey::new).collect();
+        for kind in [AlgorithmKind::Consistent, AlgorithmKind::Rendezvous, AlgorithmKind::Hd] {
+            let mut table = build_filled(kind, &ids);
+            let before = Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+            table.leave(ServerId::new(victim)).expect("present");
+            let after = Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+            for (r, s_before) in before.iter() {
+                if s_before != ServerId::new(victim) {
+                    prop_assert_eq!(
+                        after.server_of(r),
+                        Some(s_before),
+                        "{}: {} moved although its server stayed", kind, r
+                    );
+                }
+            }
+        }
+    }
+
+    /// Noise then clear_noise is always an exact identity on assignments.
+    #[test]
+    fn clear_noise_restores(ids in server_ids(), flips in 1usize..50, seed in any::<u64>()) {
+        let keys: Vec<RequestKey> = (0..200).map(RequestKey::new).collect();
+        for kind in AlgorithmKind::ALL {
+            let mut table = build_filled(kind, &ids);
+            let before = Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+            table.inject_bit_flips(flips, seed);
+            table.clear_noise();
+            let after = Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+            prop_assert_eq!(remap_fraction(&before, &after), 0.0, "{} not restored", kind);
+        }
+    }
+
+    /// HD hashing's quantized robustness: any ≤10 flips leave assignments
+    /// bit-for-bit identical (the Figure 5 guarantee), for arbitrary pools
+    /// and seeds.
+    #[test]
+    fn hd_assignments_immune_to_ten_flips(ids in server_ids(), seed in any::<u64>()) {
+        let keys: Vec<RequestKey> = (0..200).map(RequestKey::new).collect();
+        let mut table = build_filled(AlgorithmKind::Hd, &ids);
+        let before = Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+        table.inject_bit_flips(10, seed);
+        let after = Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+        prop_assert_eq!(remap_fraction(&before, &after), 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Reproducibility: every randomized component in the workspace is a pure
+//! function of its seed, so whole experiments replay bit-for-bit.
+
+use hdhash::emulator::runner::{
+    run_robustness, run_uniformity, RobustnessConfig, RobustnessNoise, UniformityConfig,
+};
+use hdhash::emulator::{Generator, Workload};
+use hdhash::hdc::basis::CircularBasis;
+use hdhash::hdc::Rng;
+use hdhash::prelude::*;
+
+#[test]
+fn codebooks_replay_exactly() {
+    let a = CircularBasis::generate(64, 4096, &mut Rng::new(99)).expect("valid");
+    let b = CircularBasis::generate(64, 4096, &mut Rng::new(99)).expect("valid");
+    assert_eq!(a.hypervectors(), b.hypervectors());
+}
+
+#[test]
+fn workloads_replay_exactly() {
+    let w = Workload { initial_servers: 8, lookups: 5_000, ..Workload::default() };
+    assert_eq!(Generator::new(w).requests(), Generator::new(w).requests());
+    assert_eq!(Generator::new(w).churn_requests(7), Generator::new(w).churn_requests(7));
+}
+
+#[test]
+fn tables_replay_exactly() {
+    for kind in AlgorithmKind::ALL {
+        let build = || {
+            let mut t = kind.build(32);
+            for i in 0..20 {
+                t.join(ServerId::new(i)).expect("fresh server");
+            }
+            t
+        };
+        let a = build();
+        let b = build();
+        for k in 0..1_000u64 {
+            assert_eq!(
+                a.lookup(RequestKey::new(k)).expect("non-empty"),
+                b.lookup(RequestKey::new(k)).expect("non-empty"),
+                "{kind} diverged at key {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn noisy_tables_replay_exactly() {
+    for kind in AlgorithmKind::ALL {
+        let run = || {
+            let mut t = kind.build(32);
+            for i in 0..20 {
+                t.join(ServerId::new(i)).expect("fresh server");
+            }
+            t.inject_bit_flips(25, 0xD00D);
+            let keys: Vec<RequestKey> = (0..500).map(RequestKey::new).collect();
+            Assignment::capture(&*t, keys).expect("non-empty")
+        };
+        assert_eq!(run(), run(), "{kind} noise not reproducible");
+    }
+}
+
+#[test]
+fn experiment_runners_replay_exactly() {
+    let robustness = RobustnessConfig {
+        algorithms: vec![AlgorithmKind::Consistent, AlgorithmKind::Hd],
+        server_counts: vec![32],
+        bit_errors: vec![0, 5],
+        lookups: 400,
+        trials: 2,
+        noise: RobustnessNoise::Seu,
+        seed: 77,
+    };
+    assert_eq!(run_robustness(&robustness), run_robustness(&robustness));
+
+    let uniformity = UniformityConfig {
+        algorithms: vec![AlgorithmKind::Hd],
+        server_counts: vec![16],
+        bit_errors: vec![0],
+        lookups: 2_000,
+        seed: 78,
+    };
+    assert_eq!(run_uniformity(&uniformity), run_uniformity(&uniformity));
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration: the emulator drives every algorithm through
+//! the full request vocabulary, exactly as the paper's framework does.
+
+use hdhash::emulator::{Generator, HashTableModule, KeyDistribution, Workload};
+use hdhash::prelude::*;
+
+#[test]
+fn full_stream_executes_for_every_algorithm() {
+    let workload = Workload {
+        initial_servers: 32,
+        lookups: 2_000,
+        keys: KeyDistribution::Uniform,
+        seed: 0xE2E,
+    };
+    let generator = Generator::new(workload);
+    for kind in AlgorithmKind::ALL {
+        let mut module = HashTableModule::new(kind.build(64));
+        let (responses, stats) = module.execute(&generator.requests());
+        assert_eq!(stats.failures, 0, "{kind}");
+        assert_eq!(stats.lookups, 2_000, "{kind}");
+        assert_eq!(stats.controls, 32, "{kind}");
+        assert_eq!(responses.len(), 2_032, "{kind}");
+    }
+}
+
+#[test]
+fn churn_schedule_with_batched_buffer() {
+    let workload = Workload {
+        initial_servers: 16,
+        lookups: 3_000,
+        keys: KeyDistribution::Zipf { universe: 500, exponent: 1.1 },
+        seed: 0xE2E + 1,
+    };
+    let stream = Generator::new(workload).churn_requests(10);
+    for kind in AlgorithmKind::PAPER {
+        let mut module = HashTableModule::new(kind.build(64));
+        module.enqueue(stream.iter().copied());
+        let mut total_failures = 0;
+        let mut total_lookups = 0;
+        while module.pending() > 0 {
+            let (_, stats) = module.drain_batch(256);
+            total_failures += stats.failures;
+            total_lookups += stats.lookups;
+        }
+        assert_eq!(total_failures, 0, "{kind}");
+        assert_eq!(total_lookups, 3_000, "{kind}");
+        assert!(module.table().server_count() >= 16 - 5, "{kind}");
+    }
+}
+
+#[test]
+fn batched_lookup_agrees_with_single_lookup() {
+    for kind in AlgorithmKind::ALL {
+        let mut table = kind.build(32);
+        for i in 0..32 {
+            table.join(ServerId::new(i)).expect("fresh server");
+        }
+        let keys: Vec<RequestKey> = (0..500).map(RequestKey::new).collect();
+        let batched = table.lookup_batch(&keys);
+        for (key, batch_result) in keys.iter().zip(batched) {
+            assert_eq!(table.lookup(*key), batch_result, "{kind} diverged on {key}");
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_spread_load_across_servers() {
+    let keys: Vec<RequestKey> =
+        (0..20_000u64).map(|k| RequestKey::new(hdhash::hashfn::mix64(k))).collect();
+    for kind in AlgorithmKind::ALL {
+        let mut table = kind.build(16);
+        for i in 0..16 {
+            table.join(ServerId::new(i)).expect("fresh server");
+        }
+        let loads =
+            Assignment::capture(&*table, keys.iter().copied()).expect("non-empty").load_by_server();
+        // HD load shares follow arc lengths between occupied codebook
+        // slots (hash collisions can shadow a server entirely), so its
+        // floor is looser — consistent with its χ² in the paper's Fig. 6.
+        let floor = match kind {
+            AlgorithmKind::Hd | AlgorithmKind::HdParallel => 11,
+            _ => 14,
+        };
+        assert!(loads.len() >= floor, "{kind} starves servers: {loads:?}");
+        let max = loads.values().max().copied().expect("non-empty");
+        assert!(max < 20_000 / 2, "{kind} hot-spots one server");
+    }
+}
+
+#[test]
+fn leave_then_rejoin_restores_assignment() {
+    for kind in AlgorithmKind::PAPER {
+        let mut table = kind.build(32);
+        for i in 0..24 {
+            table.join(ServerId::new(i)).expect("fresh server");
+        }
+        let keys: Vec<RequestKey> = (0..3_000).map(RequestKey::new).collect();
+        let before = Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+        table.leave(ServerId::new(11)).expect("present");
+        table.join(ServerId::new(11)).expect("fresh again");
+        let after = Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+        assert_eq!(
+            remap_fraction(&before, &after),
+            0.0,
+            "{kind}: leave+rejoin must be a no-op"
+        );
+    }
+}

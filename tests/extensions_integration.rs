@@ -1,0 +1,135 @@
+//! Integration: the extension features compose across crates.
+//!
+//! Covers the weighted table driven through the shared emulator
+//! machinery, trace round-trips across algorithms, and the correlated
+//! error timeline reproducing the paper's robustness ordering over an
+//! emulated deployment lifetime.
+
+use hdhash::emulator::correlated::{run_timeline, CorrelatedErrorModel, TimelineConfig};
+use hdhash::emulator::module::HashTableModule;
+use hdhash::prelude::*;
+
+#[test]
+fn weighted_table_runs_under_the_emulator_module() {
+    // The weighted table satisfies the same NoisyTable contract, so the
+    // emulator's module drives it like any paper algorithm.
+    let mut weighted = WeightedHdTable::with_config(
+        WeightedHdTable::builder()
+            .dimension(4096)
+            .codebook_size(256)
+            .build_config()
+            .expect("valid config"),
+    );
+    for id in 0..8u64 {
+        weighted.join_weighted(ServerId::new(id), 2).expect("fresh server");
+    }
+    let mut module = HashTableModule::new(Box::new(weighted));
+    let requests =
+        Generator::new(Workload { initial_servers: 0, lookups: 500, ..Workload::default() })
+            .requests();
+    let (responses, stats) = module.execute(&requests);
+    assert_eq!(stats.lookups, 500);
+    assert_eq!(stats.failures, 0);
+    assert!(responses.iter().all(|r| r.server().is_some()));
+
+    // Noise through the module's table handle: still zero mismatches.
+    let before: Vec<_> = responses.iter().filter_map(|r| r.server()).collect();
+    module.table_mut().inject_bit_flips(10, 5);
+    let (after, _) = module.execute(&requests);
+    let after: Vec<_> = after.iter().filter_map(|r| r.server()).collect();
+    assert_eq!(before, after, "weighted HD mismatched under 10 bit errors");
+}
+
+#[test]
+fn traces_replay_identically_across_table_instances() {
+    let workload = Workload { initial_servers: 12, lookups: 300, ..Workload::default() };
+    let trace = Trace::new("integration", Generator::new(workload).requests());
+    let text = trace.to_text();
+    let parsed = hdhash::emulator::trace::Trace::from_text(&text).expect("own format parses");
+
+    for kind in [AlgorithmKind::Consistent, AlgorithmKind::Rendezvous, AlgorithmKind::Hd] {
+        let mut original = HashTableModule::new(kind.build(12));
+        let mut replayed = HashTableModule::new(kind.build(12));
+        let (a, _) = trace.replay(&mut original);
+        let (b, _) = parsed.replay(&mut replayed);
+        assert_eq!(a, b, "{kind}: serialized trace diverged from the original");
+    }
+}
+
+#[test]
+fn timeline_reproduces_paper_ordering_over_a_deployment() {
+    // Compressed deployment: high error rate so every algorithm sees
+    // errors within the horizon. HD must end clean; both baselines must
+    // have degraded; nothing may ever exceed 100%.
+    let config = TimelineConfig {
+        machines: 1,
+        algorithms: vec![
+            AlgorithmKind::Consistent,
+            AlgorithmKind::Rendezvous,
+            AlgorithmKind::Hd,
+        ],
+        servers: 256,
+        months: 18,
+        lookups: 2000,
+        model: CorrelatedErrorModel {
+            monthly_error_rate: 0.4,
+            correlation_factor: 2.0,
+            events_per_error: 2,
+        },
+        seed: 41,
+    };
+    let samples = run_timeline(&config);
+    assert_eq!(samples.len(), 3 * 18);
+    let series = |kind: AlgorithmKind| -> Vec<f64> {
+        samples
+            .iter()
+            .filter(|s| s.algorithm == kind)
+            .map(|s| s.mismatch_fraction)
+            .collect()
+    };
+    let consistent = series(AlgorithmKind::Consistent);
+    let rendezvous = series(AlgorithmKind::Rendezvous);
+    let hd = series(AlgorithmKind::Hd);
+    assert!(hd.iter().all(|&m| m == 0.0), "HD degraded during the timeline");
+    assert!(*consistent.last().expect("18 months") > 0.0);
+    assert!(*rendezvous.last().expect("18 months") > 0.0);
+    // All algorithms saw the identical error months.
+    let months_with_errors: Vec<Vec<usize>> = [&consistent, &rendezvous]
+        .iter()
+        .map(|_| {
+            samples
+                .iter()
+                .filter(|s| s.algorithm == AlgorithmKind::Consistent && s.errored)
+                .map(|s| s.month)
+                .collect()
+        })
+        .collect();
+    assert_eq!(months_with_errors[0], months_with_errors[1]);
+}
+
+#[test]
+fn weighted_and_unweighted_agree_at_weight_one() {
+    // A weighted table with all weights 1 and an HdHashTable with the
+    // same configuration produce the same geometry — but replica encoding
+    // appends a replica index to server bytes, so slots differ. What must
+    // hold is the shared *contract*: minimal disruption and robustness.
+    let mut table = WeightedHdTable::with_config(
+        WeightedHdTable::builder()
+            .dimension(4096)
+            .codebook_size(256)
+            .build_config()
+            .expect("valid config"),
+    );
+    for id in 0..16u64 {
+        table.join(ServerId::new(id)).expect("fresh server");
+    }
+    let keys: Vec<RequestKey> = (0..3000).map(RequestKey::new).collect();
+    let before = Assignment::capture(&table, keys.iter().copied()).expect("non-empty");
+    table.join(ServerId::new(99)).expect("fresh server");
+    let after = Assignment::capture(&table, keys.iter().copied()).expect("non-empty");
+    for (r, s) in before.iter() {
+        let now = after.server_of(r).expect("captured");
+        assert!(now == s || now == ServerId::new(99), "{r} moved between elder servers");
+    }
+    assert!(remap_fraction(&before, &after) < 0.25);
+}

@@ -1,0 +1,129 @@
+//! Shape assertions for the paper's figures, run at reduced scale: the
+//! qualitative claims must hold on every build, not just in the recorded
+//! EXPERIMENTS.md runs.
+
+use hdhash::emulator::runner::{run_efficiency, EfficiencyConfig};
+use hdhash::hdc::basis::{CircularBasis, LevelBasis, RandomBasis};
+use hdhash::hdc::profile::{decays_to_antipode, is_circularly_symmetric, SimilarityMatrix};
+use hdhash::hdc::Rng;
+use hdhash::prelude::*;
+
+/// Figure 2's three correlation structures at the paper's parameters.
+#[test]
+fn figure2_similarity_structures() {
+    let mut rng = Rng::new(0xF16_2);
+    let d = 10_008;
+
+    let random = RandomBasis::generate(12, d, &mut rng).expect("valid");
+    let m = SimilarityMatrix::compute(random.hypervectors(), SimilarityMetric::Cosine);
+    assert!(m.mean_off_diagonal().abs() < 0.02, "random basis must be quasi-orthogonal");
+
+    let level = LevelBasis::generate(12, d, &mut rng).expect("valid");
+    let m = SimilarityMatrix::compute(level.hypervectors(), SimilarityMetric::Cosine);
+    let profile = m.profile_from_first();
+    assert!(decays_to_antipode(&profile, 1e-9));
+    assert!(profile[11].abs() < 0.05, "level extremes must be dissimilar");
+    assert!(!is_circularly_symmetric(&profile, 0.1), "level sets must not wrap");
+
+    let circular = CircularBasis::generate(12, d, &mut rng).expect("valid");
+    let m = SimilarityMatrix::compute(circular.hypervectors(), SimilarityMetric::Cosine);
+    let profile = m.profile_from_first();
+    assert!(is_circularly_symmetric(&profile, 0.02), "circular sets must wrap");
+    assert!(decays_to_antipode(&profile, 0.02));
+    assert!(profile[6].abs() < 0.02, "antipode must be quasi-orthogonal");
+}
+
+/// Figure 4's scaling shapes: rendezvous O(n), consistent near-flat.
+#[test]
+fn figure4_scaling_shapes() {
+    let config = EfficiencyConfig {
+        algorithms: vec![AlgorithmKind::Consistent, AlgorithmKind::Rendezvous],
+        server_counts: vec![8, 512],
+        lookups: 4_000,
+        batch: 256,
+        seed: 0xF16_4,
+    };
+    let samples = run_efficiency(&config);
+    let nanos = |kind: AlgorithmKind, servers: usize| {
+        samples
+            .iter()
+            .find(|s| s.algorithm == kind && s.servers == servers)
+            .expect("present")
+            .avg_nanos()
+    };
+    // Rendezvous: 64× the servers must cost at least ~8× the time.
+    let rdv_growth = nanos(AlgorithmKind::Rendezvous, 512) / nanos(AlgorithmKind::Rendezvous, 8);
+    assert!(rdv_growth > 8.0, "rendezvous O(n) not visible: {rdv_growth}x");
+    // Consistent: must grow far slower than rendezvous.
+    let con_growth = nanos(AlgorithmKind::Consistent, 512) / nanos(AlgorithmKind::Consistent, 8);
+    assert!(
+        con_growth < rdv_growth / 2.0,
+        "consistent should scale much flatter: {con_growth}x vs {rdv_growth}x"
+    );
+    // And consistent must be absolutely faster at scale (paper §5.2).
+    assert!(nanos(AlgorithmKind::Consistent, 512) < nanos(AlgorithmKind::Rendezvous, 512));
+}
+
+/// §1 motivation: modular hashing remaps virtually everything on resize;
+/// the minimal-disruption algorithms sit near the 1/(n+1) ideal.
+#[test]
+fn remap_on_resize_shapes() {
+    let keys: Vec<RequestKey> =
+        (0..6_000u64).map(|k| RequestKey::new(hdhash::hashfn::mix64(k))).collect();
+    let servers = 32usize;
+    let ideal = 1.0 / (servers + 1) as f64;
+
+    let remap_for = |kind: AlgorithmKind| {
+        let mut table = kind.build(servers + 2);
+        for i in 0..servers as u64 {
+            table.join(ServerId::new(i)).expect("fresh server");
+        }
+        let before = Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+        table.join(ServerId::new(999_999)).expect("fresh");
+        let after = Assignment::capture(&*table, keys.iter().copied()).expect("non-empty");
+        remap_fraction(&before, &after)
+    };
+
+    assert!(remap_for(AlgorithmKind::Modular) > 0.85, "modular must remap nearly all");
+    for kind in [AlgorithmKind::Consistent, AlgorithmKind::Rendezvous, AlgorithmKind::Hd, AlgorithmKind::Jump] {
+        let moved = remap_for(kind);
+        assert!(
+            moved < 6.0 * ideal,
+            "{kind} should sit near the ideal {ideal:.4}: moved {moved:.4}"
+        );
+    }
+}
+
+/// The direction-insensitivity of Figure 1: an HD request can be served by
+/// the nearest server *counter-clockwise*, which consistent hashing never
+/// does.
+#[test]
+fn figure1_direction_insensitive() {
+    let mut table = hdhash::core::HdHashTable::builder()
+        .dimension(4096)
+        .codebook_size(64)
+        .seed(5)
+        .build()
+        .expect("valid config");
+    for i in 0..8u64 {
+        table.join(ServerId::new(i)).expect("fresh server");
+    }
+    let n = table.config().codebook_size();
+    // Find a request whose nearest server is *behind* it on the circle
+    // (counter-clockwise), proving direction does not matter.
+    let mut found_backward = false;
+    for k in 0..2_000u64 {
+        let request = RequestKey::new(k);
+        let r_slot = table.slot_of_request(request);
+        let owner = table.lookup(request).expect("non-empty");
+        let s_slot = table.slot_of_server(owner).expect("joined");
+        // Clockwise distance from request to server vs counter-clockwise.
+        let clockwise = (s_slot + n - r_slot) % n;
+        let counter = (r_slot + n - s_slot) % n;
+        if counter < clockwise {
+            found_backward = true;
+            break;
+        }
+    }
+    assert!(found_backward, "HD hashing must assign in both directions");
+}

@@ -1,0 +1,151 @@
+//! The paper's quantitative claims, asserted as integration tests at
+//! reduced (but honest) scale.
+
+use hdhash::emulator::runner::{
+    run_robustness, run_uniformity, RobustnessConfig, RobustnessNoise, UniformityConfig,
+};
+use hdhash::prelude::*;
+
+/// Figure 5 / §1 headline: "With 512 servers and a 10-bit MCU, HD hashing
+/// is unaffected while rendezvous and consistent hashing mismatch 4% and
+/// 12% of requests, respectively." We assert the reproducible core: HD is
+/// *exactly* unaffected, the baselines are not.
+#[test]
+fn headline_mcu_512_servers() {
+    let config = RobustnessConfig {
+        algorithms: AlgorithmKind::PAPER.to_vec(),
+        server_counts: vec![512],
+        bit_errors: vec![10],
+        lookups: 2_000,
+        trials: 8,
+        noise: RobustnessNoise::Mcu,
+        seed: 0xC1A1,
+    };
+    let samples = run_robustness(&config);
+    let get = |kind: AlgorithmKind| {
+        samples.iter().find(|s| s.algorithm == kind).expect("present").mismatch_fraction
+    };
+    assert_eq!(get(AlgorithmKind::Hd), 0.0, "HD hashing must be unaffected by a 10-bit MCU");
+    assert!(get(AlgorithmKind::Rendezvous) > 0.0, "rendezvous must be affected");
+    assert!(get(AlgorithmKind::Consistent) > 0.0, "consistent must be affected");
+}
+
+/// Figure 5's SEU sweep: HD stays at zero for the entire 0..=10 range
+/// while both baselines degrade monotonically-ish (we assert endpoints).
+#[test]
+fn seu_sweep_hd_flat_baselines_rise() {
+    let config = RobustnessConfig {
+        algorithms: AlgorithmKind::PAPER.to_vec(),
+        server_counts: vec![256],
+        bit_errors: vec![0, 5, 10],
+        lookups: 2_000,
+        trials: 6,
+        noise: RobustnessNoise::Seu,
+        seed: 0xC1A1 + 1,
+    };
+    let samples = run_robustness(&config);
+    let get = |kind: AlgorithmKind, errors: usize| {
+        samples
+            .iter()
+            .find(|s| s.algorithm == kind && s.bit_errors == errors)
+            .expect("present")
+            .mismatch_fraction
+    };
+    for errors in [0usize, 5, 10] {
+        assert_eq!(get(AlgorithmKind::Hd, errors), 0.0, "HD at {errors} errors");
+    }
+    assert!(get(AlgorithmKind::Rendezvous, 10) > get(AlgorithmKind::Rendezvous, 0));
+    assert!(get(AlgorithmKind::Consistent, 10) > get(AlgorithmKind::Consistent, 0));
+    // Rendezvous's analytic slope: ≈ 2·flips/n per corrupted pre-hash.
+    let rendezvous_10 = get(AlgorithmKind::Rendezvous, 10);
+    let analytic = 2.0 * 10.0 / 256.0;
+    assert!(
+        (rendezvous_10 - analytic).abs() < analytic,
+        "rendezvous at 10 errors should sit near {analytic}: {rendezvous_10}"
+    );
+}
+
+/// "Realistic level of memory errors causes more than 20% mismatches for
+/// consistent hashing while HD hashing remains unaffected" (abstract).
+/// A machine-year of correlated errors is far more than 10 flips; we use
+/// 200 on a 128-server pool.
+#[test]
+fn realistic_error_levels_break_consistent_not_hd() {
+    let config = RobustnessConfig {
+        algorithms: vec![AlgorithmKind::Consistent, AlgorithmKind::Hd],
+        server_counts: vec![128],
+        bit_errors: vec![200],
+        lookups: 2_000,
+        trials: 4,
+        noise: RobustnessNoise::Seu,
+        seed: 0xC1A1 + 2,
+    };
+    let samples = run_robustness(&config);
+    let get = |kind: AlgorithmKind| {
+        samples.iter().find(|s| s.algorithm == kind).expect("present").mismatch_fraction
+    };
+    assert!(
+        get(AlgorithmKind::Consistent) > 0.20,
+        "realistic error levels should exceed 20% for consistent hashing: {}",
+        get(AlgorithmKind::Consistent)
+    );
+    assert_eq!(get(AlgorithmKind::Hd), 0.0, "HD must still be unaffected");
+}
+
+/// Figure 6: HD distributes more uniformly than consistent hashing, bit
+/// errors worsen consistent hashing's χ², and HD's χ² is untouched.
+#[test]
+fn uniformity_claims() {
+    let config = UniformityConfig {
+        algorithms: vec![AlgorithmKind::Consistent, AlgorithmKind::Hd],
+        server_counts: vec![32, 128],
+        bit_errors: vec![0, 10],
+        lookups: 30_000,
+        seed: 0xC1A1 + 3,
+    };
+    let samples = run_uniformity(&config);
+    let get = |kind: AlgorithmKind, servers: usize, errors: usize| {
+        samples
+            .iter()
+            .find(|s| s.algorithm == kind && s.servers == servers && s.bit_errors == errors)
+            .expect("present")
+            .chi_squared
+    };
+    for &servers in &[32usize, 128] {
+        assert!(
+            get(AlgorithmKind::Hd, servers, 0) < get(AlgorithmKind::Consistent, servers, 0),
+            "HD should be more uniform at {servers} servers"
+        );
+        assert!(
+            get(AlgorithmKind::Consistent, servers, 10)
+                > get(AlgorithmKind::Consistent, servers, 0),
+            "errors should worsen consistent hashing at {servers} servers"
+        );
+        let hd_clean = get(AlgorithmKind::Hd, servers, 0);
+        let hd_noisy = get(AlgorithmKind::Hd, servers, 10);
+        assert!(
+            (hd_clean - hd_noisy).abs() < 1e-9,
+            "HD uniformity must not move under noise at {servers} servers"
+        );
+    }
+}
+
+/// Rendezvous hashing is pseudo-uniform by construction — the reason the
+/// paper omits it from Figure 6. Its χ² must sit near the `n − 1`
+/// expectation of a true uniform sample.
+#[test]
+fn rendezvous_is_statistically_uniform() {
+    let config = UniformityConfig {
+        algorithms: vec![AlgorithmKind::Rendezvous],
+        server_counts: vec![64],
+        bit_errors: vec![0],
+        lookups: 64_000,
+        seed: 0xC1A1 + 4,
+    };
+    let sample = run_uniformity(&config).pop().expect("one sample");
+    assert!(
+        sample.p_value() > 0.01,
+        "rendezvous χ² {} should be statistically unremarkable",
+        sample.chi_squared
+    );
+}

@@ -1,0 +1,91 @@
+//! Integration: the optional `serde` feature round-trips every data
+//! structure that claims it.
+//!
+//! Run with `cargo test --features serde --test serde_roundtrip`.
+//! Compiled out entirely without the feature, so the default build stays
+//! serde-free.
+
+#![cfg(feature = "serde")]
+
+use hdhash::accel::adder_tree::AdderTree;
+use hdhash::accel::comparator::ComparatorTree;
+use hdhash::emulator::correlated::CorrelatedErrorModel;
+use hdhash::prelude::*;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let json = serde_json::to_string(value).expect("serializable");
+    serde_json::from_str(&json).expect("own output deserializes")
+}
+
+#[test]
+fn hypervectors_round_trip_bit_exact() {
+    let mut rng = Rng::new(1);
+    for d in [1usize, 63, 64, 65, 10_000] {
+        let hv = Hypervector::random(d, &mut rng);
+        let back: Hypervector = round_trip(&hv);
+        assert_eq!(back, hv, "d={d}");
+        assert_eq!(back.dimension(), d);
+    }
+}
+
+#[test]
+fn request_vocabulary_round_trips() {
+    for request in [
+        hdhash::emulator::Request::Join(ServerId::new(7)),
+        hdhash::emulator::Request::Leave(ServerId::new(u64::MAX)),
+        hdhash::emulator::Request::Lookup(RequestKey::new(42)),
+    ] {
+        assert_eq!(round_trip(&request), request);
+    }
+}
+
+#[test]
+fn traces_round_trip_through_json_and_text() {
+    // Two independent serializations of the same trace must agree.
+    let workload = Workload { initial_servers: 4, lookups: 20, ..Workload::default() };
+    let trace = Trace::new("serde", Generator::new(workload).requests());
+    let via_json: Trace = round_trip(&trace);
+    let via_text = Trace::from_text(&trace.to_text()).expect("own text parses");
+    assert_eq!(via_json, via_text);
+}
+
+#[test]
+fn noise_plans_and_models_round_trip() {
+    for plan in [
+        NoisePlan::Seu { count: 3 },
+        NoisePlan::Mcu { length: 10 },
+        NoisePlan::IbeMixture { events: 100 },
+    ] {
+        assert_eq!(round_trip(&plan), plan);
+    }
+    let model = CorrelatedErrorModel::field_study();
+    assert_eq!(round_trip(&model), model);
+}
+
+#[test]
+fn accel_models_round_trip() {
+    let tree = AdderTree::new(10_000);
+    assert_eq!(round_trip(&tree), tree);
+    let cmp = ComparatorTree::new(512, 14);
+    assert_eq!(round_trip(&cmp), cmp);
+    let tech = TechnologyParams::asic_22nm();
+    assert_eq!(round_trip(&tech), tech);
+    let schedule =
+        LookupSchedule::plan(ExecutionModel::Combinational, 512, 10_000, &tech);
+    assert_eq!(round_trip(&schedule), schedule);
+}
+
+#[test]
+fn serialized_hypervector_behaves_identically() {
+    // Serialization must not disturb the tail-masking invariant: distances
+    // computed on a deserialized vector match the original exactly.
+    let mut rng = Rng::new(2);
+    let a = Hypervector::random(777, &mut rng);
+    let b = Hypervector::random(777, &mut rng);
+    let a2: Hypervector = round_trip(&a);
+    assert_eq!(a2.hamming_distance(&b), a.hamming_distance(&b));
+    assert_eq!(a2.count_ones(), a.count_ones());
+}
