@@ -199,7 +199,7 @@ mod tests {
         for k in 1..=20usize {
             state = ca90_step(&state);
             for j in 0..1001 {
-                let mirrored = 1000 - j + 0; // reflect about 500: j' = 1000 - j
+                let mirrored = 1000 - j; // reflect about 500: j' = 1000 - j
                 assert_eq!(state.bit(j), state.bit(mirrored), "asymmetry at step {k}, bit {j}");
                 if state.bit(j) {
                     let dist = j.abs_diff(500);

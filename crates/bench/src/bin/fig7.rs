@@ -83,9 +83,7 @@ fn main() {
 
     let final_row = |kind: AlgorithmKind| {
         samples
-            .iter()
-            .filter(|s| s.algorithm == kind)
-            .next_back()
+            .iter().rfind(|s| s.algorithm == kind)
             .map(|s| s.mismatch_fraction * 100.0)
             .unwrap_or(f64::NAN)
     };

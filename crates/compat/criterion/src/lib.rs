@@ -1,0 +1,297 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API slice this workspace's benches use — benchmark groups,
+//! `bench_with_input`/`bench_function`, `Throughput`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!` and `black_box` — as a *measuring*
+//! harness: every benchmark is warmed up, then timed over enough iterations
+//! to cover a sampling window, and the median per-iteration time is printed
+//! in criterion-like format:
+//!
+//! ```text
+//! group/function/param    time: [1.234 µs]  thrpt: [8.1 Melem/s]
+//! ```
+//!
+//! No statistics files, plots or regression tracking — but the numbers are
+//! honest wall-clock medians, good enough for the `BENCH_*.json` emitters
+//! and for eyeballing order-of-magnitude wins.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target measurement window per benchmark.
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Modest defaults: CI runs `cargo bench --no-run` (compile check) and
+        // humans run the real thing, so keep local runs brisk.
+        Self { measurement: Duration::from_millis(400), warm_up: Duration::from_millis(80) }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 0,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let report = run_bench(self.warm_up, self.measurement, |b| f(b));
+        print_report(&id.id, &report, None);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    #[allow(dead_code)]
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the sample count (accepted for API compatibility; the shim sizes
+    /// samples by wall-clock window instead).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report =
+            run_bench(self.harness.warm_up, self.harness.measurement, |b| f(b, input));
+        print_report(&format!("{}/{}", self.name, id.id), &report, self.throughput);
+        self
+    }
+
+    /// Benchmarks a closure taking only the bencher.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let report = run_bench(self.harness.warm_up, self.harness.measurement, |b| f(b));
+        print_report(&format!("{}/{}", self.name, id.id), &report, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the payload.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `f`, dropping its outputs outside the timed region.
+    pub fn iter_with_large_drop<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut outputs = Vec::with_capacity(self.iters.min(1 << 20) as usize);
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            outputs.push(black_box(f()));
+        }
+        self.elapsed = start.elapsed();
+        drop(outputs);
+    }
+}
+
+/// One benchmark's measurement summary (nanoseconds per iteration).
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Median ns/iter across samples.
+    pub median_ns: f64,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(warm_up: Duration, measurement: Duration, mut f: F) -> Report {
+    // Calibrate: find an iteration count that takes ≥ ~1/10 of the warm-up.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed * 10 >= warm_up || iters > 1 << 40 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            100
+        } else {
+            (warm_up.as_nanos() / (10 * b.elapsed.as_nanos().max(1))).clamp(2, 100) as u64
+        };
+        iters = iters.saturating_mul(grow);
+    }
+    // Sample until the measurement window is spent (at least 5 samples).
+    let mut samples: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < measurement || samples.len() < 5 {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        if samples.len() >= 1000 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    Report { median_ns: samples[samples.len() / 2] }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn print_report(name: &str, report: &Report, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<48} time: [{}]", format_time(report.median_ns));
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = count as f64 / (report.median_ns / 1e9);
+        let human = if per_sec >= 1e9 {
+            format!("{:.2} G{unit}/s", per_sec / 1e9)
+        } else if per_sec >= 1e6 {
+            format!("{:.2} M{unit}/s", per_sec / 1e6)
+        } else if per_sec >= 1e3 {
+            format!("{:.2} K{unit}/s", per_sec / 1e3)
+        } else {
+            format!("{per_sec:.2} {unit}/s")
+        };
+        line.push_str(&format!("  thrpt: [{human}]"));
+    }
+    println!("{line}");
+}
+
+/// Declares a group-running function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from one or more group-running functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let report = run_bench(
+            Duration::from_millis(2),
+            Duration::from_millis(5),
+            |b| b.iter(|| black_box(3u64).wrapping_mul(7)),
+        );
+        assert!(report.median_ns > 0.0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("bind", 64).id, "bind/64");
+        assert_eq!(BenchmarkId::from_parameter(9).id, "9");
+    }
+}

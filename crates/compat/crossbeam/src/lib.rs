@@ -1,0 +1,99 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment for this workspace has no crates.io access, so this
+//! shim vendors the one API slice the workspace uses — `crossbeam::thread::scope`
+//! with `Scope::spawn` — implemented on top of `std::thread::scope` (stable
+//! since Rust 1.63, which post-dates crossbeam's scoped threads).
+//!
+//! Semantics match the call sites' expectations:
+//!
+//! * `scope` returns `Ok(r)` when every spawned thread ran to completion;
+//! * a panicking worker propagates the panic out of `scope` (callers here
+//!   treat worker panics as fatal via `.expect(..)`, so re-panicking is an
+//!   acceptable substitute for crossbeam's `Err` aggregation);
+//! * `Scope::spawn` hands the scope back to the closure so nested spawns
+//!   remain possible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    /// The result type of [`scope`]: mirrors `crossbeam::thread::Result`.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle passed to the `scope` closure and to every spawned
+    /// thread's closure.
+    ///
+    /// Unlike crossbeam this is a small `Copy` value wrapping the std scope
+    /// reference, which lets the handle itself be sent into spawned threads
+    /// without borrow gymnastics.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle,
+        /// matching crossbeam's `|scope| ...` signature (most callers bind
+        /// it as `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(handle))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment can
+    /// be spawned; all spawned threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let mut partials = vec![0u64; 2];
+        let result = super::thread::scope(|scope| {
+            for (chunk, slot) in data.chunks(2).zip(partials.iter_mut()) {
+                scope.spawn(move |_| {
+                    *slot = chunk.iter().sum();
+                });
+            }
+            42
+        })
+        .expect("no panics");
+        assert_eq!(result, 42);
+        assert_eq!(partials, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("no panics");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Vendors the `Mutex`/`Condvar` API slice the workspace uses, backed by
+//! `std::sync`. The behavioural differences that matter here:
+//!
+//! * `Mutex::lock` returns the guard directly (no poison `Result`); a
+//!   poisoned std mutex is transparently recovered, matching parking_lot's
+//!   "no poisoning" contract;
+//! * `Condvar::wait` takes `&mut MutexGuard` (parking_lot style) instead of
+//!   consuming the guard. Internally the guard wraps an `Option` so the std
+//!   guard can be moved through `std::sync::Condvar::wait` and put back.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::PoisonError;
+
+/// A mutual exclusion primitive (parking_lot-flavoured facade over
+/// [`std::sync::Mutex`]).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    // `Option` so `Condvar::wait` can temporarily take the std guard out.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Acquires the mutex, blocking until available. Never poisons: a
+    /// panicked previous holder's state is recovered as-is.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard { inner: Some(guard) }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<'a, T> std::ops::Deref for MutexGuard<'a, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<'a, T> std::ops::DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// A condition variable (parking_lot-flavoured facade over
+/// [`std::sync::Condvar`]).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self { inner: std::sync::Condvar::new() }
+    }
+
+    /// Blocks until notified, releasing the guarded mutex while parked.
+    /// Spurious wakeups are possible, as with every condvar.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard present before wait");
+        let reacquired =
+            self.inner.wait(std_guard).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                *m.lock() = true;
+                cv.notify_one();
+            });
+            let mut guard = m.lock();
+            while !*guard {
+                cv.wait(&mut guard);
+            }
+            assert!(*guard);
+        });
+    }
+}

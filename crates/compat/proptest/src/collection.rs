@@ -1,0 +1,135 @@
+//! Collection strategies (`vec`, `hash_set`).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A size specification accepted by the collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        Self { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.next_in_inclusive(self.lo as u64, self.hi as u64) as usize
+    }
+}
+
+/// Vectors of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// Hash sets of `size` distinct elements drawn from `element`.
+///
+/// Aims for a size inside the requested range; if the element domain is too
+/// small to reach the sampled target it settles for what it found, but
+/// panics when even the range minimum is unreachable.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, size: size.into() }
+}
+
+/// See [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut out = HashSet::with_capacity(target);
+        let mut attempts = 0usize;
+        let max_attempts = 100 * (target + 1);
+        while out.len() < target && attempts < max_attempts {
+            out.insert(self.element.gen_value(rng));
+            attempts += 1;
+        }
+        assert!(
+            out.len() >= self.size.lo,
+            "hash_set strategy could not reach minimum size {} (got {})",
+            self.size.lo,
+            out.len()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::for_case("collection", 0);
+        for _ in 0..200 {
+            let v = vec(any::<u64>(), 2..5).gen_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_distinct_and_sized() {
+        let mut rng = TestRng::for_case("collection", 1);
+        for _ in 0..100 {
+            let s = hash_set(0u64..64, 1..16).gen_value(&mut rng);
+            assert!((1..16).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn exact_size_spec() {
+        let mut rng = TestRng::for_case("collection", 2);
+        assert_eq!(vec(any::<u8>(), 7usize).gen_value(&mut rng).len(), 7);
+    }
+}

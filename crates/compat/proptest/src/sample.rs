@@ -1,0 +1,41 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An index into a collection of as-yet-unknown size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Internal constructor used by the `Arbitrary` impl.
+    #[must_use]
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Self { raw }
+    }
+
+    /// Projects onto `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[must_use]
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_projects_in_range() {
+        for raw in [0u64, 1, 41, u64::MAX] {
+            let idx = Index::from_raw(raw);
+            for len in [1usize, 2, 7, 1000] {
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The `Strategy` trait and combinators.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe core (`gen_value`) plus sized combinators, mirroring the
+/// proptest API surface this workspace uses.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Retries generation until `f` accepts the value (up to a bounded
+    /// number of attempts).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence, f }
+    }
+
+    /// Type-erases the strategy (needed by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (**self).gen_value(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let candidate = self.inner.gen_value(rng);
+            if (self.f)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1000 consecutive candidates", self.whence);
+    }
+}
+
+/// Uniform choice among boxed strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `branches` is empty.
+    #[must_use]
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        Self { branches }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let pick = rng.next_below(self.branches.len() as u64) as usize;
+        self.branches[pick].gen_value(rng)
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = self.start as u64;
+                let hi = self.end as u64 - 1;
+                rng.next_in_inclusive(lo, hi) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.next_in_inclusive(*self.start() as u64, *self.end() as u64) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_in_inclusive(self.start as u64, <$t>::MAX as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// String-pattern strategy (real proptest interprets `&str` as a regex).
+///
+/// The shim supports the one pattern family this workspace uses,
+/// `\PC{lo,hi}` — "printable (non-control) characters, length in
+/// `[lo, hi]`" — and falls back to yielding the pattern text literally for
+/// anything else.
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        if let Some(rest) = self.strip_prefix("\\PC{").and_then(|r| r.strip_suffix('}')) {
+            if let Some((lo, hi)) = rest.split_once(',') {
+                if let (Ok(lo), Ok(hi)) = (lo.parse::<u64>(), hi.parse::<u64>()) {
+                    let len = rng.next_in_inclusive(lo, hi) as usize;
+                    // Mostly printable ASCII with occasional multibyte
+                    // code points, never control characters.
+                    const EXOTIC: [char; 8] =
+                        ['é', 'ß', '中', '🦀', 'Ω', 'ñ', '→', '𝄞'];
+                    return (0..len)
+                        .map(|_| {
+                            let roll = rng.next_u64();
+                            if roll.is_multiple_of(8) {
+                                EXOTIC[(roll >> 8) as usize % EXOTIC.len()]
+                            } else {
+                                char::from(0x20 + (roll >> 8) as u8 % 0x5F)
+                            }
+                        })
+                        .collect();
+                }
+            }
+        }
+        (*self).to_owned()
+    }
+}
+
+macro_rules! impl_tuples {
+    ($(($($s:ident . $idx:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuples!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy", 0)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3u64..10).gen_value(&mut r);
+            assert!((3..10).contains(&v));
+            let w = (1usize..=4).gen_value(&mut r);
+            assert!((1..=4).contains(&w));
+            let x = (u64::MAX - 2..).gen_value(&mut r);
+            assert!(x >= u64::MAX - 2);
+        }
+    }
+
+    #[test]
+    fn map_union_just_filter() {
+        let mut r = rng();
+        let even = (0u64..100).prop_map(|v| v * 2);
+        assert_eq!(even.gen_value(&mut r) % 2, 0);
+        let union = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        for _ in 0..50 {
+            assert!(matches!(union.gen_value(&mut r), 1 | 2));
+        }
+        let odd = (0u64..100).prop_filter("odd", |v| v % 2 == 1);
+        assert_eq!(odd.gen_value(&mut r) % 2, 1);
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut r = rng();
+        let (a, b) = ((0u8..4), (10usize..12)).gen_value(&mut r);
+        assert!(a < 4 && (10..12).contains(&b));
+    }
+}

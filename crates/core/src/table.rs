@@ -129,7 +129,13 @@ impl HdHashTable {
 
     /// Resolves one request (Eq. 2).
     fn resolve(&self, request: RequestKey) -> Result<ServerId, TableError> {
-        let (_, probe) = self.codebook.encode(&request.to_bytes());
+        self.resolve_slot(self.codebook.slot_of(&request.to_bytes()))
+    }
+
+    /// Resolves a codebook slot — the unit every lookup reduces to, since
+    /// `Enc` factors through the slot. Batched lookups dedup on this.
+    fn resolve_slot(&self, slot: usize) -> Result<ServerId, TableError> {
+        let probe = self.codebook.hypervector(slot);
         if self.memory.is_empty() {
             return Err(TableError::EmptyPool);
         }
@@ -140,13 +146,11 @@ impl HdHashTable {
                 // deterministic, membership-order-independent tie-break on
                 // the server identifier (so leave + rejoin is an exact
                 // no-op). See the type-level docs for the robustness
-                // guarantee.
+                // guarantee. The scan runs on the associative memory's
+                // contiguous-matrix engine with early abandonment.
                 let c = self.config.quantum();
                 self.memory
-                    .iter()
-                    .map(|(&server, hv)| ((probe.hamming_distance(hv) + c / 2) / c, server))
-                    .min_by_key(|&(q, server)| (q, server.get()))
-                    .map(|(_, server)| server)
+                    .nearest_quantized_by(probe, c, |server| server.get())
                     .ok_or(TableError::EmptyPool)
             }
             hdhash_hdc::basis::FlipStrategy::Independent { .. } => {
@@ -211,27 +215,53 @@ impl DynamicHashTable for HdHashTable {
 
     fn lookup_batch(&self, requests: &[RequestKey]) -> Vec<Result<ServerId, TableError>> {
         // The paper reduces its GPU's dispatch overhead by mapping requests
-        // in batches of 256; the CPU analogue shards one batch over worker
-        // threads, each resolving its probes serially.
-        let threads = match self.config.search {
-            hdhash_hdc::SearchStrategy::Serial => 1,
-            hdhash_hdc::SearchStrategy::Parallel { threads } => threads.max(1),
-        };
-        if threads == 1 || requests.len() < 2 * threads {
-            return requests.iter().map(|&r| self.resolve(r)).collect();
-        }
-        let shard = requests.len().div_ceil(threads);
-        let mut results: Vec<Vec<Result<ServerId, TableError>>> =
-            vec![Vec::new(); requests.len().div_ceil(shard)];
-        crossbeam::thread::scope(|scope| {
-            for (chunk, slot) in requests.chunks(shard).zip(results.iter_mut()) {
-                scope.spawn(move |_| {
-                    *slot = chunk.iter().map(|&r| self.resolve(r)).collect();
-                });
+        // in batches of 256. On the CPU the decisive batching lever is that
+        // `Enc` factors through the codebook slot: a batch of thousands of
+        // requests touches at most `n` distinct slots (far fewer under
+        // skewed traffic), so each distinct slot is resolved once against
+        // the associative memory and the verdict is shared across the
+        // batch. Slot resolutions use the memory engine's batched
+        // contiguous-matrix scan.
+        let slots: Vec<usize> =
+            requests.iter().map(|r| self.codebook.slot_of(&r.to_bytes())).collect();
+        let mut verdicts: std::collections::HashMap<usize, Result<ServerId, TableError>> =
+            std::collections::HashMap::new();
+        let mut distinct: Vec<usize> = Vec::new();
+        for &slot in &slots {
+            if let std::collections::hash_map::Entry::Vacant(e) = verdicts.entry(slot) {
+                e.insert(Err(TableError::EmptyPool));
+                distinct.push(slot);
             }
-        })
-        .expect("lookup workers do not panic");
-        results.into_iter().flatten().collect()
+        }
+        if !self.memory.is_empty() {
+            let probes: Vec<&hdhash_hdc::Hypervector> =
+                distinct.iter().map(|&s| self.codebook.hypervector(s)).collect();
+            match self.config.flip_strategy {
+                hdhash_hdc::basis::FlipStrategy::Partition => {
+                    // Quantized arg-max over all distinct probes in one
+                    // batched call (one thread scope per batch under the
+                    // parallel strategy, not one per slot).
+                    let c = self.config.quantum();
+                    let keys = self
+                        .memory
+                        .nearest_quantized_batch_by(&probes, c, |server| server.get());
+                    for (slot, key) in distinct.iter().zip(keys) {
+                        verdicts.insert(*slot, key.ok_or(TableError::EmptyPool));
+                    }
+                }
+                hdhash_hdc::basis::FlipStrategy::Independent { .. } => {
+                    // Raw arg-max path: the cache-blocked multi-probe
+                    // kernel in one sweep.
+                    for (slot, matched) in
+                        distinct.iter().zip(self.memory.nearest_batch(&probes))
+                    {
+                        verdicts
+                            .insert(*slot, matched.map(|m| m.key).ok_or(TableError::EmptyPool));
+                    }
+                }
+            }
+        }
+        slots.into_iter().map(|slot| verdicts[&slot]).collect()
     }
 
     fn server_count(&self) -> usize {
@@ -425,6 +455,56 @@ mod tests {
                 a.lookup(RequestKey::new(k)).expect("non-empty"),
                 b.lookup(RequestKey::new(k)).expect("non-empty")
             );
+        }
+    }
+
+    #[test]
+    fn lookup_batch_matches_individual_lookups() {
+        let t = small_table(24);
+        let requests = keys(2000);
+        let batched = t.lookup_batch(&requests);
+        assert_eq!(batched.len(), requests.len());
+        for (&r, batch_result) in requests.iter().zip(&batched) {
+            assert_eq!(*batch_result, t.lookup(r), "request {r} diverged in batch");
+        }
+        // Empty pool: every slot fails identically.
+        let empty = small_table(0);
+        for result in empty.lookup_batch(&keys(10)) {
+            assert_eq!(result, Err(TableError::EmptyPool));
+        }
+        // The parallel strategy batches through one thread scope and must
+        // agree with the serial table exactly.
+        let mut parallel = HdHashTable::builder()
+            .dimension(4096)
+            .codebook_size(128)
+            .seed(11)
+            .search(hdhash_hdc::SearchStrategy::Parallel { threads: 4 })
+            .build()
+            .expect("valid config");
+        for i in 0..24 {
+            parallel.join(ServerId::new(i)).expect("fresh server");
+        }
+        assert_eq!(parallel.lookup_batch(&requests), batched);
+    }
+
+    #[test]
+    fn lookup_batch_matches_for_literal_codebook() {
+        // The Independent strategy takes the multi-probe engine path.
+        let mut t = HdHashTable::builder()
+            .dimension(4096)
+            .codebook_size(128)
+            .seed(13)
+            .flip_strategy(hdhash_hdc::basis::FlipStrategy::Independent {
+                flips_per_step: 32,
+            })
+            .build()
+            .expect("valid config");
+        for i in 0..24 {
+            t.join(ServerId::new(i)).expect("fresh server");
+        }
+        let requests = keys(600);
+        for (&r, batch_result) in requests.iter().zip(t.lookup_batch(&requests)) {
+            assert_eq!(batch_result, t.lookup(r));
         }
     }
 

@@ -343,9 +343,7 @@ mod tests {
         assert_eq!(samples.len(), 2 * 12);
         let last = |kind: AlgorithmKind| {
             samples
-                .iter()
-                .filter(|s| s.algorithm == kind)
-                .next_back()
+                .iter().rfind(|s| s.algorithm == kind)
                 .expect("12 months present")
         };
         let consistent = last(AlgorithmKind::Consistent);

@@ -58,13 +58,17 @@ impl ExecutionStats {
 pub struct HashTableModule {
     table: Box<dyn NoisyTable + Send>,
     buffer: Mutex<VecDeque<Request>>,
+    /// Reusable scratch for the lookup-run batching in
+    /// [`execute`](Self::execute), so steady-state draining allocates no
+    /// per-batch key buffer.
+    key_scratch: Vec<hdhash_table::RequestKey>,
 }
 
 impl HashTableModule {
     /// Wraps a hash table behind the module interface.
     #[must_use]
     pub fn new(table: Box<dyn NoisyTable + Send>) -> Self {
-        Self { table, buffer: Mutex::new(VecDeque::new()) }
+        Self { table, buffer: Mutex::new(VecDeque::new()), key_scratch: Vec::new() }
     }
 
     /// Access to the underlying table (e.g. for noise injection).
@@ -109,7 +113,10 @@ impl HashTableModule {
     pub fn execute(&mut self, requests: &[Request]) -> (Vec<Response>, ExecutionStats) {
         let mut responses = Vec::with_capacity(requests.len());
         let mut stats = ExecutionStats::default();
-        let mut pending_keys: Vec<hdhash_table::RequestKey> = Vec::new();
+        // Reuse the module-owned scratch across calls (taken, not borrowed,
+        // so the flush closure can hold it alongside the table).
+        let mut pending_keys = std::mem::take(&mut self.key_scratch);
+        pending_keys.clear();
 
         let flush =
             |keys: &mut Vec<hdhash_table::RequestKey>,
@@ -163,6 +170,7 @@ impl HashTableModule {
             }
         }
         flush(&mut pending_keys, &*self.table, &mut responses, &mut stats);
+        self.key_scratch = pending_keys;
         (responses, stats)
     }
 }

@@ -105,7 +105,7 @@ mod tests {
     fn mcu_burst_is_bounded() {
         let mut t = table_with_servers(AlgorithmKind::Rendezvous, 32);
         let flipped = NoisePlan::Mcu { length: 10 }.apply(&mut *t, 2);
-        assert!(flipped >= 1 && flipped <= 10);
+        assert!((1..=10).contains(&flipped));
     }
 
     #[test]

@@ -101,9 +101,13 @@ impl BundleAccumulator {
                 right: hv.dimension(),
             });
         }
-        for (i, counter) in self.counters.iter_mut().enumerate() {
-            // Bipolar: bit 1 counts +1, bit 0 counts −1.
-            *counter += if hv.bit(i) { sign } else { -sign };
+        // Bipolar: bit 1 counts +1, bit 0 counts −1. Unpack whole storage
+        // words instead of calling the bounds-checked per-bit accessor.
+        for (word_index, &word) in hv.as_words().iter().enumerate() {
+            let chunk = &mut self.counters[word_index * 64..];
+            for (bit, counter) in chunk.iter_mut().take(64).enumerate() {
+                *counter += if (word >> bit) & 1 == 1 { sign } else { -sign };
+            }
         }
         Ok(())
     }

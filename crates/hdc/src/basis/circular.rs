@@ -106,7 +106,7 @@ impl CircularBasis {
         strategy: FlipStrategy,
         rng: &mut Rng,
     ) -> Result<Self, BasisError> {
-        debug_assert!(n % 2 == 0);
+        debug_assert!(n.is_multiple_of(2));
         let half = n / 2;
 
         // Pre-draw the `half` transformation-hypervectors. The FIFO queue

@@ -26,6 +26,7 @@ pub use random::RandomBasis;
 /// flipped bit positions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
 pub enum FlipStrategy {
     /// Literal Algorithm 1: every transformation-hypervector flips
     /// `flips_per_step` random bits, sampled independently per step, so
@@ -40,14 +41,10 @@ pub enum FlipStrategy {
     /// the similarity profile is exactly linear and the extreme elements
     /// are exactly quasi-orthogonal. This reproduces the clean profiles of
     /// the paper's Figure 2 and is the default.
+    #[default]
     Partition,
 }
 
-impl Default for FlipStrategy {
-    fn default() -> Self {
-        FlipStrategy::Partition
-    }
-}
 
 /// Error building a basis set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,449 @@
+//! The batched nearest-neighbour engine: one contiguous word matrix under
+//! every associative-memory scan.
+//!
+//! [`AssociativeMemory`](crate::memory::AssociativeMemory) stores its
+//! entries as `Vec<(K, Hypervector)>` — fine as an API surface, hostile as
+//! a scan layout: every candidate costs a pointer chase into a separately
+//! allocated word buffer. [`BatchLookup`] keeps a synchronized *row-major
+//! word matrix* (`rows × words_per_row`, one flat `Vec<u64>`), so a scan is
+//! a single linear walk that the prefetcher can see coming.
+//!
+//! Three scan shapes, all allocation-free in steady state:
+//!
+//! * [`nearest_one`](BatchLookup::nearest_one) — single-probe argmin with
+//!   best-so-far abandonment (`hamming_distance_within` semantics): a
+//!   candidate is dropped the moment its partial distance exceeds the
+//!   current best;
+//! * [`nearest_batch_into`](BatchLookup::nearest_batch_into) — multi-probe
+//!   scan, cache-blocked so each block of member rows is streamed through
+//!   once for the whole probe batch (the emulator issues thousands of
+//!   lookups per tick);
+//! * [`nearest_in_range`](BatchLookup::nearest_in_range) — the shard
+//!   primitive for the multi-threaded path, with a caller-supplied
+//!   starting bound so shards can inherit a global best.
+
+use crate::hypervector::{hamming_words_within, DimensionMismatchError, Hypervector};
+
+/// Rows of member hypervectors in one contiguous, cache-blocked word
+/// matrix, scanned by Hamming distance.
+///
+/// Row indices are stable under [`push`](Self::push) (append) and shift
+/// down under [`rebuild`](Self::rebuild); callers that key rows (the
+/// associative memory) own the index↔key correspondence.
+#[derive(Debug, Clone)]
+pub struct BatchLookup {
+    dimension: usize,
+    row_words: usize,
+    rows: usize,
+    matrix: Vec<u64>,
+}
+
+/// A scan hit: row index and exact Hamming distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hit {
+    /// Index of the winning row.
+    pub row: usize,
+    /// Its exact Hamming distance to the probe.
+    pub distance: usize,
+}
+
+std::thread_local! {
+    /// Reusable `(prefix distance, row)` buffer for the prefix-filter
+    /// scan in [`BatchLookup::nearest_one`] — queries take `&self`, so the
+    /// scratch lives with the thread, keeping the hot path allocation-free.
+    static PREFIX_SCRATCH: std::cell::RefCell<Vec<(u32, u32)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// How many rows one blocked pass streams before moving to the next probe.
+///
+/// 16 rows of a `d = 10_240` memory are 20 KiB — comfortably inside L1/L2
+/// alongside the probe — while still amortizing the per-probe bookkeeping.
+const ROW_BLOCK: usize = 16;
+
+impl BatchLookup {
+    /// An empty engine for dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        Self { dimension: d, row_words: d.div_ceil(64), rows: 0, matrix: Vec::new() }
+    }
+
+    /// Hypervector dimension of every row.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Number of member rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the engine holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Appends a member row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] on dimension mismatch.
+    pub fn push(&mut self, hv: &Hypervector) -> Result<(), DimensionMismatchError> {
+        if hv.dimension() != self.dimension {
+            return Err(DimensionMismatchError {
+                left: self.dimension,
+                right: hv.dimension(),
+            });
+        }
+        self.matrix.extend_from_slice(hv.as_words());
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Replaces the whole matrix from an entry iterator (used after
+    /// removals, which are rare next to lookups).
+    pub fn rebuild<'a, I: Iterator<Item = &'a Hypervector>>(&mut self, rows: I) {
+        self.matrix.clear();
+        self.rows = 0;
+        for hv in rows {
+            assert_eq!(hv.dimension(), self.dimension, "row dimension mismatch");
+            self.matrix.extend_from_slice(hv.as_words());
+            self.rows += 1;
+        }
+    }
+
+    /// The packed words of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.matrix[i * self.row_words..(i + 1) * self.row_words]
+    }
+
+    /// Flips one bit of row `i` (noise injection keeps the engine in sync
+    /// with the owning memory's entries).
+    pub(crate) fn flip_bit(&mut self, row: usize, bit: usize) {
+        debug_assert!(bit < self.dimension);
+        self.matrix[row * self.row_words + bit / 64] ^= 1u64 << (bit % 64);
+    }
+
+    /// Nearest row to `probe` over all rows: lowest distance, earliest row
+    /// on ties. `None` when empty.
+    ///
+    /// Uses a **prefix-filter** scan when the population is large enough:
+    /// a first pass computes every row's distance on a ~12% word prefix
+    /// (a lower bound on its full distance). If one row's prefix stands
+    /// well below the field — the shape of real HDC inference, where the
+    /// probe is a (possibly noisy) copy of a stored vector — rows are then
+    /// verified in ascending-prefix order, and the scan stops at the first
+    /// prefix exceeding the best full distance: the near match is verified
+    /// fully, everything else dies on its prefix alone. When no prefix
+    /// stands out (uniformly random probe) the scan falls back to the
+    /// plain early-exit sweep, so the filter can win big and never costs
+    /// more than the prefix pass. Both paths return the exact argmin with
+    /// the earliest-row tie-break.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe` has the wrong dimension.
+    #[must_use]
+    pub fn nearest_one(&self, probe: &Hypervector) -> Option<Hit> {
+        assert_eq!(probe.dimension(), self.dimension, "probe dimension mismatch");
+        // Keep the prefix a whole number of 16-word kernel blocks when the
+        // rows are long enough, so both passes run fully unrolled.
+        let prefix_words = match self.row_words / 8 {
+            p if p >= 16 => p & !15,
+            p => p,
+        };
+        if self.rows < 8 || prefix_words == 0 {
+            return self.nearest_in_range(probe, 0, self.rows, self.dimension);
+        }
+        let probe_words = probe.as_words();
+        let probe_prefix = &probe_words[..prefix_words];
+
+        PREFIX_SCRATCH.with(|cell| {
+            // Pass 1: prefix distances (lower bounds) for every row, in a
+            // thread-local scratch so steady-state queries allocate nothing.
+            let mut prefixes = cell.borrow_mut();
+            prefixes.clear();
+            let mut min_p = u32::MAX;
+            let mut sum_p: u64 = 0;
+            for row in 0..self.rows {
+                let row_prefix =
+                    &self.matrix[row * self.row_words..row * self.row_words + prefix_words];
+                let p: u32 = probe_prefix
+                    .iter()
+                    .zip(row_prefix)
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                min_p = min_p.min(p);
+                sum_p += u64::from(p);
+                prefixes.push((p, row as u32));
+            }
+            let mean_p = sum_p / self.rows as u64;
+            // A stand-out minimum (≤ ¾ of the mean) signals a near match:
+            // verifying in ascending-prefix order will then kill the rest
+            // of the field on prefixes alone. Otherwise keep insertion
+            // order — same verification cost, no sort. Either way pass 2
+            // only scans suffixes, so no word is counted twice.
+            let sorted = u64::from(min_p) * 4 <= mean_p * 3;
+            if sorted {
+                prefixes.sort_unstable();
+            }
+
+            // Pass 2: a prefix strictly above the best full distance can
+            // neither win nor tie (suffix distances are non-negative).
+            let mut best: Option<Hit> = None;
+            let mut limit = self.dimension;
+            for &(p, row) in prefixes.iter() {
+                if p as usize > limit {
+                    if sorted {
+                        break;
+                    }
+                    continue;
+                }
+                let row = row as usize;
+                let row_rest = &self.matrix
+                    [row * self.row_words + prefix_words..(row + 1) * self.row_words];
+                let Some(rest) = hamming_words_within(
+                    &probe_words[prefix_words..],
+                    row_rest,
+                    limit - p as usize,
+                ) else {
+                    continue;
+                };
+                let distance = p as usize + rest;
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        distance < b.distance || (distance == b.distance && row < b.row)
+                    }
+                };
+                if better {
+                    best = Some(Hit { row, distance });
+                    limit = distance;
+                }
+            }
+            best
+        })
+    }
+
+    /// Nearest row within `rows[start..end)`, considering only candidates
+    /// at distance `≤ bound` (callers pass the dimension for an unbounded
+    /// scan, or a shared best-so-far to prune across shards).
+    ///
+    /// Ties break toward the earliest row, and a candidate merely *equal*
+    /// to `bound` is still returned — both properties the quantized
+    /// arg-max in `hdhash-core` relies on.
+    #[must_use]
+    pub fn nearest_in_range(
+        &self,
+        probe: &Hypervector,
+        start: usize,
+        end: usize,
+        bound: usize,
+    ) -> Option<Hit> {
+        assert_eq!(probe.dimension(), self.dimension, "probe dimension mismatch");
+        let probe_words = probe.as_words();
+        let mut best: Option<Hit> = None;
+        let mut limit = bound;
+        for row in start..end.min(self.rows) {
+            let row_words = &self.matrix[row * self.row_words..(row + 1) * self.row_words];
+            if let Some(distance) = hamming_words_within(probe_words, row_words, limit) {
+                if best.is_none_or(|b| distance < b.distance) {
+                    best = Some(Hit { row, distance });
+                    limit = distance;
+                }
+            }
+        }
+        best
+    }
+
+    /// Resolves a batch of probes in one cache-blocked sweep: member rows
+    /// are streamed block by block, each block scanned for every probe
+    /// before the next block is touched, so the matrix is read once per
+    /// `ROW_BLOCK` rows regardless of batch size.
+    ///
+    /// Results land in `out` (cleared and refilled; reuse the buffer to
+    /// keep the path allocation-free). Each slot matches
+    /// [`nearest_one`](Self::nearest_one) for the corresponding probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probe has the wrong dimension.
+    pub fn nearest_batch_into(&self, probes: &[&Hypervector], out: &mut Vec<Option<Hit>>) {
+        for probe in probes {
+            assert_eq!(probe.dimension(), self.dimension, "probe dimension mismatch");
+        }
+        out.clear();
+        out.resize(probes.len(), None);
+        let mut block_start = 0;
+        while block_start < self.rows {
+            let block_end = (block_start + ROW_BLOCK).min(self.rows);
+            for (probe, slot) in probes.iter().zip(out.iter_mut()) {
+                let probe_words = probe.as_words();
+                let mut limit = slot.map_or(self.dimension, |b| b.distance);
+                for row in block_start..block_end {
+                    let row_words =
+                        &self.matrix[row * self.row_words..(row + 1) * self.row_words];
+                    if let Some(distance) =
+                        hamming_words_within(probe_words, row_words, limit)
+                    {
+                        if slot.is_none_or(|b| distance < b.distance) {
+                            *slot = Some(Hit { row, distance });
+                            limit = distance;
+                        }
+                    }
+                }
+            }
+            block_start = block_end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn engine_with(n: usize, d: usize, seed: u64) -> (BatchLookup, Vec<Hypervector>) {
+        let mut rng = Rng::new(seed);
+        let mut engine = BatchLookup::new(d);
+        let mut rows = Vec::new();
+        for _ in 0..n {
+            let hv = Hypervector::random(d, &mut rng);
+            engine.push(&hv).expect("dims");
+            rows.push(hv);
+        }
+        (engine, rows)
+    }
+
+    fn naive_nearest(rows: &[Hypervector], probe: &Hypervector) -> Option<Hit> {
+        rows.iter()
+            .enumerate()
+            .map(|(i, hv)| Hit { row: i, distance: probe.hamming_distance(hv) })
+            .min_by_key(|h| (h.distance, h.row))
+    }
+
+    #[test]
+    fn nearest_matches_naive_scan() {
+        for d in [64usize, 65, 130, 1000] {
+            let (engine, rows) = engine_with(40, d, d as u64);
+            let mut rng = Rng::new(999);
+            for _ in 0..25 {
+                let probe = Hypervector::random(d, &mut rng);
+                assert_eq!(
+                    engine.nearest_one(&probe),
+                    naive_nearest(&rows, &probe),
+                    "d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_match_probes_agree_with_naive_scan() {
+        // The prefix-filter path: the probe is a corrupted copy of one row,
+        // the shape of real HDC inference.
+        for d in [512usize, 1000, 10_240] {
+            let (engine, rows) = engine_with(200, d, 3 * d as u64 + 1);
+            let mut rng = Rng::new(4242);
+            for _ in 0..15 {
+                let victim = rng.next_below(200) as usize;
+                let mut probe = rows[victim].clone();
+                probe.flip_bits(rng.distinct_indices(d / 20, d));
+                let hit = engine.nearest_one(&probe);
+                assert_eq!(hit, naive_nearest(&rows, &probe), "d={d}");
+                assert_eq!(hit.expect("non-empty").row, victim);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_probe() {
+        let (engine, _) = engine_with(100, 320, 5);
+        let mut rng = Rng::new(6);
+        let probes: Vec<Hypervector> =
+            (0..37).map(|_| Hypervector::random(320, &mut rng)).collect();
+        let refs: Vec<&Hypervector> = probes.iter().collect();
+        let mut out = Vec::new();
+        engine.nearest_batch_into(&refs, &mut out);
+        assert_eq!(out.len(), probes.len());
+        for (probe, got) in probes.iter().zip(&out) {
+            assert_eq!(*got, engine.nearest_one(probe));
+        }
+    }
+
+    #[test]
+    fn ties_break_to_earliest_row() {
+        let mut engine = BatchLookup::new(128);
+        let hv = Hypervector::ones(128);
+        engine.push(&hv).expect("dims");
+        engine.push(&hv).expect("dims");
+        let hit = engine.nearest_one(&hv).expect("non-empty");
+        assert_eq!((hit.row, hit.distance), (0, 0));
+    }
+
+    #[test]
+    fn bound_still_admits_equal_distance() {
+        let (engine, rows) = engine_with(10, 256, 8);
+        let probe = rows[7].clone();
+        // Bound exactly the winner's distance (0): it must still be found.
+        let hit = engine.nearest_in_range(&probe, 0, 10, 0).expect("bounded hit");
+        assert_eq!(hit.row, 7);
+        // A bound below every distance yields nothing.
+        let mut rng = Rng::new(77);
+        let far = Hypervector::random(256, &mut rng);
+        assert!(engine.nearest_in_range(&far, 0, 10, 0).is_none());
+    }
+
+    #[test]
+    fn rebuild_and_rows_roundtrip() {
+        let (mut engine, rows) = engine_with(9, 130, 11);
+        assert_eq!(engine.len(), 9);
+        for (i, hv) in rows.iter().enumerate() {
+            assert_eq!(engine.row(i), hv.as_words());
+        }
+        engine.rebuild(rows.iter().skip(4));
+        assert_eq!(engine.len(), 5);
+        assert_eq!(engine.row(0), rows[4].as_words());
+    }
+
+    #[test]
+    fn empty_engine_finds_nothing() {
+        let engine = BatchLookup::new(64);
+        let probe = Hypervector::zeros(64);
+        assert!(engine.nearest_one(&probe).is_none());
+        assert!(engine.is_empty());
+        let mut out = vec![Some(Hit { row: 9, distance: 9 })];
+        engine.nearest_batch_into(&[&probe], &mut out);
+        assert_eq!(out, vec![None]);
+    }
+
+    #[test]
+    fn push_rejects_wrong_dimension() {
+        let mut engine = BatchLookup::new(64);
+        assert!(engine.push(&Hypervector::zeros(65)).is_err());
+        assert_eq!(engine.len(), 0);
+        assert_eq!(engine.dimension(), 64);
+    }
+
+    #[test]
+    fn flip_bit_tracks_rows() {
+        let (mut engine, rows) = engine_with(3, 130, 13);
+        engine.flip_bit(2, 129);
+        let mut expect = rows[2].clone();
+        expect.flip_bit(129);
+        assert_eq!(engine.row(2), expect.as_words());
+    }
+}

@@ -195,6 +195,36 @@ impl Hypervector {
             .sum())
     }
 
+    /// Hamming distance to `other`, abandoning the scan as soon as the
+    /// running count exceeds `limit`.
+    ///
+    /// Returns `Some(distance)` when `distance <= limit`, `None` once the
+    /// partial count passes `limit` (without finishing the scan). This is
+    /// the kernel behind best-so-far pruning in nearest-neighbour search:
+    /// most candidates are abandoned after a fraction of their words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hdhash_hdc::{Hypervector, Rng};
+    ///
+    /// let mut rng = Rng::new(9);
+    /// let a = Hypervector::random(10_000, &mut rng);
+    /// let b = Hypervector::random(10_000, &mut rng);
+    /// let d = a.hamming_distance(&b);
+    /// assert_eq!(a.hamming_distance_within(&b, d), Some(d));
+    /// assert_eq!(a.hamming_distance_within(&b, d - 1), None);
+    /// ```
+    #[must_use]
+    pub fn hamming_distance_within(&self, other: &Self, limit: usize) -> Option<usize> {
+        assert_eq!(self.dimension, other.dimension, "dimension mismatch");
+        hamming_words_within(&self.words, &other.words, limit)
+    }
+
     /// In-place XOR (the HDC *bind* operation).
     ///
     /// # Errors
@@ -273,6 +303,19 @@ impl Hypervector {
         Ok(hv)
     }
 
+    /// Builds a hypervector directly from packed words (crate-internal:
+    /// the word-parallel kernels assemble results word-wise).
+    ///
+    /// The caller must supply exactly `d.div_ceil(64)` words; the tail is
+    /// re-masked here so the invariant can never leak.
+    pub(crate) fn from_words(d: usize, words: Vec<u64>) -> Self {
+        assert!(d > 0, "hypervector dimension must be positive");
+        assert_eq!(words.len(), d.div_ceil(64), "word count mismatch");
+        let mut hv = Self { dimension: d, words };
+        hv.mask_tail();
+        hv
+    }
+
     fn check_dims(&self, other: &Self) -> Result<(), DimensionMismatchError> {
         if self.dimension == other.dimension {
             Ok(())
@@ -288,6 +331,36 @@ impl Hypervector {
             let last = self.words.len() - 1;
             self.words[last] &= (1u64 << used) - 1;
         }
+    }
+}
+
+/// Word-level early-exit Hamming kernel shared by [`Hypervector`] and the
+/// batched lookup engine: XOR + popcount in blocks of sixteen words
+/// (1024 dimensions), checking the abandonment bound between blocks so the
+/// hot loop stays branch-light and unrollable.
+#[inline]
+pub(crate) fn hamming_words_within(a: &[u64], b: &[u64], limit: usize) -> Option<usize> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut total = 0usize;
+    let mut chunks_a = a.chunks_exact(16);
+    let mut chunks_b = b.chunks_exact(16);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        let mut block = 0u32;
+        for (x, y) in ca.iter().zip(cb) {
+            block += (x ^ y).count_ones();
+        }
+        total += block as usize;
+        if total > limit {
+            return None;
+        }
+    }
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        total += (x ^ y).count_ones() as usize;
+    }
+    if total <= limit {
+        Some(total)
+    } else {
+        None
     }
 }
 

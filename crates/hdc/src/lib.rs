@@ -29,6 +29,9 @@
 //! * [`memory`] — an associative memory implementing HDC *inference*
 //!   (`argmax` similarity, Eq. 2 of the paper) with serial and
 //!   multi-threaded search paths (the paper's GPU substitute);
+//! * [`batch`] — the [`BatchLookup`] engine behind every memory scan: one
+//!   contiguous row-major word matrix, single-probe early-exit scans and
+//!   cache-blocked multi-probe batches;
 //! * [`noise`] — seeded bit-error injection into stored hypervectors
 //!   (single-event upsets and multi-cell burst upsets);
 //! * [`profile`] — pairwise similarity matrices (paper Figure 2).
@@ -51,6 +54,7 @@
 
 pub mod accumulator;
 pub mod basis;
+pub mod batch;
 pub mod classifier;
 pub mod encoding;
 pub mod hypervector;
@@ -61,6 +65,7 @@ pub mod profile;
 pub mod rng;
 pub mod similarity;
 
+pub use batch::BatchLookup;
 pub use classifier::CentroidClassifier;
 pub use hypervector::{DimensionMismatchError, Hypervector};
 pub use memory::{AssociativeMemory, SearchStrategy};

@@ -6,12 +6,22 @@
 //! operation Schmuck et al. show can be executed in a single clock cycle on
 //! HDC accelerator hardware; on a CPU we provide two paths:
 //!
-//! * [`SearchStrategy::Serial`] — one thread scanning all entries with
-//!   64-way word-parallel XOR + popcount;
+//! * [`SearchStrategy::Serial`] — one thread scanning all entries;
 //! * [`SearchStrategy::Parallel`] — the paper's *GPU substitute*:
 //!   `crossbeam` scoped threads scanning disjoint shards of the memory
 //!   (documented in DESIGN.md as the substitution for the TITAN Xp).
+//!
+//! Both paths run on the [`BatchLookup`] engine: member hypervectors live
+//! in one contiguous row-major word matrix (no per-entry pointer chase),
+//! scans work on integer Hamming distances with best-so-far abandonment
+//! ([`Hypervector::hamming_distance_within`]), and the float similarity is
+//! computed once, for the winner. The parallel path reuses a precomputed
+//! shard plan — rebuilt when membership changes, not re-derived per query.
+//! Both metrics are monotone decreasing in Hamming distance, so the
+//! distance argmin *is* the similarity argmax, ties (earliest insert)
+//! included.
 
+use crate::batch::{BatchLookup, Hit};
 use crate::hypervector::{DimensionMismatchError, Hypervector};
 use crate::similarity::SimilarityMetric;
 
@@ -60,7 +70,16 @@ pub struct AssociativeMemory<K> {
     dimension: usize,
     metric: SimilarityMetric,
     strategy: SearchStrategy,
+    /// Keyed entries in insertion order — the API surface (iteration,
+    /// noise injection, clone-out of stored vectors).
     entries: Vec<(K, Hypervector)>,
+    /// The scan structure: the same hypervectors, flattened into one
+    /// row-major word matrix (row `i` ↔ `entries[i]`), kept in sync by
+    /// every mutation.
+    engine: BatchLookup,
+    /// Precomputed `[start, end)` row ranges for the parallel path,
+    /// rebuilt on membership or strategy change.
+    shard_plan: Vec<(usize, usize)>,
 }
 
 impl<K: Clone + Send + Sync> AssociativeMemory<K> {
@@ -78,6 +97,8 @@ impl<K: Clone + Send + Sync> AssociativeMemory<K> {
             metric: SimilarityMetric::default(),
             strategy: SearchStrategy::default(),
             entries: Vec::new(),
+            engine: BatchLookup::new(d),
+            shard_plan: Vec::new(),
         }
     }
 
@@ -92,6 +113,7 @@ impl<K: Clone + Send + Sync> AssociativeMemory<K> {
     #[must_use]
     pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
         self.strategy = strategy;
+        self.rebuild_shard_plan();
         self
     }
 
@@ -126,10 +148,9 @@ impl<K: Clone + Send + Sync> AssociativeMemory<K> {
     /// Returns [`DimensionMismatchError`] if the hypervector dimension does
     /// not match the memory.
     pub fn insert(&mut self, key: K, hv: Hypervector) -> Result<(), DimensionMismatchError> {
-        if hv.dimension() != self.dimension {
-            return Err(DimensionMismatchError { left: self.dimension, right: hv.dimension() });
-        }
+        self.engine.push(&hv)?;
         self.entries.push((key, hv));
+        self.rebuild_shard_plan();
         Ok(())
     }
 
@@ -138,7 +159,12 @@ impl<K: Clone + Send + Sync> AssociativeMemory<K> {
     pub fn remove_where<F: FnMut(&K) -> bool>(&mut self, mut predicate: F) -> usize {
         let before = self.entries.len();
         self.entries.retain(|(k, _)| !predicate(k));
-        before - self.entries.len()
+        let removed = before - self.entries.len();
+        if removed > 0 {
+            self.engine.rebuild(self.entries.iter().map(|(_, hv)| hv));
+            self.rebuild_shard_plan();
+        }
+        removed
     }
 
     /// Iterates over the stored entries.
@@ -146,10 +172,15 @@ impl<K: Clone + Send + Sync> AssociativeMemory<K> {
         self.entries.iter().map(|(k, hv)| (k, hv))
     }
 
-    /// Mutable access to a stored hypervector by position (used by fault
-    /// injection, which corrupts stored memory words).
-    pub(crate) fn entry_mut(&mut self, index: usize) -> Option<&mut Hypervector> {
-        self.entries.get_mut(index).map(|(_, hv)| hv)
+    /// Flips one bit of entry `index` (fault injection), keeping the scan
+    /// matrix in sync with the stored hypervector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` or `bit` is out of range.
+    pub(crate) fn flip_entry_bit(&mut self, index: usize, bit: usize) {
+        self.entries[index].1.flip_bit(bit);
+        self.engine.flip_bit(index, bit);
     }
 
     /// Returns the entry whose hypervector is most similar to `probe`
@@ -164,13 +195,57 @@ impl<K: Clone + Send + Sync> AssociativeMemory<K> {
     #[must_use]
     pub fn nearest(&self, probe: &Hypervector) -> Option<Match<K>> {
         assert_eq!(probe.dimension(), self.dimension, "probe dimension mismatch");
+        let hit = match self.strategy {
+            SearchStrategy::Serial => self.engine.nearest_one(probe),
+            SearchStrategy::Parallel { .. } => self.nearest_parallel(probe),
+        }?;
+        Some(self.hit_to_match(hit))
+    }
+
+    /// Resolves a whole probe batch with the cache-blocked multi-probe
+    /// kernel; result `i` matches `nearest(probes[i])` exactly.
+    ///
+    /// Under [`SearchStrategy::Parallel`] the *probes* are sharded across
+    /// the worker threads (each worker runs the blocked scan over the full
+    /// matrix), which preserves per-probe determinism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probe has the wrong dimension.
+    #[must_use]
+    pub fn nearest_batch(&self, probes: &[&Hypervector]) -> Vec<Option<Match<K>>> {
+        let mut hits = Vec::new();
         match self.strategy {
-            SearchStrategy::Serial => self.nearest_in(&self.entries, probe),
-            SearchStrategy::Parallel { threads } => self.nearest_parallel(probe, threads.max(1)),
+            SearchStrategy::Serial => self.engine.nearest_batch_into(probes, &mut hits),
+            SearchStrategy::Parallel { threads } => {
+                let threads = threads.max(1).min(probes.len().max(1));
+                let shard = probes.len().div_ceil(threads);
+                if probes.len() <= shard {
+                    self.engine.nearest_batch_into(probes, &mut hits);
+                } else {
+                    let mut shards: Vec<Vec<Option<Hit>>> =
+                        vec![Vec::new(); probes.len().div_ceil(shard)];
+                    crossbeam::thread::scope(|scope| {
+                        for (chunk, slot) in probes.chunks(shard).zip(shards.iter_mut()) {
+                            let engine = &self.engine;
+                            scope.spawn(move |_| {
+                                engine.nearest_batch_into(chunk, slot);
+                            });
+                        }
+                    })
+                    .expect("similarity workers do not panic");
+                    hits = shards.into_iter().flatten().collect();
+                }
+            }
         }
+        hits.into_iter().map(|h| h.map(|hit| self.hit_to_match(hit))).collect()
     }
 
     /// Returns the `k` most similar entries, best first.
+    ///
+    /// Uses partial selection (`select_nth_unstable`) rather than sorting
+    /// the full scored vector, preserving the deterministic earliest-insert
+    /// tie-break.
     ///
     /// # Panics
     ///
@@ -178,64 +253,238 @@ impl<K: Clone + Send + Sync> AssociativeMemory<K> {
     #[must_use]
     pub fn nearest_k(&self, probe: &Hypervector, k: usize) -> Vec<Match<K>> {
         assert_eq!(probe.dimension(), self.dimension, "probe dimension mismatch");
-        let mut scored: Vec<(usize, f64)> = self
-            .entries
-            .iter()
-            .enumerate()
-            .map(|(i, (_, hv))| (i, self.metric.evaluate(probe, hv)))
+        if k == 0 || self.entries.is_empty() {
+            return Vec::new();
+        }
+        // Integer distances; (distance, insert index) orders exactly like
+        // (−similarity, insert index) because both metrics are strictly
+        // decreasing in distance.
+        let mut scored: Vec<(usize, usize)> = (0..self.entries.len())
+            .map(|i| {
+                let row = self.engine.row(i);
+                let dist: usize = probe
+                    .as_words()
+                    .iter()
+                    .zip(row)
+                    .map(|(a, b)| (a ^ b).count_ones() as usize)
+                    .sum();
+                (dist, i)
+            })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        let k = k.min(scored.len());
+        if k < scored.len() {
+            scored.select_nth_unstable(k - 1);
+            scored.truncate(k);
+        }
+        scored.sort_unstable();
         scored
             .into_iter()
-            .take(k)
-            .map(|(i, s)| Match { key: self.entries[i].0.clone(), similarity: s })
+            .map(|(dist, i)| Match {
+                key: self.entries[i].0.clone(),
+                similarity: self.metric.score_from_distance(dist, self.dimension),
+            })
             .collect()
     }
 
-    fn nearest_in(&self, entries: &[(K, Hypervector)], probe: &Hypervector) -> Option<Match<K>> {
-        let mut best: Option<(usize, f64)> = None;
-        for (i, (_, hv)) in entries.iter().enumerate() {
-            let s = self.metric.evaluate(probe, hv);
-            match best {
-                Some((_, bs)) if bs >= s => {}
-                _ => best = Some((i, s)),
-            }
-        }
-        best.map(|(i, s)| Match { key: entries[i].0.clone(), similarity: s })
-    }
-
-    fn nearest_parallel(&self, probe: &Hypervector, threads: usize) -> Option<Match<K>> {
+    /// The quantized arg-max of `hdhash-core`'s partitioned codebook:
+    /// distances are rounded to the grid `quantum` (`q = ⌊(dist + c/2)/c⌋`)
+    /// and the minimum is taken over `(q, order(key))` — a deterministic,
+    /// membership-order-independent tie-break.
+    ///
+    /// Early exit: once a best `q` is known, any candidate whose partial
+    /// distance already exceeds the largest distance mapping to `q` is
+    /// abandoned mid-scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe` has the wrong dimension or `quantum == 0`.
+    #[must_use]
+    pub fn nearest_quantized_by<O, F>(
+        &self,
+        probe: &Hypervector,
+        quantum: usize,
+        order: F,
+    ) -> Option<K>
+    where
+        O: Ord + Send,
+        F: Fn(&K) -> O + Sync,
+    {
+        assert_eq!(probe.dimension(), self.dimension, "probe dimension mismatch");
+        assert!(quantum > 0, "quantum must be positive");
         if self.entries.is_empty() {
             return None;
         }
-        let shard = self.entries.len().div_ceil(threads);
-        let mut results: Vec<Option<(usize, f64)>> = vec![None; threads];
-        crossbeam::thread::scope(|scope| {
-            for (t, (chunk, slot)) in
-                self.entries.chunks(shard).zip(results.iter_mut()).enumerate()
-            {
-                let metric = self.metric;
-                scope.spawn(move |_| {
-                    let mut best: Option<(usize, f64)> = None;
-                    for (i, (_, hv)) in chunk.iter().enumerate() {
-                        let s = metric.evaluate(probe, hv);
-                        match best {
-                            Some((_, bs)) if bs >= s => {}
-                            _ => best = Some((t * shard + i, s)),
-                        }
+        match self.strategy {
+            SearchStrategy::Serial => self
+                .quantized_in_range(probe, quantum, &order, 0, self.entries.len())
+                .map(|(_, _, row)| self.entries[row].0.clone()),
+            SearchStrategy::Parallel { .. } => {
+                let mut results: Vec<Option<(usize, O, usize)>> =
+                    (0..self.shard_plan.len()).map(|_| None).collect();
+                crossbeam::thread::scope(|scope| {
+                    for (&(start, end), slot) in
+                        self.shard_plan.iter().zip(results.iter_mut())
+                    {
+                        let order = &order;
+                        let this = &*self;
+                        scope.spawn(move |_| {
+                            *slot = this.quantized_in_range(probe, quantum, order, start, end);
+                        });
                     }
-                    *slot = best;
+                })
+                .expect("similarity workers do not panic");
+                results
+                    .into_iter()
+                    .flatten()
+                    .min_by(|a, b| (a.0, &a.1, a.2).cmp(&(b.0, &b.1, b.2)))
+                    .map(|(_, _, row)| self.entries[row].0.clone())
+            }
+        }
+    }
+
+    /// Batched form of [`nearest_quantized_by`](Self::nearest_quantized_by):
+    /// result `i` matches the single-probe call for `probes[i]` exactly.
+    ///
+    /// Under [`SearchStrategy::Parallel`] the *probes* are sharded across
+    /// one thread scope (each worker scanning the full matrix serially per
+    /// probe) — batch callers like `hdhash-core`'s slot-deduplicated
+    /// `lookup_batch` get one scope per batch instead of one per probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probe has the wrong dimension or `quantum == 0`.
+    #[must_use]
+    pub fn nearest_quantized_batch_by<O, F>(
+        &self,
+        probes: &[&Hypervector],
+        quantum: usize,
+        order: F,
+    ) -> Vec<Option<K>>
+    where
+        O: Ord + Send,
+        F: Fn(&K) -> O + Sync,
+    {
+        for probe in probes {
+            assert_eq!(probe.dimension(), self.dimension, "probe dimension mismatch");
+        }
+        assert!(quantum > 0, "quantum must be positive");
+        if self.entries.is_empty() {
+            return probes.iter().map(|_| None).collect();
+        }
+        let resolve = |probe: &Hypervector| {
+            self.quantized_in_range(probe, quantum, &order, 0, self.entries.len())
+                .map(|(_, _, row)| self.entries[row].0.clone())
+        };
+        match self.strategy {
+            SearchStrategy::Serial => probes.iter().map(|p| resolve(p)).collect(),
+            SearchStrategy::Parallel { threads } => {
+                let threads = threads.max(1).min(probes.len().max(1));
+                let shard = probes.len().div_ceil(threads);
+                if probes.len() <= shard {
+                    return probes.iter().map(|p| resolve(p)).collect();
+                }
+                let mut shards: Vec<Vec<Option<K>>> =
+                    vec![Vec::new(); probes.len().div_ceil(shard)];
+                crossbeam::thread::scope(|scope| {
+                    for (chunk, slot) in probes.chunks(shard).zip(shards.iter_mut()) {
+                        let resolve = &resolve;
+                        scope.spawn(move |_| {
+                            *slot = chunk.iter().map(|p| resolve(p)).collect();
+                        });
+                    }
+                })
+                .expect("similarity workers do not panic");
+                shards.into_iter().flatten().collect()
+            }
+        }
+    }
+
+    /// Quantized scan over one row range; returns `(q, order(key), row)`.
+    fn quantized_in_range<O: Ord, F: Fn(&K) -> O>(
+        &self,
+        probe: &Hypervector,
+        quantum: usize,
+        order: &F,
+        start: usize,
+        end: usize,
+    ) -> Option<(usize, O, usize)> {
+        let mut best: Option<(usize, O, usize)> = None;
+        // Largest distance still mapping to quantum level `q`:
+        // dist ≤ q·c + c − 1 − c/2.
+        let limit_for = |q: usize| q * quantum + quantum - 1 - quantum / 2;
+        let mut limit = self.dimension;
+        for row in start..end {
+            let probe_words = probe.as_words();
+            let row_words = self.engine.row(row);
+            let Some(dist) =
+                crate::hypervector::hamming_words_within(probe_words, row_words, limit)
+            else {
+                continue;
+            };
+            let q = (dist + quantum / 2) / quantum;
+            let key_order = order(&self.entries[row].0);
+            let better = match &best {
+                None => true,
+                Some((bq, bo, _)) => (q, &key_order) < (*bq, bo),
+            };
+            if better {
+                limit = limit_for(q).min(self.dimension);
+                best = Some((q, key_order, row));
+            }
+        }
+        best
+    }
+
+    fn hit_to_match(&self, hit: Hit) -> Match<K> {
+        Match {
+            key: self.entries[hit.row].0.clone(),
+            similarity: self.metric.score_from_distance(hit.distance, self.dimension),
+        }
+    }
+
+    /// Parallel single-probe scan over the precomputed shard plan: each
+    /// worker prunes within its shard; the global winner is the
+    /// `(distance, row)` minimum of the shard winners — identical to the
+    /// serial result, tie-break included.
+    fn nearest_parallel(&self, probe: &Hypervector) -> Option<Hit> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        if self.shard_plan.len() == 1 {
+            return self.engine.nearest_one(probe);
+        }
+        let mut results: Vec<Option<Hit>> = vec![None; self.shard_plan.len()];
+        crossbeam::thread::scope(|scope| {
+            for (&(start, end), slot) in self.shard_plan.iter().zip(results.iter_mut()) {
+                let engine = &self.engine;
+                scope.spawn(move |_| {
+                    *slot = engine.nearest_in_range(probe, start, end, engine.dimension());
                 });
             }
         })
         .expect("similarity workers do not panic");
+        results.into_iter().flatten().min_by_key(|h| (h.distance, h.row))
+    }
 
-        let best = results
-            .into_iter()
-            .flatten()
-            // Global tie-break toward the lowest index, matching Serial.
-            .min_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)))?;
-        Some(Match { key: self.entries[best.0].0.clone(), similarity: best.1 })
+    /// Rebuilds the `[start, end)` shard ranges for the current strategy
+    /// and membership (the plan the parallel path reuses on every query).
+    fn rebuild_shard_plan(&mut self) {
+        self.shard_plan.clear();
+        let threads = match self.strategy {
+            SearchStrategy::Serial => 1,
+            SearchStrategy::Parallel { threads } => threads.max(1),
+        };
+        let n = self.entries.len();
+        if n == 0 {
+            return;
+        }
+        let shard = n.div_ceil(threads);
+        let mut start = 0;
+        while start < n {
+            let end = (start + shard).min(n);
+            self.shard_plan.push((start, end));
+            start = end;
+        }
     }
 }
 
@@ -301,6 +550,28 @@ mod tests {
     }
 
     #[test]
+    fn batch_matches_single_probe_over_strategies() {
+        let (mem, _) = filled_memory(60, 1024, 96);
+        let mut rng = Rng::new(55);
+        let probes: Vec<Hypervector> =
+            (0..33).map(|_| Hypervector::random(1024, &mut rng)).collect();
+        let refs: Vec<&Hypervector> = probes.iter().collect();
+        for threads in [1usize, 3, 7] {
+            let par = mem.clone().with_strategy(SearchStrategy::Parallel { threads });
+            for m in [&mem, &par] {
+                let batch = m.nearest_batch(&refs);
+                assert_eq!(batch.len(), probes.len());
+                for (probe, got) in probes.iter().zip(&batch) {
+                    let single = m.nearest(probe).expect("non-empty");
+                    let got = got.as_ref().expect("non-empty");
+                    assert_eq!(got.key, single.key);
+                    assert!((got.similarity - single.similarity).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn tie_break_is_first_inserted() {
         let mut mem = AssociativeMemory::new(128);
         let hv = Hypervector::ones(128);
@@ -330,6 +601,88 @@ mod tests {
     }
 
     #[test]
+    fn nearest_k_handles_edge_sizes_and_ties() {
+        let (mem, hvs) = filled_memory(10, 512, 97);
+        assert!(mem.nearest_k(&hvs[0], 0).is_empty());
+        // k beyond the population returns everything, best first.
+        let all = mem.nearest_k(&hvs[3], 100);
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0].key, 3);
+        for pair in all.windows(2) {
+            assert!(pair[0].similarity >= pair[1].similarity);
+        }
+        // Exact duplicates tie-break toward the earliest insert.
+        let mut mem = AssociativeMemory::new(64);
+        let hv = Hypervector::ones(64);
+        for i in 0..5usize {
+            mem.insert(i, hv.clone()).expect("dims");
+        }
+        let top = mem.nearest_k(&hv, 3);
+        assert_eq!(
+            top.iter().map(|m| m.key).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "duplicate scores must order by insertion"
+        );
+    }
+
+    #[test]
+    fn quantized_argmax_matches_exhaustive() {
+        let (mem, _) = filled_memory(40, 4096, 98);
+        let mut rng = Rng::new(41);
+        for threads in [0usize, 1, 4] {
+            let m = if threads == 0 {
+                mem.clone()
+            } else {
+                mem.clone().with_strategy(SearchStrategy::Parallel { threads })
+            };
+            for quantum in [32usize, 64] {
+                for _ in 0..10 {
+                    let probe = Hypervector::random(4096, &mut rng);
+                    let got = m
+                        .nearest_quantized_by(&probe, quantum, |&k| k)
+                        .expect("non-empty");
+                    let want = m
+                        .iter()
+                        .map(|(&k, hv)| {
+                            ((probe.hamming_distance(hv) + quantum / 2) / quantum, k)
+                        })
+                        .min()
+                        .map(|(_, k)| k)
+                        .expect("non-empty");
+                    assert_eq!(got, want, "threads={threads} quantum={quantum}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_batch_matches_single_probe() {
+        let (mem, _) = filled_memory(30, 2048, 101);
+        let mut rng = Rng::new(11);
+        let probes: Vec<Hypervector> =
+            (0..17).map(|_| Hypervector::random(2048, &mut rng)).collect();
+        let refs: Vec<&Hypervector> = probes.iter().collect();
+        for threads in [0usize, 2, 5] {
+            let m = if threads == 0 {
+                mem.clone()
+            } else {
+                mem.clone().with_strategy(SearchStrategy::Parallel { threads })
+            };
+            let batch = m.nearest_quantized_batch_by(&refs, 32, |&k| k);
+            assert_eq!(batch.len(), probes.len());
+            for (probe, got) in probes.iter().zip(batch) {
+                assert_eq!(
+                    got,
+                    m.nearest_quantized_by(probe, 32, |&k| k),
+                    "threads={threads}"
+                );
+            }
+        }
+        let empty: AssociativeMemory<usize> = AssociativeMemory::new(2048);
+        assert_eq!(empty.nearest_quantized_batch_by(&refs, 32, |&k| k), vec![None; 17]);
+    }
+
+    #[test]
     fn insert_wrong_dimension_errors() {
         let mut mem = AssociativeMemory::new(100);
         let hv = Hypervector::zeros(101);
@@ -338,11 +691,14 @@ mod tests {
 
     #[test]
     fn remove_where_removes() {
-        let (mut mem, _) = filled_memory(10, 256, 94);
+        let (mut mem, hvs) = filled_memory(10, 256, 94);
         let removed = mem.remove_where(|&k| k % 2 == 0);
         assert_eq!(removed, 5);
         assert_eq!(mem.len(), 5);
         assert!(mem.iter().all(|(k, _)| k % 2 == 1));
+        // The scan matrix compacted in step with the entries.
+        assert_eq!(mem.nearest(&hvs[3]).expect("non-empty").key, 3);
+        assert_eq!(mem.nearest(&hvs[9]).expect("non-empty").key, 9);
     }
 
     #[test]
@@ -359,5 +715,24 @@ mod tests {
             AssociativeMemory::new(64).with_metric(SimilarityMetric::Cosine);
         assert_eq!(mem.metric(), SimilarityMetric::Cosine);
         assert_eq!(mem.dimension(), 64);
+    }
+
+    #[test]
+    fn similarity_scores_match_metric_evaluate() {
+        let (mem, _) = filled_memory(20, 1000, 99);
+        let cos = mem.clone().with_metric(SimilarityMetric::Cosine);
+        let mut rng = Rng::new(7);
+        for _ in 0..10 {
+            let probe = Hypervector::random(1000, &mut rng);
+            for m in [&mem, &cos] {
+                let hit = m.nearest(&probe).expect("non-empty");
+                let stored = m
+                    .iter()
+                    .find(|(&k, _)| k == hit.key)
+                    .map(|(_, hv)| hv)
+                    .expect("winner stored");
+                assert_eq!(hit.similarity, m.metric().evaluate(&probe, stored));
+            }
+        }
     }
 }

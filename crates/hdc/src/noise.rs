@@ -32,7 +32,7 @@ pub fn flip_random_bits<K: Clone + Send + Sync>(
     for _ in 0..count {
         let entry = rng.next_below(entries as u64) as usize;
         let bit = rng.next_below(d as u64) as usize;
-        memory.entry_mut(entry).expect("index in range").flip_bit(bit);
+        memory.flip_entry_bit(entry, bit);
     }
     count
 }
@@ -55,9 +55,8 @@ pub fn flip_burst<K: Clone + Send + Sync>(
     let entry = rng.next_below(memory.len() as u64) as usize;
     let start = rng.next_below(d as u64) as usize;
     let end = (start + length).min(d);
-    let hv = memory.entry_mut(entry).expect("index in range");
     for bit in start..end {
-        hv.flip_bit(bit);
+        memory.flip_entry_bit(entry, bit);
     }
     end - start
 }
@@ -114,7 +113,7 @@ mod tests {
         let mut noisy = clean.clone();
         let mut rng = Rng::new(101);
         let flipped = flip_burst(&mut noisy, 10, &mut rng);
-        assert!(flipped <= 10 && flipped >= 1);
+        assert!((1..=10).contains(&flipped));
         // Exactly one entry was touched.
         let touched: Vec<usize> = clean
             .iter()
@@ -146,7 +145,7 @@ mod tests {
             let mut noisy = mem.clone();
             let mut rng = Rng::new(seed);
             let flipped = flip_burst(&mut noisy, 16, &mut rng);
-            assert!(flipped >= 1 && flipped <= 16);
+            assert!((1..=16).contains(&flipped));
         }
         let _ = flip_random_bits(&mut mem, 0, &mut Rng::new(0));
     }

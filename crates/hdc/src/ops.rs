@@ -11,6 +11,27 @@
 //!   bundle is similar to each of its inputs.
 //! * **permute** — cyclic bit rotation, a fixed distance-preserving
 //!   bijection used to encode order.
+//!
+//! ## Word-parallel kernels
+//!
+//! Every kernel here works 64 dimensions per machine word — the CPU
+//! analogue of the dimension-independent parallelism HDC hardware provides:
+//!
+//! * [`bundle`] streams its inputs through a [`MajorityBundler`], a
+//!   bit-sliced **carry-save counter network**: per-dimension counts are
+//!   stored transposed, one `u64` "plane" per count bit, so adding an input
+//!   is `O(words · log n)` bitwise ops and the majority readout is a
+//!   bit-sliced comparator — never a per-bit loop;
+//! * [`permute`] rotates whole words (shift + carry between neighbours)
+//!   instead of moving bits one at a time;
+//! * [`Hypervector::hamming_distance_within`] abandons a distance
+//!   computation as soon as it exceeds a caller-supplied bound (the pruning
+//!   kernel behind [`memory`](crate::memory) scans).
+//!
+//! The original bit-at-a-time formulations survive in [`reference`]; the
+//! property suite (`tests/kernel_equivalence.rs`) proves the optimized
+//! kernels byte-identical to them across dimensions, including
+//! non-multiples of 64 that exercise the masked tail word.
 
 use crate::hypervector::{DimensionMismatchError, Hypervector};
 use crate::rng::Rng;
@@ -38,6 +59,33 @@ pub fn bind(a: &Hypervector, b: &Hypervector) -> Result<Hypervector, DimensionMi
     a.xor(b)
 }
 
+/// Binds `other` into `target` in place (no allocation) — the streaming
+/// form of [`bind`] for hot paths that reuse a probe buffer.
+///
+/// # Errors
+///
+/// Returns [`DimensionMismatchError`] if dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hdc::{ops::{bind, bind_assign}, Hypervector, Rng};
+///
+/// let mut rng = Rng::new(5);
+/// let a = Hypervector::random(256, &mut rng);
+/// let b = Hypervector::random(256, &mut rng);
+/// let mut inplace = a.clone();
+/// bind_assign(&mut inplace, &b)?;
+/// assert_eq!(inplace, bind(&a, &b)?);
+/// # Ok::<(), hdhash_hdc::DimensionMismatchError>(())
+/// ```
+pub fn bind_assign(
+    target: &mut Hypervector,
+    other: &Hypervector,
+) -> Result<(), DimensionMismatchError> {
+    target.xor_assign(other)
+}
+
 /// Creates a sparse *transformation-hypervector*: a zero vector with
 /// exactly `flips` distinct random bits set.
 ///
@@ -54,10 +102,182 @@ pub fn transformation(d: usize, flips: usize, rng: &mut Rng) -> Hypervector {
     t
 }
 
+/// A reusable bit-sliced majority-vote accumulator (carry-save counter
+/// network).
+///
+/// Per-dimension vote counts are kept *transposed*: `planes[k]` holds bit
+/// `k` of every dimension's count, packed 64 lanes per `u64` word. Adding a
+/// hypervector is a ripple-carry add of a 1-bit number across the planes —
+/// `O(words · log n)` bitwise ops, no per-bit work — and the majority
+/// readout is a bit-sliced magnitude comparator against the threshold.
+///
+/// The bundler is reusable: [`reset`](MajorityBundler::reset) clears the
+/// counts without releasing the plane storage, so steady-state bundling
+/// allocates nothing per element (planes grow logarithmically, to
+/// `ceil(log2(n + 1))`, on the first few adds only).
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_hdc::{ops::MajorityBundler, Hypervector, Rng};
+///
+/// let mut rng = Rng::new(17);
+/// let inputs: Vec<Hypervector> =
+///     (0..5).map(|_| Hypervector::random(4096, &mut rng)).collect();
+/// let mut bundler = MajorityBundler::new(4096);
+/// for hv in &inputs {
+///     bundler.add(hv)?;
+/// }
+/// let majority = bundler.majority(None);
+/// // Odd count: the majority agrees with every input more than chance.
+/// for hv in &inputs {
+///     assert!(majority.hamming_distance(hv) < 2048);
+/// }
+/// # Ok::<(), hdhash_hdc::DimensionMismatchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MajorityBundler {
+    dimension: usize,
+    words: usize,
+    /// `planes[k][w]`: bit `k` of the count for each of the 64 lanes of
+    /// word `w`.
+    planes: Vec<Vec<u64>>,
+    /// Ripple-carry scratch, reused across adds.
+    carry: Vec<u64>,
+    members: usize,
+}
+
+impl MajorityBundler {
+    /// Creates an empty bundler for dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        let words = d.div_ceil(64);
+        Self { dimension: d, words, planes: Vec::new(), carry: vec![0; words], members: 0 }
+    }
+
+    /// Dimensionality.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Number of hypervectors added since the last reset.
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// Clears the counts, keeping the allocated planes for reuse.
+    pub fn reset(&mut self) {
+        for plane in &mut self.planes {
+            plane.iter_mut().for_each(|w| *w = 0);
+        }
+        self.members = 0;
+    }
+
+    /// Adds one hypervector's votes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] on dimension mismatch.
+    pub fn add(&mut self, hv: &Hypervector) -> Result<(), DimensionMismatchError> {
+        if hv.dimension() != self.dimension {
+            return Err(DimensionMismatchError {
+                left: self.dimension,
+                right: hv.dimension(),
+            });
+        }
+        self.add_words(hv.as_words());
+        Ok(())
+    }
+
+    /// Adds votes from a raw word row (used by the batched lookup engine,
+    /// whose storage is a contiguous word matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `words` has the wrong length.
+    pub(crate) fn add_words(&mut self, words: &[u64]) {
+        debug_assert_eq!(words.len(), self.words);
+        // Ripple-carry add of the 1-bit number `words` into the transposed
+        // counters: carry₀ = input, then per plane
+        //   carryₖ₊₁ = planeₖ & carryₖ;  planeₖ ^= carryₖ.
+        self.carry.copy_from_slice(words);
+        for k in 0.. {
+            if self.carry.iter().all(|&w| w == 0) {
+                break;
+            }
+            if k == self.planes.len() {
+                self.planes.push(vec![0; self.words]);
+            }
+            let plane = &mut self.planes[k];
+            for (p, c) in plane.iter_mut().zip(self.carry.iter_mut()) {
+                let new_carry = *p & *c;
+                *p ^= *c;
+                *c = new_carry;
+            }
+        }
+        self.members += 1;
+    }
+
+    /// Reads out the majority vote: bit `i` of the result is 1 iff
+    /// `count_i > members / 2`, with exact-half ties (even member counts)
+    /// resolved by `tie`'s bit — the same contract as the scalar
+    /// formulation in [`reference::bundle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no members were added, or if `tie` has the wrong
+    /// dimension.
+    #[must_use]
+    pub fn majority(&self, tie: Option<&Hypervector>) -> Hypervector {
+        assert!(self.members > 0, "majority of zero hypervectors is undefined");
+        if let Some(t) = tie {
+            assert_eq!(t.dimension(), self.dimension, "tie-break dimension mismatch");
+        }
+        let half = self.members / 2;
+        let bits = self.planes.len();
+        let mut out = vec![0u64; self.words];
+        for (w, out_word) in out.iter_mut().enumerate() {
+            // Bit-sliced comparator: per lane, gt = (count > half),
+            // eq = (count == half), scanning count bits MSB → LSB.
+            let mut gt = 0u64;
+            let mut eq = u64::MAX;
+            for k in (0..bits).rev() {
+                let c = self.planes[k][w];
+                let h = if (half >> k) & 1 == 1 { u64::MAX } else { 0 };
+                gt |= eq & c & !h;
+                eq &= !(c ^ h);
+            }
+            // `half` may have set bits above the plane count only when no
+            // lane can reach it; those lanes correctly read eq = 0.
+            if half >> bits != 0 {
+                eq = 0;
+                gt = 0;
+            }
+            *out_word = gt;
+            if let Some(t) = tie {
+                *out_word |= eq & t.as_words()[w];
+            }
+        }
+        Hypervector::from_words(self.dimension, out)
+    }
+}
+
 /// Bundles hypervectors by bitwise majority vote.
 ///
 /// For an even number of inputs, ties are broken by `tie_break` bits drawn
 /// deterministically from `rng` (the conventional approach in binary HDC).
+///
+/// The vote is computed by a word-parallel carry-save counter network
+/// ([`MajorityBundler`]): ~64 dimensions per bitwise operation instead of
+/// the naive per-bit scan (kept in [`reference::bundle`] as the
+/// equivalence-tested specification).
 ///
 /// # Errors
 ///
@@ -78,41 +298,146 @@ pub fn bundle(
             return Err(DimensionMismatchError { left: d, right: hv.dimension() });
         }
     }
-    let needs_tiebreak = inputs.len() % 2 == 0;
-    let tie = if needs_tiebreak { Some(Hypervector::random(d, rng)) } else { None };
+    // Drawn before voting, exactly like the reference implementation, so
+    // both consume the RNG identically (bit-for-bit reproducibility).
+    let tie = if inputs.len().is_multiple_of(2) { Some(Hypervector::random(d, rng)) } else { None };
 
-    let mut out = Hypervector::zeros(d);
-    let half = inputs.len() / 2;
-    for i in 0..d {
-        let mut count = inputs.iter().filter(|hv| hv.bit(i)).count();
-        if let Some(t) = &tie {
-            // A tie-break vote only matters when the count sits exactly at
-            // the boundary; adding it unconditionally keeps the majority
-            // semantics for all other counts because of the strict compare.
-            if count == half && t.bit(i) {
-                count += 1;
-            }
-        }
-        out.set_bit(i, count > half);
+    let mut bundler = MajorityBundler::new(d);
+    for hv in inputs {
+        bundler.add_words(hv.as_words());
     }
-    Ok(out)
+    Ok(bundler.majority(tie.as_ref()))
 }
 
 /// Cyclically rotates the bits of a hypervector by `shift` positions.
 ///
 /// Permutation is a distance-preserving bijection; `permute(hv, d)` is the
 /// identity.
+///
+/// Implemented as a word-level rotation of the `d`-bit vector: the result
+/// is `(x << s | x >> (d − s)) mod 2^d`, assembled whole words at a time
+/// (shift plus carry bits from the neighbouring word) rather than moving
+/// bits one by one.
 #[must_use]
 pub fn permute(hv: &Hypervector, shift: usize) -> Hypervector {
     let d = hv.dimension();
     let shift = shift % d;
-    let mut out = Hypervector::zeros(d);
-    for i in 0..d {
-        if hv.bit(i) {
-            out.set_bit((i + shift) % d, true);
-        }
+    let mut out = vec![0u64; hv.word_len()];
+    shl_or_into(hv.as_words(), shift, &mut out);
+    if shift != 0 {
+        shr_or_into(hv.as_words(), d - shift, &mut out);
     }
-    out
+    Hypervector::from_words(d, out)
+}
+
+/// ORs `src << shift` (as one big little-endian integer) into `dst`.
+fn shl_or_into(src: &[u64], shift: usize, dst: &mut [u64]) {
+    let word_shift = shift / 64;
+    let bit_shift = shift % 64;
+    for w in (word_shift..dst.len()).rev() {
+        let lo = src[w - word_shift];
+        let mut word = lo << bit_shift;
+        if bit_shift != 0 && w > word_shift {
+            word |= src[w - word_shift - 1] >> (64 - bit_shift);
+        }
+        dst[w] |= word;
+    }
+}
+
+/// ORs `src >> shift` (as one big little-endian integer) into `dst`.
+fn shr_or_into(src: &[u64], shift: usize, dst: &mut [u64]) {
+    let word_shift = shift / 64;
+    let bit_shift = shift % 64;
+    for w in 0..dst.len().saturating_sub(word_shift) {
+        let hi = src[w + word_shift];
+        let mut word = hi >> bit_shift;
+        if bit_shift != 0 && w + word_shift + 1 < src.len() {
+            word |= src[w + word_shift + 1] << (64 - bit_shift);
+        }
+        dst[w] |= word;
+    }
+}
+
+/// Bit-at-a-time reference implementations of the kernels.
+///
+/// These are the *specifications*: transparently correct, dimension-by-
+/// dimension formulations that the optimized word-parallel kernels must
+/// match bit-for-bit (enforced by `tests/kernel_equivalence.rs` and
+/// benchmarked against in `hdhash-bench`). They are not used on any hot
+/// path.
+pub mod reference {
+    use super::{DimensionMismatchError, Hypervector, Rng};
+
+    /// Per-bit majority bundle — the original formulation of
+    /// [`bundle`](super::bundle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if any input dimension differs
+    /// from the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn bundle(
+        inputs: &[&Hypervector],
+        rng: &mut Rng,
+    ) -> Result<Hypervector, DimensionMismatchError> {
+        assert!(!inputs.is_empty(), "bundle of zero hypervectors is undefined");
+        let d = inputs[0].dimension();
+        for hv in inputs {
+            if hv.dimension() != d {
+                return Err(DimensionMismatchError { left: d, right: hv.dimension() });
+            }
+        }
+        let needs_tiebreak = inputs.len().is_multiple_of(2);
+        let tie = if needs_tiebreak { Some(Hypervector::random(d, rng)) } else { None };
+
+        let mut out = Hypervector::zeros(d);
+        let half = inputs.len() / 2;
+        for i in 0..d {
+            let mut count = inputs.iter().filter(|hv| hv.bit(i)).count();
+            if let Some(t) = &tie {
+                // A tie-break vote only matters when the count sits exactly
+                // at the boundary; adding it unconditionally keeps the
+                // majority semantics for all other counts because of the
+                // strict compare.
+                if count == half && t.bit(i) {
+                    count += 1;
+                }
+            }
+            out.set_bit(i, count > half);
+        }
+        Ok(out)
+    }
+
+    /// Per-bit cyclic rotation — the original formulation of
+    /// [`permute`](super::permute).
+    #[must_use]
+    pub fn permute(hv: &Hypervector, shift: usize) -> Hypervector {
+        let d = hv.dimension();
+        let shift = shift % d;
+        let mut out = Hypervector::zeros(d);
+        for i in 0..d {
+            if hv.bit(i) {
+                out.set_bit((i + shift) % d, true);
+            }
+        }
+        out
+    }
+
+    /// Per-bit Hamming distance — the specification for both
+    /// [`Hypervector::hamming_distance`] and the early-exit
+    /// [`Hypervector::hamming_distance_within`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn hamming(a: &Hypervector, b: &Hypervector) -> usize {
+        assert_eq!(a.dimension(), b.dimension(), "dimension mismatch");
+        (0..a.dimension()).filter(|&i| a.bit(i) != b.bit(i)).count()
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +468,18 @@ mod tests {
         let a = Hypervector::zeros(10);
         let b = Hypervector::zeros(20);
         assert!(bind(&a, &b).is_err());
+        let mut a = a;
+        assert!(bind_assign(&mut a, &b).is_err());
+    }
+
+    #[test]
+    fn bind_assign_matches_bind() {
+        let mut rng = Rng::new(35);
+        let a = Hypervector::random(777, &mut rng);
+        let b = Hypervector::random(777, &mut rng);
+        let mut inplace = a.clone();
+        bind_assign(&mut inplace, &b).expect("dims");
+        assert_eq!(inplace, bind(&a, &b).expect("dims"));
     }
 
     #[test]
@@ -212,6 +549,59 @@ mod tests {
     }
 
     #[test]
+    fn bundle_matches_reference_exactly() {
+        // Bit-for-bit agreement with the per-bit specification, odd and
+        // even counts, including tail-word dimensions.
+        for (n, d, seed) in
+            [(1usize, 130usize, 1u64), (2, 64, 2), (3, 65, 3), (4, 1000, 4), (7, 10_000, 5), (16, 127, 6)]
+        {
+            let mut rng = Rng::new(seed);
+            let inputs: Vec<Hypervector> =
+                (0..n).map(|_| Hypervector::random(d, &mut rng)).collect();
+            let refs: Vec<&Hypervector> = inputs.iter().collect();
+            // Identical RNG state into both implementations.
+            let mut rng_fast = Rng::new(seed ^ 0xABCD);
+            let mut rng_ref = Rng::new(seed ^ 0xABCD);
+            let fast = bundle(&refs, &mut rng_fast).expect("dims");
+            let naive = reference::bundle(&refs, &mut rng_ref).expect("dims");
+            assert_eq!(fast, naive, "n={n} d={d}");
+            assert_eq!(rng_fast, rng_ref, "RNG consumption must match");
+        }
+    }
+
+    #[test]
+    fn bundler_reuse_is_clean() {
+        let mut rng = Rng::new(60);
+        let a = Hypervector::random(320, &mut rng);
+        let b = Hypervector::random(320, &mut rng);
+        let mut bundler = MajorityBundler::new(320);
+        bundler.add(&a).expect("dims");
+        bundler.add(&a).expect("dims");
+        bundler.add(&b).expect("dims");
+        assert_eq!(bundler.majority(None), a, "2-of-3 majority is a");
+        assert_eq!(bundler.members(), 3);
+        bundler.reset();
+        assert_eq!(bundler.members(), 0);
+        bundler.add(&b).expect("dims");
+        assert_eq!(bundler.majority(None), b, "stale counts leaked through reset");
+    }
+
+    #[test]
+    fn bundler_rejects_wrong_dimension() {
+        let mut bundler = MajorityBundler::new(64);
+        assert!(bundler.add(&Hypervector::zeros(65)).is_err());
+        assert_eq!(bundler.members(), 0);
+        assert_eq!(bundler.dimension(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn bundler_empty_majority_panics() {
+        let bundler = MajorityBundler::new(64);
+        let _ = bundler.majority(None);
+    }
+
+    #[test]
     fn permute_is_bijective_and_preserves_weight() {
         let mut rng = Rng::new(29);
         let a = Hypervector::random(1001, &mut rng);
@@ -236,5 +626,20 @@ mod tests {
         let p = permute(&a, 1);
         let dist = hamming(&a, &p);
         assert!((4_500..5_500).contains(&dist), "rotation should look random: {dist}");
+    }
+
+    #[test]
+    fn permute_matches_reference_exactly() {
+        let mut rng = Rng::new(32);
+        for d in [1usize, 63, 64, 65, 127, 128, 129, 333, 1000, 10_000] {
+            let a = Hypervector::random(d, &mut rng);
+            for shift in [0usize, 1, 63, 64, 65, d / 2, d - 1, d, d + 7] {
+                assert_eq!(
+                    permute(&a, shift),
+                    reference::permute(&a, shift),
+                    "d={d} shift={shift}"
+                );
+            }
+        }
     }
 }

@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn distinct_indices_cover_space_over_draws() {
         let mut rng = Rng::new(5);
-        let mut seen = vec![false; 32];
+        let mut seen = [false; 32];
         for _ in 0..200 {
             for i in rng.distinct_indices(4, 32) {
                 seen[i] = true;

@@ -36,6 +36,21 @@ impl SimilarityMetric {
             SimilarityMetric::Cosine => cosine(a, b),
         }
     }
+
+    /// Converts an integer Hamming distance into this metric's score.
+    ///
+    /// Bit-identical to [`evaluate`](Self::evaluate) (same floating-point
+    /// expression over the same integers), which lets distance-only search
+    /// kernels defer the float conversion to the single winning candidate.
+    #[must_use]
+    pub fn score_from_distance(self, distance: usize, dimension: usize) -> f64 {
+        match self {
+            SimilarityMetric::InverseHamming => {
+                1.0 - distance as f64 / dimension as f64
+            }
+            SimilarityMetric::Cosine => 1.0 - 2.0 * distance as f64 / dimension as f64,
+        }
+    }
 }
 
 impl core::fmt::Display for SimilarityMetric {

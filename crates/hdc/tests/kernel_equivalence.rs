@@ -1,0 +1,204 @@
+//! Equivalence properties: the optimized word-parallel kernels must be
+//! **byte-identical** to the naive bit-at-a-time reference implementations
+//! (`hdhash_hdc::ops::reference`) on every input — random dimensions
+//! included, and especially dimensions that are not multiples of 64, which
+//! exercise the masked tail word of the packed representation.
+
+use hdhash_hdc::ops::{bundle, permute, reference, MajorityBundler};
+use hdhash_hdc::{AssociativeMemory, BatchLookup, Hypervector, Rng};
+use proptest::prelude::*;
+
+/// Dimensions biased toward word-boundary edge cases.
+fn dims() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(63),
+        Just(64),
+        Just(65),
+        Just(127),
+        Just(128),
+        Just(129),
+        2usize..700,
+        Just(1000),
+        Just(10_000),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Word-parallel bundle == per-bit bundle, bit for bit, for odd and
+    /// even input counts (even counts draw the same tie-break vector from
+    /// identically seeded RNGs).
+    #[test]
+    fn bundle_equals_reference(seed in any::<u64>(), d in dims(), n in 1usize..18) {
+        let mut rng = Rng::new(seed);
+        let inputs: Vec<Hypervector> =
+            (0..n).map(|_| Hypervector::random(d, &mut rng)).collect();
+        let refs: Vec<&Hypervector> = inputs.iter().collect();
+        let mut rng_fast = Rng::new(seed ^ 0x5EED);
+        let mut rng_ref = Rng::new(seed ^ 0x5EED);
+        let fast = bundle(&refs, &mut rng_fast).unwrap();
+        let naive = reference::bundle(&refs, &mut rng_ref).unwrap();
+        prop_assert_eq!(fast.to_bytes(), naive.to_bytes());
+        // Identical RNG consumption keeps downstream draws reproducible.
+        prop_assert_eq!(rng_fast.next_u64(), rng_ref.next_u64());
+    }
+
+    /// The streaming bundler agrees with one-shot bundle for odd counts
+    /// (no tie vector involved) and survives reuse.
+    #[test]
+    fn streaming_bundler_equals_reference(seed in any::<u64>(), d in dims(), k in 0usize..6) {
+        let n = 2 * k + 1;
+        let mut rng = Rng::new(seed);
+        let inputs: Vec<Hypervector> =
+            (0..n).map(|_| Hypervector::random(d, &mut rng)).collect();
+        let refs: Vec<&Hypervector> = inputs.iter().collect();
+        let mut bundler = MajorityBundler::new(d);
+        // Pollute, reset, then stream — reuse must leave no residue.
+        bundler.add(&inputs[0]).unwrap();
+        bundler.reset();
+        for hv in &inputs {
+            bundler.add(hv).unwrap();
+        }
+        let naive = reference::bundle(&refs, &mut Rng::new(0)).unwrap();
+        prop_assert_eq!(bundler.majority(None).to_bytes(), naive.to_bytes());
+    }
+
+    /// Word-level rotation == per-bit rotation for arbitrary shifts,
+    /// including shifts beyond `d`.
+    #[test]
+    fn permute_equals_reference(seed in any::<u64>(), d in dims(), shift in 0usize..30_000) {
+        let mut rng = Rng::new(seed);
+        let hv = Hypervector::random(d, &mut rng);
+        prop_assert_eq!(
+            permute(&hv, shift).to_bytes(),
+            reference::permute(&hv, shift).to_bytes()
+        );
+    }
+
+    /// The early-exit distance agrees exactly with the per-bit distance:
+    /// `Some(dist)` iff `dist <= limit`, `None` otherwise.
+    #[test]
+    fn hamming_within_equals_reference(seed in any::<u64>(), d in dims(), frac in 0usize..9) {
+        let mut rng = Rng::new(seed);
+        let a = Hypervector::random(d, &mut rng);
+        // Mix related and unrelated operands to cover both distance scales.
+        let b = if frac % 2 == 0 {
+            Hypervector::random(d, &mut rng)
+        } else {
+            let mut b = a.clone();
+            b.flip_bits(rng.distinct_indices((d * frac / 16).min(d), d));
+            b
+        };
+        let exact = reference::hamming(&a, &b);
+        let limit = d * frac / 8;
+        let within = a.hamming_distance_within(&b, limit);
+        if exact <= limit {
+            prop_assert_eq!(within, Some(exact));
+        } else {
+            prop_assert_eq!(within, None);
+        }
+        prop_assert_eq!(a.hamming_distance(&b), exact);
+    }
+
+    /// The batched engine returns exactly the naive argmin — lowest
+    /// distance, earliest row on ties — for random populations, random
+    /// probes, and near-match probes (which take the prefix-filter path).
+    #[test]
+    fn batch_lookup_equals_naive_argmin(
+        seed in any::<u64>(),
+        d in dims(),
+        n in 1usize..40,
+        noisy in any::<bool>(),
+    ) {
+        let mut rng = Rng::new(seed);
+        let rows: Vec<Hypervector> =
+            (0..n).map(|_| Hypervector::random(d, &mut rng)).collect();
+        let mut engine = BatchLookup::new(d);
+        for hv in &rows {
+            engine.push(hv).unwrap();
+        }
+        let probe = if noisy {
+            let victim = rng.next_below(n as u64) as usize;
+            let mut p = rows[victim].clone();
+            p.flip_bits(rng.distinct_indices(d / 20, d));
+            p
+        } else {
+            Hypervector::random(d, &mut rng)
+        };
+        let naive = rows
+            .iter()
+            .enumerate()
+            .map(|(i, hv)| (reference::hamming(&probe, hv), i))
+            .min()
+            .map(|(dist, i)| (i, dist));
+        let got = engine.nearest_one(&probe).map(|h| (h.row, h.distance));
+        prop_assert_eq!(got, naive);
+        // The multi-probe kernel agrees with the single-probe kernel.
+        let mut out = Vec::new();
+        engine.nearest_batch_into(&[&probe], &mut out);
+        prop_assert_eq!(out[0].map(|h| (h.row, h.distance)), got);
+    }
+
+    /// `nearest_k` with partial selection equals a full sort of the naive
+    /// scores, deterministic tie-break included.
+    #[test]
+    fn nearest_k_equals_full_sort(
+        seed in any::<u64>(),
+        d in dims(),
+        n in 1usize..30,
+        k in 0usize..35,
+    ) {
+        let mut rng = Rng::new(seed);
+        let mut memory = AssociativeMemory::new(d);
+        let mut rows: Vec<Hypervector> = Vec::new();
+        for i in 0..n {
+            // Duplicate every third row to force score ties.
+            let hv = if i % 3 == 2 && i > 0 {
+                rows[i - 1].clone()
+            } else {
+                Hypervector::random(d, &mut rng)
+            };
+            memory.insert(i, hv.clone()).unwrap();
+            rows.push(hv);
+        }
+        let probe = Hypervector::random(d, &mut rng);
+        let got: Vec<usize> = memory.nearest_k(&probe, k).iter().map(|m| m.key).collect();
+        let mut scored: Vec<(usize, usize)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, hv)| (reference::hamming(&probe, hv), i))
+            .collect();
+        scored.sort_unstable();
+        let want: Vec<usize> = scored.into_iter().take(k).map(|(_, i)| i).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The associative memory's nearest (serial and parallel) equals the
+    /// reference formulation: max similarity, earliest insert on ties.
+    #[test]
+    fn memory_nearest_equals_reference(seed in any::<u64>(), d in dims(), n in 1usize..30) {
+        let mut rng = Rng::new(seed);
+        let mut memory = AssociativeMemory::new(d);
+        let mut rows = Vec::new();
+        for i in 0..n {
+            let hv = Hypervector::random(d, &mut rng);
+            memory.insert(i, hv.clone()).unwrap();
+            rows.push(hv);
+        }
+        let probe = Hypervector::random(d, &mut rng);
+        let want = rows
+            .iter()
+            .enumerate()
+            .map(|(i, hv)| (reference::hamming(&probe, hv), i))
+            .min()
+            .map(|(_, i)| i)
+            .unwrap();
+        prop_assert_eq!(memory.nearest(&probe).unwrap().key, want);
+        let parallel = memory
+            .clone()
+            .with_strategy(hdhash_hdc::SearchStrategy::Parallel { threads: 3 });
+        prop_assert_eq!(parallel.nearest(&probe).unwrap().key, want);
+    }
+}

@@ -23,14 +23,14 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     // n - 1 = d · 2^r with d odd.
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -136,8 +136,8 @@ mod tests {
                 }
             }
         }
-        for n in 0..limit {
-            assert_eq!(is_prime(n as u64), sieve[n], "disagreement at {n}");
+        for (n, &expected) in sieve.iter().enumerate() {
+            assert_eq!(is_prime(n as u64), expected, "disagreement at {n}");
         }
     }
 }

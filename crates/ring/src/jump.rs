@@ -217,7 +217,7 @@ mod tests {
 
     #[test]
     fn distribution_is_uniform() {
-        let mut counts = vec![0usize; 16];
+        let mut counts = [0usize; 16];
         for k in 0..32_000u64 {
             counts[jump_hash(hdhash_hashfn::mix64(k), 16) as usize] += 1;
         }

@@ -151,7 +151,7 @@ impl Shell {
             .iter()
             .map(|s| loads.get(s).copied().unwrap_or(0))
             .collect();
-        let chi2 = hdhash::emulator::stats::chi_squared_uniform(&counts.iter().map(|&c| c.max(0)).collect::<Vec<_>>());
+        let chi2 = hdhash::emulator::stats::chi_squared_uniform(&counts);
         let max = counts.iter().max().copied().unwrap_or(0);
         let min = counts.iter().min().copied().unwrap_or(0);
         Ok(format!(
