@@ -1,6 +1,6 @@
 //! The HD hash table (paper Section 3).
 
-use hdhash_hdc::{noise, AssociativeMemory, Rng};
+use hdhash_hdc::{noise, AssociativeMemory, Hypervector, MembershipCentroid, Rng};
 use hdhash_table::{DynamicHashTable, NoisyTable, RequestKey, ServerId, TableError};
 
 use crate::codebook::Codebook;
@@ -70,6 +70,11 @@ pub struct HdHashTable {
     memory: AssociativeMemory<ServerId>,
     /// Clean membership with each server's codebook slot, in join order.
     members: Vec<(ServerId, usize)>,
+    /// Incrementally maintained majority centroid over the clean member
+    /// encodings — the pool's membership fingerprint. Join and leave are
+    /// `O(words · log n)` counter-plane updates, never a re-bundle of the
+    /// remaining membership.
+    signature: MembershipCentroid,
 }
 
 impl HdHashTable {
@@ -93,7 +98,8 @@ impl HdHashTable {
         let memory = AssociativeMemory::new(config.dimension)
             .with_metric(config.metric)
             .with_strategy(config.search);
-        Self { config, codebook, memory, members: Vec::new() }
+        let signature = MembershipCentroid::new(config.dimension);
+        Self { config, codebook, memory, members: Vec::new(), signature }
     }
 
     /// Creates a table with the default configuration (`d = 10_240`,
@@ -125,6 +131,29 @@ impl HdHashTable {
     #[must_use]
     pub fn slot_of_request(&self, request: RequestKey) -> usize {
         self.codebook.slot_of(&request.to_bytes())
+    }
+
+    /// The pool's **membership signature**: the majority centroid of the
+    /// clean member encodings, maintained incrementally across joins and
+    /// leaves (`O(words · log n)` counter-plane updates per change).
+    ///
+    /// The signature is a pure function of the member *encoding
+    /// multiset* — two tables that reached the same membership through
+    /// any interleaving of joins and leaves read identical signatures,
+    /// byte for byte (`crates/core/tests/churn_equivalence.rs`).
+    /// Deployments use it as a cheap first-pass divergence check between
+    /// replicas of a table: compare `d` bits, and exchange member lists
+    /// only on mismatch. It fingerprints *encodings*, not server ids:
+    /// distinct servers whose hashes collide on one codebook slot
+    /// contribute identical vectors, so a signature match means the
+    /// slot-level routing state agrees (identical arg-max geometry), not
+    /// necessarily the id lists — the mismatch direction is what carries
+    /// the signal. Noise injection never perturbs it (it tracks clean
+    /// codebook encodings), so it also serves as the reference point for
+    /// scrub-and-repair.
+    #[must_use]
+    pub fn membership_signature(&self) -> Hypervector {
+        self.signature.read()
     }
 
     /// Resolves one request (Eq. 2).
@@ -194,6 +223,7 @@ impl DynamicHashTable for HdHashTable {
         let (slot, hv) = self.codebook.encode(&server.to_bytes());
         let hv = hv.clone();
         self.members.push((server, slot));
+        self.signature.add(&hv).expect("codebook dimension matches signature");
         self.memory.insert(server, hv).expect("codebook dimension matches memory");
         Ok(())
     }
@@ -204,7 +234,10 @@ impl DynamicHashTable for HdHashTable {
             .iter()
             .position(|&(s, _)| s == server)
             .ok_or(TableError::ServerNotFound(server))?;
-        self.members.remove(idx);
+        let (_, slot) = self.members.remove(idx);
+        self.signature
+            .remove(self.codebook.hypervector(slot))
+            .expect("member encodings were added at join");
         self.memory.remove_where(|&s| s == server);
         Ok(())
     }

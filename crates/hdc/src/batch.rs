@@ -10,10 +10,8 @@
 //!
 //! Three scan shapes, all allocation-free in steady state:
 //!
-//! * [`nearest_one`](BatchLookup::nearest_one) — single-probe argmin with
-//!   best-so-far abandonment (`hamming_distance_within` semantics): a
-//!   candidate is dropped the moment its partial distance exceeds the
-//!   current best;
+//! * [`nearest_one`](BatchLookup::nearest_one) — single-probe argmin
+//!   through an **adaptive incremental-prefix schedule** (see below);
 //! * [`nearest_batch_into`](BatchLookup::nearest_batch_into) — multi-probe
 //!   scan, cache-blocked so each block of member rows is streamed through
 //!   once for the whole probe batch (the emulator issues thousands of
@@ -21,6 +19,44 @@
 //! * [`nearest_in_range`](BatchLookup::nearest_in_range) — the shard
 //!   primitive for the multi-threaded path, with a caller-supplied
 //!   starting bound so shards can inherit a global best.
+//!
+//! ## The adaptive scan schedule
+//!
+//! An HD-hash table sees two probe shapes with opposite optimal scans.
+//! *Inference-shaped* probes (a noisy copy of a stored row — the memory's
+//! contract) have one far-below-the-field near match: a short prefix pass
+//! identifies it and the rest of the population dies on prefix lower
+//! bounds alone. *Adversarial* probes (uniformly random, no near match)
+//! gain nothing from any filter: every partial distance concentrates at
+//! half the prefix, so the only good plan is one straight early-exit
+//! sweep. A fixed prefix filter is therefore pure overhead exactly when
+//! the table is under adversarial load.
+//!
+//! [`nearest_one`] resolves the tension twice over:
+//!
+//! 1. **Incremental-prefix escalation** — the first round scores every
+//!    row on a short prefix (~1/8 of the words). If a row stands out, the
+//!    leader is verified fully, survivors are re-ranked, and subsequent
+//!    rounds widen the prefix geometrically (×4 per round), pruning any
+//!    row whose partial distance (a lower bound) exceeds the best full
+//!    distance. No word is ever counted twice: each round extends the
+//!    stored partials over the new segment only. If no row stands out the
+//!    scan completes as one suffix sweep in insertion order, still
+//!    reusing the round-one partials.
+//! 2. **An online calibrator** — a per-engine atomic score tracks whether
+//!    recent probes were inference-shaped (filter helped) or adversarial
+//!    (filter idle). Under sustained adversarial traffic the engine
+//!    *collapses to the straight blocked scan*, skipping the prefix pass
+//!    entirely, and re-probes the filtered path on a small fraction of
+//!    queries so it can re-engage when the workload turns.
+//!
+//! Every path — tiny table, straight scan, early collapse, full
+//! escalation — returns the exact argmin with the earliest-row tie-break;
+//! the property suite pins each one against `ops::reference`.
+//!
+//! [`nearest_one`]: BatchLookup::nearest_one
+
+use std::sync::atomic::{AtomicI32, AtomicU32, Ordering};
 
 use crate::hypervector::{hamming_words_within, DimensionMismatchError, Hypervector};
 
@@ -28,7 +64,8 @@ use crate::hypervector::{hamming_words_within, DimensionMismatchError, Hypervect
 /// matrix, scanned by Hamming distance.
 ///
 /// Row indices are stable under [`push`](Self::push) (append) and shift
-/// down under [`rebuild`](Self::rebuild); callers that key rows (the
+/// down under [`rebuild`](Self::rebuild) and
+/// [`retain_rows`](Self::retain_rows); callers that key rows (the
 /// associative memory) own the index↔key correspondence.
 #[derive(Debug, Clone)]
 pub struct BatchLookup {
@@ -36,6 +73,74 @@ pub struct BatchLookup {
     row_words: usize,
     rows: usize,
     matrix: Vec<u64>,
+    calibrator: ScanCalibrator,
+}
+
+/// The per-engine online probe-shape calibrator.
+///
+/// A small saturating score votes on whether recent single-probe queries
+/// were inference-shaped (`+1`: the prefix round found a stand-out row) or
+/// adversarial (`-2`: it did not). While the score is negative the engine
+/// skips the prefix pass and runs the straight blocked scan, re-probing
+/// the filtered path once every [`EXPLORE_PERIOD`] queries so a workload
+/// shift back to inference-shaped traffic re-engages the filter.
+///
+/// All state is atomic with `Relaxed` ordering: queries take `&self`, the
+/// score is a heuristic, and a lost update merely delays adaptation by a
+/// query — exactness of results never depends on it.
+#[derive(Debug)]
+struct ScanCalibrator {
+    /// Saturating vote in `[-SCORE_SATURATION, SCORE_SATURATION]`;
+    /// negative collapses the scan.
+    score: AtomicI32,
+    /// Query counter driving periodic exploration while collapsed.
+    queries: AtomicU32,
+}
+
+/// Score bounds; small so both collapse and re-engagement happen within a
+/// handful of queries.
+const SCORE_SATURATION: i32 = 8;
+/// Fresh engines assume inference-shaped probes (the memory's contract);
+/// two adversarial probes in a row are enough to collapse from here.
+const INITIAL_SCORE: i32 = 2;
+/// While collapsed, one query in this many runs the filtered path anyway.
+const EXPLORE_PERIOD: u32 = 32;
+
+impl ScanCalibrator {
+    fn new() -> Self {
+        Self { score: AtomicI32::new(INITIAL_SCORE), queries: AtomicU32::new(0) }
+    }
+
+    /// Whether this query should attempt the filtered schedule.
+    fn wants_filter(&self) -> bool {
+        if self.score.load(Ordering::Relaxed) >= 0 {
+            return true;
+        }
+        // Collapsed: still explore occasionally.
+        self.queries.fetch_add(1, Ordering::Relaxed).is_multiple_of(EXPLORE_PERIOD)
+    }
+
+    /// Records whether the prefix round found a stand-out row.
+    fn record(&self, stood_out: bool) {
+        // Saturating add/sub via compare-free clamp: racing updates can
+        // overshoot transiently, which the clamp on the next load hides.
+        let delta = if stood_out { 1 } else { -2 };
+        let old = self.score.fetch_add(delta, Ordering::Relaxed);
+        let new = old + delta;
+        if !(-SCORE_SATURATION..=SCORE_SATURATION).contains(&new) {
+            let clamped = new.clamp(-SCORE_SATURATION, SCORE_SATURATION);
+            self.score.store(clamped, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Clone for ScanCalibrator {
+    fn clone(&self) -> Self {
+        Self {
+            score: AtomicI32::new(self.score.load(Ordering::Relaxed)),
+            queries: AtomicU32::new(self.queries.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// A scan hit: row index and exact Hamming distance.
@@ -61,6 +166,14 @@ std::thread_local! {
 /// alongside the probe — while still amortizing the per-probe bookkeeping.
 const ROW_BLOCK: usize = 16;
 
+/// Populations below this always scan straight: the prefix bookkeeping
+/// cannot pay for itself over a handful of rows.
+const MIN_FILTER_ROWS: usize = 8;
+
+/// Upper bound on schedule rounds (widths grow ×4 per round, so even
+/// gigabit rows fit; the array lives on the stack).
+const MAX_ROUNDS: usize = 16;
+
 impl BatchLookup {
     /// An empty engine for dimension `d`.
     ///
@@ -70,7 +183,13 @@ impl BatchLookup {
     #[must_use]
     pub fn new(d: usize) -> Self {
         assert!(d > 0, "dimension must be positive");
-        Self { dimension: d, row_words: d.div_ceil(64), rows: 0, matrix: Vec::new() }
+        Self {
+            dimension: d,
+            row_words: d.div_ceil(64),
+            rows: 0,
+            matrix: Vec::new(),
+            calibrator: ScanCalibrator::new(),
+        }
     }
 
     /// Hypervector dimension of every row.
@@ -108,8 +227,9 @@ impl BatchLookup {
         Ok(())
     }
 
-    /// Replaces the whole matrix from an entry iterator (used after
-    /// removals, which are rare next to lookups).
+    /// Replaces the whole matrix from an entry iterator (used when the
+    /// owning memory's entries are the only source of truth, e.g. after
+    /// noise is cleared).
     pub fn rebuild<'a, I: Iterator<Item = &'a Hypervector>>(&mut self, rows: I) {
         self.matrix.clear();
         self.rows = 0;
@@ -118,6 +238,26 @@ impl BatchLookup {
             self.matrix.extend_from_slice(hv.as_words());
             self.rows += 1;
         }
+    }
+
+    /// Drops every row whose index fails `keep`, compacting the matrix
+    /// **in place** (one forward `copy_within` pass over the retained
+    /// rows) — membership churn never re-reads the owning entries or
+    /// reallocates. Surviving rows keep their relative order, so the
+    /// earliest-row tie-break still matches the owner's entry order.
+    pub fn retain_rows<F: FnMut(usize) -> bool>(&mut self, mut keep: F) {
+        let w = self.row_words;
+        let mut kept = 0usize;
+        for row in 0..self.rows {
+            if keep(row) {
+                if kept != row {
+                    self.matrix.copy_within(row * w..(row + 1) * w, kept * w);
+                }
+                kept += 1;
+            }
+        }
+        self.rows = kept;
+        self.matrix.truncate(kept * w);
     }
 
     /// The packed words of row `i`.
@@ -137,21 +277,38 @@ impl BatchLookup {
         self.matrix[row * self.row_words + bit / 64] ^= 1u64 << (bit % 64);
     }
 
+    /// The cumulative prefix widths (in words) of the incremental scan
+    /// schedule, written into `cuts`; returns how many rounds there are.
+    ///
+    /// Round one covers ~1/8 of the row (rounded to whole 16-word kernel
+    /// blocks when long enough, so the hot loop runs fully unrolled);
+    /// every later round widens the prefix ×4 until the full row is
+    /// covered. A single-round schedule means the row is too short to
+    /// filter and the caller should scan straight.
+    fn scan_schedule(&self, cuts: &mut [usize; MAX_ROUNDS]) -> usize {
+        let block_align = |w: usize| if w >= 16 { w & !15 } else { w };
+        let mut len = 0;
+        let mut w = block_align(self.row_words / 8);
+        while w > 0 && w < self.row_words && len + 1 < MAX_ROUNDS {
+            cuts[len] = w;
+            len += 1;
+            w = block_align(w.saturating_mul(4));
+        }
+        cuts[len] = self.row_words;
+        len + 1
+    }
+
     /// Nearest row to `probe` over all rows: lowest distance, earliest row
     /// on ties. `None` when empty.
     ///
-    /// Uses a **prefix-filter** scan when the population is large enough:
-    /// a first pass computes every row's distance on a ~12% word prefix
-    /// (a lower bound on its full distance). If one row's prefix stands
-    /// well below the field — the shape of real HDC inference, where the
-    /// probe is a (possibly noisy) copy of a stored vector — rows are then
-    /// verified in ascending-prefix order, and the scan stops at the first
-    /// prefix exceeding the best full distance: the near match is verified
-    /// fully, everything else dies on its prefix alone. When no prefix
-    /// stands out (uniformly random probe) the scan falls back to the
-    /// plain early-exit sweep, so the filter can win big and never costs
-    /// more than the prefix pass. Both paths return the exact argmin with
-    /// the earliest-row tie-break.
+    /// Runs the **adaptive incremental-prefix schedule** described in the
+    /// module docs: a short prefix round scores every row; with a
+    /// stand-out leader the field is pruned and escalated through
+    /// geometrically widening prefixes (survivors re-ranked between
+    /// rounds), otherwise the scan finishes as one suffix sweep. A
+    /// per-engine calibrator collapses to the plain blocked scan under
+    /// sustained adversarial (no-near-match) traffic. Every path returns
+    /// the exact argmin with the earliest-row tie-break.
     ///
     /// # Panics
     ///
@@ -159,83 +316,162 @@ impl BatchLookup {
     #[must_use]
     pub fn nearest_one(&self, probe: &Hypervector) -> Option<Hit> {
         assert_eq!(probe.dimension(), self.dimension, "probe dimension mismatch");
-        // Keep the prefix a whole number of 16-word kernel blocks when the
-        // rows are long enough, so both passes run fully unrolled.
-        let prefix_words = match self.row_words / 8 {
-            p if p >= 16 => p & !15,
-            p => p,
-        };
-        if self.rows < 8 || prefix_words == 0 {
+        let mut cuts = [0usize; MAX_ROUNDS];
+        let rounds = self.scan_schedule(&mut cuts);
+        if self.rows < MIN_FILTER_ROWS || rounds < 2 {
+            // Tiny population or single-round schedule: nothing to filter.
             return self.nearest_in_range(probe, 0, self.rows, self.dimension);
         }
+        if !self.calibrator.wants_filter() {
+            // Collapsed: recent probes were adversarial, the prefix pass
+            // would be pure overhead.
+            return self.nearest_in_range(probe, 0, self.rows, self.dimension);
+        }
+        self.nearest_filtered(probe, &cuts[..rounds])
+    }
+
+    /// The filtered path of [`nearest_one`](Self::nearest_one): round one
+    /// plus either the escalation rounds (stand-out leader) or a single
+    /// suffix sweep (no stand-out). `cuts` holds the cumulative prefix
+    /// widths; `cuts[last] == row_words`.
+    fn nearest_filtered(&self, probe: &Hypervector, cuts: &[usize]) -> Option<Hit> {
         let probe_words = probe.as_words();
-        let probe_prefix = &probe_words[..prefix_words];
+        let first_cut = cuts[0];
+        let probe_prefix = &probe_words[..first_cut];
 
         PREFIX_SCRATCH.with(|cell| {
-            // Pass 1: prefix distances (lower bounds) for every row, in a
-            // thread-local scratch so steady-state queries allocate nothing.
-            let mut prefixes = cell.borrow_mut();
-            prefixes.clear();
+            // Round one: prefix distances (lower bounds on the full
+            // distance) for every row, in a thread-local scratch so
+            // steady-state queries allocate nothing.
+            let mut partials = cell.borrow_mut();
+            partials.clear();
             let mut min_p = u32::MAX;
             let mut sum_p: u64 = 0;
             for row in 0..self.rows {
                 let row_prefix =
-                    &self.matrix[row * self.row_words..row * self.row_words + prefix_words];
-                let p: u32 = probe_prefix
-                    .iter()
-                    .zip(row_prefix)
-                    .map(|(a, b)| (a ^ b).count_ones())
-                    .sum();
+                    &self.matrix[row * self.row_words..row * self.row_words + first_cut];
+                let p =
+                    hdhash_simdkernels::hamming_distance_words(probe_prefix, row_prefix) as u32;
                 min_p = min_p.min(p);
                 sum_p += u64::from(p);
-                prefixes.push((p, row as u32));
+                partials.push((p, row as u32));
             }
             let mean_p = sum_p / self.rows as u64;
-            // A stand-out minimum (≤ ¾ of the mean) signals a near match:
-            // verifying in ascending-prefix order will then kill the rest
-            // of the field on prefixes alone. Otherwise keep insertion
-            // order — same verification cost, no sort. Either way pass 2
-            // only scans suffixes, so no word is counted twice.
-            let sorted = u64::from(min_p) * 4 <= mean_p * 3;
-            if sorted {
-                prefixes.sort_unstable();
+            // A stand-out minimum (≤ ¾ of the mean) signals a near match —
+            // the shape of real HDC inference, where the probe is a noisy
+            // copy of a stored row. Feed the verdict back to the
+            // calibrator either way.
+            let stood_out = u64::from(min_p) * 4 <= mean_p * 3;
+            self.calibrator.record(stood_out);
+
+            if !stood_out {
+                // Adversarial-shaped probe: finish as one suffix sweep in
+                // insertion order, reusing the round-one partials so no
+                // word is counted twice.
+                return self.sweep_suffixes(probe_words, first_cut, &partials);
             }
 
-            // Pass 2: a prefix strictly above the best full distance can
-            // neither win nor tie (suffix distances are non-negative).
-            let mut best: Option<Hit> = None;
-            let mut limit = self.dimension;
-            for &(p, row) in prefixes.iter() {
-                if p as usize > limit {
-                    if sorted {
+            // Rank the field and verify the leader fully: its exact
+            // distance is the pruning bound every later round uses.
+            partials.sort_unstable();
+            let (p0, row0) = partials[0];
+            let row0 = row0 as usize;
+            let leader_rest = hamming_words_within(
+                &probe_words[first_cut..],
+                &self.matrix[row0 * self.row_words + first_cut..(row0 + 1) * self.row_words],
+                self.dimension,
+            )
+            .expect("bound = dimension admits every distance");
+            let mut best = Hit { row: row0, distance: p0 as usize + leader_rest };
+            let mut limit = best.distance;
+
+            // Escalation rounds: extend surviving partials over the next
+            // segment only, prune on the lower bound, re-rank. The final
+            // round's partials are exact distances.
+            let mut live = partials.len();
+            for (r, window) in cuts.windows(2).enumerate() {
+                let (from, to) = (window[0], window[1]);
+                let final_round = r + 2 == cuts.len();
+                let mut kept = 1usize; // slot 0 is the verified leader
+                for i in 1..live {
+                    let (p, row) = partials[i];
+                    if p as usize > limit {
+                        // Sorted ascending and `limit` only shrinks: every
+                        // later candidate is also above the bound.
                         break;
                     }
-                    continue;
-                }
-                let row = row as usize;
-                let row_rest = &self.matrix
-                    [row * self.row_words + prefix_words..(row + 1) * self.row_words];
-                let Some(rest) = hamming_words_within(
-                    &probe_words[prefix_words..],
-                    row_rest,
-                    limit - p as usize,
-                ) else {
-                    continue;
-                };
-                let distance = p as usize + rest;
-                let better = match best {
-                    None => true,
-                    Some(b) => {
-                        distance < b.distance || (distance == b.distance && row < b.row)
+                    let row_idx = row as usize;
+                    let segment = &self.matrix
+                        [row_idx * self.row_words + from..row_idx * self.row_words + to];
+                    let Some(seg) = hamming_words_within(
+                        &probe_words[from..to],
+                        segment,
+                        limit - p as usize,
+                    ) else {
+                        continue;
+                    };
+                    let extended = p as usize + seg;
+                    if final_round {
+                        // Exact distance; `<= limit` here, and ties lose
+                        // to the leader unless strictly earlier.
+                        if extended < best.distance
+                            || (extended == best.distance && row_idx < best.row)
+                        {
+                            best = Hit { row: row_idx, distance: extended };
+                            limit = extended;
+                        }
+                    } else {
+                        partials[kept] = (extended as u32, row);
+                        kept += 1;
                     }
-                };
-                if better {
-                    best = Some(Hit { row, distance });
-                    limit = distance;
                 }
+                if final_round {
+                    break;
+                }
+                live = kept;
+                // Re-rank the survivors (leader stays the sentinel bound).
+                partials[1..live].sort_unstable();
             }
-            best
+            Some(best)
         })
+    }
+
+    /// Finishes a non-stand-out filtered scan: one pass over the row
+    /// suffixes in insertion order, each budgeted by the best-so-far
+    /// distance minus the row's known prefix partial.
+    fn sweep_suffixes(
+        &self,
+        probe_words: &[u64],
+        first_cut: usize,
+        partials: &[(u32, u32)],
+    ) -> Option<Hit> {
+        let mut best: Option<Hit> = None;
+        let mut limit = self.dimension;
+        for &(p, row) in partials {
+            if p as usize > limit {
+                continue;
+            }
+            let row = row as usize;
+            let row_rest =
+                &self.matrix[row * self.row_words + first_cut..(row + 1) * self.row_words];
+            let Some(rest) =
+                hamming_words_within(&probe_words[first_cut..], row_rest, limit - p as usize)
+            else {
+                continue;
+            };
+            let distance = p as usize + rest;
+            // Insertion order makes `<` sufficient, but keep the explicit
+            // tie-break for symmetry with the other paths.
+            let better = match best {
+                None => true,
+                Some(b) => distance < b.distance || (distance == b.distance && row < b.row),
+            };
+            if better {
+                best = Some(Hit { row, distance });
+                limit = distance;
+            }
+        }
+        best
     }
 
     /// Nearest row within `rows[start..end)`, considering only candidates
@@ -436,6 +672,119 @@ mod tests {
         assert!(engine.push(&Hypervector::zeros(65)).is_err());
         assert_eq!(engine.len(), 0);
         assert_eq!(engine.dimension(), 64);
+    }
+
+    #[test]
+    fn retain_rows_compacts_in_place() {
+        let (mut engine, rows) = engine_with(9, 130, 11);
+        engine.retain_rows(|row| row % 3 != 1);
+        assert_eq!(engine.len(), 6);
+        let survivors: Vec<usize> = (0..9).filter(|r| r % 3 != 1).collect();
+        for (new_row, &old_row) in survivors.iter().enumerate() {
+            assert_eq!(engine.row(new_row), rows[old_row].as_words(), "row {old_row}");
+        }
+        // Scans agree with a freshly built engine over the survivors.
+        let mut fresh = BatchLookup::new(130);
+        for &old_row in &survivors {
+            fresh.push(&rows[old_row]).expect("dims");
+        }
+        let mut rng = Rng::new(321);
+        for _ in 0..10 {
+            let probe = Hypervector::random(130, &mut rng);
+            assert_eq!(engine.nearest_one(&probe), fresh.nearest_one(&probe));
+        }
+        // Dropping everything leaves an empty engine.
+        engine.retain_rows(|_| false);
+        assert!(engine.is_empty());
+        assert_eq!(engine.matrix.len(), 0);
+    }
+
+    #[test]
+    fn schedule_covers_row_and_escalates() {
+        for d in [64usize, 1000, 10_240, 65_536] {
+            let engine = BatchLookup::new(d);
+            let mut cuts = [0usize; MAX_ROUNDS];
+            let rounds = engine.scan_schedule(&mut cuts);
+            assert!(rounds >= 1);
+            assert_eq!(cuts[rounds - 1], engine.row_words, "d={d} must end at the full row");
+            for pair in cuts[..rounds].windows(2) {
+                assert!(pair[0] < pair[1], "d={d} schedule must be strictly increasing");
+            }
+        }
+        // d = 10_240 (160 words): first round is one 16-word kernel block.
+        let engine = BatchLookup::new(10_240);
+        let mut cuts = [0usize; MAX_ROUNDS];
+        let rounds = engine.scan_schedule(&mut cuts);
+        assert_eq!(&cuts[..rounds], &[16, 64, 160]);
+    }
+
+    #[test]
+    fn calibrator_collapses_and_explores() {
+        let calibrator = ScanCalibrator::new();
+        assert!(calibrator.wants_filter(), "fresh engines start filtered");
+        // Sustained adversarial verdicts collapse the scan.
+        for _ in 0..8 {
+            calibrator.record(false);
+        }
+        let filtered = (0..EXPLORE_PERIOD as usize).filter(|_| calibrator.wants_filter()).count();
+        assert_eq!(filtered, 1, "collapsed engines explore exactly once per period");
+        // Stand-out verdicts (from exploration queries) re-engage it.
+        for _ in 0..3 * SCORE_SATURATION {
+            calibrator.record(true);
+        }
+        assert!(calibrator.wants_filter(), "inference traffic must re-engage the filter");
+    }
+
+    #[test]
+    fn collapsed_engine_still_exact() {
+        // Force the collapsed path and confirm exactness on both probe
+        // shapes, including the periodic exploration queries.
+        let d = 10_240;
+        let (engine, rows) = engine_with(64, d, 77);
+        let mut rng = Rng::new(78);
+        for _ in 0..12 {
+            let probe = Hypervector::random(d, &mut rng);
+            let _ = engine.nearest_one(&probe);
+        }
+        assert!(engine.calibrator.score.load(Ordering::Relaxed) < 0, "should have collapsed");
+        for i in 0..40 {
+            let probe = if i % 2 == 0 {
+                Hypervector::random(d, &mut rng)
+            } else {
+                let victim = rng.next_below(64) as usize;
+                let mut p = rows[victim].clone();
+                p.flip_bits(rng.distinct_indices(d / 20, d));
+                p
+            };
+            assert_eq!(engine.nearest_one(&probe), naive_nearest(&rows, &probe), "query {i}");
+        }
+    }
+
+    #[test]
+    fn adversarial_stream_collapses_then_reengages() {
+        let d = 10_240;
+        let (engine, rows) = engine_with(32, d, 99);
+        let mut rng = Rng::new(100);
+        for _ in 0..12 {
+            let probe = Hypervector::random(d, &mut rng);
+            assert_eq!(engine.nearest_one(&probe), naive_nearest(&rows, &probe));
+        }
+        assert!(engine.calibrator.score.load(Ordering::Relaxed) < 0);
+        // A long inference-shaped phase re-engages the filter through the
+        // exploration queries.
+        for i in 0..(3 * EXPLORE_PERIOD * SCORE_SATURATION as u32) {
+            let victim = (i as usize) % 32;
+            let mut probe = rows[victim].clone();
+            probe.flip_bits(rng.distinct_indices(d / 30, d));
+            assert_eq!(engine.nearest_one(&probe), naive_nearest(&rows, &probe));
+            if engine.calibrator.score.load(Ordering::Relaxed) >= 0 {
+                break;
+            }
+        }
+        assert!(
+            engine.calibrator.score.load(Ordering::Relaxed) >= 0,
+            "filter must re-engage under inference traffic"
+        );
     }
 
     #[test]

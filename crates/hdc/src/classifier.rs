@@ -12,13 +12,19 @@
 //! swapping the level basis for a circular basis removes the
 //! wrap-around error (see `circular_beats_level_on_periodic_features`).
 //!
-//! Training bundles each class's encoded observations into an integer
-//! [`BundleAccumulator`]; prediction thresholds the accumulators into
-//! binary prototypes and returns the most similar class — exactly the
+//! Training bundles each class's encoded observations into an incremental
+//! counter-plane [`MembershipCentroid`]; prediction reads the planes out
+//! into binary prototypes (a bit-sliced comparator, not a per-bit
+//! threshold loop) and returns the most similar class — exactly the
 //! inference operation HD hashing shares with HDC learning systems.
+//! Observations can also be *retracted* ([`CentroidClassifier::forget`]):
+//! both directions of churn are `O(words · log n)` plane updates, never a
+//! re-bundle of the class's remaining observations, and the resulting
+//! prototypes are byte-identical to from-scratch re-bundling (pinned by
+//! `tests/incremental_maintenance.rs`).
 
-use crate::accumulator::BundleAccumulator;
 use crate::hypervector::{DimensionMismatchError, Hypervector};
+use crate::maintenance::MembershipCentroid;
 use crate::similarity::SimilarityMetric;
 
 /// A centroid (prototype-per-class) HDC classifier.
@@ -50,7 +56,7 @@ use crate::similarity::SimilarityMetric;
 pub struct CentroidClassifier<L> {
     dimension: usize,
     metric: SimilarityMetric,
-    classes: Vec<(L, BundleAccumulator)>,
+    classes: Vec<(L, MembershipCentroid)>,
 }
 
 impl<L: Clone + PartialEq> CentroidClassifier<L> {
@@ -114,14 +120,53 @@ impl<L: Clone + PartialEq> CentroidClassifier<L> {
             });
         }
         match self.classes.iter_mut().find(|(l, _)| *l == label) {
-            Some((_, acc)) => acc.add(encoding)?,
+            Some((_, centroid)) => centroid.add(encoding)?,
             None => {
-                let mut acc = BundleAccumulator::new(self.dimension);
-                acc.add(encoding)?;
-                self.classes.push((label, acc));
+                let mut centroid = MembershipCentroid::new(self.dimension);
+                centroid.add(encoding)?;
+                self.classes.push((label, centroid));
             }
         }
         Ok(())
+    }
+
+    /// Retracts one previously observed training example for `label` —
+    /// the churn inverse of [`observe`](Self::observe), an
+    /// `O(words · log n)` counter-plane update. A class whose last
+    /// observation is forgotten is dropped entirely (its label disappears
+    /// from [`labels`](Self::labels) and predictions).
+    ///
+    /// Returns `true` if `label` was present (and the retraction
+    /// applied), `false` if it was unknown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] if the encoding has the wrong
+    /// dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoding` was never observed for `label` (counter
+    /// underflow — retraction requires the exact observed hypervector).
+    pub fn forget(
+        &mut self,
+        label: &L,
+        encoding: &Hypervector,
+    ) -> Result<bool, DimensionMismatchError> {
+        if encoding.dimension() != self.dimension {
+            return Err(DimensionMismatchError {
+                left: self.dimension,
+                right: encoding.dimension(),
+            });
+        }
+        let Some(index) = self.classes.iter().position(|(l, _)| l == label) else {
+            return Ok(false);
+        };
+        self.classes[index].1.remove(encoding)?;
+        if self.classes[index].1.is_empty() {
+            self.classes.remove(index);
+        }
+        Ok(true)
     }
 
     /// The current binary prototype of a class, if observed.
@@ -130,7 +175,7 @@ impl<L: Clone + PartialEq> CentroidClassifier<L> {
         self.classes
             .iter()
             .find(|(l, _)| l == label)
-            .map(|(_, acc)| acc.to_hypervector())
+            .map(|(_, centroid)| centroid.read())
     }
 
     /// Classifies an encoding: the label whose prototype is most similar,
@@ -163,8 +208,8 @@ impl<L: Clone + PartialEq> CentroidClassifier<L> {
         assert_eq!(encoding.dimension(), self.dimension, "encoding dimension mismatch");
         self.classes
             .iter()
-            .map(|(label, acc)| {
-                (label.clone(), self.metric.evaluate(encoding, &acc.to_hypervector()))
+            .map(|(label, centroid)| {
+                (label.clone(), self.metric.evaluate(encoding, &centroid.read()))
             })
             .collect()
     }
@@ -199,6 +244,35 @@ mod tests {
             probe.flip_bits(rng.distinct_indices(2500, D));
             assert_eq!(classifier.predict(&probe), Some(label), "class {label}");
         }
+    }
+
+    #[test]
+    fn forget_retracts_observations_exactly() {
+        let mut rng = Rng::new(54);
+        let a = Hypervector::random(D, &mut rng);
+        let churn: Vec<Hypervector> =
+            (0..4).map(|_| Hypervector::random(D, &mut rng)).collect();
+        let mut classifier = CentroidClassifier::new(D);
+        classifier.observe("a", &a).expect("dims");
+        let baseline = classifier.prototype(&"a").expect("observed");
+        // Pile churn observations onto the class, then retract them all:
+        // the prototype must return to its exact baseline.
+        for hv in &churn {
+            classifier.observe("a", hv).expect("dims");
+        }
+        for hv in &churn {
+            assert!(classifier.forget(&"a", hv).expect("dims"));
+        }
+        assert_eq!(classifier.prototype(&"a").expect("observed"), baseline);
+        assert_eq!(classifier.observation_count(), 1);
+        // Forgetting an unknown label is a no-op, not an error.
+        assert!(!classifier.forget(&"ghost", &a).expect("dims"));
+        // Forgetting the last observation drops the class entirely.
+        assert!(classifier.forget(&"a", &a).expect("dims"));
+        assert_eq!(classifier.class_count(), 0);
+        assert_eq!(classifier.predict(&a), None);
+        // Dimension mismatch is an error before any lookup.
+        assert!(classifier.forget(&"a", &Hypervector::zeros(64)).is_err());
     }
 
     #[test]

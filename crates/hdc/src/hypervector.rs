@@ -187,12 +187,7 @@ impl Hypervector {
     /// Returns [`DimensionMismatchError`] if the dimensions differ.
     pub fn try_hamming_distance(&self, other: &Self) -> Result<usize, DimensionMismatchError> {
         self.check_dims(other)?;
-        Ok(self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum())
+        Ok(hdhash_simdkernels::hamming_distance_words(&self.words, &other.words))
     }
 
     /// Hamming distance to `other`, abandoning the scan as soon as the
@@ -336,32 +331,14 @@ impl Hypervector {
 
 /// Word-level early-exit Hamming kernel shared by [`Hypervector`] and the
 /// batched lookup engine: XOR + popcount in blocks of sixteen words
-/// (1024 dimensions), checking the abandonment bound between blocks so the
-/// hot loop stays branch-light and unrollable.
+/// (1024 dimensions), checking the abandonment bound between blocks.
+///
+/// Delegates to `hdhash-simdkernels`, which installs the widest kernel
+/// the running CPU supports (AVX2 where detected, portable scalar
+/// otherwise) on first use.
 #[inline]
 pub(crate) fn hamming_words_within(a: &[u64], b: &[u64], limit: usize) -> Option<usize> {
-    debug_assert_eq!(a.len(), b.len());
-    let mut total = 0usize;
-    let mut chunks_a = a.chunks_exact(16);
-    let mut chunks_b = b.chunks_exact(16);
-    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
-        let mut block = 0u32;
-        for (x, y) in ca.iter().zip(cb) {
-            block += (x ^ y).count_ones();
-        }
-        total += block as usize;
-        if total > limit {
-            return None;
-        }
-    }
-    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        total += (x ^ y).count_ones() as usize;
-    }
-    if total <= limit {
-        Some(total)
-    } else {
-        None
-    }
+    hdhash_simdkernels::hamming_within_words(a, b, limit)
 }
 
 impl core::fmt::Debug for Hypervector {

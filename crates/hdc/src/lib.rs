@@ -26,6 +26,10 @@
 //! * [`classifier`] — the centroid HDC classifier (VoiceHD-style), used
 //!   to evaluate the paper's future-work claim that circular bases
 //!   improve ML on periodic features;
+//! * [`maintenance`] — incremental counter-plane membership centroids:
+//!   add/remove one member in `O(words · log n)` bitwise ops, byte-
+//!   identical to from-scratch re-bundling (the substrate behind
+//!   classifier prototypes and the hash tables' pool signatures);
 //! * [`memory`] — an associative memory implementing HDC *inference*
 //!   (`argmax` similarity, Eq. 2 of the paper) with serial and
 //!   multi-threaded search paths (the paper's GPU substitute);
@@ -58,6 +62,7 @@ pub mod batch;
 pub mod classifier;
 pub mod encoding;
 pub mod hypervector;
+pub mod maintenance;
 pub mod memory;
 pub mod noise;
 pub mod ops;
@@ -67,6 +72,7 @@ pub mod similarity;
 
 pub use batch::BatchLookup;
 pub use classifier::CentroidClassifier;
+pub use maintenance::MembershipCentroid;
 pub use hypervector::{DimensionMismatchError, Hypervector};
 pub use memory::{AssociativeMemory, SearchStrategy};
 pub use rng::Rng;

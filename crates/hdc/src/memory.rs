@@ -156,12 +156,24 @@ impl<K: Clone + Send + Sync> AssociativeMemory<K> {
 
     /// Removes all entries whose key satisfies the predicate; returns how
     /// many were removed.
+    ///
+    /// The scan matrix is compacted **in place**
+    /// ([`BatchLookup::retain_rows`]): removing one server from a large
+    /// memory is a single forward copy pass, never a re-read of every
+    /// stored hypervector.
     pub fn remove_where<F: FnMut(&K) -> bool>(&mut self, mut predicate: F) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|(k, _)| !predicate(k));
-        let removed = before - self.entries.len();
+        // Evaluate the predicate once per entry, in row order, so the
+        // entry list and the matrix stay row-for-row in sync.
+        let keep: Vec<bool> = self.entries.iter().map(|(k, _)| !predicate(k)).collect();
+        let removed = keep.iter().filter(|&&k| !k).count();
         if removed > 0 {
-            self.engine.rebuild(self.entries.iter().map(|(_, hv)| hv));
+            let mut index = 0;
+            self.entries.retain(|_| {
+                let kept = keep[index];
+                index += 1;
+                kept
+            });
+            self.engine.retain_rows(|row| keep[row]);
             self.rebuild_shard_plan();
         }
         removed
@@ -261,14 +273,13 @@ impl<K: Clone + Send + Sync> AssociativeMemory<K> {
         // decreasing in distance.
         let mut scored: Vec<(usize, usize)> = (0..self.entries.len())
             .map(|i| {
-                let row = self.engine.row(i);
-                let dist: usize = probe
-                    .as_words()
-                    .iter()
-                    .zip(row)
-                    .map(|(a, b)| (a ^ b).count_ones() as usize)
-                    .sum();
-                (dist, i)
+                (
+                    hdhash_simdkernels::hamming_distance_words(
+                        probe.as_words(),
+                        self.engine.row(i),
+                    ),
+                    i,
+                )
             })
             .collect();
         let k = k.min(scored.len());

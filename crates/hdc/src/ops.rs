@@ -225,6 +225,62 @@ impl MajorityBundler {
         self.members += 1;
     }
 
+    /// Retracts one previously added hypervector's votes — the
+    /// counter-plane inverse of [`add`](Self::add): a ripple-**borrow**
+    /// subtract of the 1-bit number across the transposed planes, again
+    /// `O(words · log n)` bitwise ops. This is what makes membership
+    /// churn incremental: removing one member costs a plane update, not a
+    /// re-bundle of the remaining membership.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimensionMismatchError`] on dimension mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundler is empty, or if `hv` votes in a dimension
+    /// whose counter is already zero (i.e. `hv` was never added — the
+    /// counters would underflow).
+    pub fn subtract(&mut self, hv: &Hypervector) -> Result<(), DimensionMismatchError> {
+        if hv.dimension() != self.dimension {
+            return Err(DimensionMismatchError {
+                left: self.dimension,
+                right: hv.dimension(),
+            });
+        }
+        self.subtract_words(hv.as_words());
+        Ok(())
+    }
+
+    /// Raw-row form of [`subtract`](Self::subtract) (mirrors
+    /// [`add_words`](Self::add_words)).
+    ///
+    /// # Panics
+    ///
+    /// As for [`subtract`](Self::subtract); word length is debug-asserted.
+    pub(crate) fn subtract_words(&mut self, words: &[u64]) {
+        debug_assert_eq!(words.len(), self.words);
+        assert!(self.members > 0, "cannot retract from an empty bundler");
+        // Ripple-borrow: borrow₀ = input, then per plane
+        //   borrowₖ₊₁ = !planeₖ & borrowₖ;  planeₖ ^= borrowₖ.
+        self.carry.copy_from_slice(words);
+        for plane in &mut self.planes {
+            if self.carry.iter().all(|&w| w == 0) {
+                break;
+            }
+            for (p, b) in plane.iter_mut().zip(self.carry.iter_mut()) {
+                let new_borrow = !*p & *b;
+                *p ^= *b;
+                *b = new_borrow;
+            }
+        }
+        assert!(
+            self.carry.iter().all(|&w| w == 0),
+            "retracted hypervector was never added (counter underflow)"
+        );
+        self.members -= 1;
+    }
+
     /// Reads out the majority vote: bit `i` of the result is 1 iff
     /// `count_i > members / 2`, with exact-half ties (even member counts)
     /// resolved by `tie`'s bit — the same contract as the scalar

@@ -141,6 +141,86 @@ proptest! {
         prop_assert_eq!(out[0].map(|h| (h.row, h.distance)), got);
     }
 
+    /// The adaptive scan stays exact across *streams* of probes on one
+    /// engine: mixed adversarial and inference-shaped probes drive the
+    /// calibrator through its whole state machine — filtered rounds with
+    /// and without a stand-out leader, the collapsed straight scan, and
+    /// the periodic exploration queries — and every single answer must
+    /// still be the reference argmin with the earliest-row tie-break.
+    #[test]
+    fn adaptive_scan_exact_under_probe_streams(
+        seed in any::<u64>(),
+        d in prop_oneof![Just(512usize), Just(1000), Just(4096), Just(10_240)],
+        n in 8usize..48,
+        shapes in prop::collection::vec(any::<bool>(), 20..60),
+    ) {
+        let mut rng = Rng::new(seed);
+        let rows: Vec<Hypervector> =
+            (0..n).map(|_| Hypervector::random(d, &mut rng)).collect();
+        let mut engine = BatchLookup::new(d);
+        for hv in &rows {
+            engine.push(hv).unwrap();
+        }
+        for &noisy in &shapes {
+            let probe = if noisy {
+                let victim = rng.next_below(n as u64) as usize;
+                let mut p = rows[victim].clone();
+                p.flip_bits(rng.distinct_indices(d / 25, d));
+                p
+            } else {
+                Hypervector::random(d, &mut rng)
+            };
+            let naive = rows
+                .iter()
+                .enumerate()
+                .map(|(i, hv)| (reference::hamming(&probe, hv), i))
+                .min()
+                .map(|(dist, i)| (i, dist));
+            prop_assert_eq!(
+                engine.nearest_one(&probe).map(|h| (h.row, h.distance)),
+                naive
+            );
+        }
+    }
+
+    /// In-place row compaction under churn equals a fresh engine built
+    /// from the surviving rows — matrix contents and scan results alike.
+    #[test]
+    fn retained_rows_equal_fresh_engine(
+        seed in any::<u64>(),
+        d in dims(),
+        n in 1usize..30,
+        keep_mask in prop::collection::vec(any::<bool>(), 30),
+    ) {
+        let mut rng = Rng::new(seed);
+        let rows: Vec<Hypervector> =
+            (0..n).map(|_| Hypervector::random(d, &mut rng)).collect();
+        let mut engine = BatchLookup::new(d);
+        for hv in &rows {
+            engine.push(hv).unwrap();
+        }
+        engine.retain_rows(|row| keep_mask[row]);
+        let survivors: Vec<&Hypervector> =
+            rows.iter().enumerate().filter(|(i, _)| keep_mask[*i]).map(|(_, hv)| hv).collect();
+        prop_assert_eq!(engine.len(), survivors.len());
+        let mut fresh = BatchLookup::new(d);
+        for hv in &survivors {
+            fresh.push(hv).unwrap();
+        }
+        for i in 0..survivors.len() {
+            prop_assert_eq!(engine.row(i), fresh.row(i));
+        }
+        let probe = Hypervector::random(d, &mut rng);
+        let got = engine.nearest_one(&probe).map(|h| (h.row, h.distance));
+        let want = survivors
+            .iter()
+            .enumerate()
+            .map(|(i, hv)| (reference::hamming(&probe, hv), i))
+            .min()
+            .map(|(dist, i)| (i, dist));
+        prop_assert_eq!(got, want);
+    }
+
     /// `nearest_k` with partial selection equals a full sort of the naive
     /// scores, deterministic tie-break included.
     #[test]

@@ -54,6 +54,13 @@ impl ModularTable {
         Self { hasher, servers: Vec::new(), slots: Vec::new() }
     }
 
+    /// Re-derives the whole slot array from the clean membership list —
+    /// the noise-scrub path ([`NoisyTable::clear_noise`]). Membership
+    /// changes never call this: [`join`](DynamicHashTable::join) appends
+    /// one slot and [`leave`](DynamicHashTable::leave) removes one, so
+    /// churn is incremental and, deliberately, does not scrub noise
+    /// injected into *other* slots (a join on real hardware does not
+    /// repair unrelated corrupted memory).
     fn rebuild_slots(&mut self) {
         self.slots = self.servers.iter().map(|s| s.get()).collect();
     }
@@ -80,7 +87,7 @@ impl DynamicHashTable for ModularTable {
             return Err(TableError::ServerAlreadyPresent(server));
         }
         self.servers.push(server);
-        self.rebuild_slots();
+        self.slots.push(server.get());
         Ok(())
     }
 
@@ -91,7 +98,9 @@ impl DynamicHashTable for ModularTable {
             .position(|&s| s == server)
             .ok_or(TableError::ServerNotFound(server))?;
         self.servers.remove(idx);
-        self.rebuild_slots();
+        // Remove the matching stored slot by index (it may be corrupted
+        // by injected noise; index, not value, is the correspondence).
+        self.slots.remove(idx);
         Ok(())
     }
 

@@ -18,6 +18,9 @@
 //!   hypervectors, bind/bundle/permute, similarity metrics, random /
 //!   level / **circular** basis-hypervectors (the paper's Algorithm 1),
 //!   associative memory, noise injection;
+//! * [`simdkernels`] — the workspace's single non-`forbid(unsafe)` leaf:
+//!   runtime-dispatched XOR+popcount distance kernels (AVX2 where the
+//!   CPU has it, portable scalar everywhere else);
 //! * [`table`] — the `DynamicHashTable` contract, strongly typed ids,
 //!   the modular-hashing baseline and remap metrics;
 //! * [`ring`] — consistent hashing over a from-scratch treap (plus
@@ -71,6 +74,7 @@ pub use hdhash_maglev as maglev;
 pub use hdhash_hdc as hdc;
 pub use hdhash_rendezvous as rendezvous;
 pub use hdhash_ring as ring;
+pub use hdhash_simdkernels as simdkernels;
 pub use hdhash_table as table;
 
 /// The most common imports in one place.
@@ -82,7 +86,9 @@ pub mod prelude {
     pub use hdhash_emulator::{
         AlgorithmKind, Generator, HashTableModule, NoisePlan, Trace, Workload,
     };
-    pub use hdhash_hdc::{CentroidClassifier, Hypervector, Rng, SimilarityMetric};
+    pub use hdhash_hdc::{
+        CentroidClassifier, Hypervector, MembershipCentroid, Rng, SimilarityMetric,
+    };
     pub use hdhash_maglev::MaglevTable;
     pub use hdhash_rendezvous::RendezvousTable;
     pub use hdhash_ring::ConsistentTable;
