@@ -1,0 +1,179 @@
+//! Emits `BENCH_serve.json`: closed-loop throughput of the sharded
+//! serving engine across a shard count × batch size × worker count grid.
+//!
+//! ```text
+//! cargo run --release -p hdhash-bench --bin bench_serve
+//! cargo run --release -p hdhash-bench --bin bench_serve -- quick=1
+//! cargo run --release -p hdhash-bench --bin bench_serve -- out=/tmp/B.json requests=20000
+//! ```
+//!
+//! Each grid point builds a fresh engine, replays an emulator-generated
+//! uniform workload through `hdhash_serve::load::drive` (closed loop), and
+//! reports completed-requests-per-second plus p50/p99 latency and the mean
+//! coalesced batch fill. The JSON also records the dispatched distance
+//! kernel (`HDHASH_FORCE_SCALAR` is honored end-to-end: the env var flips
+//! every shard's scan kernel to the portable scalar path, and the `kernel`
+//! field proves which one ran) and the host's core count, since worker
+//! scaling is meaningless past it.
+
+use std::fmt::Write as _;
+
+use hdhash_bench::Params;
+use hdhash_emulator::{Generator, KeyDistribution, Workload};
+use hdhash_serve::{drive, ServeConfig, ServeEngine};
+use hdhash_table::ServerId;
+
+struct GridPoint {
+    shards: usize,
+    workers: usize,
+    batch: usize,
+    completed: usize,
+    rejected: usize,
+    throughput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    mean_batch_fill: f64,
+}
+
+fn run_point(shards: usize, workers: usize, batch: usize, requests: usize) -> GridPoint {
+    let mut engine = ServeEngine::new(ServeConfig {
+        shards,
+        workers,
+        batch_capacity: batch,
+        queue_capacity: 8192,
+        dimension: 4096,
+        codebook_size: 256,
+        seed: 0xBEE,
+    })
+    .expect("valid config");
+    for id in 0..64u64 {
+        engine.join(ServerId::new(id)).expect("fresh server");
+    }
+    let workload = Workload {
+        initial_servers: 0,
+        lookups: requests,
+        keys: KeyDistribution::Uniform,
+        seed: 0x5EED,
+    };
+    let stream = Generator::new(workload).lookup_requests();
+    // Window sized to keep the queue busy without tripping backpressure.
+    let report = drive(&engine, &stream, (batch * workers * 4).min(2048));
+    engine.shutdown();
+    let metrics = engine.metrics();
+    let fills: Vec<f64> =
+        metrics.shards.iter().filter(|s| s.batches > 0).map(|s| s.mean_batch_fill).collect();
+    let latency = report.latency.expect("non-empty run");
+    GridPoint {
+        shards,
+        workers,
+        batch,
+        completed: report.completed,
+        rejected: report.rejected,
+        throughput_rps: report.throughput().requests_per_sec(),
+        p50_us: latency.p50.as_secs_f64() * 1e6,
+        p99_us: latency.p99.as_secs_f64() * 1e6,
+        mean_batch_fill: if fills.is_empty() {
+            0.0
+        } else {
+            fills.iter().sum::<f64>() / fills.len() as f64
+        },
+    }
+}
+
+fn main() {
+    let params = Params::from_env();
+    let quick = params.get_usize("quick", 0) != 0
+        || std::env::args().any(|a| a == "--quick");
+    let requests = params.get_usize("requests", if quick { 2_000 } else { 20_000 });
+    let out_path = std::env::args()
+        .skip(1)
+        .find_map(|a| a.strip_prefix("out=").map(str::to_owned))
+        .unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    let shard_counts =
+        params.get_usize_list("shards", if quick { &[1, 2][..] } else { &[1, 2, 4][..] });
+    let worker_counts =
+        params.get_usize_list("workers", if quick { &[2][..] } else { &[1, 2, 4][..] });
+    let batch_sizes =
+        params.get_usize_list("batches", if quick { &[64][..] } else { &[16, 64, 256][..] });
+
+    let mut grid: Vec<GridPoint> = Vec::new();
+    for &shards in &shard_counts {
+        for &workers in &worker_counts {
+            for &batch in &batch_sizes {
+                let point = run_point(shards, workers, batch, requests);
+                println!(
+                    "shards={:<2} workers={:<2} batch={:<4} {:>12.0} req/s  \
+                     p50 {:>8.1} us  p99 {:>8.1} us  fill {:>6.1}  rejected {}",
+                    point.shards,
+                    point.workers,
+                    point.batch,
+                    point.throughput_rps,
+                    point.p50_us,
+                    point.p99_us,
+                    point.mean_batch_fill,
+                    point.rejected,
+                );
+                grid.push(point);
+            }
+        }
+    }
+
+    // Headline scaling ratio: best multi-shard vs best single-shard
+    // throughput at the highest measured worker count.
+    let max_workers = worker_counts.iter().copied().max().unwrap_or(1);
+    let best = |pred: &dyn Fn(&GridPoint) -> bool| {
+        grid.iter()
+            .filter(|p| p.workers == max_workers && pred(p))
+            .map(|p| p.throughput_rps)
+            .fold(0.0f64, f64::max)
+    };
+    let single = best(&|p| p.shards == 1);
+    let multi = best(&|p| p.shards > 1);
+    let scaling = if single > 0.0 { multi / single } else { 0.0 };
+    let note = if cores < 4 {
+        format!(
+            "host has {cores} core(s): worker/shard scaling is capped by the core count — \
+             multi-shard numbers measure coalescing overhead, not parallel speedup; \
+             rerun on a many-core box for the scaling headline"
+        )
+    } else {
+        format!("host has {cores} cores; scaling ratio is meaningful up to that width")
+    };
+
+    let mut json = String::from("{\n  \"benchmark\": \"BENCH_serve\",\n");
+    let _ = writeln!(json, "  \"kernel\": \"{}\",", hdhash_simdkernels::kernel_name());
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"requests_per_point\": {requests},");
+    let _ = writeln!(json, "  \"note\": \"{note}\",");
+    let _ = writeln!(
+        json,
+        "  \"multi_vs_single_shard_at_{max_workers}_workers\": {scaling:.2},"
+    );
+    json.push_str("  \"series\": [\n");
+    for (i, p) in grid.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {}, \"workers\": {}, \"batch\": {}, \"completed\": {}, \
+             \"rejected\": {}, \"throughput_rps\": {:.0}, \"p50_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"mean_batch_fill\": {:.2}}}{}",
+            p.shards,
+            p.workers,
+            p.batch,
+            p.completed,
+            p.rejected,
+            p.throughput_rps,
+            p.p50_us,
+            p.p99_us,
+            p.mean_batch_fill,
+            if i + 1 == grid.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    println!("kernel: {}", hdhash_simdkernels::kernel_name());
+    println!("multi-shard vs single-shard at {max_workers} workers: {scaling:.2}x");
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("wrote {out_path}");
+}

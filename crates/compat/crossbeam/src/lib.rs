@@ -1,9 +1,12 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! The build environment for this workspace has no crates.io access, so this
-//! shim vendors the one API slice the workspace uses — `crossbeam::thread::scope`
-//! with `Scope::spawn` — implemented on top of `std::thread::scope` (stable
-//! since Rust 1.63, which post-dates crossbeam's scoped threads).
+//! shim vendors the API slices the workspace uses — `crossbeam::thread::scope`
+//! with `Scope::spawn` (on top of `std::thread::scope`, stable since Rust
+//! 1.63, which post-dates crossbeam's scoped threads) and
+//! `crossbeam::queue::ArrayQueue` (a bounded MPMC queue, here a
+//! mutex-guarded ring rather than crossbeam's lock-free array — same
+//! contract, no `unsafe`).
 //!
 //! Semantics match the call sites' expectations:
 //!
@@ -12,7 +15,9 @@
 //!   treat worker panics as fatal via `.expect(..)`, so re-panicking is an
 //!   acceptable substitute for crossbeam's `Err` aggregation);
 //! * `Scope::spawn` hands the scope back to the closure so nested spawns
-//!   remain possible.
+//!   remain possible;
+//! * `ArrayQueue::push` on a full queue hands the value back as `Err` —
+//!   the backpressure signal the serving layer rejects requests on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,6 +69,98 @@ pub mod thread {
     }
 }
 
+/// Bounded lock-based queues (`crossbeam::queue`).
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::{Mutex, PoisonError};
+
+    /// A bounded multi-producer multi-consumer queue.
+    ///
+    /// API-compatible with `crossbeam::queue::ArrayQueue` for the slice the
+    /// workspace uses: `push` refuses (returning the value) once `capacity`
+    /// elements are queued, `pop` returns `None` when empty, and every
+    /// method takes `&self` so one queue can be shared across producer and
+    /// consumer threads behind an `Arc`.
+    ///
+    /// The real crate's queue is a lock-free array; this shim guards a
+    /// `VecDeque` with a [`std::sync::Mutex`] (recovered on poison, so a
+    /// panicking peer never wedges the queue). Contention behaviour
+    /// differs, the observable FIFO semantics do not.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crossbeam::queue::ArrayQueue;
+    ///
+    /// let q = ArrayQueue::new(2);
+    /// assert!(q.push(1).is_ok());
+    /// assert!(q.push(2).is_ok());
+    /// assert_eq!(q.push(3), Err(3)); // full: value handed back
+    /// assert_eq!(q.pop(), Some(1));
+    /// ```
+    #[derive(Debug)]
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        capacity: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Creates an empty queue holding at most `capacity` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `capacity == 0` (matching crossbeam).
+        #[must_use]
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "capacity must be non-zero");
+            Self { inner: Mutex::new(VecDeque::with_capacity(capacity)), capacity }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Appends `value`, or hands it back as `Err` if the queue is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = self.lock();
+            if q.len() >= self.capacity {
+                return Err(value);
+            }
+            q.push_back(value);
+            Ok(())
+        }
+
+        /// Removes and returns the oldest element, or `None` when empty.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Number of queued elements.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// Whether the queue holds no elements.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        /// Whether the queue is at capacity.
+        #[must_use]
+        pub fn is_full(&self) -> bool {
+            self.lock().len() >= self.capacity
+        }
+
+        /// The fixed capacity bound.
+        #[must_use]
+        pub fn capacity(&self) -> usize {
+            self.capacity
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -95,5 +192,78 @@ mod tests {
         })
         .expect("no panics");
         assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn queue_fifo_and_backpressure() {
+        let q = super::queue::ArrayQueue::new(3);
+        assert!(q.is_empty());
+        assert!(!q.is_full());
+        assert_eq!(q.capacity(), 3);
+        for i in 0..3 {
+            assert!(q.push(i).is_ok());
+        }
+        assert!(q.is_full());
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.push(9), Err(9));
+        assert_eq!(q.pop(), Some(0));
+        assert!(q.push(9).is_ok());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_mpmc_under_threads() {
+        // 4 producers × 250 items drained by 2 consumers: every item
+        // arrives exactly once.
+        let q = std::sync::Arc::new(super::queue::ArrayQueue::new(64));
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let done = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for p in 0..4u32 {
+                let q = q.clone();
+                let done = done.clone();
+                s.spawn(move || {
+                    for i in 0..250u32 {
+                        let mut v = p * 1000 + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                    done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            }
+            for _ in 0..2 {
+                let q = q.clone();
+                let seen = seen.clone();
+                let done = done.clone();
+                s.spawn(move || loop {
+                    match q.pop() {
+                        Some(v) => seen.lock().expect("unpoisoned").push(v),
+                        None => {
+                            if done.load(std::sync::atomic::Ordering::SeqCst) == 4
+                                && q.is_empty()
+                            {
+                                return;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        let mut all = seen.lock().expect("unpoisoned").clone();
+        all.sort_unstable();
+        let expect: Vec<u32> =
+            (0..4u32).flat_map(|p| (0..250u32).map(move |i| p * 1000 + i)).collect();
+        assert_eq!(all, expect);
     }
 }

@@ -1,5 +1,7 @@
 //! The circular-hypervector codebook and the `Enc` function (Eq. 1).
 
+use std::sync::Arc;
+
 use hdhash_hashfn::{Hasher64, XxHash64};
 use hdhash_hdc::basis::{CircularBasis, FlipStrategy};
 use hdhash_hdc::{Hypervector, Rng};
@@ -11,6 +13,12 @@ use hdhash_hdc::{Hypervector, Rng};
 /// inputs whose hashes land on nearby circle nodes receive similar
 /// hypervectors — the geometric foundation of HD hashing.
 ///
+/// The basis and hash function are immutable once generated and shared
+/// behind [`Arc`]s, so cloning a codebook — and therefore cloning a whole
+/// [`HdHashTable`](crate::HdHashTable), as the serving layer's
+/// epoch-snapshot publication does per reconfiguration — never copies the
+/// `n × d`-bit basis, only bumps two reference counts.
+///
 /// # Examples
 ///
 /// ```
@@ -21,9 +29,10 @@ use hdhash_hdc::{Hypervector, Rng};
 /// assert!(slot < 64);
 /// assert_eq!(hv.dimension(), 4096);
 /// ```
+#[derive(Clone)]
 pub struct Codebook {
-    basis: CircularBasis,
-    hasher: Box<dyn Hasher64>,
+    basis: Arc<CircularBasis>,
+    hasher: Arc<dyn Hasher64>,
 }
 
 impl core::fmt::Debug for Codebook {
@@ -66,7 +75,7 @@ impl Codebook {
         let mut rng = Rng::new(seed);
         let basis = CircularBasis::generate_with_strategy(n, d, strategy, &mut rng)
             .expect("validated codebook parameters");
-        Self { basis, hasher }
+        Self { basis: Arc::new(basis), hasher: Arc::from(hasher) }
     }
 
     /// Codebook cardinality `n`.
@@ -174,6 +183,21 @@ mod tests {
         let a = Codebook::generate(8, 512, 1);
         let b = Codebook::generate(8, 512, 2);
         assert_ne!(a.hypervector(0), b.hypervector(0));
+    }
+
+    #[test]
+    fn clone_shares_basis_storage() {
+        let a = Codebook::generate(16, 1024, 9);
+        let b = a.clone();
+        // The clone answers identically…
+        for key in 0..100u64 {
+            assert_eq!(a.slot_of(&key.to_le_bytes()), b.slot_of(&key.to_le_bytes()));
+        }
+        for slot in 0..16 {
+            assert_eq!(a.hypervector(slot), b.hypervector(slot));
+        }
+        // …without duplicating the n × d basis (Arc-shared).
+        assert!(std::sync::Arc::ptr_eq(&a.basis, &b.basis));
     }
 
     #[test]

@@ -62,7 +62,7 @@ use crate::config::HdConfig;
 /// assert_eq!(table.lookup(RequestKey::new(77))?, before);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HdHashTable {
     config: HdConfig,
     codebook: Codebook,
@@ -575,6 +575,30 @@ mod tests {
         // collision scenario is exercised through capacity here.
         assert!(t.join(ServerId::new(1)).is_err());
         assert_eq!(t.server_count(), 1);
+    }
+
+    #[test]
+    fn clone_is_an_independent_snapshot() {
+        // The serving layer publishes epoch snapshots by cloning the
+        // shadow table: the clone must answer identically at the moment of
+        // the clone and stay frozen while the original keeps churning.
+        let mut t = small_table(16);
+        let snapshot = t.clone();
+        let frozen: Vec<ServerId> =
+            keys(200).iter().map(|&k| snapshot.lookup(k).expect("non-empty")).collect();
+        t.join(ServerId::new(900)).expect("fresh");
+        t.leave(ServerId::new(3)).expect("present");
+        t.inject_bit_flips(50, 77);
+        assert_eq!(snapshot.server_count(), 16);
+        assert_eq!(t.server_count(), 16);
+        for (&k, &want) in keys(200).iter().zip(&frozen) {
+            assert_eq!(snapshot.lookup(k).expect("non-empty"), want);
+        }
+        assert_eq!(
+            snapshot.membership_signature(),
+            small_table(16).membership_signature(),
+            "snapshot signature must match an identically built table"
+        );
     }
 
     #[test]

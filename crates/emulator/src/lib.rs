@@ -54,7 +54,9 @@ pub use buffer::RequestBuffer;
 pub use concurrent::{run_concurrent, ConcurrentRunReport};
 pub use correlated::{CorrelatedErrorModel, CorrelatedErrorProcess, TimelineConfig};
 pub use generator::{Generator, KeyDistribution, Workload};
-pub use metrics::{EfficiencySample, LatencyProfile, MismatchSample, UniformitySample};
+pub use metrics::{
+    EfficiencySample, LatencyProfile, MismatchSample, ThroughputSample, UniformitySample,
+};
 pub use module::HashTableModule;
 pub use noise::NoisePlan;
 pub use request::Request;

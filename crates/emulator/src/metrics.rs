@@ -145,9 +145,48 @@ impl LatencyProfile {
     }
 }
 
+/// A completed-requests-over-wall-time measurement, the unit the serving
+/// layer's throughput benchmarks report.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_emulator::metrics::ThroughputSample;
+/// use std::time::Duration;
+///
+/// let s = ThroughputSample { requests: 10_000, elapsed: Duration::from_millis(500) };
+/// assert_eq!(s.requests_per_sec(), 20_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThroughputSample {
+    /// Requests completed during the window.
+    pub requests: usize,
+    /// Wall time of the window.
+    pub elapsed: Duration,
+}
+
+impl ThroughputSample {
+    /// Completed requests per second; zero for an empty window.
+    #[must_use]
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.requests as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn throughput_sample_rates() {
+        let s = ThroughputSample { requests: 300, elapsed: Duration::from_secs(2) };
+        assert_eq!(s.requests_per_sec(), 150.0);
+        let zero = ThroughputSample { requests: 300, elapsed: Duration::ZERO };
+        assert_eq!(zero.requests_per_sec(), 0.0);
+    }
 
     #[test]
     fn efficiency_nanos() {

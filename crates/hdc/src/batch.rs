@@ -505,14 +505,28 @@ impl BatchLookup {
         best
     }
 
-    /// Resolves a batch of probes in one cache-blocked sweep: member rows
-    /// are streamed block by block, each block scanned for every probe
-    /// before the next block is touched, so the matrix is read once per
-    /// `ROW_BLOCK` rows regardless of batch size.
+    /// Resolves a batch of probes, choosing the scan plan the calibrator
+    /// currently believes in.
+    ///
+    /// While the per-engine calibrator holds the filter engaged (recent
+    /// probes were inference-shaped) each probe of the batch runs the same
+    /// **adaptive incremental-prefix schedule** as
+    /// [`nearest_one`](Self::nearest_one): a short prefix round kills most
+    /// of the population per probe, which beats re-streaming the full
+    /// matrix. Under a collapsed calibrator (adversarial traffic, where no
+    /// prefix filter can help) the batch falls back to the cache-blocked
+    /// sweep, streaming each block of member rows once for the whole
+    /// batch. Each filtered probe feeds its stand-out verdict back to the
+    /// calibrator, so a workload shift mid-stream flips the plan within a
+    /// batch or two; the occasional exploration query of a collapsed
+    /// engine runs one whole batch through the filtered path.
     ///
     /// Results land in `out` (cleared and refilled; reuse the buffer to
-    /// keep the path allocation-free). Each slot matches
-    /// [`nearest_one`](Self::nearest_one) for the corresponding probe.
+    /// keep the path allocation-free). Both plans compute the exact argmin
+    /// with the earliest-row tie-break, so each slot matches
+    /// [`nearest_one`](Self::nearest_one) for the corresponding probe
+    /// **byte-identically, whichever plan ran**
+    /// (`crates/hdc/tests/kernel_equivalence.rs` pins this).
     ///
     /// # Panics
     ///
@@ -523,6 +537,26 @@ impl BatchLookup {
         }
         out.clear();
         out.resize(probes.len(), None);
+        if probes.is_empty() {
+            return;
+        }
+        let mut cuts = [0usize; MAX_ROUNDS];
+        let rounds = self.scan_schedule(&mut cuts);
+        if self.rows >= MIN_FILTER_ROWS && rounds >= 2 && self.calibrator.wants_filter() {
+            for (probe, slot) in probes.iter().zip(out.iter_mut()) {
+                *slot = self.nearest_filtered(probe, &cuts[..rounds]);
+            }
+            return;
+        }
+        self.blocked_batch_into(probes, out);
+    }
+
+    /// The straight cache-blocked multi-probe sweep: member rows are
+    /// streamed block by block, each block scanned for every probe before
+    /// the next block is touched, so the matrix is read once per
+    /// `ROW_BLOCK` rows regardless of batch size. `out` must already hold
+    /// one `None` per probe.
+    fn blocked_batch_into(&self, probes: &[&Hypervector], out: &mut [Option<Hit>]) {
         let mut block_start = 0;
         while block_start < self.rows {
             let block_end = (block_start + ROW_BLOCK).min(self.rows);
@@ -618,6 +652,82 @@ mod tests {
         for (probe, got) in probes.iter().zip(&out) {
             assert_eq!(*got, engine.nearest_one(probe));
         }
+    }
+
+    #[test]
+    fn calibrated_batch_is_exact_in_both_plans() {
+        // The batch path consults the calibrator: inference-shaped batches
+        // run the per-probe prefix schedule, collapsed engines run the
+        // blocked sweep. Both must produce the exact argmin.
+        let d = 10_240;
+        let (engine, rows) = engine_with(64, d, 2024);
+        let mut rng = Rng::new(2025);
+        // Engaged path: noisy batches (fresh engines assume inference).
+        for _ in 0..3 {
+            let probes: Vec<Hypervector> = (0..9)
+                .map(|_| {
+                    let victim = rng.next_below(64) as usize;
+                    let mut p = rows[victim].clone();
+                    p.flip_bits(rng.distinct_indices(d / 20, d));
+                    p
+                })
+                .collect();
+            let refs: Vec<&Hypervector> = probes.iter().collect();
+            let mut out = Vec::new();
+            engine.nearest_batch_into(&refs, &mut out);
+            for (probe, got) in probes.iter().zip(&out) {
+                assert_eq!(*got, naive_nearest(&rows, probe));
+            }
+        }
+        assert!(
+            engine.calibrator.score.load(Ordering::Relaxed) >= 0,
+            "noisy batches must keep the filter engaged"
+        );
+        // Adversarial batches collapse the calibrator, switching later
+        // batches to the blocked sweep — results stay exact throughout.
+        for _ in 0..4 {
+            let probes: Vec<Hypervector> =
+                (0..8).map(|_| Hypervector::random(d, &mut rng)).collect();
+            let refs: Vec<&Hypervector> = probes.iter().collect();
+            let mut out = Vec::new();
+            engine.nearest_batch_into(&refs, &mut out);
+            for (probe, got) in probes.iter().zip(&out) {
+                assert_eq!(*got, naive_nearest(&rows, probe));
+            }
+        }
+        assert!(
+            engine.calibrator.score.load(Ordering::Relaxed) < 0,
+            "adversarial batches must collapse the filter"
+        );
+    }
+
+    #[test]
+    fn collapsed_and_engaged_batches_agree_byte_identically() {
+        let d = 10_240;
+        let (engaged, rows) = engine_with(48, d, 7070);
+        let collapsed = engaged.clone();
+        collapsed.calibrator.score.store(-SCORE_SATURATION, Ordering::Relaxed);
+        // Offset the query counter so no exploration query re-runs the
+        // filtered plan mid-test.
+        collapsed.calibrator.queries.store(1, Ordering::Relaxed);
+        let mut rng = Rng::new(7071);
+        let probes: Vec<Hypervector> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Hypervector::random(d, &mut rng)
+                } else {
+                    let victim = rng.next_below(48) as usize;
+                    let mut p = rows[victim].clone();
+                    p.flip_bits(rng.distinct_indices(d / 25, d));
+                    p
+                }
+            })
+            .collect();
+        let refs: Vec<&Hypervector> = probes.iter().collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        engaged.nearest_batch_into(&refs, &mut a);
+        collapsed.nearest_batch_into(&refs, &mut b);
+        assert_eq!(a, b, "scan plan must never change batch results");
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub mod similarity;
 
 pub use batch::BatchLookup;
 pub use classifier::CentroidClassifier;
-pub use maintenance::MembershipCentroid;
+pub use maintenance::{signature_diff, MembershipCentroid, SignatureDelta};
 pub use hypervector::{DimensionMismatchError, Hypervector};
 pub use memory::{AssociativeMemory, SearchStrategy};
 pub use rng::Rng;

@@ -4,6 +4,7 @@
 //! included, and especially dimensions that are not multiples of 64, which
 //! exercise the masked tail word of the packed representation.
 
+use hdhash_hdc::batch::Hit;
 use hdhash_hdc::ops::{bundle, permute, reference, MajorityBundler};
 use hdhash_hdc::{AssociativeMemory, BatchLookup, Hypervector, Rng};
 use proptest::prelude::*;
@@ -139,6 +140,62 @@ proptest! {
         let mut out = Vec::new();
         engine.nearest_batch_into(&[&probe], &mut out);
         prop_assert_eq!(out[0].map(|h| (h.row, h.distance)), got);
+    }
+
+    /// The calibrated batch path is byte-identical across scan plans: an
+    /// engine whose calibrator is engaged (fresh, inference-assuming) and
+    /// one collapsed by an adversarial warm-up stream must resolve the
+    /// same probe batch to identical `(row, distance)` hits, and both must
+    /// equal the naive per-probe argmin — whether the batch itself is
+    /// inference-shaped, adversarial, or mixed.
+    #[test]
+    fn calibrated_batch_equals_blocked_batch(
+        seed in any::<u64>(),
+        d in prop_oneof![Just(1000usize), Just(4096), Just(10_240)],
+        n in 9usize..40,
+        shapes in prop::collection::vec(any::<bool>(), 4..24),
+    ) {
+        let mut rng = Rng::new(seed);
+        let rows: Vec<Hypervector> =
+            (0..n).map(|_| Hypervector::random(d, &mut rng)).collect();
+        let mut engaged = BatchLookup::new(d);
+        for hv in &rows {
+            engaged.push(hv).unwrap();
+        }
+        // A second engine, collapsed by sustained adversarial single-probe
+        // traffic, takes the cache-blocked plan for the same batch.
+        let collapsed = engaged.clone();
+        for _ in 0..10 {
+            let probe = Hypervector::random(d, &mut rng);
+            let _ = collapsed.nearest_one(&probe);
+        }
+        let probes: Vec<Hypervector> = shapes
+            .iter()
+            .map(|&noisy| {
+                if noisy {
+                    let victim = rng.next_below(n as u64) as usize;
+                    let mut p = rows[victim].clone();
+                    p.flip_bits(rng.distinct_indices(d / 25, d));
+                    p
+                } else {
+                    Hypervector::random(d, &mut rng)
+                }
+            })
+            .collect();
+        let refs: Vec<&Hypervector> = probes.iter().collect();
+        let (mut via_engaged, mut via_collapsed) = (Vec::new(), Vec::new());
+        engaged.nearest_batch_into(&refs, &mut via_engaged);
+        collapsed.nearest_batch_into(&refs, &mut via_collapsed);
+        prop_assert_eq!(&via_engaged, &via_collapsed);
+        for (probe, got) in probes.iter().zip(&via_engaged) {
+            let naive = rows
+                .iter()
+                .enumerate()
+                .map(|(i, hv)| (reference::hamming(probe, hv), i))
+                .min()
+                .map(|(dist, i)| Hit { row: i, distance: dist });
+            prop_assert_eq!(*got, naive);
+        }
     }
 
     /// The adaptive scan stays exact across *streams* of probes on one

@@ -1,0 +1,117 @@
+//! Serving-engine configuration.
+
+use crate::ServeError;
+
+/// Shape of a [`ServeEngine`](crate::ServeEngine): how many shards front
+/// the traffic, how many workers coalesce it, and the HD-table geometry
+/// each shard is built with.
+///
+/// Every field has a production-flavoured default; override with struct
+/// update syntax:
+///
+/// ```
+/// use hdhash_serve::ServeConfig;
+///
+/// let config = ServeConfig { shards: 8, workers: 4, ..ServeConfig::default() };
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of independent HD-hash shards. Requests are partitioned by
+    /// key hash, so each shard sees a disjoint slice of the keyspace.
+    pub shards: usize,
+    /// Worker threads draining the shared queue into per-shard batches.
+    pub workers: usize,
+    /// Maximum jobs one worker drains into a single coalesced batch (the
+    /// paper batches 256 requests per GPU dispatch; the CPU sweet spot is
+    /// smaller).
+    pub batch_capacity: usize,
+    /// Bound of the MPMC request queue — the backpressure knob: a full
+    /// queue rejects submissions with
+    /// [`ServeError::QueueFull`](crate::ServeError::QueueFull).
+    pub queue_capacity: usize,
+    /// Hypervector dimension of every shard's table.
+    pub dimension: usize,
+    /// Codebook cardinality `n` of every shard's table.
+    pub codebook_size: usize,
+    /// Base seed; shard `i` derives its codebook from `seed + i`, so the
+    /// shards' geometries are independent.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            workers: 2,
+            batch_capacity: 64,
+            queue_capacity: 4096,
+            dimension: 4096,
+            codebook_size: 256,
+            seed: 0x5E27E,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the structural fields (the HD-table geometry is validated
+    /// again, more precisely, by `HdConfig` when the shards are built).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let field_positive = [
+            ("shards", self.shards),
+            ("workers", self.workers),
+            ("batch_capacity", self.batch_capacity),
+            ("queue_capacity", self.queue_capacity),
+            ("dimension", self.dimension),
+            ("codebook_size", self.codebook_size),
+        ];
+        for (name, value) in field_positive {
+            if value == 0 {
+                return Err(ServeError::InvalidConfig(format!("{name} must be positive")));
+            }
+        }
+        if self.dimension < 2 * self.codebook_size {
+            return Err(ServeError::InvalidConfig(format!(
+                "dimension {} must be at least 2 × codebook_size {}",
+                self.dimension, self.codebook_size
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_fields_are_rejected() {
+        for field in 0..6 {
+            let mut c = ServeConfig::default();
+            match field {
+                0 => c.shards = 0,
+                1 => c.workers = 0,
+                2 => c.batch_capacity = 0,
+                3 => c.queue_capacity = 0,
+                4 => c.dimension = 0,
+                _ => c.codebook_size = 0,
+            }
+            assert!(matches!(c.validate(), Err(ServeError::InvalidConfig(_))), "field {field}");
+        }
+    }
+
+    #[test]
+    fn undersized_dimension_is_rejected() {
+        let c = ServeConfig { dimension: 256, codebook_size: 256, ..ServeConfig::default() };
+        assert!(matches!(c.validate(), Err(ServeError::InvalidConfig(_))));
+    }
+}

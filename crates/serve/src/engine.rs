@@ -1,0 +1,451 @@
+//! The serving engine: MPMC queue, coalescing workers, shard fan-out.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::queue::ArrayQueue;
+use parking_lot::{Condvar, Mutex};
+
+use hdhash_core::HdHashTable;
+use hdhash_hdc::SignatureDelta;
+use hdhash_table::{DynamicHashTable, RequestKey, ServerId, TableError};
+
+use crate::config::ServeConfig;
+use crate::metrics::{EngineMetrics, ShardMetrics};
+use crate::request::{LookupJob, ServeResponse, Ticket};
+use crate::shard::{Shard, ShardReceipt, ShardSnapshot};
+use crate::ServeError;
+
+/// The shared state workers and clients operate on.
+#[derive(Debug)]
+struct EngineCore {
+    config: ServeConfig,
+    /// The MPMC request queue (bounded — the backpressure surface).
+    queue: ArrayQueue<LookupJob>,
+    /// Parking for idle workers. The lock also brackets the
+    /// submit/shutdown race: both the shutdown flag flip and every
+    /// successful push happen under it, so a submission is either rejected
+    /// with [`ServeError::ShuttingDown`] or guaranteed to be served.
+    park: Mutex<()>,
+    ready: Condvar,
+    shards: Vec<Shard>,
+    metrics: Vec<ShardMetrics>,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl EngineCore {
+    fn new(config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let mut shards = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            let table = HdHashTable::builder()
+                .dimension(config.dimension)
+                .codebook_size(config.codebook_size)
+                .seed(config.seed.wrapping_add(i as u64))
+                .build()
+                .map_err(|e| ServeError::InvalidConfig(e.to_string()))?;
+            shards.push(Shard::new(i, table));
+        }
+        Ok(Self {
+            queue: ArrayQueue::new(config.queue_capacity),
+            park: Mutex::new(()),
+            ready: Condvar::new(),
+            metrics: (0..config.shards).map(|_| ShardMetrics::default()).collect(),
+            shards,
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            config,
+        })
+    }
+
+    /// Which shard a key belongs to: a strong 64-bit mix over the key, mod
+    /// the shard count, so the partition is stable and load-balanced.
+    fn shard_of(&self, key: RequestKey) -> usize {
+        (hdhash_hashfn::mix64(key.get()) % self.config.shards as u64) as usize
+    }
+
+    fn submit(&self, key: RequestKey) -> Result<Ticket, ServeError> {
+        let (job, ticket) = LookupJob::new(key, self.shard_of(key));
+        {
+            let _guard = self.park.lock();
+            if self.shutdown.load(Ordering::Acquire) {
+                return Err(ServeError::ShuttingDown);
+            }
+            if self.queue.push(job).is_err() {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::QueueFull);
+            }
+            self.ready.notify_one();
+        }
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(ticket)
+    }
+
+    /// Serves one coalesced batch: jobs are grouped per shard and each
+    /// group resolved through a single epoch snapshot with one
+    /// `lookup_batch` call — the zero-alloc batched scan under the hood.
+    /// `keys`/`latencies` are caller-owned scratch so steady-state serving
+    /// allocates only the per-batch result vector.
+    fn serve_batch(
+        &self,
+        batch: &mut Vec<LookupJob>,
+        keys: &mut Vec<RequestKey>,
+        latencies: &mut Vec<Duration>,
+    ) {
+        batch.sort_by_key(|job| job.shard);
+        let mut start = 0;
+        while start < batch.len() {
+            let shard_idx = batch[start].shard;
+            let mut end = start + 1;
+            while end < batch.len() && batch[end].shard == shard_idx {
+                end += 1;
+            }
+            let jobs = &batch[start..end];
+            // One snapshot per shard-group: every response in the group is
+            // computed against a single consistent epoch.
+            let snapshot = self.shards[shard_idx].load();
+            keys.clear();
+            keys.extend(jobs.iter().map(|job| job.key));
+            let results = snapshot.lookup_batch(keys);
+            latencies.clear();
+            let mut failures = 0;
+            for (job, result) in jobs.iter().zip(results) {
+                if result.is_err() {
+                    failures += 1;
+                }
+                let latency = job.enqueued.elapsed();
+                latencies.push(latency);
+                job.cell.fill(ServeResponse {
+                    result,
+                    shard: shard_idx,
+                    epoch: snapshot.epoch,
+                    latency,
+                });
+            }
+            self.metrics[shard_idx].record_batch(jobs.len(), failures, latencies);
+            self.completed.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            start = end;
+        }
+        batch.clear();
+    }
+}
+
+/// The worker loop: drain up to `batch_capacity` jobs, serve them as one
+/// coalesced batch, park when the queue runs dry.
+fn worker_loop(core: &EngineCore) {
+    let mut batch: Vec<LookupJob> = Vec::with_capacity(core.config.batch_capacity);
+    let mut keys: Vec<RequestKey> = Vec::new();
+    let mut latencies: Vec<Duration> = Vec::new();
+    loop {
+        batch.clear();
+        while batch.len() < core.config.batch_capacity {
+            match core.queue.pop() {
+                Some(job) => batch.push(job),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            if core.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let mut guard = core.park.lock();
+            // Re-check under the lock: a submit or shutdown that raced the
+            // empty pop has already fired its notification.
+            if core.shutdown.load(Ordering::Acquire) || !core.queue.is_empty() {
+                continue;
+            }
+            core.ready.wait(&mut guard);
+            continue;
+        }
+        core.serve_batch(&mut batch, &mut keys, &mut latencies);
+    }
+}
+
+/// The sharded, batch-coalescing serving engine.
+///
+/// See the [crate docs](crate) for the architecture. Construction spawns
+/// the worker threads; [`shutdown`](Self::shutdown) (or `Drop`) stops
+/// them, serving every already-accepted request before returning.
+#[derive(Debug)]
+pub struct ServeEngine {
+    core: Arc<EngineCore>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Builds the shards and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a rejected configuration.
+    pub fn new(config: ServeConfig) -> Result<Self, ServeError> {
+        let core = Arc::new(EngineCore::new(config)?);
+        let workers = (0..config.workers)
+            .map(|w| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("hdhash-serve-{w}"))
+                    .spawn(move || worker_loop(&core))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Ok(Self { core, workers })
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.core.config
+    }
+
+    /// Submits a lookup. Returns a [`Ticket`] redeemable for the
+    /// response, or rejects with [`ServeError::QueueFull`] (backpressure)
+    /// or [`ServeError::ShuttingDown`].
+    ///
+    /// # Errors
+    ///
+    /// See above; no other failure modes.
+    pub fn submit(&self, key: RequestKey) -> Result<Ticket, ServeError> {
+        self.core.submit(key)
+    }
+
+    /// Joins `server` on every shard, each through its epoch path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard failure (e.g.
+    /// [`TableError::ServerAlreadyPresent`]); shards reconfigured before
+    /// the failure keep their new epoch — shards are independent tables.
+    pub fn join(&self, server: ServerId) -> Result<Vec<ShardReceipt>, ServeError> {
+        self.reconfigure_all(|table| table.join(server))
+    }
+
+    /// Removes `server` from every shard, each through its epoch path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard failure
+    /// ([`TableError::ServerNotFound`]); prior shards keep their new epoch.
+    pub fn leave(&self, server: ServerId) -> Result<Vec<ShardReceipt>, ServeError> {
+        self.reconfigure_all(|table| table.leave(server))
+    }
+
+    fn reconfigure_all<F>(&self, op: F) -> Result<Vec<ShardReceipt>, ServeError>
+    where
+        F: Fn(&mut HdHashTable) -> Result<(), TableError>,
+    {
+        let mut receipts = Vec::with_capacity(self.core.shards.len());
+        for shard in &self.core.shards {
+            receipts.push(shard.reconfigure(&op)?);
+        }
+        Ok(receipts)
+    }
+
+    /// The currently published snapshot of every shard (epoch, members,
+    /// signature) — cheap `Arc` clones.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<Arc<ShardSnapshot>> {
+        self.core.shards.iter().map(Shard::load).collect()
+    }
+
+    /// Anti-entropy self-check: per shard, the signature delta between the
+    /// shadow table and the published snapshot. All-zero between
+    /// reconfigurations; a diverged entry means a change was applied but
+    /// its publication was lost.
+    #[must_use]
+    pub fn shard_divergence(&self, threshold: usize) -> Vec<SignatureDelta> {
+        self.core.shards.iter().map(|s| s.pending_divergence(threshold)).collect()
+    }
+
+    /// Point-in-time engine and per-shard metrics.
+    #[must_use]
+    pub fn metrics(&self) -> EngineMetrics {
+        let shards = self
+            .core
+            .shards
+            .iter()
+            .zip(&self.core.metrics)
+            .map(|(shard, metrics)| {
+                let snap = shard.load();
+                metrics.snapshot(snap.shard, snap.epoch, snap.members.len())
+            })
+            .collect();
+        EngineMetrics {
+            submitted: self.core.submitted.load(Ordering::Relaxed),
+            rejected: self.core.rejected.load(Ordering::Relaxed),
+            completed: self.core.completed.load(Ordering::Relaxed),
+            queue_depth: self.core.queue.len(),
+            shards,
+        }
+    }
+
+    /// Stops accepting requests, joins the workers, and serves any
+    /// still-queued jobs inline, so no accepted ticket is ever left
+    /// hanging. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        {
+            let _guard = self.core.park.lock();
+            self.core.shutdown.store(true, Ordering::Release);
+            self.core.ready.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Stragglers: accepted before the flag flipped, not yet popped.
+        let mut batch = Vec::new();
+        while let Some(job) = self.core.queue.pop() {
+            batch.push(job);
+        }
+        if !batch.is_empty() {
+            let (mut keys, mut latencies) = (Vec::new(), Vec::new());
+            self.core.serve_batch(&mut batch, &mut keys, &mut latencies);
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            shards: 3,
+            workers: 2,
+            batch_capacity: 16,
+            queue_capacity: 256,
+            dimension: 2048,
+            codebook_size: 64,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn serves_lookups_across_shards() {
+        let mut engine = ServeEngine::new(test_config()).expect("valid config");
+        for id in 0..12 {
+            engine.join(ServerId::new(id)).expect("fresh server");
+        }
+        let snapshots = engine.snapshots();
+        let tickets: Vec<_> = (0..200u64)
+            .map(|k| (k, engine.submit(RequestKey::new(k)).expect("accepted")))
+            .collect();
+        let mut shards_hit = std::collections::HashSet::new();
+        for (k, ticket) in tickets {
+            let response = ticket.wait();
+            shards_hit.insert(response.shard);
+            // Deterministic: the response equals a direct lookup against
+            // the snapshot of the epoch that served it (static membership,
+            // so that's the current snapshot).
+            assert_eq!(response.epoch, snapshots[response.shard].epoch);
+            assert_eq!(
+                response.result,
+                snapshots[response.shard].lookup(RequestKey::new(k)),
+                "key {k}"
+            );
+            let server = response.result.expect("non-empty pool");
+            assert!(snapshots[response.shard].contains(server));
+        }
+        assert_eq!(shards_hit.len(), 3, "keys must spread over all shards");
+        // Metrics are published after the response cells are filled; read
+        // them only once the workers have quiesced.
+        engine.shutdown();
+        let metrics = engine.metrics();
+        assert_eq!(metrics.submitted, 200);
+        assert_eq!(metrics.completed, 200);
+        assert_eq!(metrics.rejected, 0);
+        assert_eq!(metrics.shards.iter().map(|s| s.served).sum::<u64>(), 200);
+        assert!(metrics.shards.iter().all(|s| s.failed == 0));
+        assert!(metrics.shards.iter().any(|s| s.latency.is_some()));
+    }
+
+    #[test]
+    fn empty_pool_lookups_fail_but_complete() {
+        let mut engine = ServeEngine::new(test_config()).expect("valid config");
+        let ticket = engine.submit(RequestKey::new(5)).expect("accepted");
+        let response = ticket.wait();
+        assert_eq!(response.result, Err(TableError::EmptyPool));
+        assert_eq!(response.epoch, 0, "genesis epoch");
+        engine.shutdown();
+        assert_eq!(engine.metrics().shards.iter().map(|s| s.failed).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn backpressure_rejects_at_capacity() {
+        // White-box: a core with no workers, so nothing drains the queue.
+        let config = ServeConfig { queue_capacity: 2, ..test_config() };
+        let core = EngineCore::new(config).expect("valid config");
+        assert!(core.submit(RequestKey::new(1)).is_ok());
+        assert!(core.submit(RequestKey::new(2)).is_ok());
+        assert_eq!(core.submit(RequestKey::new(3)).unwrap_err(), ServeError::QueueFull);
+        assert_eq!(core.rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(core.submitted.load(Ordering::Relaxed), 2);
+        assert_eq!(core.queue.len(), 2);
+    }
+
+    #[test]
+    fn shutdown_serves_stragglers_and_rejects_new_submissions() {
+        let mut engine = ServeEngine::new(test_config()).expect("valid config");
+        engine.join(ServerId::new(1)).expect("fresh server");
+        let tickets: Vec<_> = (0..50u64)
+            .filter_map(|k| engine.submit(RequestKey::new(k)).ok())
+            .collect();
+        engine.shutdown();
+        for ticket in tickets {
+            // Every accepted ticket resolves — no hangs after shutdown.
+            assert!(ticket.wait().result.is_ok());
+        }
+        assert_eq!(engine.submit(RequestKey::new(9)).unwrap_err(), ServeError::ShuttingDown);
+        // Idempotent.
+        engine.shutdown();
+    }
+
+    #[test]
+    fn membership_errors_propagate() {
+        let engine = ServeEngine::new(test_config()).expect("valid config");
+        engine.join(ServerId::new(1)).expect("fresh server");
+        assert_eq!(
+            engine.join(ServerId::new(1)).unwrap_err(),
+            ServeError::Table(TableError::ServerAlreadyPresent(ServerId::new(1)))
+        );
+        assert_eq!(
+            engine.leave(ServerId::new(7)).unwrap_err(),
+            ServeError::Table(TableError::ServerNotFound(ServerId::new(7)))
+        );
+    }
+
+    #[test]
+    fn receipts_track_epochs_and_divergence_stays_zero() {
+        let engine = ServeEngine::new(test_config()).expect("valid config");
+        let r1 = engine.join(ServerId::new(1)).expect("fresh server");
+        assert_eq!(r1.len(), 3);
+        assert!(r1.iter().all(|r| r.epoch == 1 && r.members == vec![ServerId::new(1)]));
+        let r2 = engine.join(ServerId::new(2)).expect("fresh server");
+        assert!(r2.iter().all(|r| r.epoch == 2 && r.members.len() == 2));
+        assert!(engine
+            .shard_divergence(0)
+            .iter()
+            .all(|delta| delta.distance == 0 && !delta.diverged));
+    }
+
+    #[test]
+    fn shard_partition_is_stable() {
+        let core = EngineCore::new(test_config()).expect("valid config");
+        for k in 0..500u64 {
+            let key = RequestKey::new(k);
+            assert_eq!(core.shard_of(key), core.shard_of(key));
+            assert!(core.shard_of(key) < 3);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! # hdhash-serve — the sharded, batch-coalescing HD-hash serving layer
+//!
+//! The paper pitches the HD hash table as a dynamic hash table for
+//! datacenter-scale request routing; everything below this crate is
+//! single-caller, synchronous library code. `hdhash-serve` is the front
+//! end that puts the workspace's three performance layers — the
+//! zero-alloc batched lookup engine, the runtime-dispatched SIMD distance
+//! kernels, and the incremental membership maintenance — under real
+//! concurrent traffic:
+//!
+//! ```text
+//!  generator ──► MPMC queue ──► coalescing workers ──► shard 0 ─┐
+//!  (emulator)    (bounded,      (drain up to B jobs,  shard 1  ├─► metrics
+//!   clients ──►   rejects at     group by shard,      …        │   (depth,
+//!   submit())     capacity)      one batched lookup   shard N ─┘    fill,
+//!                                per shard per batch)             p50/p99)
+//! ```
+//!
+//! * **Batch coalescing** — worker threads drain the shared
+//!   [`crossbeam::queue::ArrayQueue`] into fixed-capacity probe batches
+//!   and drive each shard's `HdHashTable::lookup_batch`, so the
+//!   slot-deduplicated, cache-blocked scan path finally sees multi-client
+//!   traffic instead of one synchronous caller.
+//! * **Epoch-based reconfiguration** — each shard keeps a *shadow* table
+//!   that joins and leaves mutate through the incremental
+//!   counter-plane machinery (`MembershipCentroid`), then publishes an
+//!   immutable snapshot behind an `Arc` pointer-swap. Readers clone the
+//!   `Arc` and never wait on the reconfiguration work; every response
+//!   reports the epoch it was served at.
+//! * **Backpressure + metrics** — the bounded queue rejects at capacity
+//!   (the caller sees [`ServeError::QueueFull`]), and per-shard counters
+//!   plus a latency reservoir feed
+//!   [`LatencyProfile`](hdhash_emulator::LatencyProfile)-based p50/p99
+//!   snapshots.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hdhash_serve::{ServeConfig, ServeEngine};
+//! use hdhash_table::{RequestKey, ServerId};
+//!
+//! let config = ServeConfig {
+//!     shards: 2,
+//!     workers: 2,
+//!     dimension: 2048,
+//!     codebook_size: 64,
+//!     ..ServeConfig::default()
+//! };
+//! let mut engine = ServeEngine::new(config)?;
+//! for id in 0..8 {
+//!     engine.join(ServerId::new(id))?;
+//! }
+//! let ticket = engine.submit(RequestKey::new(42))?;
+//! let response = ticket.wait();
+//! assert!(response.result.is_ok());
+//! assert!(response.epoch >= 1, "served from a published epoch");
+//! engine.shutdown();
+//! # Ok::<(), hdhash_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod load;
+pub mod metrics;
+pub mod request;
+pub mod shard;
+
+pub use config::ServeConfig;
+pub use engine::ServeEngine;
+pub use load::{drive, LoadReport};
+pub use metrics::{EngineMetrics, ShardMetricsSnapshot};
+pub use request::{ServeResponse, Ticket};
+pub use shard::{ShardReceipt, ShardSnapshot};
+
+use hdhash_table::TableError;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The configuration failed validation (message names the field).
+    InvalidConfig(String),
+    /// The request queue is at capacity — backpressure; retry after
+    /// draining or shed the request.
+    QueueFull,
+    /// The engine has begun shutting down and accepts no new requests.
+    ShuttingDown,
+    /// A membership operation failed on the underlying table.
+    Table(TableError),
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::QueueFull => write!(f, "request queue at capacity"),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::Table(e) => write!(f, "table operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<TableError> for ServeError {
+    fn from(e: TableError) -> Self {
+        ServeError::Table(e)
+    }
+}

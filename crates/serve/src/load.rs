@@ -1,0 +1,207 @@
+//! Emulator-driven load generation: feed a [`Generator`]'s request stream
+//! through a [`ServeEngine`] closed-loop.
+//!
+//! The paper's emulator generates a request stream (joins, leaves,
+//! lookups); this module is the adapter that replays such a stream against
+//! the serving layer — control requests go through the epoch
+//! reconfiguration path, lookups through the MPMC queue — while keeping a
+//! bounded number of lookups in flight (a closed loop, the way a fixed
+//! client fleet drives a real service).
+//!
+//! [`Generator`]: hdhash_emulator::Generator
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use hdhash_emulator::{metrics::ThroughputSample, LatencyProfile, Request};
+
+use crate::engine::ServeEngine;
+use crate::request::Ticket;
+use crate::ServeError;
+
+/// Outcome of one [`drive`] run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Lookups accepted into the queue.
+    pub submitted: usize,
+    /// Lookups refused at capacity even after one drain-and-retry.
+    pub rejected: usize,
+    /// Lookups served to completion.
+    pub completed: usize,
+    /// Served lookups whose verdict was an error (e.g. empty pool).
+    pub failures: usize,
+    /// Control requests applied (joins + leaves).
+    pub controls: usize,
+    /// Control requests that failed (duplicate join, unknown leave).
+    pub control_failures: usize,
+    /// Wall time of the whole replay.
+    pub elapsed: Duration,
+    /// Submit-to-response latency profile over every completed lookup.
+    pub latency: Option<LatencyProfile>,
+}
+
+impl LoadReport {
+    /// Completed lookups over wall time.
+    #[must_use]
+    pub fn throughput(&self) -> ThroughputSample {
+        ThroughputSample { requests: self.completed, elapsed: self.elapsed }
+    }
+}
+
+/// Replays `requests` against `engine`, keeping at most `window` lookups
+/// outstanding (closed loop). Backpressured submissions drain one
+/// outstanding ticket and retry once before counting as rejected.
+///
+/// Returns after every in-flight lookup has been reaped.
+#[must_use]
+pub fn drive(engine: &ServeEngine, requests: &[Request], window: usize) -> LoadReport {
+    let window = window.max(1);
+    let mut outstanding: VecDeque<Ticket> = VecDeque::with_capacity(window);
+    let mut report = LoadReport {
+        submitted: 0,
+        rejected: 0,
+        completed: 0,
+        failures: 0,
+        controls: 0,
+        control_failures: 0,
+        elapsed: Duration::ZERO,
+        latency: None,
+    };
+    let mut latencies: Vec<Duration> = Vec::new();
+    let started = Instant::now();
+
+    let reap = |ticket: Ticket, report: &mut LoadReport, latencies: &mut Vec<Duration>| {
+        let response = ticket.wait();
+        report.completed += 1;
+        if response.result.is_err() {
+            report.failures += 1;
+        }
+        latencies.push(response.latency);
+    };
+
+    for request in requests {
+        match *request {
+            Request::Join(server) => {
+                report.controls += 1;
+                if engine.join(server).is_err() {
+                    report.control_failures += 1;
+                }
+            }
+            Request::Leave(server) => {
+                report.controls += 1;
+                if engine.leave(server).is_err() {
+                    report.control_failures += 1;
+                }
+            }
+            Request::Lookup(key) => {
+                if outstanding.len() >= window {
+                    let ticket = outstanding.pop_front().expect("non-empty window");
+                    reap(ticket, &mut report, &mut latencies);
+                }
+                match engine.submit(key) {
+                    Ok(ticket) => {
+                        report.submitted += 1;
+                        outstanding.push_back(ticket);
+                    }
+                    Err(ServeError::QueueFull) => {
+                        // Drain the window, then retry once.
+                        while let Some(ticket) = outstanding.pop_front() {
+                            reap(ticket, &mut report, &mut latencies);
+                        }
+                        match engine.submit(key) {
+                            Ok(ticket) => {
+                                report.submitted += 1;
+                                outstanding.push_back(ticket);
+                            }
+                            Err(_) => report.rejected += 1,
+                        }
+                    }
+                    Err(_) => report.rejected += 1,
+                }
+            }
+        }
+    }
+    while let Some(ticket) = outstanding.pop_front() {
+        reap(ticket, &mut report, &mut latencies);
+    }
+    report.elapsed = started.elapsed();
+    report.latency = LatencyProfile::from_durations(latencies);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use hdhash_emulator::{Generator, Workload};
+
+    fn engine() -> ServeEngine {
+        ServeEngine::new(ServeConfig {
+            shards: 2,
+            workers: 2,
+            batch_capacity: 32,
+            queue_capacity: 512,
+            dimension: 2048,
+            codebook_size: 64,
+            seed: 9,
+        })
+        .expect("valid config")
+    }
+
+    #[test]
+    fn replays_generator_stream_end_to_end() {
+        let mut engine = engine();
+        let workload = Workload { initial_servers: 8, lookups: 400, ..Workload::default() };
+        let requests = Generator::new(workload).requests();
+        let report = drive(&engine, &requests, 64);
+        assert_eq!(report.controls, 8);
+        assert_eq!(report.control_failures, 0);
+        assert_eq!(report.submitted + report.rejected, 400);
+        assert_eq!(report.completed, report.submitted);
+        assert_eq!(report.failures, 0, "pool is non-empty for every lookup");
+        assert!(report.latency.is_some());
+        assert!(report.throughput().requests_per_sec() > 0.0);
+        engine.shutdown();
+        let metrics = engine.metrics();
+        assert_eq!(metrics.completed as usize, report.completed);
+    }
+
+    #[test]
+    fn churn_stream_keeps_serving() {
+        let mut engine = engine();
+        let workload = Workload { initial_servers: 6, lookups: 300, ..Workload::default() };
+        let requests = Generator::new(workload).churn_requests(4);
+        let report = drive(&engine, &requests, 32);
+        // 6 initial joins plus churn events (leaves whose victim already
+        // departed are skipped by the generator, so ≥ 2 of 4 remain).
+        assert!(report.controls >= 6 + 2, "controls {}", report.controls);
+        assert_eq!(report.completed, report.submitted);
+        assert_eq!(report.failures, 0);
+        engine.shutdown();
+        // Every shard ends on the same epoch count (same control stream).
+        let snapshots = engine.snapshots();
+        assert!(snapshots.iter().all(|s| s.epoch == snapshots[0].epoch));
+    }
+
+    #[test]
+    fn tiny_queue_still_completes_via_retry() {
+        let mut engine = ServeEngine::new(ServeConfig {
+            shards: 2,
+            workers: 1,
+            batch_capacity: 4,
+            queue_capacity: 8,
+            dimension: 2048,
+            codebook_size: 64,
+            seed: 10,
+        })
+        .expect("valid config");
+        engine.join(hdhash_table::ServerId::new(1)).expect("fresh server");
+        let requests: Vec<Request> =
+            (0..200u64).map(|k| Request::Lookup(hdhash_table::RequestKey::new(k))).collect();
+        let report = drive(&engine, &requests, 16);
+        assert_eq!(report.submitted + report.rejected, 200);
+        assert_eq!(report.completed, report.submitted);
+        assert!(report.completed > 0);
+        engine.shutdown();
+    }
+}

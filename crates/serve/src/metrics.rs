@@ -1,0 +1,151 @@
+//! Per-shard serving metrics: counters, batch fill, latency reservoir.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use hdhash_emulator::LatencyProfile;
+
+/// How many latency samples each shard retains (a ring: the most recent
+/// window wins, so long runs report current behaviour, not warm-up).
+const RESERVOIR_CAPACITY: usize = 4096;
+
+/// Writer-side metrics for one shard. All counters are `Relaxed` atomics
+/// (monotone, heuristic); only the latency reservoir takes a lock, briefly.
+#[derive(Debug, Default)]
+pub(crate) struct ShardMetrics {
+    served: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batch_fill: AtomicU64,
+    latencies: Mutex<Reservoir>,
+}
+
+#[derive(Debug, Default)]
+struct Reservoir {
+    ring: Vec<Duration>,
+    next: usize,
+}
+
+impl Reservoir {
+    fn record(&mut self, sample: Duration) {
+        if self.ring.len() < RESERVOIR_CAPACITY {
+            self.ring.push(sample);
+        } else {
+            self.ring[self.next] = sample;
+            self.next = (self.next + 1) % RESERVOIR_CAPACITY;
+        }
+    }
+}
+
+impl ShardMetrics {
+    /// Accounts one coalesced batch served against this shard.
+    pub(crate) fn record_batch(&self, fill: usize, failures: usize, latencies: &[Duration]) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_fill.fetch_add(fill as u64, Ordering::Relaxed);
+        self.served.fetch_add(fill as u64, Ordering::Relaxed);
+        self.failed.fetch_add(failures as u64, Ordering::Relaxed);
+        let mut reservoir = self.latencies.lock();
+        for &sample in latencies {
+            reservoir.record(sample);
+        }
+    }
+
+    pub(crate) fn snapshot(&self, shard: usize, epoch: u64, members: usize) -> ShardMetricsSnapshot {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let fill = self.batch_fill.load(Ordering::Relaxed);
+        let latency =
+            LatencyProfile::from_durations(self.latencies.lock().ring.clone());
+        ShardMetricsSnapshot {
+            shard,
+            epoch,
+            members,
+            served: self.served.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            mean_batch_fill: if batches == 0 { 0.0 } else { fill as f64 / batches as f64 },
+            latency,
+        }
+    }
+}
+
+/// Point-in-time metrics for one shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMetricsSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// The shard's currently published epoch.
+    pub epoch: u64,
+    /// Members live in that epoch.
+    pub members: usize,
+    /// Lookups served (successful or failed verdicts alike).
+    pub served: u64,
+    /// Lookups whose verdict was an error (e.g. empty pool).
+    pub failed: u64,
+    /// Coalesced batches executed.
+    pub batches: u64,
+    /// Mean lookups per batch — the coalescing win; 1.0 means the queue
+    /// never held more than one request per shard at a time.
+    pub mean_batch_fill: f64,
+    /// p50/p90/p99/max over the shard's recent latency window, measured
+    /// submit-to-response (queue wait included). `None` before traffic.
+    pub latency: Option<LatencyProfile>,
+}
+
+/// Point-in-time metrics for the whole engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineMetrics {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests refused at capacity (the backpressure counter).
+    pub rejected: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Per-shard breakdowns.
+    pub shards: Vec<ShardMetricsSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_accounting_accumulates() {
+        let m = ShardMetrics::default();
+        m.record_batch(3, 1, &[Duration::from_micros(10); 3]);
+        m.record_batch(5, 0, &[Duration::from_micros(20); 5]);
+        let snap = m.snapshot(1, 7, 4);
+        assert_eq!(snap.shard, 1);
+        assert_eq!(snap.epoch, 7);
+        assert_eq!(snap.members, 4);
+        assert_eq!(snap.served, 8);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.batches, 2);
+        assert!((snap.mean_batch_fill - 4.0).abs() < 1e-12);
+        let latency = snap.latency.expect("samples recorded");
+        assert_eq!(latency.samples, 8);
+        assert_eq!(latency.max, Duration::from_micros(20));
+    }
+
+    #[test]
+    fn empty_metrics_have_no_profile() {
+        let snap = ShardMetrics::default().snapshot(0, 0, 0);
+        assert!(snap.latency.is_none());
+        assert_eq!(snap.mean_batch_fill, 0.0);
+    }
+
+    #[test]
+    fn reservoir_wraps_at_capacity() {
+        let mut r = Reservoir::default();
+        for i in 0..(RESERVOIR_CAPACITY + 10) {
+            r.record(Duration::from_nanos(i as u64));
+        }
+        assert_eq!(r.ring.len(), RESERVOIR_CAPACITY);
+        // The oldest 10 samples were overwritten.
+        assert!(r.ring.contains(&Duration::from_nanos(RESERVOIR_CAPACITY as u64)));
+        assert!(!r.ring.contains(&Duration::from_nanos(5)));
+    }
+}

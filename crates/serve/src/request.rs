@@ -1,0 +1,135 @@
+//! Request plumbing: tickets, responses and the completion cell.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use hdhash_table::{RequestKey, ServerId, TableError};
+
+/// The serving layer's answer to one submitted lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeResponse {
+    /// The routing verdict from the shard's HD table.
+    pub result: Result<ServerId, TableError>,
+    /// Which shard served the request.
+    pub shard: usize,
+    /// The shard epoch whose membership snapshot produced the verdict —
+    /// the handle the churn tests use to prove no torn reads.
+    pub epoch: u64,
+    /// Queue wait plus batch execution time, measured from `submit`.
+    pub latency: Duration,
+}
+
+/// One-shot completion cell shared between the submitting client and the
+/// worker that eventually serves the request.
+#[derive(Debug, Default)]
+pub(crate) struct ResponseCell {
+    slot: Mutex<Option<ServeResponse>>,
+    ready: Condvar,
+}
+
+impl ResponseCell {
+    pub(crate) fn fill(&self, response: ServeResponse) {
+        let mut slot = self.slot.lock();
+        debug_assert!(slot.is_none(), "a request is served exactly once");
+        *slot = Some(response);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> ServeResponse {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(response) = *slot {
+                return response;
+            }
+            self.ready.wait(&mut slot);
+        }
+    }
+
+    fn try_get(&self) -> Option<ServeResponse> {
+        *self.slot.lock()
+    }
+}
+
+/// A claim on a submitted request's eventual response.
+///
+/// Obtained from [`ServeEngine::submit`](crate::ServeEngine::submit);
+/// either block on [`wait`](Self::wait) (closed-loop clients) or poll
+/// [`try_response`](Self::try_response) (open-loop clients that batch
+/// their own reaping).
+#[derive(Debug)]
+pub struct Ticket {
+    cell: Arc<ResponseCell>,
+}
+
+impl Ticket {
+    /// Blocks until the request is served. The engine guarantees every
+    /// accepted request is eventually served — by a worker in steady
+    /// state, or by the shutdown drain.
+    #[must_use]
+    pub fn wait(self) -> ServeResponse {
+        self.cell.wait()
+    }
+
+    /// The response, if already served.
+    #[must_use]
+    pub fn try_response(&self) -> Option<ServeResponse> {
+        self.cell.try_get()
+    }
+}
+
+/// A queued lookup: the key, its shard (fixed at submit time so workers
+/// never re-hash), the submit instant, and the client's completion cell.
+#[derive(Debug)]
+pub(crate) struct LookupJob {
+    pub(crate) key: RequestKey,
+    pub(crate) shard: usize,
+    pub(crate) enqueued: Instant,
+    pub(crate) cell: Arc<ResponseCell>,
+}
+
+impl LookupJob {
+    pub(crate) fn new(key: RequestKey, shard: usize) -> (Self, Ticket) {
+        let cell = Arc::new(ResponseCell::default());
+        let ticket = Ticket { cell: Arc::clone(&cell) };
+        (Self { key, shard, enqueued: Instant::now(), cell }, ticket)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response() -> ServeResponse {
+        ServeResponse {
+            result: Ok(ServerId::new(3)),
+            shard: 1,
+            epoch: 9,
+            latency: Duration::from_micros(5),
+        }
+    }
+
+    #[test]
+    fn ticket_roundtrip() {
+        let (job, ticket) = LookupJob::new(RequestKey::new(7), 1);
+        assert_eq!(job.key, RequestKey::new(7));
+        assert_eq!(job.shard, 1);
+        assert!(ticket.try_response().is_none());
+        job.cell.fill(response());
+        assert_eq!(ticket.try_response(), Some(response()));
+        assert_eq!(ticket.wait(), response());
+    }
+
+    #[test]
+    fn wait_blocks_until_filled_across_threads() {
+        let (job, ticket) = LookupJob::new(RequestKey::new(1), 0);
+        let got = std::thread::scope(|s| {
+            let waiter = s.spawn(move || ticket.wait());
+            std::thread::sleep(Duration::from_millis(10));
+            job.cell.fill(response());
+            waiter.join().expect("no panic")
+        });
+        assert_eq!(got, response());
+    }
+}

@@ -1,0 +1,199 @@
+//! Concurrent churn: lookups from four client threads racing a churn
+//! thread that joins/leaves members through the epoch path.
+//!
+//! The property under test is the serving layer's consistency contract:
+//! **every response routes to a server that was live in the epoch that
+//! served it** — no torn reads, no response computed against a
+//! half-applied membership. The epoch log is reconstructible because every
+//! publication produces exactly one receipt; the validator replays the
+//! receipts and checks each `(shard, epoch, server)` triple against the
+//! membership live at that exact epoch.
+//!
+//! CI runs this with `--test-threads=1`; the inner `ROUNDS` loop plus the
+//! driver-side repetition give the "100 consecutive runs" soak the
+//! acceptance criteria ask for.
+
+use std::collections::{HashMap, HashSet};
+
+use hdhash_serve::{ServeConfig, ServeEngine, ShardReceipt};
+use hdhash_table::{RequestKey, ServerId, TableError};
+
+/// Full engine rounds per test execution (each round builds a fresh
+/// engine, races clients against churn, validates every response).
+const ROUNDS: usize = 4;
+/// Lookup clients racing the churn thread.
+const CLIENTS: usize = 4;
+/// Lookups per client per round.
+const LOOKUPS_PER_CLIENT: usize = 200;
+/// Membership changes the churn thread applies per round.
+const CHURN_OPS: usize = 30;
+
+fn config(seed: u64) -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        workers: 4,
+        batch_capacity: 16,
+        queue_capacity: 1024,
+        dimension: 2048,
+        codebook_size: 64,
+        seed,
+    }
+}
+
+/// Epoch → membership, per shard, reconstructed from receipts.
+fn log_receipts(
+    log: &mut HashMap<(usize, u64), HashSet<ServerId>>,
+    receipts: &[ShardReceipt],
+) {
+    for receipt in receipts {
+        let previous = log.insert(
+            (receipt.shard, receipt.epoch),
+            receipt.members.iter().copied().collect(),
+        );
+        assert!(previous.is_none(), "epoch {} published twice", receipt.epoch);
+    }
+}
+
+#[test]
+fn lookups_race_churn_without_torn_reads() {
+    for round in 0..ROUNDS {
+        let engine = ServeEngine::new(config(round as u64 + 1)).expect("valid config");
+        let mut epoch_log: HashMap<(usize, u64), HashSet<ServerId>> = HashMap::new();
+        // Genesis: every shard starts at epoch 0 with no members.
+        for snapshot in engine.snapshots() {
+            epoch_log.insert((snapshot.shard, snapshot.epoch), HashSet::new());
+        }
+        // Base membership before the race, so the pool is never empty.
+        for id in 0..8u64 {
+            log_receipts(&mut epoch_log, &engine.join(ServerId::new(id)).expect("fresh"));
+        }
+
+        let (churn_receipts, responses) = std::thread::scope(|scope| {
+            let engine = &engine;
+            let churner = scope.spawn(move || {
+                // Alternate leave/join over a rolling window so membership
+                // stays at 7–8 members throughout.
+                let mut receipts = Vec::new();
+                let mut next_leave = 0u64;
+                let mut next_join = 8u64;
+                for op in 0..CHURN_OPS {
+                    let result = if op % 2 == 0 {
+                        let r = engine.leave(ServerId::new(next_leave));
+                        next_leave += 1;
+                        r
+                    } else {
+                        let r = engine.join(ServerId::new(next_join));
+                        next_join += 1;
+                        r
+                    };
+                    receipts.extend(result.expect("churn ops target known members"));
+                    std::thread::yield_now();
+                }
+                receipts
+            });
+            let clients: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut collected = Vec::with_capacity(LOOKUPS_PER_CLIENT);
+                        let mut window = std::collections::VecDeque::new();
+                        for i in 0..LOOKUPS_PER_CLIENT {
+                            let key =
+                                RequestKey::new((c * LOOKUPS_PER_CLIENT + i) as u64 * 31 + 7);
+                            // Closed loop with a small in-flight window so
+                            // batches actually coalesce.
+                            if window.len() >= 8 {
+                                let ticket: hdhash_serve::Ticket =
+                                    window.pop_front().expect("non-empty");
+                                collected.push(ticket.wait());
+                            }
+                            match engine.submit(key) {
+                                Ok(ticket) => window.push_back(ticket),
+                                Err(e) => panic!("queue sized for the load: {e}"),
+                            }
+                        }
+                        for ticket in window {
+                            collected.push(ticket.wait());
+                        }
+                        collected
+                    })
+                })
+                .collect();
+            let receipts = churner.join().expect("churner must not panic");
+            let responses: Vec<_> = clients
+                .into_iter()
+                .flat_map(|c| c.join().expect("client must not panic"))
+                .collect();
+            (receipts, responses)
+        });
+        log_receipts(&mut epoch_log, &churn_receipts);
+
+        assert_eq!(responses.len(), CLIENTS * LOOKUPS_PER_CLIENT, "round {round}");
+        for response in &responses {
+            let members = epoch_log
+                .get(&(response.shard, response.epoch))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "round {round}: response cites unknown epoch {} on shard {}",
+                        response.epoch, response.shard
+                    )
+                });
+            match response.result {
+                Ok(server) => assert!(
+                    members.contains(&server),
+                    "round {round}: shard {} epoch {} routed to {server}, \
+                     which was not live in that epoch (live: {members:?})",
+                    response.shard,
+                    response.epoch,
+                ),
+                Err(TableError::EmptyPool) => assert!(
+                    members.is_empty(),
+                    "round {round}: empty-pool verdict in a populated epoch"
+                ),
+                Err(other) => panic!("round {round}: unexpected verdict {other:?}"),
+            }
+        }
+
+        // Post-race invariants: the anti-entropy check reads zero delta
+        // and the shards all reached the same epoch count.
+        assert!(engine
+            .shard_divergence(0)
+            .iter()
+            .all(|delta| delta.distance == 0 && !delta.diverged));
+        let final_epoch = 8 + CHURN_OPS as u64;
+        for snapshot in engine.snapshots() {
+            assert_eq!(snapshot.epoch, final_epoch, "round {round}");
+            assert_eq!(snapshot.members.len(), 8, "round {round}");
+        }
+    }
+}
+
+#[test]
+fn reconfiguration_never_blocks_readers_for_long() {
+    // A coarse liveness check: while a churn thread hammers
+    // reconfigurations, single lookups keep completing (the publish path
+    // is a pointer swap, not a rebuild-under-lock).
+    let engine = ServeEngine::new(config(99)).expect("valid config");
+    for id in 0..8u64 {
+        engine.join(ServerId::new(id)).expect("fresh");
+    }
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        let stop = &stop;
+        let churner = scope.spawn(move || {
+            let mut id = 100u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                engine.join(ServerId::new(id)).expect("fresh");
+                engine.leave(ServerId::new(id)).expect("present");
+                id += 1;
+            }
+        });
+        for k in 0..500u64 {
+            let response =
+                engine.submit(RequestKey::new(k)).expect("accepted").wait();
+            assert!(response.result.is_ok());
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        churner.join().expect("churner must not panic");
+    });
+}

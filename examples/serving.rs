@@ -1,0 +1,119 @@
+//! A closed-loop serving demo: the emulator's generator feeds the sharded
+//! serving engine while membership churns through the epoch path.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+//!
+//! Architecture exercised (see README "Serving layer"):
+//!
+//! ```text
+//! generator ──► MPMC queue ──► coalescing workers ──► shards ──► metrics
+//! ```
+
+use hdhash::emulator::{Generator, KeyDistribution, Workload};
+use hdhash::serve::{drive, ServeConfig, ServeEngine};
+use hdhash::table::{RequestKey, ServerId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ServeConfig {
+        shards: 4,
+        workers: 2,
+        batch_capacity: 64,
+        queue_capacity: 4096,
+        dimension: 4096,
+        codebook_size: 256,
+        seed: 2022,
+    };
+    println!(
+        "engine: {} shards × {} workers, batch capacity {}, queue capacity {}",
+        config.shards, config.workers, config.batch_capacity, config.queue_capacity
+    );
+    let mut engine = ServeEngine::new(config)?;
+
+    // A fleet of 48 servers joins; every join publishes one epoch per shard.
+    for id in 0..48u64 {
+        engine.join(ServerId::new(id))?;
+    }
+    println!("joined 48 servers; shard epochs: {:?}", {
+        let snapshots = engine.snapshots();
+        snapshots.iter().map(|s| s.epoch).collect::<Vec<_>>()
+    });
+
+    // Phase 1: a Zipf-skewed closed-loop burst (web-style traffic).
+    let workload = Workload {
+        initial_servers: 0,
+        lookups: 30_000,
+        keys: KeyDistribution::Zipf { universe: 10_000, exponent: 1.1 },
+        seed: 7,
+    };
+    let stream = Generator::new(workload).lookup_requests();
+    let report = drive(&engine, &stream, 512);
+    println!(
+        "\nphase 1 — steady state: {} lookups in {:?} ({:.0} req/s, {} rejected)",
+        report.completed,
+        report.elapsed,
+        report.throughput().requests_per_sec(),
+        report.rejected,
+    );
+    if let Some(latency) = report.latency {
+        println!(
+            "  latency p50 {:?} / p90 {:?} / p99 {:?} / max {:?}",
+            latency.p50, latency.p90, latency.p99, latency.max
+        );
+    }
+
+    // Phase 2: churn — requests race membership changes through the epoch
+    // path. Readers never block on the reconfigurations; responses carry
+    // the epoch they were served at.
+    let verdicts = std::thread::scope(|scope| {
+        let engine = &engine;
+        let churner = scope.spawn(move || {
+            for id in 0..12u64 {
+                engine.leave(ServerId::new(id)).expect("member");
+                engine.join(ServerId::new(100 + id)).expect("fresh");
+            }
+        });
+        let mut epochs_seen = std::collections::BTreeSet::new();
+        let mut served = 0usize;
+        for k in 0..10_000u64 {
+            let response = engine
+                .submit(RequestKey::new(k.wrapping_mul(0x9E37_79B9)))
+                .expect("queue sized for the load")
+                .wait();
+            assert!(response.result.is_ok(), "pool never empties during churn");
+            epochs_seen.insert((response.shard, response.epoch));
+            served += 1;
+        }
+        churner.join().expect("churner");
+        (served, epochs_seen.len())
+    });
+    println!(
+        "\nphase 2 — churn race: {} lookups served across {} distinct (shard, epoch) \
+         snapshots, zero failures",
+        verdicts.0, verdicts.1
+    );
+
+    // The anti-entropy self-check: shadow and published signatures agree.
+    let divergence = engine.shard_divergence(0);
+    println!(
+        "anti-entropy: max shadow↔published signature distance = {}",
+        divergence.iter().map(|d| d.distance).max().unwrap_or(0)
+    );
+
+    engine.shutdown();
+    let metrics = engine.metrics();
+    println!("\nper-shard totals:");
+    for shard in &metrics.shards {
+        println!(
+            "  shard {}: epoch {:>3}, {:>2} members, {:>6} served, {:>5} batches, mean fill {:.1}",
+            shard.shard, shard.epoch, shard.members, shard.served, shard.batches,
+            shard.mean_batch_fill
+        );
+    }
+    println!(
+        "engine totals: {} submitted, {} completed, {} rejected",
+        metrics.submitted, metrics.completed, metrics.rejected
+    );
+    Ok(())
+}

@@ -74,6 +74,7 @@ impl Shell {
                 Ok("noise cleared".into())
             }
             "stats" => self.cmd_stats(),
+            "serve" => Self::cmd_serve(&args),
             "accel" => self.cmd_accel(&args),
             other => Err(format!("unknown command `{other}`; try `help`")),
         }
@@ -209,6 +210,65 @@ impl Shell {
         ))
     }
 
+    /// `serve [shards] [workers] [requests]`: runs a closed-loop burst
+    /// through the sharded serving engine and prints throughput plus
+    /// per-shard batch-coalescing and latency metrics.
+    fn cmd_serve(args: &[&str]) -> Result<String, String> {
+        let parse = |i: usize, default: usize| -> Result<usize, String> {
+            match args.get(i) {
+                Some(v) => v.parse().map_err(|_| format!("bad number `{v}`")),
+                None => Ok(default),
+            }
+        };
+        let shards = parse(0, 4)?.max(1);
+        let workers = parse(1, 2)?.max(1);
+        let requests = parse(2, 20_000)?;
+        let config = hdhash::serve::ServeConfig {
+            shards,
+            workers,
+            dimension: 4096,
+            codebook_size: 256,
+            ..hdhash::serve::ServeConfig::default()
+        };
+        let mut engine =
+            hdhash::serve::ServeEngine::new(config).map_err(|e| e.to_string())?;
+        for id in 0..32u64 {
+            engine.join(ServerId::new(id)).map_err(|e| e.to_string())?;
+        }
+        let workload = hdhash::emulator::Workload {
+            initial_servers: 0,
+            lookups: requests,
+            ..hdhash::emulator::Workload::default()
+        };
+        let stream = hdhash::emulator::Generator::new(workload).lookup_requests();
+        let report = hdhash::serve::drive(&engine, &stream, 512);
+        engine.shutdown();
+        let metrics = engine.metrics();
+        let mut out = format!(
+            "served {} lookups over {} shard(s) × {} worker(s): {:.0} req/s, {} rejected\n",
+            report.completed,
+            shards,
+            workers,
+            report.throughput().requests_per_sec(),
+            report.rejected,
+        );
+        if let Some(latency) = report.latency {
+            out.push_str(&format!(
+                "latency p50 {:?} / p90 {:?} / p99 {:?} / max {:?}\n",
+                latency.p50, latency.p90, latency.p99, latency.max
+            ));
+        }
+        for shard in &metrics.shards {
+            out.push_str(&format!(
+                "  shard {}: epoch {}, {} member(s), {} served in {} batch(es), mean fill {:.1}\n",
+                shard.shard, shard.epoch, shard.members, shard.served, shard.batches,
+                shard.mean_batch_fill
+            ));
+        }
+        out.pop();
+        Ok(out)
+    }
+
     fn cmd_accel(&mut self, args: &[&str]) -> Result<String, String> {
         // Pool size from the live table if present, else the argument,
         // else the paper's 512.
@@ -254,6 +314,7 @@ commands:
   burst <bits> [seed]          inject one adjacent-bit burst (MCU)
   clear                        repair all injected noise
   stats                        table summary
+  serve [shards] [workers] [n] closed-loop burst through the sharded serving engine
   accel [servers] [d]          projected single-cycle lookup time on HDC hardware
   quit                         exit
 ";
@@ -367,6 +428,16 @@ mod tests {
         let mut shell = Shell::new();
         assert!(shell.execute("help").expect("ok").contains("commands"));
         assert_eq!(shell.execute("   ").expect("ok"), "");
+    }
+
+    #[test]
+    fn serve_runs_a_closed_loop_burst() {
+        let mut shell = Shell::new();
+        let out = shell.execute("serve 2 2 500").expect("ok");
+        assert!(out.contains("served 500 lookups over 2 shard(s)"), "{out}");
+        assert!(out.contains("shard 0:") && out.contains("shard 1:"), "{out}");
+        assert!(out.contains("latency p50"), "{out}");
+        assert!(shell.execute("serve x").is_err());
     }
 
     #[test]

@@ -39,7 +39,11 @@
 //! * [`accel`] — a gate-level cost model of the HDC inference accelerator
 //!   the paper's `O(1)` claim cites (Schmuck et al. \[18\]): CA90
 //!   rematerialization, combinational associative memory, binarized
-//!   bundling, and the Figure 4 hardware projection.
+//!   bundling, and the Figure 4 hardware projection;
+//! * [`serve`] — the sharded, batch-coalescing serving layer: an MPMC
+//!   request queue, coalescing workers driving the zero-alloc batched
+//!   lookup path, and epoch-published shard snapshots so membership
+//!   reconfiguration never blocks readers.
 //!
 //! ## Quick start
 //!
@@ -74,6 +78,7 @@ pub use hdhash_maglev as maglev;
 pub use hdhash_hdc as hdc;
 pub use hdhash_rendezvous as rendezvous;
 pub use hdhash_ring as ring;
+pub use hdhash_serve as serve;
 pub use hdhash_simdkernels as simdkernels;
 pub use hdhash_table as table;
 
@@ -92,6 +97,7 @@ pub mod prelude {
     pub use hdhash_maglev::MaglevTable;
     pub use hdhash_rendezvous::RendezvousTable;
     pub use hdhash_ring::ConsistentTable;
+    pub use hdhash_serve::{ServeConfig, ServeEngine};
     pub use hdhash_table::{
         remap_fraction, Assignment, DynamicHashTable, ModularTable, NoisyTable, RequestKey,
         ServerId, TableError,
