@@ -174,6 +174,9 @@ fn main() {
 
     println!("kernel: {}", hdhash_simdkernels::kernel_name());
     println!("multi-shard vs single-shard at {max_workers} workers: {scaling:.2}x");
+    // Surface the scaling caveat in the stdout summary too, so CI logs
+    // are self-explanatory without opening the JSON.
+    println!("note: {note}");
     std::fs::write(&out_path, &json).expect("write benchmark report");
     println!("wrote {out_path}");
 }

@@ -3,10 +3,12 @@
 //! The build environment for this workspace has no crates.io access, so this
 //! shim vendors the API slices the workspace uses — `crossbeam::thread::scope`
 //! with `Scope::spawn` (on top of `std::thread::scope`, stable since Rust
-//! 1.63, which post-dates crossbeam's scoped threads) and
+//! 1.63, which post-dates crossbeam's scoped threads),
 //! `crossbeam::queue::ArrayQueue` (a bounded MPMC queue, here a
 //! mutex-guarded ring rather than crossbeam's lock-free array — same
-//! contract, no `unsafe`).
+//! contract, no `unsafe`) and `crossbeam::channel` (unbounded MPMC
+//! channels with blocking, timed and non-blocking receives — the gossip
+//! transport's mailbox plumbing).
 //!
 //! Semantics match the call sites' expectations:
 //!
@@ -161,6 +163,193 @@ pub mod queue {
     }
 }
 
+/// Multi-producer multi-consumer channels (`crossbeam::channel`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`] when every [`Receiver`] has been
+    /// dropped; the unsent value is handed back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every [`Sender`] has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a failed [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (senders may still produce).
+        Empty,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    /// Outcome of a failed [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message available.
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    #[derive(Debug)]
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    #[derive(Debug)]
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// The sending half of a channel; clone freely for more producers.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a channel; clone freely for more consumers
+    /// (each message is delivered to exactly one receiver).
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().senders += 1;
+            Self { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake blocked receivers so they observe the disconnect.
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing only when no receiver remains.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.lock();
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().receivers += 1;
+            Self { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.lock().receivers -= 1;
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.chan.lock();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .chan
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Returns the next message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.chan.lock();
+            match state.queue.pop_front() {
+                Some(value) => Ok(value),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocks for at most `timeout` waiting for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.chan.lock();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timeout_result) = self
+                    .chan
+                    .ready
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = guard;
+            }
+        }
+
+        /// Number of queued messages (racy, diagnostic only).
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.chan.lock().queue.len()
+        }
+
+        /// Whether no message is queued (racy, diagnostic only).
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.chan.lock().queue.is_empty()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -212,6 +401,74 @@ mod tests {
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(9));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn channel_fifo_and_try_recv() {
+        use super::channel::{unbounded, TryRecvError};
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1).expect("receiver alive");
+        tx.send(2).expect("receiver alive");
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert!(rx.is_empty());
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn channel_disconnect_and_timeout() {
+        use super::channel::{unbounded, RecvTimeoutError, SendError};
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+        let (tx2, rx2) = unbounded::<u32>();
+        drop(tx2);
+        assert_eq!(
+            rx2.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn channel_crosses_threads() {
+        use super::channel::unbounded;
+        let (tx, rx) = unbounded();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100u32 {
+                tx.send(i).expect("receiver alive");
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv().expect("sender alive"));
+        }
+        handle.join().expect("no panic");
+        assert_eq!(got, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn channel_cloned_receivers_partition_messages() {
+        use super::channel::unbounded;
+        let (tx, rx_a) = unbounded();
+        let rx_b = rx_a.clone();
+        for i in 0..10u32 {
+            tx.send(i).expect("receivers alive");
+        }
+        let mut seen = Vec::new();
+        for i in 0..10 {
+            let rx = if i % 2 == 0 { &rx_a } else { &rx_b };
+            seen.push(rx.recv().expect("sender alive"));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<u32>>());
     }
 
     #[test]

@@ -156,6 +156,51 @@ impl HdHashTable {
         self.signature.read()
     }
 
+    /// The live member ids, **sorted** — the canonical set representation
+    /// replica reconciliation exchanges and compares (join order, which
+    /// [`DynamicHashTable::servers`] preserves, is replica-local and must
+    /// not leak into cross-replica comparisons).
+    #[must_use]
+    pub fn member_ids(&self) -> Vec<ServerId> {
+        let mut ids: Vec<ServerId> = self.members.iter().map(|&(s, _)| s).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Drives this table's membership to exactly `target`: members absent
+    /// from `target` leave, members present only in `target` join. The
+    /// anti-entropy delta-application hook — each move rides the
+    /// incremental counter-plane path, so reconciliation costs
+    /// `O(moves · words · log n)`, never a rebuild.
+    ///
+    /// Duplicate ids in `target` are ignored (a membership is a set).
+    /// Returns `(joined, left)` move counts; `(0, 0)` means the table
+    /// already matched.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing move (only
+    /// [`TableError::CapacityExhausted`] is reachable: the departures and
+    /// arrivals are computed from live state, and departures run first to
+    /// free slots). Moves already applied stay applied; re-running with
+    /// the same target resumes where it failed.
+    pub fn reconcile_members(&mut self, target: &[ServerId]) -> Result<(usize, usize), TableError> {
+        let want: std::collections::BTreeSet<ServerId> = target.iter().copied().collect();
+        let have: std::collections::BTreeSet<ServerId> =
+            self.members.iter().map(|&(s, _)| s).collect();
+        let mut left = 0;
+        for &server in have.difference(&want) {
+            self.leave(server)?;
+            left += 1;
+        }
+        let mut joined = 0;
+        for &server in want.difference(&have) {
+            self.join(server)?;
+            joined += 1;
+        }
+        Ok((joined, left))
+    }
+
     /// Resolves one request (Eq. 2).
     fn resolve(&self, request: RequestKey) -> Result<ServerId, TableError> {
         self.resolve_slot(self.codebook.slot_of(&request.to_bytes()))
@@ -599,6 +644,54 @@ mod tests {
             small_table(16).membership_signature(),
             "snapshot signature must match an identically built table"
         );
+    }
+
+    #[test]
+    fn member_ids_are_sorted_and_join_order_free() {
+        let mut a = small_table(0);
+        let mut b = small_table(0);
+        for id in [5u64, 1, 9, 3] {
+            a.join(ServerId::new(id)).expect("fresh");
+        }
+        for id in [3u64, 9, 1, 5] {
+            b.join(ServerId::new(id)).expect("fresh");
+        }
+        let want: Vec<ServerId> = [1u64, 3, 5, 9].into_iter().map(ServerId::new).collect();
+        assert_eq!(a.member_ids(), want);
+        assert_eq!(a.member_ids(), b.member_ids());
+        assert_eq!(a.membership_signature(), b.membership_signature());
+    }
+
+    #[test]
+    fn reconcile_members_converges_to_target() {
+        let mut t = small_table(6); // members 0..6
+        let target: Vec<ServerId> =
+            [2u64, 4, 5, 40, 41].into_iter().map(ServerId::new).collect();
+        let (joined, left) = t.reconcile_members(&target).expect("capacity fits");
+        assert_eq!((joined, left), (2, 3)); // +{40,41}, -{0,1,3}
+        assert_eq!(t.member_ids(), target);
+        // Fixed point: reconciling again moves nothing and burns nothing.
+        let sig = t.membership_signature();
+        assert_eq!(t.reconcile_members(&target).expect("no-op"), (0, 0));
+        assert_eq!(t.membership_signature(), sig);
+        // The reconciled table is byte-identical to one built directly.
+        let mut direct = small_table(0);
+        for &s in &target {
+            direct.join(s).expect("fresh");
+        }
+        assert_eq!(t.membership_signature(), direct.membership_signature());
+        for k in 0..200u64 {
+            assert_eq!(t.lookup(RequestKey::new(k)), direct.lookup(RequestKey::new(k)));
+        }
+    }
+
+    #[test]
+    fn reconcile_members_ignores_duplicate_targets() {
+        let mut t = small_table(2);
+        let target: Vec<ServerId> =
+            [7u64, 7, 0].into_iter().map(ServerId::new).collect();
+        assert_eq!(t.reconcile_members(&target).expect("fits"), (1, 1));
+        assert_eq!(t.member_ids(), vec![ServerId::new(0), ServerId::new(7)]);
     }
 
     #[test]

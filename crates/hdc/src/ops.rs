@@ -28,7 +28,7 @@
 //!   computation as soon as it exceeds a caller-supplied bound (the pruning
 //!   kernel behind [`memory`](crate::memory) scans).
 //!
-//! The original bit-at-a-time formulations survive in [`reference`]; the
+//! The original bit-at-a-time formulations survive in [`mod@reference`]; the
 //! property suite (`tests/kernel_equivalence.rs`) proves the optimized
 //! kernels byte-identical to them across dimensions, including
 //! non-multiples of 64 that exercise the masked tail word.

@@ -28,7 +28,7 @@ pub struct ServeConfig {
     pub batch_capacity: usize,
     /// Bound of the MPMC request queue — the backpressure knob: a full
     /// queue rejects submissions with
-    /// [`ServeError::QueueFull`](crate::ServeError::QueueFull).
+    /// [`ServeError::QueueFull`].
     pub queue_capacity: usize,
     /// Hypervector dimension of every shard's table.
     pub dimension: usize,

@@ -8,7 +8,7 @@ use crossbeam::queue::ArrayQueue;
 use parking_lot::{Condvar, Mutex};
 
 use hdhash_core::HdHashTable;
-use hdhash_hdc::SignatureDelta;
+use hdhash_hdc::{Hypervector, SignatureDelta};
 use hdhash_table::{DynamicHashTable, RequestKey, ServerId, TableError};
 
 use crate::config::ServeConfig;
@@ -172,6 +172,29 @@ fn worker_loop(core: &EngineCore) {
 /// See the [crate docs](crate) for the architecture. Construction spawns
 /// the worker threads; [`shutdown`](Self::shutdown) (or `Drop`) stops
 /// them, serving every already-accepted request before returning.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_serve::{ServeConfig, ServeEngine};
+/// use hdhash_table::{RequestKey, ServerId};
+///
+/// let mut engine = ServeEngine::new(ServeConfig {
+///     shards: 2,
+///     workers: 1,
+///     dimension: 2048,
+///     codebook_size: 64,
+///     ..ServeConfig::default()
+/// })?;
+/// for id in 0..4 {
+///     engine.join(ServerId::new(id))?;
+/// }
+/// let response = engine.submit(RequestKey::new(7))?.wait();
+/// let server = response.result.expect("pool is non-empty");
+/// assert!(engine.snapshots()[response.shard].contains(server));
+/// engine.shutdown();
+/// # Ok::<(), hdhash_serve::ServeError>(())
+/// ```
 #[derive(Debug)]
 pub struct ServeEngine {
     core: Arc<EngineCore>,
@@ -252,6 +275,45 @@ impl ServeEngine {
     #[must_use]
     pub fn snapshots(&self) -> Vec<Arc<ShardSnapshot>> {
         self.core.shards.iter().map(Shard::load).collect()
+    }
+
+    /// Number of shards the engine fronts.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.core.shards.len()
+    }
+
+    /// Every shard's published membership signature — the payload a
+    /// gossip round adverts to peer replicas. Shards are seeded
+    /// independently, so each signature fingerprints the membership
+    /// through a different codebook geometry; comparing all of them (any
+    /// disagreeing shard ⇒ diverged) defeats the per-codebook slot
+    /// collisions that could mask a divergence in a single signature.
+    #[must_use]
+    pub fn shard_signatures(&self) -> Vec<Hypervector> {
+        self.core.shards.iter().map(|s| s.load().signature.clone()).collect()
+    }
+
+    /// Drives `shard`'s membership to exactly `target` through the shadow
+    /// → epoch-publish path — the anti-entropy application hook. Readers
+    /// never block; a target the shard already matches publishes nothing
+    /// (`Ok(None)`), so repeated reconciliation is idempotent and burns no
+    /// epochs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Table`] when the moves fail (only capacity
+    /// exhaustion is reachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn reconcile_shard(
+        &self,
+        shard: usize,
+        target: &[ServerId],
+    ) -> Result<Option<ShardReceipt>, ServeError> {
+        Ok(self.core.shards[shard].reconcile(target)?)
     }
 
     /// Anti-entropy self-check: per shard, the signature delta between the
@@ -437,6 +499,38 @@ mod tests {
             .shard_divergence(0)
             .iter()
             .all(|delta| delta.distance == 0 && !delta.diverged));
+    }
+
+    #[test]
+    fn reconcile_shard_and_signatures_expose_the_gossip_surface() {
+        let engine = ServeEngine::new(test_config()).expect("valid config");
+        assert_eq!(engine.shard_count(), 3);
+        engine.join(ServerId::new(1)).expect("fresh");
+        engine.join(ServerId::new(2)).expect("fresh");
+        let before = engine.shard_signatures();
+        assert_eq!(before.len(), 3);
+        // Reconcile shard 0 to a different membership: only its signature
+        // moves, and its snapshot serves the new member set.
+        let target: Vec<ServerId> = [1u64, 5].into_iter().map(ServerId::new).collect();
+        let receipt =
+            engine.reconcile_shard(0, &target).expect("fits").expect("moved");
+        assert_eq!(receipt.shard, 0);
+        let after = engine.shard_signatures();
+        assert_ne!(after[0], before[0]);
+        assert_eq!(after[1..], before[1..]);
+        assert_eq!(engine.snapshots()[0].member_ids(), target);
+        // Idempotent: same target again publishes nothing.
+        assert!(engine.reconcile_shard(0, &target).expect("no-op").is_none());
+        // Converging every shard to one membership equalizes nothing
+        // *across* shards (independent geometries) but matches a directly
+        // built engine byte for byte.
+        for shard in 0..engine.shard_count() {
+            engine.reconcile_shard(shard, &target).expect("fits");
+        }
+        let direct = ServeEngine::new(test_config()).expect("valid config");
+        direct.join(ServerId::new(1)).expect("fresh");
+        direct.join(ServerId::new(5)).expect("fresh");
+        assert_eq!(engine.shard_signatures(), direct.shard_signatures());
     }
 
     #[test]

@@ -1,0 +1,639 @@
+//! Signature-driven anti-entropy gossip between replica engines.
+//!
+//! Replicas periodically advert their per-shard membership **signatures**
+//! (`d` bits per shard, from the incremental majority centroid) instead of
+//! member lists. A receiver compares the advert against its own signatures
+//! with [`signature_diff`] — exact-zero distance for identical
+//! memberships, so the check has **no false positives** — and only when a
+//! shard diverges does the expensive payload move: a push–pull record
+//! exchange ([`MemberRecord`]s, last-writer-wins semantics) that both
+//! sides fold in through [`ReplicatedEngine::merge`], reconciling every
+//! shard via the shadow-table → epoch-publish path. Readers never block on
+//! a reconciliation.
+//!
+//! ```text
+//!   A                                   B
+//!   │ tick: Advert {sigs[shard]}        │
+//!   ├──────────────────────────────────►│  compare via signature_diff
+//!   │                                   │  (agree → done, 1 message)
+//!   │      SyncRequest {records of B}   │
+//!   │◄──────────────────────────────────┤  diverged → push B's records
+//!   │ merge(B) ─ reconcile shards       │
+//!   │ SyncResponse {merged records}     │
+//!   ├──────────────────────────────────►│  merge(A∪B) ─ reconcile shards
+//!   │                                   │
+//! ```
+//!
+//! One full exchange converges a quiescent pair; under racing churn every
+//! round re-adverts current state, so the protocol is memoryless across
+//! rounds and self-heals lost or reordered messages.
+//!
+//! [`signature_diff`]: hdhash_hdc::maintenance::signature_diff
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hdhash_hdc::maintenance::signature_diff;
+use hdhash_hdc::Hypervector;
+
+use crate::replication::{MemberRecord, ReplicatedEngine};
+use crate::transport::{Envelope, ReplicaId, Transport};
+
+/// The gossip wire protocol.
+///
+/// `wire_size` defines the byte accounting a framed socket transport
+/// would ship; the in-process transport uses it for the bytes-on-wire
+/// metrics so `BENCH_gossip.json` measures the real protocol cost.
+#[derive(Debug, Clone)]
+pub enum GossipMessage {
+    /// Round opener: the sender's per-shard membership signatures.
+    Advert {
+        /// The sender's round counter (diagnostic only — anti-entropy is
+        /// memoryless across rounds).
+        round: u64,
+        /// One signature per shard, in shard order.
+        signatures: Vec<Hypervector>,
+    },
+    /// The receiver detected divergence and pushes its records, pulling
+    /// the sender's in return.
+    SyncRequest {
+        /// Echo of the advert round.
+        round: u64,
+        /// The requesting replica's full record set (with tombstones).
+        records: Vec<MemberRecord>,
+        /// Which shards' signatures diverged (diagnostic + accounting;
+        /// membership is engine-global, so one record set covers all).
+        diverged: Vec<usize>,
+    },
+    /// The advert sender's reply: its records *after* folding in the
+    /// request's, so the requester converges in one merge.
+    SyncResponse {
+        /// Echo of the advert round.
+        round: u64,
+        /// The merged record set.
+        records: Vec<MemberRecord>,
+    },
+}
+
+/// Message-frame header: 1 tag byte + 8 round bytes + 4 length bytes.
+const FRAME_HEADER: usize = 13;
+/// Per-signature header: 4 dimension bytes.
+const SIGNATURE_HEADER: usize = 4;
+
+impl GossipMessage {
+    /// Serialized size of this message under the documented framing.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        match self {
+            GossipMessage::Advert { signatures, .. } => {
+                FRAME_HEADER
+                    + signatures
+                        .iter()
+                        .map(|s| SIGNATURE_HEADER + s.word_len() * 8)
+                        .sum::<usize>()
+            }
+            GossipMessage::SyncRequest { records, diverged, .. } => {
+                FRAME_HEADER + 4 + diverged.len() * 2 + records.len() * MemberRecord::WIRE_SIZE
+            }
+            GossipMessage::SyncResponse { records, .. } => {
+                FRAME_HEADER + records.len() * MemberRecord::WIRE_SIZE
+            }
+        }
+    }
+}
+
+/// Tuning knobs of a [`GossipNode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Scheduler-thread round period (ignored by explicit
+    /// [`GossipNode::tick`] callers).
+    pub period: Duration,
+    /// Hamming threshold handed to `signature_diff`. Identical memberships
+    /// read distance exactly 0, so `0` is the tightest sound setting; a
+    /// small positive value only adds slack against future lossy
+    /// signature compression.
+    pub divergence_threshold: usize,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        Self { period: Duration::from_millis(50), divergence_threshold: 0 }
+    }
+}
+
+/// Monotone protocol counters, snapshotted by [`GossipNode::metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GossipMetrics {
+    /// Rounds opened (ticks).
+    pub rounds: u64,
+    /// Adverts sent to peers.
+    pub adverts_sent: u64,
+    /// Adverts received from peers.
+    pub adverts_received: u64,
+    /// Adverts whose comparison found at least one diverged shard.
+    pub divergence_detections: u64,
+    /// Total diverged shards across those detections.
+    pub divergent_shards: u64,
+    /// Sync requests sent (this node detected divergence).
+    pub syncs_sent: u64,
+    /// Sync requests received (peer detected divergence).
+    pub syncs_received: u64,
+    /// Remote records adopted by merges (superseded local state).
+    pub records_adopted: u64,
+    /// Members that joined / left through merges.
+    pub members_joined: u64,
+    /// Members removed through merges.
+    pub members_left: u64,
+    /// Protocol bytes sent, under the documented frame accounting.
+    pub bytes_sent: u64,
+    /// Protocol bytes received.
+    pub bytes_received: u64,
+    /// Sends refused by the transport (unknown/disconnected peer).
+    pub send_failures: u64,
+    /// Messages dropped as malformed (shard-count or dimension mismatch)
+    /// plus merges the engine refused (capacity).
+    pub protocol_errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    rounds: AtomicU64,
+    adverts_sent: AtomicU64,
+    adverts_received: AtomicU64,
+    divergence_detections: AtomicU64,
+    divergent_shards: AtomicU64,
+    syncs_sent: AtomicU64,
+    syncs_received: AtomicU64,
+    records_adopted: AtomicU64,
+    members_joined: AtomicU64,
+    members_left: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    send_failures: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl Counters {
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// One replica's gossip participant: owns the transport endpoint, knows
+/// its peers, and runs rounds either explicitly ([`tick`](Self::tick) +
+/// [`pump`](Self::pump), for deterministic tests and benches) or on a
+/// scheduler thread ([`spawn`](Self::spawn)).
+#[derive(Debug)]
+pub struct GossipNode<T: Transport> {
+    replica: Arc<ReplicatedEngine>,
+    transport: T,
+    peers: Vec<ReplicaId>,
+    config: GossipConfig,
+    round: AtomicU64,
+    counters: Counters,
+}
+
+impl<T: Transport> GossipNode<T> {
+    /// Wires a replica to its transport endpoint and peer list (`peers`
+    /// should exclude the local replica; it is filtered regardless).
+    #[must_use]
+    pub fn new(
+        replica: Arc<ReplicatedEngine>,
+        transport: T,
+        peers: Vec<ReplicaId>,
+        config: GossipConfig,
+    ) -> Self {
+        let local = transport.local();
+        let peers = peers.into_iter().filter(|&p| p != local).collect();
+        Self {
+            replica,
+            transport,
+            peers,
+            config,
+            round: AtomicU64::new(0),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The replica this node gossips for.
+    #[must_use]
+    pub fn replica(&self) -> &ReplicatedEngine {
+        &self.replica
+    }
+
+    /// Opens one round: adverts the current per-shard signatures to every
+    /// peer. Cost per peer is `shards · d` bits — member lists never move
+    /// unless a signature disagrees.
+    pub fn tick(&self) {
+        let round = self.round.fetch_add(1, Ordering::Relaxed) + 1;
+        Counters::add(&self.counters.rounds, 1);
+        let mut signatures = Some(self.replica.shard_signatures());
+        for (i, &peer) in self.peers.iter().enumerate() {
+            // The last peer takes ownership; earlier peers get clones, so
+            // the common 2-replica set adverts without copying.
+            let payload = if i + 1 == self.peers.len() {
+                signatures.take().unwrap_or_default()
+            } else {
+                signatures.clone().unwrap_or_default()
+            };
+            let message = GossipMessage::Advert { round, signatures: payload };
+            if self.send(peer, message) {
+                Counters::add(&self.counters.adverts_sent, 1);
+            }
+        }
+    }
+
+    /// Drains and handles every pending incoming message; returns how
+    /// many were processed (0 ⇒ the mailbox was idle).
+    pub fn pump(&self) -> usize {
+        let mut handled = 0;
+        while let Some(envelope) = self.transport.try_recv() {
+            self.handle(envelope);
+            handled += 1;
+        }
+        handled
+    }
+
+    /// Point-in-time protocol counters.
+    #[must_use]
+    pub fn metrics(&self) -> GossipMetrics {
+        let c = &self.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        GossipMetrics {
+            rounds: load(&c.rounds),
+            adverts_sent: load(&c.adverts_sent),
+            adverts_received: load(&c.adverts_received),
+            divergence_detections: load(&c.divergence_detections),
+            divergent_shards: load(&c.divergent_shards),
+            syncs_sent: load(&c.syncs_sent),
+            syncs_received: load(&c.syncs_received),
+            records_adopted: load(&c.records_adopted),
+            members_joined: load(&c.members_joined),
+            members_left: load(&c.members_left),
+            bytes_sent: load(&c.bytes_sent),
+            bytes_received: load(&c.bytes_received),
+            send_failures: load(&c.send_failures),
+            protocol_errors: load(&c.protocol_errors),
+        }
+    }
+
+    /// Sends with byte/failure accounting; returns whether the transport
+    /// accepted the message (callers count their own message kinds).
+    fn send(&self, to: ReplicaId, message: GossipMessage) -> bool {
+        let bytes = message.wire_size() as u64;
+        match self.transport.send(to, message) {
+            Ok(()) => {
+                Counters::add(&self.counters.bytes_sent, bytes);
+                true
+            }
+            Err(_) => {
+                Counters::add(&self.counters.send_failures, 1);
+                false
+            }
+        }
+    }
+
+    /// Shard indices whose signatures diverge from `remote`'s, or `None`
+    /// when the advert is malformed (shard count / dimension mismatch —
+    /// the peer runs an incompatible geometry).
+    fn diverged_shards(&self, remote: &[Hypervector]) -> Option<Vec<usize>> {
+        let local = self.replica.shard_signatures();
+        if local.len() != remote.len() {
+            return None;
+        }
+        let mut diverged = Vec::new();
+        for (shard, (ours, theirs)) in local.iter().zip(remote).enumerate() {
+            let delta =
+                signature_diff(ours, theirs, self.config.divergence_threshold).ok()?;
+            if delta.diverged {
+                diverged.push(shard);
+            }
+        }
+        Some(diverged)
+    }
+
+    fn merge(&self, records: &[MemberRecord]) {
+        match self.replica.merge(records) {
+            Ok(outcome) => {
+                Counters::add(&self.counters.records_adopted, outcome.adopted as u64);
+                Counters::add(&self.counters.members_joined, outcome.joined.len() as u64);
+                Counters::add(&self.counters.members_left, outcome.left.len() as u64);
+            }
+            Err(_) => Counters::add(&self.counters.protocol_errors, 1),
+        }
+    }
+
+    fn handle(&self, envelope: Envelope) {
+        let Envelope { from, message } = envelope;
+        Counters::add(&self.counters.bytes_received, message.wire_size() as u64);
+        match message {
+            GossipMessage::Advert { round, signatures } => {
+                Counters::add(&self.counters.adverts_received, 1);
+                let Some(diverged) = self.diverged_shards(&signatures) else {
+                    Counters::add(&self.counters.protocol_errors, 1);
+                    return;
+                };
+                if diverged.is_empty() {
+                    return; // replicas agree — 1 message, d·shards bits.
+                }
+                Counters::add(&self.counters.divergence_detections, 1);
+                Counters::add(&self.counters.divergent_shards, diverged.len() as u64);
+                let message = GossipMessage::SyncRequest {
+                    round,
+                    records: self.replica.records(),
+                    diverged,
+                };
+                if self.send(from, message) {
+                    Counters::add(&self.counters.syncs_sent, 1);
+                }
+            }
+            GossipMessage::SyncRequest { round, records, .. } => {
+                Counters::add(&self.counters.syncs_received, 1);
+                self.merge(&records);
+                // The reply ships the *merged* records so the requester
+                // converges in one merge; it counts toward bytes only —
+                // the request/response pair is one sync exchange.
+                let message = GossipMessage::SyncResponse {
+                    round,
+                    records: self.replica.records(),
+                };
+                self.send(from, message);
+            }
+            GossipMessage::SyncResponse { records, .. } => {
+                self.merge(&records);
+            }
+        }
+    }
+}
+
+impl<T: Transport + 'static> GossipNode<T> {
+    /// Moves the node onto a scheduler thread: between ticks (every
+    /// `config.period`) it blocks on the transport and handles incoming
+    /// traffic. Stop (and get the node back, e.g. for final metrics) with
+    /// [`GossipHandle::stop`].
+    #[must_use]
+    pub fn spawn(self) -> GossipHandle<T> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name(format!("hdhash-gossip-{}", self.transport.local()))
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    self.tick();
+                    let deadline = Instant::now() + self.config.period;
+                    loop {
+                        let now = Instant::now();
+                        if now >= deadline || flag.load(Ordering::Acquire) {
+                            break;
+                        }
+                        if let Some(envelope) = self.transport.recv_timeout(deadline - now)
+                        {
+                            self.handle(envelope);
+                        }
+                    }
+                }
+                // Final drain so an in-flight push–pull settles.
+                self.pump();
+                self
+            })
+            .expect("spawn gossip scheduler");
+        GossipHandle { stop, thread }
+    }
+}
+
+/// Handle on a spawned gossip scheduler thread.
+#[derive(Debug)]
+pub struct GossipHandle<T: Transport> {
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<GossipNode<T>>,
+}
+
+impl<T: Transport> GossipHandle<T> {
+    /// Signals the scheduler to stop and returns the node after its final
+    /// drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler thread itself panicked.
+    #[must_use]
+    pub fn stop(self) -> GossipNode<T> {
+        self.stop.store(true, Ordering::Release);
+        self.thread.join().expect("gossip scheduler panicked")
+    }
+}
+
+/// Whether every replica pair reads byte-identical per-shard signatures
+/// (and, by the centroid's purity, identical memberships at the slot
+/// level).
+#[must_use]
+pub fn converged(replicas: &[&ReplicatedEngine]) -> bool {
+    let Some((first, rest)) = replicas.split_first() else {
+        return true;
+    };
+    let reference = first.shard_signatures();
+    rest.iter().all(|r| r.shard_signatures() == reference)
+}
+
+/// Drives one explicit round across a node set: every node adverts
+/// ([`tick`](GossipNode::tick)), then the set pumps until no message is
+/// in flight. The single round primitive behind [`run_until_converged`],
+/// the CLI `replicate` demo and `bench_gossip` — callers that want to
+/// observe per-round state (signature distance, metrics) call this in
+/// their own loop.
+pub fn run_round<T: Transport>(nodes: &[GossipNode<T>]) {
+    for node in nodes {
+        node.tick();
+    }
+    loop {
+        let moved: usize = nodes.iter().map(GossipNode::pump).sum();
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+/// Drives explicit rounds ([`run_round`]) until [`converged`] or
+/// `max_rounds` is spent. Returns the number of rounds used. The
+/// deterministic harness for tests and `bench_gossip`.
+#[must_use]
+pub fn run_until_converged<T: Transport>(
+    nodes: &[GossipNode<T>],
+    max_rounds: usize,
+) -> Option<usize> {
+    let replicas: Vec<&ReplicatedEngine> = nodes.iter().map(|n| n.replica()).collect();
+    if converged(&replicas) {
+        return Some(0);
+    }
+    for round in 1..=max_rounds {
+        run_round(nodes);
+        if converged(&replicas) {
+            return Some(round);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcessNetwork;
+    use crate::ServeConfig;
+    use hdhash_table::ServerId;
+
+    fn config(shards: usize) -> ServeConfig {
+        ServeConfig {
+            shards,
+            workers: 1,
+            batch_capacity: 16,
+            queue_capacity: 128,
+            dimension: 2048,
+            codebook_size: 64,
+            seed: 31,
+        }
+    }
+
+    fn pair(shards: usize) -> Vec<GossipNode<crate::transport::InProcessEndpoint>> {
+        let network = InProcessNetwork::new();
+        (0..2u64)
+            .map(|i| {
+                let id = ReplicaId::new(i);
+                let endpoint = network.endpoint(id);
+                let replica = Arc::new(
+                    ReplicatedEngine::new(id, config(shards)).expect("valid config"),
+                );
+                GossipNode::new(
+                    replica,
+                    endpoint,
+                    vec![ReplicaId::new(0), ReplicaId::new(1)],
+                    GossipConfig::default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wire_size_accounts_for_payloads() {
+        let sig = Hypervector::zeros(2048); // 32 words
+        let advert = GossipMessage::Advert { round: 1, signatures: vec![sig.clone(), sig] };
+        assert_eq!(advert.wire_size(), 13 + 2 * (4 + 32 * 8));
+        let record = MemberRecord { server: ServerId::new(1), version: 2, alive: true };
+        let request = GossipMessage::SyncRequest {
+            round: 1,
+            records: vec![record; 3],
+            diverged: vec![0, 1],
+        };
+        assert_eq!(request.wire_size(), 13 + 4 + 2 * 2 + 3 * 17);
+        let response = GossipMessage::SyncResponse { round: 1, records: vec![record] };
+        assert_eq!(response.wire_size(), 13 + 17);
+    }
+
+    #[test]
+    fn agreeing_replicas_exchange_only_adverts() {
+        let nodes = pair(2);
+        for node in &nodes {
+            node.replica().join(ServerId::new(7)).expect("fresh");
+        }
+        assert_eq!(run_until_converged(&nodes, 4), Some(0), "already converged");
+        nodes[0].tick();
+        while nodes.iter().map(GossipNode::pump).sum::<usize>() > 0 {}
+        let m0 = nodes[0].metrics();
+        let m1 = nodes[1].metrics();
+        assert_eq!(m0.adverts_sent, 1);
+        assert_eq!(m1.adverts_received, 1);
+        assert_eq!(m1.divergence_detections, 0);
+        assert_eq!(m1.syncs_sent, 0);
+        assert_eq!(m0.records_adopted + m1.records_adopted, 0);
+        // Advert cost only: shards · (4 + d/8) + header.
+        assert_eq!(m0.bytes_sent, 13 + 2 * (4 + 2048 / 8));
+    }
+
+    #[test]
+    fn diverged_replicas_converge_in_one_round() {
+        let nodes = pair(2);
+        nodes[0].replica().join(ServerId::new(1)).expect("fresh");
+        nodes[0].replica().join(ServerId::new(2)).expect("fresh");
+        nodes[1].replica().join(ServerId::new(3)).expect("fresh");
+        assert_eq!(run_until_converged(&nodes, 8), Some(1));
+        let want: Vec<ServerId> = [1u64, 2, 3].into_iter().map(ServerId::new).collect();
+        for node in &nodes {
+            assert_eq!(node.replica().member_ids(), want);
+        }
+        let total = |f: fn(&GossipMetrics) -> u64| -> u64 {
+            nodes.iter().map(|n| f(&n.metrics())).sum()
+        };
+        assert!(total(|m| m.divergence_detections) >= 1);
+        assert!(total(|m| m.syncs_sent) >= 1);
+        assert_eq!(total(|m| m.members_joined), 3, "1+2 to B, 3 to A");
+        assert_eq!(total(|m| m.bytes_sent), total(|m| m.bytes_received));
+        assert_eq!(total(|m| m.protocol_errors), 0);
+    }
+
+    #[test]
+    fn leaves_propagate_as_tombstones() {
+        let nodes = pair(1);
+        nodes[0].replica().join(ServerId::new(1)).expect("fresh");
+        nodes[0].replica().join(ServerId::new(2)).expect("fresh");
+        assert!(run_until_converged(&nodes, 8).is_some());
+        // A removal on one replica wins over the other's live record.
+        nodes[1].replica().leave(ServerId::new(1)).expect("present");
+        assert_eq!(run_until_converged(&nodes, 8), Some(1));
+        let want = vec![ServerId::new(2)];
+        for node in &nodes {
+            assert_eq!(node.replica().member_ids(), want);
+        }
+    }
+
+    #[test]
+    fn mismatched_shard_geometry_is_rejected() {
+        let network = InProcessNetwork::new();
+        let build = |i: u64, shards: usize| {
+            let id = ReplicaId::new(i);
+            GossipNode::new(
+                Arc::new(ReplicatedEngine::new(id, config(shards)).expect("valid config")),
+                network.endpoint(id),
+                vec![ReplicaId::new(0), ReplicaId::new(1)],
+                GossipConfig::default(),
+            )
+        };
+        let a = build(0, 1);
+        let b = build(1, 2);
+        a.replica().join(ServerId::new(1)).expect("fresh");
+        a.tick();
+        b.pump();
+        assert_eq!(b.metrics().protocol_errors, 1);
+        assert_eq!(b.metrics().syncs_sent, 0, "malformed advert must not sync");
+    }
+
+    #[test]
+    fn scheduler_thread_converges_and_returns_the_node() {
+        let network = InProcessNetwork::new();
+        let gossip_config =
+            GossipConfig { period: Duration::from_millis(2), ..GossipConfig::default() };
+        let peers = vec![ReplicaId::new(0), ReplicaId::new(1)];
+        let build = |i: u64| {
+            let id = ReplicaId::new(i);
+            let replica = Arc::new(
+                ReplicatedEngine::new(id, config(2)).expect("valid config"),
+            );
+            (
+                Arc::clone(&replica),
+                GossipNode::new(replica, network.endpoint(id), peers.clone(), gossip_config),
+            )
+        };
+        let (a_replica, a) = build(0);
+        let (b_replica, b) = build(1);
+        a_replica.join(ServerId::new(10)).expect("fresh");
+        b_replica.join(ServerId::new(20)).expect("fresh");
+        let handles = [a.spawn(), b.spawn()];
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !converged(&[&a_replica, &b_replica]) {
+            assert!(Instant::now() < deadline, "gossip threads failed to converge");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let [a, b] = handles.map(GossipHandle::stop);
+        assert_eq!(a.replica().member_ids(), b.replica().member_ids());
+        assert!(a.metrics().rounds >= 1);
+        assert!(b.metrics().adverts_received >= 1);
+    }
+}

@@ -32,6 +32,14 @@
 //!   plus a latency reservoir feed
 //!   [`LatencyProfile`](hdhash_emulator::LatencyProfile)-based p50/p99
 //!   snapshots.
+//! * **Replica anti-entropy** — 2+ engines form a replica set:
+//!   [`gossip`] nodes periodically advert per-shard membership
+//!   *signatures* over a pluggable [`transport`], detect divergence with
+//!   [`signature_diff`](hdhash_hdc::maintenance::signature_diff) (exact:
+//!   identical memberships read distance 0), and reconcile only diverged
+//!   state through a last-writer-wins record exchange ([`replication`])
+//!   applied via the same shadow-table → epoch-publish path — replicas
+//!   converge while readers keep streaming.
 //!
 //! ## Quick example
 //!
@@ -63,17 +71,23 @@
 
 pub mod config;
 pub mod engine;
+pub mod gossip;
 pub mod load;
 pub mod metrics;
+pub mod replication;
 pub mod request;
 pub mod shard;
+pub mod transport;
 
 pub use config::ServeConfig;
 pub use engine::ServeEngine;
+pub use gossip::{GossipConfig, GossipMessage, GossipMetrics, GossipNode};
 pub use load::{drive, LoadReport};
 pub use metrics::{EngineMetrics, ShardMetricsSnapshot};
+pub use replication::{MemberRecord, MembershipLog, ReplicatedEngine};
 pub use request::{ServeResponse, Ticket};
 pub use shard::{ShardReceipt, ShardSnapshot};
+pub use transport::{InProcessNetwork, ReplicaId, Transport};
 
 use hdhash_table::TableError;
 

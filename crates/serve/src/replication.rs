@@ -1,0 +1,540 @@
+//! Replicated membership state: the versioned log gossip reconciles.
+//!
+//! A replica set runs one [`ServeEngine`] per replica; each replica
+//! accepts local membership changes (joins/leaves) and must converge with
+//! its peers without ever blocking readers. This module supplies the
+//! convergent state machine underneath the gossip protocol:
+//!
+//! * [`MembershipLog`] — a last-writer-wins register per server id
+//!   (`version`, `alive`), advanced by a replica-local Lamport clock.
+//!   [`merge`](MembershipLog::merge) is **idempotent, commutative and
+//!   associative** (a pointwise join in the `(version, alive)` lattice,
+//!   removals winning version ties), so replicas exchanging records in any
+//!   order, any number of times, reach the same log — the property the
+//!   `replication_properties` suite pins.
+//! * [`ReplicatedEngine`] — a [`ServeEngine`] paired with a log. Local
+//!   joins/leaves write the log and the engine together; merging remote
+//!   [`MemberRecord`]s drives every shard to the merged membership through
+//!   the shadow-table → epoch-publish path
+//!   ([`ServeEngine::reconcile_shard`]), so reconciliation is invisible to
+//!   in-flight lookups.
+//!
+//! The log converges member *ids*; per-shard membership **signatures** are
+//! a pure function of the membership (see
+//! [`membership_signature`](hdhash_core::HdHashTable::membership_signature)),
+//! so converged logs imply byte-identical signatures — which is exactly
+//! what the gossip layer's cheap divergence check compares.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use hdhash_hdc::Hypervector;
+use hdhash_table::{RequestKey, ServerId, TableError};
+
+use crate::config::ServeConfig;
+use crate::engine::ServeEngine;
+use crate::request::Ticket;
+use crate::shard::ShardReceipt;
+use crate::transport::ReplicaId;
+use crate::ServeError;
+
+/// One server's replicated membership state: the payload unit of an
+/// anti-entropy exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberRecord {
+    /// The server the record describes.
+    pub server: ServerId,
+    /// Lamport version of the last membership change observed for this
+    /// server; higher versions supersede lower ones.
+    pub version: u64,
+    /// Whether that last change was a join (`true`) or a leave (`false`).
+    pub alive: bool,
+}
+
+impl MemberRecord {
+    /// Serialized size on the wire: 8-byte server id + 8-byte version +
+    /// 1 alive byte (the frame accounting a socket transport would use).
+    pub const WIRE_SIZE: usize = 17;
+}
+
+/// What one [`MembershipLog::merge`] changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Remote records adopted (they superseded the local state).
+    pub adopted: usize,
+    /// Servers whose merged state flipped to alive.
+    pub joined: Vec<ServerId>,
+    /// Servers whose merged state flipped to dead.
+    pub left: Vec<ServerId>,
+}
+
+impl MergeOutcome {
+    /// Whether the merge changed the live membership (signatures move iff
+    /// this is true).
+    #[must_use]
+    pub fn changed_membership(&self) -> bool {
+        !self.joined.is_empty() || !self.left.is_empty()
+    }
+}
+
+/// A last-writer-wins membership register set with a Lamport clock.
+///
+/// Local changes go through [`set_local`](Self::set_local) (which bumps
+/// the clock past everything merged so far, so a local op always
+/// supersedes the state it was decided against); remote records come in
+/// through [`merge`](Self::merge).
+#[derive(Debug, Clone, Default)]
+pub struct MembershipLog {
+    /// server → (version, alive). A `BTreeMap` keeps every readout
+    /// deterministically ordered.
+    records: BTreeMap<ServerId, (u64, bool)>,
+    clock: u64,
+}
+
+impl MembershipLog {
+    /// An empty log at clock zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `server` is alive in the merged view.
+    #[must_use]
+    pub fn alive(&self, server: ServerId) -> bool {
+        matches!(self.records.get(&server), Some(&(_, true)))
+    }
+
+    /// The live membership, sorted by id — the reconcile target.
+    #[must_use]
+    pub fn alive_ids(&self) -> Vec<ServerId> {
+        self.records
+            .iter()
+            .filter_map(|(&server, &(_, alive))| alive.then_some(server))
+            .collect()
+    }
+
+    /// Every record (alive and tombstoned), sorted by id — the sync
+    /// payload. Tombstones must travel: a peer that never saw the join
+    /// still needs the leave to win over a third replica's stale join.
+    #[must_use]
+    pub fn records(&self) -> Vec<MemberRecord> {
+        self.records
+            .iter()
+            .map(|(&server, &(version, alive))| MemberRecord { server, version, alive })
+            .collect()
+    }
+
+    /// Records a local membership decision, stamping it one past the
+    /// clock (so it supersedes everything this replica has seen).
+    /// Returns the version assigned.
+    pub fn set_local(&mut self, server: ServerId, alive: bool) -> u64 {
+        self.clock += 1;
+        self.records.insert(server, (self.clock, alive));
+        self.clock
+    }
+
+    /// Merges remote records: per server, the higher version wins; on a
+    /// version tie, `alive = false` wins (removals dominate — the
+    /// deterministic, symmetric tie-break that makes the merge a lattice
+    /// join). The clock absorbs every remote version so later local
+    /// decisions supersede merged state.
+    pub fn merge(&mut self, records: &[MemberRecord]) -> MergeOutcome {
+        let mut outcome = MergeOutcome::default();
+        for &record in records {
+            self.clock = self.clock.max(record.version);
+            let local = self.records.get(&record.server).copied();
+            let remote_wins = match local {
+                None => true,
+                Some((version, alive)) => {
+                    record.version > version
+                        || (record.version == version && alive && !record.alive)
+                }
+            };
+            if !remote_wins {
+                continue;
+            }
+            outcome.adopted += 1;
+            let was_alive = matches!(local, Some((_, true)));
+            if record.alive && !was_alive {
+                outcome.joined.push(record.server);
+            } else if !record.alive && was_alive {
+                outcome.left.push(record.server);
+            }
+            self.records.insert(record.server, (record.version, record.alive));
+        }
+        outcome
+    }
+}
+
+/// Guarded replica state: the log plus a flag marking that a previous
+/// reconcile failed partway (e.g. capacity) and the engine may trail it.
+#[derive(Debug, Default)]
+struct LogState {
+    log: MembershipLog,
+    needs_reconcile: bool,
+}
+
+/// A [`ServeEngine`] that participates in a replica set.
+///
+/// Wraps the engine with a [`MembershipLog`]; local [`join`](Self::join) /
+/// [`leave`](Self::leave) write both, [`merge`](Self::merge) folds in a
+/// peer's records and reconciles every shard through the epoch path.
+/// Lookups ([`submit`](Self::submit)) pass straight through to the
+/// engine's MPMC queue — replication never sits on the hot path.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_serve::replication::ReplicatedEngine;
+/// use hdhash_serve::transport::ReplicaId;
+/// use hdhash_serve::ServeConfig;
+/// use hdhash_table::ServerId;
+///
+/// let config = ServeConfig {
+///     shards: 2,
+///     workers: 1,
+///     dimension: 2048,
+///     codebook_size: 64,
+///     ..ServeConfig::default()
+/// };
+/// let a = ReplicatedEngine::new(ReplicaId::new(0), config)?;
+/// let b = ReplicatedEngine::new(ReplicaId::new(1), config)?;
+/// a.join(ServerId::new(1))?;
+/// b.join(ServerId::new(2))?;
+/// // One push-pull record exchange converges the membership…
+/// b.merge(&a.records())?;
+/// a.merge(&b.records())?;
+/// assert_eq!(a.member_ids(), b.member_ids());
+/// // …and therefore the per-shard signatures, byte for byte.
+/// assert_eq!(a.shard_signatures(), b.shard_signatures());
+/// # Ok::<(), hdhash_serve::ServeError>(())
+/// ```
+#[derive(Debug)]
+pub struct ReplicatedEngine {
+    id: ReplicaId,
+    engine: ServeEngine,
+    state: Mutex<LogState>,
+}
+
+impl ReplicatedEngine {
+    /// Builds a fresh engine for this replica.
+    ///
+    /// Replicas of one set must share the engine geometry (`shards`,
+    /// `dimension`, `codebook_size`, `seed`): signatures are only
+    /// comparable between identically seeded shard codebooks.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a rejected configuration.
+    pub fn new(id: ReplicaId, config: ServeConfig) -> Result<Self, ServeError> {
+        Ok(Self::from_engine(id, ServeEngine::new(config)?))
+    }
+
+    /// Wraps an existing engine. The engine's current members (if any)
+    /// are seeded into the log as local joins.
+    #[must_use]
+    pub fn from_engine(id: ReplicaId, engine: ServeEngine) -> Self {
+        let mut log = MembershipLog::new();
+        if let Some(snapshot) = engine.snapshots().first() {
+            for server in snapshot.member_ids() {
+                log.set_local(server, true);
+            }
+        }
+        Self { id, engine, state: Mutex::new(LogState { log, needs_reconcile: false }) }
+    }
+
+    /// This replica's id.
+    #[must_use]
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The engine under replication (metrics, snapshots, shutdown).
+    #[must_use]
+    pub fn engine(&self) -> &ServeEngine {
+        &self.engine
+    }
+
+    /// Submits a lookup to the engine's queue (hot path, log untouched).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeEngine::submit`].
+    pub fn submit(&self, key: RequestKey) -> Result<Ticket, ServeError> {
+        self.engine.submit(key)
+    }
+
+    /// Locally joins `server`: logs the decision and applies it to every
+    /// shard through the epoch path.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::ServerAlreadyPresent`] (as [`ServeError::Table`])
+    /// when the merged view already has the server alive, or the engine's
+    /// capacity error.
+    pub fn join(&self, server: ServerId) -> Result<Vec<ShardReceipt>, ServeError> {
+        let mut state = self.state.lock();
+        if state.log.alive(server) {
+            return Err(ServeError::Table(TableError::ServerAlreadyPresent(server)));
+        }
+        let receipts = self.engine.join(server)?;
+        state.log.set_local(server, true);
+        Ok(receipts)
+    }
+
+    /// Locally removes `server`: logs the tombstone and applies it to
+    /// every shard through the epoch path.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::ServerNotFound`] (as [`ServeError::Table`]) when the
+    /// merged view has no live record of the server.
+    pub fn leave(&self, server: ServerId) -> Result<Vec<ShardReceipt>, ServeError> {
+        let mut state = self.state.lock();
+        if !state.log.alive(server) {
+            return Err(ServeError::Table(TableError::ServerNotFound(server)));
+        }
+        let receipts = self.engine.leave(server)?;
+        state.log.set_local(server, false);
+        Ok(receipts)
+    }
+
+    /// The merged live membership, sorted by id.
+    #[must_use]
+    pub fn member_ids(&self) -> Vec<ServerId> {
+        self.state.lock().log.alive_ids()
+    }
+
+    /// The full record set (including tombstones) — the sync payload a
+    /// gossip exchange ships for diverged shards.
+    #[must_use]
+    pub fn records(&self) -> Vec<MemberRecord> {
+        self.state.lock().log.records()
+    }
+
+    /// Every shard's published membership signature — the advert payload.
+    #[must_use]
+    pub fn shard_signatures(&self) -> Vec<Hypervector> {
+        self.engine.shard_signatures()
+    }
+
+    /// Whether the engine trails the log: a previous [`merge`](Self::merge)
+    /// failed partway through applying the merged membership (only shard
+    /// capacity exhaustion is reachable). While set, every merge retries
+    /// the application; the condition clears on its own only once the
+    /// merged membership shrinks back under capacity (leaves arriving
+    /// locally or via gossip). Operators should alarm on this: a replica
+    /// set whose merged membership exceeds `codebook_size - 1` can detect
+    /// divergence but never converge.
+    #[must_use]
+    pub fn pending_reconcile(&self) -> bool {
+        self.state.lock().needs_reconcile
+    }
+
+    /// Folds a peer's records into the log and, when the live membership
+    /// changed, reconciles every shard to the merged view through the
+    /// shadow-table → epoch-publish path (readers never block).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Table`] when a shard reconcile fails. Only capacity
+    /// exhaustion is reachable: the **union** of the replicas' live
+    /// memberships must fit every shard (`codebook_size - 1`), so size
+    /// the codebook against the whole replica set, not one replica. The
+    /// log keeps the merged state, [`pending_reconcile`](Self::pending_reconcile)
+    /// reports the lag, and every subsequent merge retries the engine
+    /// application — the wedge clears as soon as enough leaves merge in.
+    pub fn merge(&self, records: &[MemberRecord]) -> Result<MergeOutcome, ServeError> {
+        let mut state = self.state.lock();
+        let outcome = state.log.merge(records);
+        if outcome.changed_membership() || state.needs_reconcile {
+            state.needs_reconcile = true;
+            let target = state.log.alive_ids();
+            for shard in 0..self.engine.shard_count() {
+                self.engine.reconcile_shard(shard, &target)?;
+            }
+            state.needs_reconcile = false;
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            shards: 2,
+            workers: 1,
+            batch_capacity: 16,
+            queue_capacity: 128,
+            dimension: 2048,
+            codebook_size: 64,
+            seed: 77,
+        }
+    }
+
+    fn ids(raw: &[u64]) -> Vec<ServerId> {
+        raw.iter().copied().map(ServerId::new).collect()
+    }
+
+    #[test]
+    fn log_local_ops_and_readouts() {
+        let mut log = MembershipLog::new();
+        assert!(log.alive_ids().is_empty());
+        let v1 = log.set_local(ServerId::new(5), true);
+        let v2 = log.set_local(ServerId::new(3), true);
+        assert!(v2 > v1);
+        log.set_local(ServerId::new(5), false);
+        assert_eq!(log.alive_ids(), ids(&[3]));
+        assert!(!log.alive(ServerId::new(5)));
+        // Tombstones stay in the record set.
+        assert_eq!(log.records().len(), 2);
+    }
+
+    #[test]
+    fn merge_prefers_higher_versions_and_dead_ties() {
+        let mut log = MembershipLog::new();
+        log.set_local(ServerId::new(1), true); // version 1
+        // Lower version loses.
+        let stale = MemberRecord { server: ServerId::new(1), version: 0, alive: false };
+        assert_eq!(log.merge(&[stale]).adopted, 0);
+        assert!(log.alive(ServerId::new(1)));
+        // Equal version, dead wins.
+        let tie = MemberRecord { server: ServerId::new(1), version: 1, alive: false };
+        let outcome = log.merge(&[tie]);
+        assert_eq!(outcome.adopted, 1);
+        assert_eq!(outcome.left, ids(&[1]));
+        assert!(!log.alive(ServerId::new(1)));
+        // Symmetric direction: alive never beats dead at the same version.
+        let back = MemberRecord { server: ServerId::new(1), version: 1, alive: true };
+        assert_eq!(log.merge(&[back]).adopted, 0);
+        // Higher version wins regardless of state.
+        let newer = MemberRecord { server: ServerId::new(1), version: 9, alive: true };
+        assert_eq!(log.merge(&[newer]).joined, ids(&[1]));
+        // The clock absorbed the remote version: the next local decision
+        // supersedes it.
+        assert_eq!(log.set_local(ServerId::new(2), true), 10);
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_order_independent() {
+        let mut base = MembershipLog::new();
+        base.set_local(ServerId::new(1), true);
+        base.set_local(ServerId::new(2), true);
+        let d1 = vec![
+            MemberRecord { server: ServerId::new(2), version: 7, alive: false },
+            MemberRecord { server: ServerId::new(3), version: 4, alive: true },
+        ];
+        let d2 = vec![
+            MemberRecord { server: ServerId::new(3), version: 5, alive: false },
+            MemberRecord { server: ServerId::new(4), version: 2, alive: true },
+        ];
+        let mut a = base.clone();
+        a.merge(&d1);
+        a.merge(&d1); // twice
+        a.merge(&d2);
+        let mut b = base.clone();
+        b.merge(&d2); // other order
+        b.merge(&d1);
+        assert_eq!(a.records(), b.records());
+        assert_eq!(a.alive_ids(), ids(&[1, 4]));
+    }
+
+    #[test]
+    fn replicated_local_ops_enforce_log_view() {
+        let replica = ReplicatedEngine::new(ReplicaId::new(0), config()).expect("valid");
+        replica.join(ServerId::new(1)).expect("fresh");
+        assert_eq!(
+            replica.join(ServerId::new(1)).unwrap_err(),
+            ServeError::Table(TableError::ServerAlreadyPresent(ServerId::new(1)))
+        );
+        assert_eq!(
+            replica.leave(ServerId::new(9)).unwrap_err(),
+            ServeError::Table(TableError::ServerNotFound(ServerId::new(9)))
+        );
+        replica.leave(ServerId::new(1)).expect("present");
+        assert!(replica.member_ids().is_empty());
+        // The tombstone survives for gossip.
+        assert_eq!(replica.records().len(), 1);
+        assert!(!replica.records()[0].alive);
+    }
+
+    #[test]
+    fn merge_applies_through_the_epoch_path() {
+        let a = ReplicatedEngine::new(ReplicaId::new(0), config()).expect("valid");
+        let b = ReplicatedEngine::new(ReplicaId::new(1), config()).expect("valid");
+        a.join(ServerId::new(1)).expect("fresh");
+        a.join(ServerId::new(2)).expect("fresh");
+        b.join(ServerId::new(3)).expect("fresh");
+        let epochs_before: Vec<u64> =
+            b.engine().snapshots().iter().map(|s| s.epoch).collect();
+        let outcome = b.merge(&a.records()).expect("capacity fits");
+        assert_eq!(outcome.joined, ids(&[1, 2]));
+        assert!(outcome.left.is_empty());
+        assert_eq!(b.member_ids(), ids(&[1, 2, 3]));
+        // Reconciliation published exactly one new epoch per shard.
+        for (snapshot, before) in b.engine().snapshots().iter().zip(epochs_before) {
+            assert_eq!(snapshot.epoch, before + 1);
+            assert_eq!(snapshot.member_ids(), ids(&[1, 2, 3]));
+        }
+        // A re-merge of the same records is a no-op: no epoch burned.
+        let outcome = b.merge(&a.records()).expect("no-op");
+        assert!(!outcome.changed_membership());
+        assert_eq!(b.engine().snapshots()[0].member_ids(), ids(&[1, 2, 3]));
+        // The other direction converges the pair.
+        a.merge(&b.records()).expect("capacity fits");
+        assert_eq!(a.member_ids(), b.member_ids());
+        assert_eq!(a.shard_signatures(), b.shard_signatures());
+    }
+
+    #[test]
+    fn capacity_overflow_wedges_visibly_and_recovers_on_shrink() {
+        // Capacity 7 (codebook 8): each replica fits alone, the union
+        // does not — the documented sizing mistake.
+        let tiny = ServeConfig {
+            shards: 1,
+            workers: 1,
+            batch_capacity: 8,
+            queue_capacity: 64,
+            dimension: 64,
+            codebook_size: 8,
+            seed: 5,
+        };
+        let a = ReplicatedEngine::new(ReplicaId::new(0), tiny).expect("valid");
+        let b = ReplicatedEngine::new(ReplicaId::new(1), tiny).expect("valid");
+        for id in 0..5u64 {
+            a.join(ServerId::new(id)).expect("fresh");
+            b.join(ServerId::new(10 + id)).expect("fresh");
+        }
+        assert!(b.merge(&a.records()).is_err(), "union of 10 exceeds capacity 7");
+        assert!(b.pending_reconcile(), "the wedge must be observable");
+        // The log holds the merged view even though the engine trails it.
+        assert_eq!(b.member_ids().len(), 10);
+        // Enough leaves on A shrink the union under capacity; the next
+        // merge retries the application and clears the wedge.
+        for id in 0..4u64 {
+            a.leave(ServerId::new(id)).expect("present");
+        }
+        b.merge(&a.records()).expect("union of 6 fits");
+        assert!(!b.pending_reconcile());
+        assert_eq!(b.member_ids().len(), 6);
+        assert_eq!(b.engine().snapshots()[0].member_ids(), b.member_ids());
+    }
+
+    #[test]
+    fn from_engine_seeds_the_log() {
+        let engine = ServeEngine::new(config()).expect("valid");
+        engine.join(ServerId::new(4)).expect("fresh");
+        engine.join(ServerId::new(8)).expect("fresh");
+        let replica = ReplicatedEngine::from_engine(ReplicaId::new(2), engine);
+        assert_eq!(replica.id(), ReplicaId::new(2));
+        assert_eq!(replica.member_ids(), ids(&[4, 8]));
+        assert_eq!(
+            replica.leave(ServerId::new(4)).expect("present").len(),
+            replica.engine().shard_count()
+        );
+    }
+}

@@ -63,6 +63,14 @@ impl ShardSnapshot {
     pub fn contains(&self, server: ServerId) -> bool {
         self.members.contains(&server)
     }
+
+    /// The membership as a **sorted** id set — the canonical form replica
+    /// reconciliation compares ([`members`](Self::members) keeps
+    /// replica-local join order).
+    #[must_use]
+    pub fn member_ids(&self) -> Vec<ServerId> {
+        self.table.member_ids()
+    }
 }
 
 /// Receipt of one published reconfiguration: the new epoch and the full
@@ -115,6 +123,28 @@ impl Shard {
     {
         let shadow = &mut *self.shadow.lock();
         change(shadow)?;
+        Ok(self.publish_locked(shadow))
+    }
+
+    /// Drives the shadow membership to exactly `target` and publishes the
+    /// result as a new epoch — the anti-entropy application path. A target
+    /// the shadow already matches publishes nothing and burns no epoch
+    /// (reconciliation is idempotent), hence the `Option`.
+    pub(crate) fn reconcile(
+        &self,
+        target: &[ServerId],
+    ) -> Result<Option<ShardReceipt>, TableError> {
+        let shadow = &mut *self.shadow.lock();
+        let (joined, left) = shadow.reconcile_members(target)?;
+        if joined == 0 && left == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.publish_locked(shadow)))
+    }
+
+    /// Publishes the shadow as the next epoch. Callers hold the shadow
+    /// lock (`shadow` borrows from it), which is what orders epochs.
+    fn publish_locked(&self, shadow: &HdHashTable) -> ShardReceipt {
         let epoch = self.load().epoch + 1;
         let snapshot = Arc::new(ShardSnapshot {
             shard: self.index,
@@ -129,7 +159,7 @@ impl Shard {
             members: snapshot.members.clone(),
         };
         *self.published.lock() = snapshot;
-        Ok(receipt)
+        receipt
     }
 
     /// Anti-entropy check: the Hamming delta between the shadow's live
@@ -208,6 +238,22 @@ mod tests {
         assert_eq!(old.lookup_batch(&keys), before);
         assert_eq!(old.epoch, 6);
         assert_eq!(shard.load().epoch, 8);
+    }
+
+    #[test]
+    fn reconcile_publishes_only_on_change() {
+        let shard = Shard::new(0, table());
+        for id in 0..4 {
+            shard.reconfigure(|t| t.join(ServerId::new(id))).expect("fresh");
+        }
+        let target: Vec<ServerId> = [1u64, 3, 7].into_iter().map(ServerId::new).collect();
+        let receipt = shard.reconcile(&target).expect("fits").expect("moved");
+        assert_eq!(receipt.epoch, 5);
+        assert_eq!(shard.load().member_ids(), target);
+        // Fixed point: no moves, no epoch, no publication.
+        assert!(shard.reconcile(&target).expect("no-op").is_none());
+        assert_eq!(shard.load().epoch, 5);
+        assert!(!shard.pending_divergence(0).diverged);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Replica convergence under gossip: quiescent sets converge in a bounded
+//! number of rounds, and sets under **concurrent churn** (joins/leaves
+//! racing the gossip scheduler threads) converge to byte-identical
+//! per-shard membership signatures once the churn stops.
+//!
+//! CI runs this suite with `--test-threads=1` and repeats the soak test,
+//! mirroring the concurrent-churn suite's discipline: the churn-vs-gossip
+//! race inside each test is the only concurrency in play.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hdhash_serve::gossip::{converged, run_until_converged, GossipConfig, GossipNode};
+use hdhash_serve::replication::ReplicatedEngine;
+use hdhash_serve::transport::{InProcessEndpoint, InProcessNetwork, ReplicaId};
+use hdhash_serve::ServeConfig;
+use hdhash_table::{RequestKey, ServerId};
+
+/// Soak rounds per test execution; CI multiplies by re-running the test.
+const SOAK_ROUNDS: usize = 5;
+/// Churn operations each replica applies per soak round.
+const CHURN_OPS: usize = 40;
+
+fn serve_config(shards: usize, seed: u64) -> ServeConfig {
+    ServeConfig {
+        shards,
+        workers: 1,
+        batch_capacity: 16,
+        queue_capacity: 512,
+        dimension: 2048,
+        codebook_size: 64,
+        seed,
+    }
+}
+
+/// Builds `n` replicas on one in-process network, full-mesh peering.
+fn replica_set(
+    n: u64,
+    shards: usize,
+    seed: u64,
+    period: Duration,
+) -> Vec<(Arc<ReplicatedEngine>, GossipNode<InProcessEndpoint>)> {
+    let network = InProcessNetwork::new();
+    let peers: Vec<ReplicaId> = (0..n).map(ReplicaId::new).collect();
+    (0..n)
+        .map(|i| {
+            let id = ReplicaId::new(i);
+            let replica = Arc::new(
+                ReplicatedEngine::new(id, serve_config(shards, seed)).expect("valid config"),
+            );
+            let node = GossipNode::new(
+                Arc::clone(&replica),
+                network.endpoint(id),
+                peers.clone(),
+                GossipConfig { period, ..GossipConfig::default() },
+            );
+            (replica, node)
+        })
+        .collect()
+}
+
+fn assert_byte_identical_signatures(replicas: &[&ReplicatedEngine]) {
+    let reference = replicas[0].shard_signatures();
+    let members = replicas[0].member_ids();
+    for replica in &replicas[1..] {
+        assert_eq!(replica.member_ids(), members, "memberships diverged");
+        let signatures = replica.shard_signatures();
+        assert_eq!(signatures.len(), reference.len());
+        for (shard, (ours, theirs)) in reference.iter().zip(&signatures).enumerate() {
+            assert_eq!(
+                ours.as_words(),
+                theirs.as_words(),
+                "shard {shard} signatures differ at the word level"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_quiescent_replicas_converge_in_bounded_rounds() {
+    for shards in [1usize, 2, 4] {
+        let set = replica_set(2, shards, 1000 + shards as u64, Duration::from_millis(50));
+        let (a, b) = (&set[0].0, &set[1].0);
+        // Divergent histories: overlapping joins, one conflicting leave.
+        for id in 0..12u64 {
+            a.join(ServerId::new(id)).expect("fresh");
+        }
+        for id in 8..20u64 {
+            b.join(ServerId::new(id)).expect("fresh");
+        }
+        a.leave(ServerId::new(3)).expect("present");
+        let nodes: Vec<GossipNode<InProcessEndpoint>> =
+            set.into_iter().map(|(_, n)| n).collect();
+        // One push-pull round must converge a quiescent pair.
+        let rounds = run_until_converged(&nodes, 8).expect("must converge");
+        assert!(rounds <= 2, "quiescent pair took {rounds} rounds (shards={shards})");
+        let replicas: Vec<&ReplicatedEngine> =
+            nodes.iter().map(GossipNode::replica).collect();
+        assert_byte_identical_signatures(&replicas);
+        // The union minus the tombstoned member.
+        let want: Vec<ServerId> =
+            (0..20u64).filter(|&id| id != 3).map(ServerId::new).collect();
+        assert_eq!(replicas[0].member_ids(), want);
+    }
+}
+
+#[test]
+fn three_replica_mesh_converges() {
+    let set = replica_set(3, 2, 7, Duration::from_millis(50));
+    set[0].0.join(ServerId::new(1)).expect("fresh");
+    set[1].0.join(ServerId::new(2)).expect("fresh");
+    set[2].0.join(ServerId::new(3)).expect("fresh");
+    set[2].0.leave(ServerId::new(3)).expect("present");
+    let nodes: Vec<GossipNode<InProcessEndpoint>> =
+        set.into_iter().map(|(_, n)| n).collect();
+    let rounds = run_until_converged(&nodes, 8).expect("must converge");
+    assert!(rounds <= 2, "3-mesh took {rounds} rounds");
+    let replicas: Vec<&ReplicatedEngine> = nodes.iter().map(GossipNode::replica).collect();
+    assert_byte_identical_signatures(&replicas);
+    assert_eq!(replicas[0].member_ids(), vec![ServerId::new(1), ServerId::new(2)]);
+}
+
+#[test]
+fn lookups_agree_after_convergence() {
+    let set = replica_set(2, 2, 99, Duration::from_millis(50));
+    set[0].0.join(ServerId::new(5)).expect("fresh");
+    set[1].0.join(ServerId::new(6)).expect("fresh");
+    let nodes: Vec<GossipNode<InProcessEndpoint>> =
+        set.into_iter().map(|(_, n)| n).collect();
+    run_until_converged(&nodes, 8).expect("must converge");
+    // Converged replicas route every key identically — the operational
+    // payoff of signature convergence.
+    for k in 0..256u64 {
+        let a = nodes[0].replica().submit(RequestKey::new(k)).expect("accepted").wait();
+        let b = nodes[1].replica().submit(RequestKey::new(k)).expect("accepted").wait();
+        assert_eq!(a.result, b.result, "key {k} routed differently");
+        assert_eq!(a.shard, b.shard);
+    }
+}
+
+/// The soak: churn threads race the gossip scheduler threads, then churn
+/// stops and the set must converge within a bounded window while workers
+/// keep serving lookups.
+#[test]
+fn concurrent_churn_soak_converges() {
+    for round in 0..SOAK_ROUNDS {
+        let seed = 0xC0FFEE + round as u64;
+        let set = replica_set(2, 2, seed, Duration::from_millis(2));
+        let (a, b) = (Arc::clone(&set[0].0), Arc::clone(&set[1].0));
+        // Base membership both replicas agree on, so lookups always route.
+        for id in 0..8u64 {
+            a.join(ServerId::new(id)).expect("fresh");
+        }
+        let mut nodes = set.into_iter().map(|(_, n)| n);
+        let handle_a = nodes.next().expect("two nodes").spawn();
+        let handle_b = nodes.next().expect("two nodes").spawn();
+
+        std::thread::scope(|scope| {
+            // Two churners on disjoint id ranges plus a contended range,
+            // racing the gossip threads.
+            for (replica, base) in [(&a, 100u64), (&b, 200u64)] {
+                scope.spawn(move || {
+                    for op in 0..CHURN_OPS {
+                        let id = base + (op as u64 % 10);
+                        // Join/leave alternation; errors (already present /
+                        // not found, depending on what gossip merged first)
+                        // are part of the race and acceptable.
+                        let _ = if op % 2 == 0 {
+                            replica.join(ServerId::new(id))
+                        } else {
+                            replica.leave(ServerId::new(id))
+                        };
+                        // Contended id both replicas fight over.
+                        let _ = if op % 3 == 0 {
+                            replica.join(ServerId::new(50))
+                        } else {
+                            replica.leave(ServerId::new(50))
+                        };
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            // A lookup client streams throughout the churn+gossip race.
+            let a = &a;
+            scope.spawn(move || {
+                for k in 0..400u64 {
+                    if let Ok(ticket) = a.submit(RequestKey::new(k)) {
+                        let response = ticket.wait();
+                        assert!(
+                            response.result.is_ok(),
+                            "base members 0..8 never leave, pool can't be empty"
+                        );
+                    }
+                }
+            });
+        });
+
+        // Churn stopped; the schedulers must now converge the set.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !converged(&[&a, &b]) {
+            assert!(
+                Instant::now() < deadline,
+                "soak round {round}: replicas failed to converge after churn stopped"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let node_a = handle_a.stop();
+        let node_b = handle_b.stop();
+        // Stopping drains in-flight messages; the set must still agree.
+        assert!(converged(&[&a, &b]), "soak round {round}: diverged during shutdown");
+        assert_byte_identical_signatures(&[&a, &b]);
+        // Base members survived every race.
+        let members = a.member_ids();
+        for id in 0..8u64 {
+            assert!(members.contains(&ServerId::new(id)), "base member {id} lost");
+        }
+        let rounds = node_a.metrics().rounds + node_b.metrics().rounds;
+        assert!(rounds >= 2, "schedulers barely ran ({rounds} rounds)");
+    }
+}
