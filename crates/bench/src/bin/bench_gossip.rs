@@ -19,9 +19,16 @@
 //! * `trajectory` — total signature Hamming distance (summed over shards)
 //!   before each round, ending at 0;
 //! * `bytes_on_wire` — protocol bytes under the documented frame
-//!   accounting: adverts cost `shards · d` bits per peer per round,
-//!   member records move **only** for diverged state;
+//!   accounting: adverts cost `shards · d` bits (plus the piggybacked
+//!   seen-through ack) per adverted peer per round, member records move
+//!   **only** for diverged state;
 //! * `records_adopted`, `divergence_detections`, `wall_ms`.
+//!
+//! A second series (`six_replica_series`) runs a 6-replica set with
+//! divergent per-replica histories under restricted gossip fanout
+//! (`min(fanout, peers)` deterministically-seeded peers per round):
+//! convergence stays bounded while per-round advert traffic drops from
+//! `peers` to `fanout` messages per node.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -61,6 +68,7 @@ fn replica(id: u64, shards: usize) -> (Arc<ReplicatedEngine>, ReplicaId) {
         dimension: DIMENSION,
         codebook_size: 256,
         seed: 0x6055,
+        scheduler: hdhash_serve::SchedulerKind::default(),
     };
     (
         Arc::new(ReplicatedEngine::new(replica_id, config).expect("valid config")),
@@ -134,7 +142,7 @@ fn run_point(shards: usize, churn_ops: usize) -> GridPoint {
 
     let metrics = [nodes[0].metrics(), nodes[1].metrics()];
     let advert_bytes_per_round =
-        (shards * (4 + DIMENSION / 8) + 13) as u64 * nodes.len() as u64;
+        (shards * (4 + DIMENSION / 8) + 13 + 9) as u64 * nodes.len() as u64;
     GridPoint {
         shards,
         churn_ops,
@@ -144,6 +152,79 @@ fn run_point(shards: usize, churn_ops: usize) -> GridPoint {
         bytes_on_wire: metrics.iter().map(|m| m.bytes_sent).sum(),
         records_adopted: metrics.iter().map(|m| m.records_adopted).sum(),
         divergence_detections: metrics.iter().map(|m| m.divergence_detections).sum(),
+        wall_ms,
+    }
+}
+
+struct FanoutPoint {
+    replicas: usize,
+    fanout: usize,
+    rounds_to_converge: usize,
+    adverts_per_node_per_round: u64,
+    bytes_on_wire: u64,
+    records_adopted: u64,
+    wall_ms: f64,
+}
+
+/// 6 replicas with disjoint divergent histories, gossiping under a
+/// restricted per-round fanout.
+fn run_fanout_point(replicas: usize, shards: usize, fanout: usize) -> FanoutPoint {
+    let network = InProcessNetwork::new();
+    let peers: Vec<ReplicaId> = (0..replicas as u64).map(ReplicaId::new).collect();
+    let set: Vec<(Arc<ReplicatedEngine>, _)> = (0..replicas as u64)
+        .map(|i| {
+            let (replica, id) = replica(i, shards);
+            let node = GossipNode::new(
+                Arc::clone(&replica),
+                network.endpoint(id),
+                peers.clone(),
+                GossipConfig { fanout, ..GossipConfig::default() },
+            );
+            (replica, node)
+        })
+        .collect();
+    // Shared base plus disjoint per-replica joins and one removal, so
+    // every pair diverges and removal propagation rides the sparse
+    // rounds.
+    for (i, (replica, _)) in set.iter().enumerate() {
+        for id in 0..BASE_MEMBERS {
+            replica.join(ServerId::new(id)).expect("fresh");
+        }
+        for s in 0..4u64 {
+            replica.join(ServerId::new(1000 + 10 * i as u64 + s)).expect("fresh");
+        }
+    }
+    set[0].0.leave(ServerId::new(3)).expect("present");
+
+    let replicas_refs: Vec<&ReplicatedEngine> =
+        set.iter().map(|(r, _)| r.as_ref()).collect();
+    let nodes: Vec<_> = set.iter().map(|(_, n)| n).collect();
+    let started = Instant::now();
+    let mut rounds = 0usize;
+    while !converged(&replicas_refs) {
+        rounds += 1;
+        assert!(rounds <= 128, "fanout {fanout} failed to converge in 128 rounds");
+        for node in &nodes {
+            node.tick();
+        }
+        loop {
+            let moved: usize = nodes.iter().map(|n| n.pump()).sum();
+            if moved == 0 {
+                break;
+            }
+        }
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let metrics: Vec<_> = nodes.iter().map(|n| n.metrics()).collect();
+    let total_rounds: u64 = metrics.iter().map(|m| m.rounds).sum();
+    let total_adverts: u64 = metrics.iter().map(|m| m.adverts_sent).sum();
+    FanoutPoint {
+        replicas,
+        fanout,
+        rounds_to_converge: rounds,
+        adverts_per_node_per_round: total_adverts.checked_div(total_rounds).unwrap_or(0),
+        bytes_on_wire: metrics.iter().map(|m| m.bytes_sent).sum(),
+        records_adopted: metrics.iter().map(|m| m.records_adopted).sum(),
         wall_ms,
     }
 }
@@ -187,6 +268,25 @@ fn main() {
         grid.first().map_or(0, |p| p.advert_bytes_per_round),
     );
 
+    // The 6-replica fanout series: full mesh (fanout ≥ peers) vs
+    // restricted epidemic fan-out.
+    let fanouts: &[usize] = if quick { &[2, 5] } else { &[2, 3, 5] };
+    let mut fanout_grid: Vec<FanoutPoint> = Vec::new();
+    for &fanout in fanouts {
+        let point = run_fanout_point(6, 2, fanout);
+        println!(
+            "replicas=6 fanout={:<2} rounds={:<3} adverts/node/round={:<2} wire {:>8} B  \
+             records {:>4}  {:>7.2} ms",
+            point.fanout,
+            point.rounds_to_converge,
+            point.adverts_per_node_per_round,
+            point.bytes_on_wire,
+            point.records_adopted,
+            point.wall_ms,
+        );
+        fanout_grid.push(point);
+    }
+
     let mut json = String::from("{\n  \"benchmark\": \"BENCH_gossip\",\n");
     let _ = writeln!(json, "  \"kernel\": \"{}\",", hdhash_simdkernels::kernel_name());
     let _ = writeln!(
@@ -225,6 +325,23 @@ fn main() {
             p.wall_ms,
             trajectory,
             if i + 1 == grid.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"six_replica_series\": [\n");
+    for (i, p) in fanout_grid.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"replicas\": {}, \"fanout\": {}, \"rounds_to_converge\": {}, \
+             \"adverts_per_node_per_round\": {}, \"bytes_on_wire\": {}, \
+             \"records_adopted\": {}, \"wall_ms\": {:.2}}}{}",
+            p.replicas,
+            p.fanout,
+            p.rounds_to_converge,
+            p.adverts_per_node_per_round,
+            p.bytes_on_wire,
+            p.records_adopted,
+            p.wall_ms,
+            if i + 1 == fanout_grid.len() { "" } else { "," }
         );
     }
     json.push_str("  ]\n}\n");

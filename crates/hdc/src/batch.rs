@@ -474,6 +474,233 @@ impl BatchLookup {
         best
     }
 
+    /// Quantized arg-max over `rows[start..end)` on the **adaptive
+    /// incremental-prefix schedule**: distances are rounded to the grid
+    /// `quantum` (`q = ⌊(dist + c/2)/c⌋`) and the minimum is taken over
+    /// `(q, order(row), row)` — the deterministic,
+    /// membership-order-independent tie-break `hdhash-core`'s partitioned
+    /// codebook requires.
+    ///
+    /// This is the quantized twin of [`nearest_one`](Self::nearest_one):
+    /// the same prefix round → stand-out test → escalation/suffix-sweep
+    /// machinery, the same per-engine calibrator (quantized probes vote
+    /// alongside plain ones — the traffic shape is a property of the
+    /// workload, not of the comparator), and the same exactness
+    /// guarantee. The pruning bound is quantum-aware: once a best level
+    /// `q` is known, any row whose partial distance already exceeds the
+    /// largest distance mapping to `q` can never improve `(q, order)`
+    /// and is abandoned. Rows that could still *tie* the level are
+    /// scanned to completion so the `order` tie-break sees them.
+    ///
+    /// Returns `(q, order(row), row)` of the winner, or `None` when the
+    /// range is empty. Byte-identical to the straight bounded scan it
+    /// replaces (`kernel_equivalence` pins this, engaged and collapsed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe` has the wrong dimension or `quantum == 0`.
+    #[must_use]
+    pub fn nearest_quantized_by<O, F>(
+        &self,
+        probe: &Hypervector,
+        quantum: usize,
+        start: usize,
+        end: usize,
+        order: F,
+    ) -> Option<(usize, O, usize)>
+    where
+        O: Ord,
+        F: Fn(usize) -> O,
+    {
+        assert_eq!(probe.dimension(), self.dimension, "probe dimension mismatch");
+        assert!(quantum > 0, "quantum must be positive");
+        let end = end.min(self.rows);
+        if start >= end {
+            return None;
+        }
+        let mut cuts = [0usize; MAX_ROUNDS];
+        let rounds = self.scan_schedule(&mut cuts);
+        if end - start < MIN_FILTER_ROWS || rounds < 2 || !self.calibrator.wants_filter() {
+            // Tiny range, single-round schedule, or collapsed calibrator:
+            // the straight bounded sweep is the best plan.
+            return self.quantized_straight(probe, quantum, start, end, &order);
+        }
+        self.quantized_filtered(probe, quantum, start, end, &order, &cuts[..rounds])
+    }
+
+    /// Largest distance still mapping to quantum level `q`:
+    /// `dist ≤ q·c + c − 1 − c/2` (the level bound every quantized scan
+    /// path prunes on, clamped to the dimension).
+    fn quantum_limit(&self, q: usize, quantum: usize) -> usize {
+        (q * quantum + quantum - 1 - quantum / 2).min(self.dimension)
+    }
+
+    /// The straight path of
+    /// [`nearest_quantized_by`](Self::nearest_quantized_by): one bounded
+    /// early-exit sweep in row order (the pre-adaptive behavior,
+    /// preserved as the collapsed plan).
+    fn quantized_straight<O: Ord, F: Fn(usize) -> O>(
+        &self,
+        probe: &Hypervector,
+        quantum: usize,
+        start: usize,
+        end: usize,
+        order: &F,
+    ) -> Option<(usize, O, usize)> {
+        let probe_words = probe.as_words();
+        let mut best: Option<(usize, O, usize)> = None;
+        let mut limit = self.dimension;
+        for row in start..end {
+            let row_words = &self.matrix[row * self.row_words..(row + 1) * self.row_words];
+            let Some(dist) = hamming_words_within(probe_words, row_words, limit) else {
+                continue;
+            };
+            let q = (dist + quantum / 2) / quantum;
+            let key_order = order(row);
+            let better = match &best {
+                None => true,
+                Some((bq, bo, _)) => (q, &key_order) < (*bq, bo),
+            };
+            if better {
+                limit = self.quantum_limit(q, quantum);
+                best = Some((q, key_order, row));
+            }
+        }
+        best
+    }
+
+    /// The filtered path of
+    /// [`nearest_quantized_by`](Self::nearest_quantized_by): prefix round
+    /// over the range, stand-out test (feeding the shared calibrator),
+    /// then either escalation through widening prefixes or a single
+    /// suffix sweep. Exact: every row whose distance could reach the best
+    /// level's bound is resolved fully before the `(q, order, row)`
+    /// minimum is taken.
+    fn quantized_filtered<O: Ord, F: Fn(usize) -> O>(
+        &self,
+        probe: &Hypervector,
+        quantum: usize,
+        start: usize,
+        end: usize,
+        order: &F,
+        cuts: &[usize],
+    ) -> Option<(usize, O, usize)> {
+        let probe_words = probe.as_words();
+        let first_cut = cuts[0];
+        let probe_prefix = &probe_words[..first_cut];
+
+        PREFIX_SCRATCH.with(|cell| {
+            let mut partials = cell.borrow_mut();
+            partials.clear();
+            let mut min_p = u32::MAX;
+            let mut sum_p: u64 = 0;
+            for row in start..end {
+                let row_prefix =
+                    &self.matrix[row * self.row_words..row * self.row_words + first_cut];
+                let p =
+                    hdhash_simdkernels::hamming_distance_words(probe_prefix, row_prefix) as u32;
+                min_p = min_p.min(p);
+                sum_p += u64::from(p);
+                partials.push((p, row as u32));
+            }
+            let mean_p = sum_p / (end - start) as u64;
+            let stood_out = u64::from(min_p) * 4 <= mean_p * 3;
+            self.calibrator.record(stood_out);
+
+            if !stood_out {
+                // Suffix sweep in row order, budgeted by the best level's
+                // bound minus each row's known prefix partial.
+                let mut best: Option<(usize, O, usize)> = None;
+                let mut limit = self.dimension;
+                for &(p, row) in partials.iter() {
+                    if p as usize > limit {
+                        continue;
+                    }
+                    let row = row as usize;
+                    let row_rest = &self.matrix
+                        [row * self.row_words + first_cut..(row + 1) * self.row_words];
+                    let Some(rest) = hamming_words_within(
+                        &probe_words[first_cut..],
+                        row_rest,
+                        limit - p as usize,
+                    ) else {
+                        continue;
+                    };
+                    let dist = p as usize + rest;
+                    let q = (dist + quantum / 2) / quantum;
+                    let key_order = order(row);
+                    let better = match &best {
+                        None => true,
+                        Some((bq, bo, _)) => (q, &key_order) < (*bq, bo),
+                    };
+                    if better {
+                        limit = self.quantum_limit(q, quantum);
+                        best = Some((q, key_order, row));
+                    }
+                }
+                return best;
+            }
+
+            // Stand-out leader: verify it fully; its level bound prunes
+            // the escalation rounds.
+            partials.sort_unstable();
+            let (p0, row0) = partials[0];
+            let row0 = row0 as usize;
+            let leader_rest = hamming_words_within(
+                &probe_words[first_cut..],
+                &self.matrix[row0 * self.row_words + first_cut..(row0 + 1) * self.row_words],
+                self.dimension,
+            )
+            .expect("bound = dimension admits every distance");
+            let leader_q = (p0 as usize + leader_rest + quantum / 2) / quantum;
+            let mut best: (usize, O, usize) = (leader_q, order(row0), row0);
+            let mut limit = self.quantum_limit(leader_q, quantum);
+
+            let mut live = partials.len();
+            for (r, window) in cuts.windows(2).enumerate() {
+                let (from, to) = (window[0], window[1]);
+                let final_round = r + 2 == cuts.len();
+                let mut kept = 1usize; // slot 0 is the verified leader
+                for i in 1..live {
+                    let (p, row) = partials[i];
+                    if p as usize > limit {
+                        // Sorted ascending; the level bound only shrinks.
+                        break;
+                    }
+                    let row_idx = row as usize;
+                    let segment = &self.matrix
+                        [row_idx * self.row_words + from..row_idx * self.row_words + to];
+                    let Some(seg) = hamming_words_within(
+                        &probe_words[from..to],
+                        segment,
+                        limit - p as usize,
+                    ) else {
+                        continue;
+                    };
+                    let extended = p as usize + seg;
+                    if final_round {
+                        // Exact distance (≤ limit, so its level ≤ best's).
+                        let q = (extended + quantum / 2) / quantum;
+                        let key_order = order(row_idx);
+                        if (q, &key_order, row_idx) < (best.0, &best.1, best.2) {
+                            limit = self.quantum_limit(q, quantum);
+                            best = (q, key_order, row_idx);
+                        }
+                    } else {
+                        partials[kept] = (extended as u32, row);
+                        kept += 1;
+                    }
+                }
+                if final_round {
+                    break;
+                }
+                live = kept;
+                partials[1..live].sort_unstable();
+            }
+            Some(best)
+        })
+    }
+
     /// Nearest row within `rows[start..end)`, considering only candidates
     /// at distance `≤ bound` (callers pass the dimension for an unbounded
     /// scan, or a shared best-so-far to prune across shards).
@@ -728,6 +955,103 @@ mod tests {
         engaged.nearest_batch_into(&refs, &mut a);
         collapsed.nearest_batch_into(&refs, &mut b);
         assert_eq!(a, b, "scan plan must never change batch results");
+    }
+
+    /// Reference for the quantized arg-max: exhaustive `(q, order, row)`
+    /// minimum over a row range.
+    fn naive_quantized(
+        rows: &[Hypervector],
+        probe: &Hypervector,
+        quantum: usize,
+        start: usize,
+        end: usize,
+        order: impl Fn(usize) -> usize,
+    ) -> Option<(usize, usize, usize)> {
+        rows[start..end.min(rows.len())]
+            .iter()
+            .enumerate()
+            .map(|(i, hv)| {
+                let row = start + i;
+                ((probe.hamming_distance(hv) + quantum / 2) / quantum, order(row), row)
+            })
+            .min()
+    }
+
+    #[test]
+    fn quantized_matches_naive_on_both_probe_shapes() {
+        let d = 10_240;
+        let (engine, rows) = engine_with(64, d, 4040);
+        let mut rng = Rng::new(4041);
+        let order = |row: usize| row * 7 % 13; // collides → order tie-breaks matter
+        for quantum in [32usize, 64, 160] {
+            for i in 0..24 {
+                let probe = if i % 2 == 0 {
+                    Hypervector::random(d, &mut rng)
+                } else {
+                    let victim = rng.next_below(64) as usize;
+                    let mut p = rows[victim].clone();
+                    p.flip_bits(rng.distinct_indices(d / 20, d));
+                    p
+                };
+                assert_eq!(
+                    engine.nearest_quantized_by(&probe, quantum, 0, 64, order),
+                    naive_quantized(&rows, &probe, quantum, 0, 64, order),
+                    "quantum {quantum}, probe {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_respects_row_ranges() {
+        let d = 4096;
+        let (engine, rows) = engine_with(40, d, 5050);
+        let mut rng = Rng::new(5051);
+        let order = |row: usize| row * 7 % 13;
+        for _ in 0..10 {
+            let probe = Hypervector::random(d, &mut rng);
+            for (start, end) in [(0usize, 40usize), (5, 25), (30, 40), (12, 13), (20, 20)] {
+                assert_eq!(
+                    engine.nearest_quantized_by(&probe, 64, start, end, order),
+                    naive_quantized(&rows, &probe, 64, start, end, order),
+                    "range {start}..{end}"
+                );
+            }
+            // Out-of-range end clamps; fully out-of-range start is None.
+            assert_eq!(
+                engine.nearest_quantized_by(&probe, 64, 0, 999, order),
+                naive_quantized(&rows, &probe, 64, 0, 40, order)
+            );
+            assert!(engine.nearest_quantized_by(&probe, 64, 40, 45, order).is_none());
+        }
+    }
+
+    #[test]
+    fn quantized_collapsed_equals_engaged() {
+        // The scan plan must never change the quantized verdict: an
+        // engine collapsed by adversarial traffic and a fresh engaged one
+        // agree on every (q, order, row) verdict.
+        let d = 10_240;
+        let (engaged, rows) = engine_with(48, d, 6060);
+        let collapsed = engaged.clone();
+        collapsed.calibrator.score.store(-SCORE_SATURATION, Ordering::Relaxed);
+        collapsed.calibrator.queries.store(1, Ordering::Relaxed);
+        let mut rng = Rng::new(6061);
+        let order = |row: usize| row % 5;
+        for i in 0..30 {
+            let probe = if i % 2 == 0 {
+                Hypervector::random(d, &mut rng)
+            } else {
+                let victim = rng.next_below(48) as usize;
+                let mut p = rows[victim].clone();
+                p.flip_bits(rng.distinct_indices(d / 25, d));
+                p
+            };
+            let a = engaged.nearest_quantized_by(&probe, 64, 0, 48, order);
+            let b = collapsed.nearest_quantized_by(&probe, 64, 0, 48, order);
+            assert_eq!(a, b, "probe {i}: scan plan changed the quantized verdict");
+            assert_eq!(a, naive_quantized(&rows, &probe, 64, 0, 48, order), "probe {i}");
+        }
     }
 
     #[test]

@@ -411,6 +411,11 @@ impl<K: Clone + Send + Sync> AssociativeMemory<K> {
     }
 
     /// Quantized scan over one row range; returns `(q, order(key), row)`.
+    ///
+    /// Rides [`BatchLookup::nearest_quantized_by`] — the adaptive
+    /// incremental-prefix schedule with the quantum-aware pruning bound —
+    /// so the Partition-strategy path shares the plain argmin's scan
+    /// machinery and calibrator instead of always sweeping straight.
     fn quantized_in_range<O: Ord, F: Fn(&K) -> O>(
         &self,
         probe: &Hypervector,
@@ -419,31 +424,9 @@ impl<K: Clone + Send + Sync> AssociativeMemory<K> {
         start: usize,
         end: usize,
     ) -> Option<(usize, O, usize)> {
-        let mut best: Option<(usize, O, usize)> = None;
-        // Largest distance still mapping to quantum level `q`:
-        // dist ≤ q·c + c − 1 − c/2.
-        let limit_for = |q: usize| q * quantum + quantum - 1 - quantum / 2;
-        let mut limit = self.dimension;
-        for row in start..end {
-            let probe_words = probe.as_words();
-            let row_words = self.engine.row(row);
-            let Some(dist) =
-                crate::hypervector::hamming_words_within(probe_words, row_words, limit)
-            else {
-                continue;
-            };
-            let q = (dist + quantum / 2) / quantum;
-            let key_order = order(&self.entries[row].0);
-            let better = match &best {
-                None => true,
-                Some((bq, bo, _)) => (q, &key_order) < (*bq, bo),
-            };
-            if better {
-                limit = limit_for(q).min(self.dimension);
-                best = Some((q, key_order, row));
-            }
-        }
-        best
+        self.engine.nearest_quantized_by(probe, quantum, start, end, |row| {
+            order(&self.entries[row].0)
+        })
     }
 
     fn hit_to_match(&self, hit: Hit) -> Match<K> {

@@ -240,6 +240,60 @@ proptest! {
         }
     }
 
+    /// The quantized arg-max on the adaptive incremental-prefix schedule
+    /// is **byte-identical to the straight bounded scan**: for every probe
+    /// shape (inference-shaped and adversarial), every calibrator state
+    /// (a fresh engaged engine and one collapsed by adversarial warm-up
+    /// runs opposite plans), and colliding order keys (forcing the
+    /// `(q, order, row)` tie-break), the `(q, order, row)` verdict equals
+    /// the exhaustive reference minimum.
+    #[test]
+    fn quantized_adaptive_equals_straight_scan(
+        seed in any::<u64>(),
+        d in prop_oneof![Just(512usize), Just(1000), Just(4096), Just(10_240)],
+        n in 9usize..48,
+        quantum_div in 1usize..64,
+        shapes in prop::collection::vec(any::<bool>(), 6..20),
+    ) {
+        let quantum = (d / (quantum_div * 2).max(2)).max(1);
+        let mut rng = Rng::new(seed);
+        let rows: Vec<Hypervector> =
+            (0..n).map(|_| Hypervector::random(d, &mut rng)).collect();
+        let mut engaged = BatchLookup::new(d);
+        for hv in &rows {
+            engaged.push(hv).unwrap();
+        }
+        // A second engine, collapsed by sustained adversarial warm-up,
+        // runs the straight plan for the same probes.
+        let collapsed = engaged.clone();
+        for _ in 0..10 {
+            let probe = Hypervector::random(d, &mut rng);
+            let _ = collapsed.nearest_one(&probe);
+        }
+        let order = |row: usize| row % 5; // collides → order tie-break exercised
+        for &noisy in &shapes {
+            let probe = if noisy {
+                let victim = rng.next_below(n as u64) as usize;
+                let mut p = rows[victim].clone();
+                p.flip_bits(rng.distinct_indices(d / 25, d));
+                p
+            } else {
+                Hypervector::random(d, &mut rng)
+            };
+            let want = rows
+                .iter()
+                .enumerate()
+                .map(|(row, hv)| {
+                    ((reference::hamming(&probe, hv) + quantum / 2) / quantum, order(row), row)
+                })
+                .min();
+            let via_engaged = engaged.nearest_quantized_by(&probe, quantum, 0, n, order);
+            let via_collapsed = collapsed.nearest_quantized_by(&probe, quantum, 0, n, order);
+            prop_assert_eq!(&via_engaged, &want, "engaged plan diverged (d={}, q={})", d, quantum);
+            prop_assert_eq!(&via_collapsed, &want, "collapsed plan diverged (d={}, q={})", d, quantum);
+        }
+    }
+
     /// In-place row compaction under churn equals a fresh engine built
     /// from the surviving rows — matrix contents and scan results alike.
     #[test]

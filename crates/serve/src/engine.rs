@@ -1,10 +1,10 @@
-//! The serving engine: MPMC queue, coalescing workers, shard fan-out.
+//! The serving engine: scheduler substrate, coalescing workers, shard
+//! fan-out.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::queue::ArrayQueue;
 use parking_lot::{Condvar, Mutex};
 
 use hdhash_core::HdHashTable;
@@ -14,27 +14,31 @@ use hdhash_table::{DynamicHashTable, RequestKey, ServerId, TableError};
 use crate::config::ServeConfig;
 use crate::metrics::{EngineMetrics, ShardMetrics};
 use crate::request::{LookupJob, ServeResponse, Ticket};
+use crate::scheduler::{self, Scheduler};
 use crate::shard::{Shard, ShardReceipt, ShardSnapshot};
 use crate::ServeError;
 
 /// The shared state workers and clients operate on.
 #[derive(Debug)]
-struct EngineCore {
-    config: ServeConfig,
-    /// The MPMC request queue (bounded — the backpressure surface).
-    queue: ArrayQueue<LookupJob>,
+pub(crate) struct EngineCore {
+    pub(crate) config: ServeConfig,
+    /// The scheduling substrate jobs park in between submit and pickup
+    /// (shared queue or work-stealing deques, per
+    /// [`ServeConfig::scheduler`]); its submission side is bounded — the
+    /// backpressure surface.
+    pub(crate) scheduler: Box<dyn Scheduler>,
     /// Parking for idle workers. The lock also brackets the
     /// submit/shutdown race: both the shutdown flag flip and every
     /// successful push happen under it, so a submission is either rejected
     /// with [`ServeError::ShuttingDown`] or guaranteed to be served.
-    park: Mutex<()>,
-    ready: Condvar,
+    pub(crate) park: Mutex<()>,
+    pub(crate) ready: Condvar,
     shards: Vec<Shard>,
     metrics: Vec<ShardMetrics>,
     submitted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
 }
 
 impl EngineCore {
@@ -51,7 +55,7 @@ impl EngineCore {
             shards.push(Shard::new(i, table));
         }
         Ok(Self {
-            queue: ArrayQueue::new(config.queue_capacity),
+            scheduler: scheduler::build(&config),
             park: Mutex::new(()),
             ready: Condvar::new(),
             metrics: (0..config.shards).map(|_| ShardMetrics::default()).collect(),
@@ -77,7 +81,7 @@ impl EngineCore {
             if self.shutdown.load(Ordering::Acquire) {
                 return Err(ServeError::ShuttingDown);
             }
-            if self.queue.push(job).is_err() {
+            if self.scheduler.submit(job).is_err() {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(ServeError::QueueFull);
             }
@@ -92,7 +96,7 @@ impl EngineCore {
     /// `lookup_batch` call — the zero-alloc batched scan under the hood.
     /// `keys`/`latencies` are caller-owned scratch so steady-state serving
     /// allocates only the per-batch result vector.
-    fn serve_batch(
+    pub(crate) fn serve_batch(
         &self,
         batch: &mut Vec<LookupJob>,
         keys: &mut Vec<RequestKey>,
@@ -133,37 +137,6 @@ impl EngineCore {
             start = end;
         }
         batch.clear();
-    }
-}
-
-/// The worker loop: drain up to `batch_capacity` jobs, serve them as one
-/// coalesced batch, park when the queue runs dry.
-fn worker_loop(core: &EngineCore) {
-    let mut batch: Vec<LookupJob> = Vec::with_capacity(core.config.batch_capacity);
-    let mut keys: Vec<RequestKey> = Vec::new();
-    let mut latencies: Vec<Duration> = Vec::new();
-    loop {
-        batch.clear();
-        while batch.len() < core.config.batch_capacity {
-            match core.queue.pop() {
-                Some(job) => batch.push(job),
-                None => break,
-            }
-        }
-        if batch.is_empty() {
-            if core.shutdown.load(Ordering::Acquire) {
-                return;
-            }
-            let mut guard = core.park.lock();
-            // Re-check under the lock: a submit or shutdown that raced the
-            // empty pop has already fired its notification.
-            if core.shutdown.load(Ordering::Acquire) || !core.queue.is_empty() {
-                continue;
-            }
-            core.ready.wait(&mut guard);
-            continue;
-        }
-        core.serve_batch(&mut batch, &mut keys, &mut latencies);
     }
 }
 
@@ -214,7 +187,7 @@ impl ServeEngine {
                 let core = Arc::clone(&core);
                 std::thread::Builder::new()
                     .name(format!("hdhash-serve-{w}"))
-                    .spawn(move || worker_loop(&core))
+                    .spawn(move || scheduler::worker_loop(&core, w))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -339,10 +312,11 @@ impl ServeEngine {
             })
             .collect();
         EngineMetrics {
+            scheduler: self.core.scheduler.name(),
             submitted: self.core.submitted.load(Ordering::Relaxed),
             rejected: self.core.rejected.load(Ordering::Relaxed),
             completed: self.core.completed.load(Ordering::Relaxed),
-            queue_depth: self.core.queue.len(),
+            queue_depth: self.core.scheduler.depth(),
             shards,
         }
     }
@@ -359,11 +333,10 @@ impl ServeEngine {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        // Stragglers: accepted before the flag flipped, not yet popped.
+        // Stragglers: accepted before the flag flipped, not yet picked up
+        // — including jobs parked in work-stealing local deques.
         let mut batch = Vec::new();
-        while let Some(job) = self.core.queue.pop() {
-            batch.push(job);
-        }
+        self.core.scheduler.drain_into(&mut batch);
         if !batch.is_empty() {
             let (mut keys, mut latencies) = (Vec::new(), Vec::new());
             self.core.serve_batch(&mut batch, &mut keys, &mut latencies);
@@ -381,6 +354,8 @@ impl Drop for ServeEngine {
 mod tests {
     use super::*;
 
+    use crate::config::SchedulerKind;
+
     fn test_config() -> ServeConfig {
         ServeConfig {
             shards: 3,
@@ -390,46 +365,52 @@ mod tests {
             dimension: 2048,
             codebook_size: 64,
             seed: 42,
+            scheduler: SchedulerKind::SharedQueue,
         }
     }
 
     #[test]
     fn serves_lookups_across_shards() {
-        let mut engine = ServeEngine::new(test_config()).expect("valid config");
-        for id in 0..12 {
-            engine.join(ServerId::new(id)).expect("fresh server");
+        // The serving contract holds under both scheduling substrates.
+        for kind in [SchedulerKind::SharedQueue, SchedulerKind::WorkStealing] {
+            let config = ServeConfig { scheduler: kind, ..test_config() };
+            let mut engine = ServeEngine::new(config).expect("valid config");
+            for id in 0..12 {
+                engine.join(ServerId::new(id)).expect("fresh server");
+            }
+            let snapshots = engine.snapshots();
+            let tickets: Vec<_> = (0..200u64)
+                .map(|k| (k, engine.submit(RequestKey::new(k)).expect("accepted")))
+                .collect();
+            let mut shards_hit = std::collections::HashSet::new();
+            for (k, ticket) in tickets {
+                let response = ticket.wait();
+                shards_hit.insert(response.shard);
+                // Deterministic: the response equals a direct lookup
+                // against the snapshot of the epoch that served it (static
+                // membership, so that's the current snapshot).
+                assert_eq!(response.epoch, snapshots[response.shard].epoch);
+                assert_eq!(
+                    response.result,
+                    snapshots[response.shard].lookup(RequestKey::new(k)),
+                    "key {k} ({kind:?})"
+                );
+                let server = response.result.expect("non-empty pool");
+                assert!(snapshots[response.shard].contains(server));
+            }
+            assert_eq!(shards_hit.len(), 3, "keys must spread over all shards");
+            // Metrics are published after the response cells are filled;
+            // read them only once the workers have quiesced.
+            engine.shutdown();
+            let metrics = engine.metrics();
+            assert_eq!(metrics.scheduler, engine.config().scheduler.name());
+            assert_eq!(metrics.submitted, 200);
+            assert_eq!(metrics.completed, 200);
+            assert_eq!(metrics.rejected, 0);
+            assert_eq!(metrics.shards.iter().map(|s| s.served).sum::<u64>(), 200);
+            assert!(metrics.shards.iter().all(|s| s.failed == 0));
+            assert!(metrics.shards.iter().any(|s| s.latency.is_some()));
         }
-        let snapshots = engine.snapshots();
-        let tickets: Vec<_> = (0..200u64)
-            .map(|k| (k, engine.submit(RequestKey::new(k)).expect("accepted")))
-            .collect();
-        let mut shards_hit = std::collections::HashSet::new();
-        for (k, ticket) in tickets {
-            let response = ticket.wait();
-            shards_hit.insert(response.shard);
-            // Deterministic: the response equals a direct lookup against
-            // the snapshot of the epoch that served it (static membership,
-            // so that's the current snapshot).
-            assert_eq!(response.epoch, snapshots[response.shard].epoch);
-            assert_eq!(
-                response.result,
-                snapshots[response.shard].lookup(RequestKey::new(k)),
-                "key {k}"
-            );
-            let server = response.result.expect("non-empty pool");
-            assert!(snapshots[response.shard].contains(server));
-        }
-        assert_eq!(shards_hit.len(), 3, "keys must spread over all shards");
-        // Metrics are published after the response cells are filled; read
-        // them only once the workers have quiesced.
-        engine.shutdown();
-        let metrics = engine.metrics();
-        assert_eq!(metrics.submitted, 200);
-        assert_eq!(metrics.completed, 200);
-        assert_eq!(metrics.rejected, 0);
-        assert_eq!(metrics.shards.iter().map(|s| s.served).sum::<u64>(), 200);
-        assert!(metrics.shards.iter().all(|s| s.failed == 0));
-        assert!(metrics.shards.iter().any(|s| s.latency.is_some()));
     }
 
     #[test]
@@ -445,32 +426,48 @@ mod tests {
 
     #[test]
     fn backpressure_rejects_at_capacity() {
-        // White-box: a core with no workers, so nothing drains the queue.
-        let config = ServeConfig { queue_capacity: 2, ..test_config() };
-        let core = EngineCore::new(config).expect("valid config");
-        assert!(core.submit(RequestKey::new(1)).is_ok());
-        assert!(core.submit(RequestKey::new(2)).is_ok());
-        assert_eq!(core.submit(RequestKey::new(3)).unwrap_err(), ServeError::QueueFull);
-        assert_eq!(core.rejected.load(Ordering::Relaxed), 1);
-        assert_eq!(core.submitted.load(Ordering::Relaxed), 2);
-        assert_eq!(core.queue.len(), 2);
+        // White-box: a core with no workers, so nothing drains the queue
+        // — under either scheduling substrate.
+        for kind in [SchedulerKind::SharedQueue, SchedulerKind::WorkStealing] {
+            let config =
+                ServeConfig { queue_capacity: 2, scheduler: kind, ..test_config() };
+            let core = EngineCore::new(config).expect("valid config");
+            assert!(core.submit(RequestKey::new(1)).is_ok());
+            assert!(core.submit(RequestKey::new(2)).is_ok());
+            assert_eq!(
+                core.submit(RequestKey::new(3)).unwrap_err(),
+                ServeError::QueueFull,
+                "{kind:?}"
+            );
+            assert_eq!(core.rejected.load(Ordering::Relaxed), 1);
+            assert_eq!(core.submitted.load(Ordering::Relaxed), 2);
+            assert_eq!(core.scheduler.depth(), 2);
+        }
     }
 
     #[test]
     fn shutdown_serves_stragglers_and_rejects_new_submissions() {
-        let mut engine = ServeEngine::new(test_config()).expect("valid config");
-        engine.join(ServerId::new(1)).expect("fresh server");
-        let tickets: Vec<_> = (0..50u64)
-            .filter_map(|k| engine.submit(RequestKey::new(k)).ok())
-            .collect();
-        engine.shutdown();
-        for ticket in tickets {
-            // Every accepted ticket resolves — no hangs after shutdown.
-            assert!(ticket.wait().result.is_ok());
+        for kind in [SchedulerKind::SharedQueue, SchedulerKind::WorkStealing] {
+            let config = ServeConfig { scheduler: kind, ..test_config() };
+            let mut engine = ServeEngine::new(config).expect("valid config");
+            engine.join(ServerId::new(1)).expect("fresh server");
+            let tickets: Vec<_> = (0..50u64)
+                .filter_map(|k| engine.submit(RequestKey::new(k)).ok())
+                .collect();
+            engine.shutdown();
+            for ticket in tickets {
+                // Every accepted ticket resolves — no hangs after
+                // shutdown, wherever the job was parked (shared queue,
+                // injector, or a work-stealing local deque).
+                assert!(ticket.wait().result.is_ok(), "{kind:?}");
+            }
+            assert_eq!(
+                engine.submit(RequestKey::new(9)).unwrap_err(),
+                ServeError::ShuttingDown
+            );
+            // Idempotent.
+            engine.shutdown();
         }
-        assert_eq!(engine.submit(RequestKey::new(9)).unwrap_err(), ServeError::ShuttingDown);
-        // Idempotent.
-        engine.shutdown();
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! A minimal block-on executor: the vendored bridge between the engine's
+//! async-capable [`Ticket`](crate::Ticket) surface and synchronous
+//! callers.
+//!
+//! The offline build environment cannot pull an async runtime, and the
+//! serving layer does not need one: its futures are completion cells
+//! filled by worker threads, so the only executor duty is *waiting
+//! efficiently*. [`block_on`] does exactly that — it polls the future on
+//! the calling thread and parks between polls, with a [`Waker`] that
+//! unparks the thread when a worker fills the cell. No task queue, no
+//! reactor, no spawning: producers that want real concurrency submit many
+//! tickets first and await them in any order (completion cells resolve
+//! independently, so the await order never blocks the workers).
+//!
+//! Anything `Future` works, not just tickets — combinator-style async
+//! blocks in examples and tests run on it unchanged. Swapping in tokio or
+//! smol later is a call-site change only; nothing in the engine knows
+//! which executor drives its tickets.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+/// Wakes the blocked thread: `wake` flags progress and unparks.
+#[derive(Debug)]
+struct ThreadWaker {
+    thread: Thread,
+    /// Set by `wake`, consumed by the parked loop — survives the race
+    /// where the wake lands between a `Pending` poll and the park.
+    woken: AtomicBool,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.woken.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+std::thread_local! {
+    /// Cached waker state, one allocation per thread instead of one per
+    /// `block_on` call — closed-loop reapers await tens of thousands of
+    /// tickets, and the allocation was measurable in `bench_serve`.
+    /// Taken for the duration of a `block_on` and restored on exit, so a
+    /// re-entrant call (a future that itself calls `block_on`) finds the
+    /// cell empty and allocates fresh state rather than sharing — two
+    /// nested waits consuming one `woken` flag could lose a wakeup.
+    static WAKER_CACHE: std::cell::Cell<Option<Arc<ThreadWaker>>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Restores the cached waker state on scope exit (including panics in
+/// `poll`).
+struct CacheRestore(Option<Arc<ThreadWaker>>);
+
+impl Drop for CacheRestore {
+    fn drop(&mut self) {
+        if let Some(state) = self.0.take() {
+            WAKER_CACHE.with(|cell| cell.set(Some(state)));
+        }
+    }
+}
+
+/// Drives `future` to completion on the calling thread, parking between
+/// polls.
+///
+/// # Examples
+///
+/// Awaiting a submitted lookup without an async runtime:
+///
+/// ```
+/// use hdhash_serve::{executor, ServeConfig, ServeEngine};
+/// use hdhash_table::{RequestKey, ServerId};
+///
+/// let mut engine = ServeEngine::new(ServeConfig {
+///     shards: 1,
+///     workers: 1,
+///     dimension: 2048,
+///     codebook_size: 64,
+///     ..ServeConfig::default()
+/// })?;
+/// engine.join(ServerId::new(9))?;
+/// // Submit a burst, then await the tickets in an async block — the
+/// // workers fill the cells concurrently while this thread parks.
+/// let tickets: Vec<_> = (0..4u64)
+///     .map(|k| engine.submit(RequestKey::new(k)))
+///     .collect::<Result<_, _>>()?;
+/// let served = executor::block_on(async {
+///     let mut served = 0;
+///     for ticket in tickets {
+///         let response = ticket.await;
+///         assert_eq!(response.result, Ok(ServerId::new(9)));
+///         served += 1;
+///     }
+///     served
+/// });
+/// assert_eq!(served, 4);
+/// engine.shutdown();
+/// # Ok::<(), hdhash_serve::ServeError>(())
+/// ```
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let state = WAKER_CACHE.with(std::cell::Cell::take).unwrap_or_else(|| {
+        Arc::new(ThreadWaker { thread: std::thread::current(), woken: AtomicBool::new(false) })
+    });
+    // A stale flag from a late wake of a previous call would only cost a
+    // spurious re-poll, but start clean anyway.
+    state.woken.store(false, Ordering::Relaxed);
+    let restore = CacheRestore(Some(Arc::clone(&state)));
+    let waker = Waker::from(Arc::clone(&state));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => {
+                drop(restore); // put the waker state back for the next call
+                return value;
+            }
+            Poll::Pending => {
+                // Park until the waker fires; `park` may return
+                // spuriously, so loop on the flag.
+                while !state.woken.swap(false, Ordering::Acquire) {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_future_returns_immediately() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn pending_future_parks_until_woken() {
+        // A future that yields `Pending` once, hands its waker to another
+        // thread, and resolves on the next poll.
+        struct YieldOnce {
+            woken: Option<std::sync::mpsc::Sender<Waker>>,
+        }
+        impl Future for YieldOnce {
+            type Output = &'static str;
+            fn poll(
+                mut self: std::pin::Pin<&mut Self>,
+                cx: &mut Context<'_>,
+            ) -> Poll<&'static str> {
+                match self.woken.take() {
+                    Some(tx) => {
+                        tx.send(cx.waker().clone()).expect("receiver alive");
+                        Poll::Pending
+                    }
+                    None => Poll::Ready("resumed"),
+                }
+            }
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        let waker_thread = std::thread::spawn(move || {
+            let waker: Waker = rx.recv().expect("sender alive");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            waker.wake();
+        });
+        assert_eq!(block_on(YieldOnce { woken: Some(tx) }), "resumed");
+        waker_thread.join().expect("no panic");
+    }
+
+    #[test]
+    fn nested_and_sequential_block_on_calls_are_safe() {
+        // Sequential calls on one thread reuse the cached waker state;
+        // a re-entrant call (poll invoking block_on) must NOT share it —
+        // the cell is taken for the outer call, so the inner one
+        // allocates fresh state and cross-thread wakes still land.
+        fn woken_future() -> (impl Future<Output = &'static str>, std::thread::JoinHandle<()>) {
+            struct YieldOnce {
+                tx: Option<std::sync::mpsc::Sender<Waker>>,
+            }
+            impl Future for YieldOnce {
+                type Output = &'static str;
+                fn poll(
+                    mut self: std::pin::Pin<&mut Self>,
+                    cx: &mut Context<'_>,
+                ) -> Poll<&'static str> {
+                    match self.tx.take() {
+                        Some(tx) => {
+                            tx.send(cx.waker().clone()).expect("receiver alive");
+                            Poll::Pending
+                        }
+                        None => Poll::Ready("ok"),
+                    }
+                }
+            }
+            let (tx, rx) = std::sync::mpsc::channel::<Waker>();
+            let waker_thread = std::thread::spawn(move || {
+                rx.recv().expect("sender alive").wake();
+            });
+            (YieldOnce { tx: Some(tx) }, waker_thread)
+        }
+        for _ in 0..3 {
+            let (inner, inner_thread) = woken_future();
+            let (outer, outer_thread) = woken_future();
+            let got = block_on(async {
+                let inner = block_on(inner); // re-entrant, parks inside poll
+                let outer = outer.await; // outer parks after the nested call
+                (inner, outer)
+            });
+            assert_eq!(got, ("ok", "ok"));
+            inner_thread.join().expect("no panic");
+            outer_thread.join().expect("no panic");
+        }
+    }
+
+    #[test]
+    fn wake_before_park_is_not_lost() {
+        // The waker fires *during* poll (before the executor parks); the
+        // flag must absorb it so the executor re-polls instead of hanging.
+        struct WakeInline {
+            polls: u32,
+        }
+        impl Future for WakeInline {
+            type Output = u32;
+            fn poll(mut self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+                self.polls += 1;
+                if self.polls < 3 {
+                    cx.waker().wake_by_ref();
+                    Poll::Pending
+                } else {
+                    Poll::Ready(self.polls)
+                }
+            }
+        }
+        assert_eq!(block_on(WakeInline { polls: 0 }), 3);
+    }
+}

@@ -54,12 +54,22 @@ pub enum GossipMessage {
         round: u64,
         /// One signature per shard, in shard order.
         signatures: Vec<Hypervector>,
+        /// Piggybacked seen-through confirmation: the highest capture
+        /// LSN of the **destination's** log whose full record set the
+        /// sender has merged — the tombstone-GC watermark input. `None`
+        /// until a first sync exchange has happened.
+        ack: Option<u64>,
     },
     /// The receiver detected divergence and pushes its records, pulling
     /// the sender's in return.
     SyncRequest {
         /// Echo of the advert round.
         round: u64,
+        /// The requester's log LSN when `records` was captured — what
+        /// the responder will acknowledge having seen through (LSNs, not
+        /// Lamport versions: a record adopted late can carry an old
+        /// version, but never an old LSN).
+        stamp: u64,
         /// The requesting replica's full record set (with tombstones).
         records: Vec<MemberRecord>,
         /// Which shards' signatures diverged (diagnostic + accounting;
@@ -71,6 +81,8 @@ pub enum GossipMessage {
     SyncResponse {
         /// Echo of the advert round.
         round: u64,
+        /// The responder's log LSN when `records` was captured.
+        stamp: u64,
         /// The merged record set.
         records: Vec<MemberRecord>,
     },
@@ -80,6 +92,10 @@ pub enum GossipMessage {
 const FRAME_HEADER: usize = 13;
 /// Per-signature header: 4 dimension bytes.
 const SIGNATURE_HEADER: usize = 4;
+/// Optional ack on adverts: 1 presence byte + 8 value bytes.
+const ACK_FIELD: usize = 9;
+/// Capture-LSN stamp on sync payloads: 8 bytes.
+const STAMP_FIELD: usize = 8;
 
 impl GossipMessage {
     /// Serialized size of this message under the documented framing.
@@ -88,16 +104,21 @@ impl GossipMessage {
         match self {
             GossipMessage::Advert { signatures, .. } => {
                 FRAME_HEADER
+                    + ACK_FIELD
                     + signatures
                         .iter()
                         .map(|s| SIGNATURE_HEADER + s.word_len() * 8)
                         .sum::<usize>()
             }
             GossipMessage::SyncRequest { records, diverged, .. } => {
-                FRAME_HEADER + 4 + diverged.len() * 2 + records.len() * MemberRecord::WIRE_SIZE
+                FRAME_HEADER
+                    + STAMP_FIELD
+                    + 4
+                    + diverged.len() * 2
+                    + records.len() * MemberRecord::WIRE_SIZE
             }
             GossipMessage::SyncResponse { records, .. } => {
-                FRAME_HEADER + records.len() * MemberRecord::WIRE_SIZE
+                FRAME_HEADER + STAMP_FIELD + records.len() * MemberRecord::WIRE_SIZE
             }
         }
     }
@@ -114,11 +135,19 @@ pub struct GossipConfig {
     /// small positive value only adds slack against future lossy
     /// signature compression.
     pub divergence_threshold: usize,
+    /// Peers adverted per round: each tick selects
+    /// `min(fanout, peer count)` peers with a deterministic
+    /// `(replica, round)`-seeded shuffle, so per-round traffic is
+    /// `O(fanout)` instead of `O(peers)` and the set still converges in
+    /// `O(log N)` expected rounds (classic epidemic dissemination). The
+    /// default (3) keeps today's full-mesh behavior for replica sets of
+    /// up to 4 — in particular every ≤3-replica set is unchanged.
+    pub fanout: usize,
 }
 
 impl Default for GossipConfig {
     fn default() -> Self {
-        Self { period: Duration::from_millis(50), divergence_threshold: 0 }
+        Self { period: Duration::from_millis(50), divergence_threshold: 0, fanout: 3 }
     }
 }
 
@@ -154,6 +183,8 @@ pub struct GossipMetrics {
     /// Messages dropped as malformed (shard-count or dimension mismatch)
     /// plus merges the engine refused (capacity).
     pub protocol_errors: u64,
+    /// Tombstones expired by the seen-through watermark GC.
+    pub tombstones_expired: u64,
 }
 
 #[derive(Debug, Default)]
@@ -172,6 +203,7 @@ struct Counters {
     bytes_received: AtomicU64,
     send_failures: AtomicU64,
     protocol_errors: AtomicU64,
+    tombstones_expired: AtomicU64,
 }
 
 impl Counters {
@@ -222,26 +254,64 @@ impl<T: Transport> GossipNode<T> {
         &self.replica
     }
 
-    /// Opens one round: adverts the current per-shard signatures to every
-    /// peer. Cost per peer is `shards · d` bits — member lists never move
-    /// unless a signature disagrees.
+    /// Opens one round: adverts the current per-shard signatures to
+    /// `min(fanout, peers)` deterministically selected peers (every peer
+    /// on small sets — see [`GossipConfig::fanout`]). Cost per adverted
+    /// peer is `shards · d` bits — member lists never move unless a
+    /// signature disagrees. Each advert piggybacks the seen-through ack
+    /// for its destination, and acknowledged tombstones are collected
+    /// before the signatures are read.
     pub fn tick(&self) {
         let round = self.round.fetch_add(1, Ordering::Relaxed) + 1;
         Counters::add(&self.counters.rounds, 1);
+        // Opportunistic GC: expire whatever the whole peer set has
+        // acknowledged by now (cheap no-op when nothing qualifies).
+        let expired = self.replica.collect_tombstones(&self.peers);
+        Counters::add(&self.counters.tombstones_expired, expired as u64);
+        let targets = self.round_targets(round);
         let mut signatures = Some(self.replica.shard_signatures());
-        for (i, &peer) in self.peers.iter().enumerate() {
+        for (i, &peer) in targets.iter().enumerate() {
             // The last peer takes ownership; earlier peers get clones, so
             // the common 2-replica set adverts without copying.
-            let payload = if i + 1 == self.peers.len() {
+            let payload = if i + 1 == targets.len() {
                 signatures.take().unwrap_or_default()
             } else {
                 signatures.clone().unwrap_or_default()
             };
-            let message = GossipMessage::Advert { round, signatures: payload };
+            let message = GossipMessage::Advert {
+                round,
+                signatures: payload,
+                ack: self.replica.ack_for(peer),
+            };
             if self.send(peer, message) {
                 Counters::add(&self.counters.adverts_sent, 1);
             }
         }
+    }
+
+    /// The peers this round adverts to: all of them while the peer count
+    /// is within `fanout`, otherwise `fanout` distinct peers drawn by a
+    /// `(replica, round)`-seeded partial Fisher–Yates shuffle —
+    /// deterministic (tests and benches can replay a round sequence),
+    /// unbiased across rounds, and different per replica so two nodes
+    /// don't mirror each other's choices.
+    fn round_targets(&self, round: u64) -> Vec<ReplicaId> {
+        let k = self.config.fanout.min(self.peers.len());
+        if k == self.peers.len() {
+            return self.peers.clone();
+        }
+        let mut pool = self.peers.clone();
+        let mut state = hdhash_hashfn::mix64(
+            self.transport.local().get() ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        for i in 0..k {
+            state = hdhash_hashfn::mix64(state.wrapping_add(0xD1B5_4A32_D192_ED03));
+            #[allow(clippy::cast_possible_truncation)]
+            let j = i + (state % (pool.len() - i) as u64) as usize;
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
     }
 
     /// Drains and handles every pending incoming message; returns how
@@ -275,6 +345,7 @@ impl<T: Transport> GossipNode<T> {
             bytes_received: load(&c.bytes_received),
             send_failures: load(&c.send_failures),
             protocol_errors: load(&c.protocol_errors),
+            tombstones_expired: load(&c.tombstones_expired),
         }
     }
 
@@ -313,8 +384,11 @@ impl<T: Transport> GossipNode<T> {
         Some(diverged)
     }
 
-    fn merge(&self, records: &[MemberRecord]) {
-        match self.replica.merge(records) {
+    /// Merges a full record set sent by `from`, captured at `from`'s log
+    /// LSN `stamp` — the merge doubles as the "seen through `stamp`"
+    /// evidence the watermark exchange acknowledges back.
+    fn merge_from(&self, from: ReplicaId, stamp: u64, records: &[MemberRecord]) {
+        match self.replica.merge_from(from, stamp, records) {
             Ok(outcome) => {
                 Counters::add(&self.counters.records_adopted, outcome.adopted as u64);
                 Counters::add(&self.counters.members_joined, outcome.joined.len() as u64);
@@ -328,8 +402,13 @@ impl<T: Transport> GossipNode<T> {
         let Envelope { from, message } = envelope;
         Counters::add(&self.counters.bytes_received, message.wire_size() as u64);
         match message {
-            GossipMessage::Advert { round, signatures } => {
+            GossipMessage::Advert { round, signatures, ack } => {
                 Counters::add(&self.counters.adverts_received, 1);
+                if let Some(seen_through) = ack {
+                    // The peer confirms it merged our records through our
+                    // clock `seen_through` — watermark input for GC.
+                    self.replica.record_ack(from, seen_through);
+                }
                 let Some(diverged) = self.diverged_shards(&signatures) else {
                     Counters::add(&self.counters.protocol_errors, 1);
                     return;
@@ -339,29 +418,24 @@ impl<T: Transport> GossipNode<T> {
                 }
                 Counters::add(&self.counters.divergence_detections, 1);
                 Counters::add(&self.counters.divergent_shards, diverged.len() as u64);
-                let message = GossipMessage::SyncRequest {
-                    round,
-                    records: self.replica.records(),
-                    diverged,
-                };
+                let (stamp, records) = self.replica.sync_payload();
+                let message = GossipMessage::SyncRequest { round, stamp, records, diverged };
                 if self.send(from, message) {
                     Counters::add(&self.counters.syncs_sent, 1);
                 }
             }
-            GossipMessage::SyncRequest { round, records, .. } => {
+            GossipMessage::SyncRequest { round, stamp, records, .. } => {
                 Counters::add(&self.counters.syncs_received, 1);
-                self.merge(&records);
+                self.merge_from(from, stamp, &records);
                 // The reply ships the *merged* records so the requester
                 // converges in one merge; it counts toward bytes only —
                 // the request/response pair is one sync exchange.
-                let message = GossipMessage::SyncResponse {
-                    round,
-                    records: self.replica.records(),
-                };
+                let (stamp, records) = self.replica.sync_payload();
+                let message = GossipMessage::SyncResponse { round, stamp, records };
                 self.send(from, message);
             }
-            GossipMessage::SyncResponse { records, .. } => {
-                self.merge(&records);
+            GossipMessage::SyncResponse { stamp, records, .. } => {
+                self.merge_from(from, stamp, &records);
             }
         }
     }
@@ -490,6 +564,7 @@ mod tests {
             dimension: 2048,
             codebook_size: 64,
             seed: 31,
+            scheduler: crate::SchedulerKind::default(),
         }
     }
 
@@ -515,17 +590,23 @@ mod tests {
     #[test]
     fn wire_size_accounts_for_payloads() {
         let sig = Hypervector::zeros(2048); // 32 words
-        let advert = GossipMessage::Advert { round: 1, signatures: vec![sig.clone(), sig] };
-        assert_eq!(advert.wire_size(), 13 + 2 * (4 + 32 * 8));
+        let advert = GossipMessage::Advert {
+            round: 1,
+            signatures: vec![sig.clone(), sig],
+            ack: Some(4),
+        };
+        assert_eq!(advert.wire_size(), 13 + 9 + 2 * (4 + 32 * 8));
         let record = MemberRecord { server: ServerId::new(1), version: 2, alive: true };
         let request = GossipMessage::SyncRequest {
             round: 1,
+            stamp: 9,
             records: vec![record; 3],
             diverged: vec![0, 1],
         };
-        assert_eq!(request.wire_size(), 13 + 4 + 2 * 2 + 3 * 17);
-        let response = GossipMessage::SyncResponse { round: 1, records: vec![record] };
-        assert_eq!(response.wire_size(), 13 + 17);
+        assert_eq!(request.wire_size(), 13 + 8 + 4 + 2 * 2 + 3 * 17);
+        let response =
+            GossipMessage::SyncResponse { round: 1, stamp: 9, records: vec![record] };
+        assert_eq!(response.wire_size(), 13 + 8 + 17);
     }
 
     #[test]
@@ -544,8 +625,8 @@ mod tests {
         assert_eq!(m1.divergence_detections, 0);
         assert_eq!(m1.syncs_sent, 0);
         assert_eq!(m0.records_adopted + m1.records_adopted, 0);
-        // Advert cost only: shards · (4 + d/8) + header.
-        assert_eq!(m0.bytes_sent, 13 + 2 * (4 + 2048 / 8));
+        // Advert cost only: shards · (4 + d/8) + header + ack field.
+        assert_eq!(m0.bytes_sent, 13 + 9 + 2 * (4 + 2048 / 8));
     }
 
     #[test]
@@ -581,6 +662,100 @@ mod tests {
         let want = vec![ServerId::new(2)];
         for node in &nodes {
             assert_eq!(node.replica().member_ids(), want);
+        }
+    }
+
+    #[test]
+    fn fanout_selects_min_of_knob_and_peers_deterministically() {
+        let network = InProcessNetwork::new();
+        let peers: Vec<ReplicaId> = (0..9u64).map(ReplicaId::new).collect();
+        let build = |fanout: usize| {
+            let id = ReplicaId::new(0);
+            GossipNode::new(
+                Arc::new(ReplicatedEngine::new(id, config(1)).expect("valid config")),
+                network.endpoint(id),
+                peers.clone(),
+                GossipConfig { fanout, ..GossipConfig::default() },
+            )
+        };
+        // Fanout ≥ peers: full mesh, peer order preserved.
+        let full = build(64);
+        assert_eq!(full.round_targets(1), full.peers);
+        assert_eq!(full.round_targets(1).len(), 8, "self filtered out");
+        // Restricted fanout: exactly `fanout` distinct peers, stable for
+        // a given round, different across rounds.
+        let node = build(3);
+        let round1 = node.round_targets(1);
+        assert_eq!(round1.len(), 3);
+        assert_eq!(round1, node.round_targets(1), "same round ⇒ same targets");
+        let distinct: std::collections::HashSet<_> = round1.iter().collect();
+        assert_eq!(distinct.len(), 3, "targets must be distinct");
+        assert!(!round1.contains(&ReplicaId::new(0)), "never adverts to self");
+        let varied = (1..40u64).map(|r| node.round_targets(r)).collect::<Vec<_>>();
+        assert!(varied.iter().any(|t| t != &round1), "rounds must vary targets");
+        // Every peer is eventually selected (unbiased over rounds).
+        let mut seen = std::collections::HashSet::new();
+        for targets in &varied {
+            seen.extend(targets.iter().copied());
+        }
+        assert_eq!(seen.len(), 8, "all peers reached across rounds");
+    }
+
+    #[test]
+    fn restricted_fanout_still_converges_a_pair() {
+        let network = InProcessNetwork::new();
+        let peers = vec![ReplicaId::new(0), ReplicaId::new(1)];
+        let nodes: Vec<_> = (0..2u64)
+            .map(|i| {
+                let id = ReplicaId::new(i);
+                GossipNode::new(
+                    Arc::new(ReplicatedEngine::new(id, config(2)).expect("valid config")),
+                    network.endpoint(id),
+                    peers.clone(),
+                    GossipConfig { fanout: 1, ..GossipConfig::default() },
+                )
+            })
+            .collect();
+        nodes[0].replica().join(ServerId::new(1)).expect("fresh");
+        nodes[1].replica().join(ServerId::new(2)).expect("fresh");
+        assert_eq!(run_until_converged(&nodes, 8), Some(1));
+    }
+
+    #[test]
+    fn tombstones_are_garbage_collected_after_watermark_acks() {
+        let nodes = pair(1);
+        nodes[0].replica().join(ServerId::new(1)).expect("fresh");
+        nodes[0].replica().join(ServerId::new(2)).expect("fresh");
+        assert!(run_until_converged(&nodes, 8).is_some());
+        nodes[0].replica().leave(ServerId::new(1)).expect("present");
+        assert!(run_until_converged(&nodes, 8).is_some());
+        // Converged with a tombstone on both sides.
+        for node in &nodes {
+            assert_eq!(node.replica().records().len(), 2, "live + tombstone");
+        }
+        // Two more advert rounds move the piggybacked acks (sync merges
+        // already recorded seen-through on both sides); the tick-time GC
+        // then drops the tombstone everywhere.
+        for _ in 0..3 {
+            run_round(&nodes);
+        }
+        let expired: u64 = nodes.iter().map(|n| n.metrics().tombstones_expired).sum();
+        assert!(expired >= 2, "tombstone must expire on both replicas ({expired})");
+        for node in &nodes {
+            assert_eq!(node.replica().records().len(), 1, "tombstone collected");
+            assert_eq!(node.replica().member_ids(), vec![ServerId::new(2)]);
+        }
+        // GC must not resurrect: further rounds keep the member dead and
+        // the set converged.
+        assert_eq!(run_until_converged(&nodes, 4), Some(0));
+        for node in &nodes {
+            assert!(!node.replica().member_ids().contains(&ServerId::new(1)));
+        }
+        // A fresh join of the same id still works (new version).
+        nodes[0].replica().join(ServerId::new(1)).expect("fresh join after GC");
+        assert!(run_until_converged(&nodes, 8).is_some());
+        for node in &nodes {
+            assert!(node.replica().member_ids().contains(&ServerId::new(1)));
         }
     }
 

@@ -9,18 +9,30 @@
 //! concurrent traffic:
 //!
 //! ```text
-//!  generator ──► MPMC queue ──► coalescing workers ──► shard 0 ─┐
-//!  (emulator)    (bounded,      (drain up to B jobs,  shard 1  ├─► metrics
-//!   clients ──►   rejects at     group by shard,      …        │   (depth,
-//!   submit())     capacity)      one batched lookup   shard N ─┘    fill,
-//!                                per shard per batch)             p50/p99)
+//!  generator ──► scheduler core ─► coalescing workers ─► shard 0 ─┐
+//!  (emulator)    (SharedQueue |    (pick up to B jobs,  shard 1  ├─► metrics
+//!   clients ──►   WorkStealing;     group by shard,     …        │   (depth,
+//!   submit())     bounded, rejects  one batched lookup  shard N ─┘    fill,
+//!   await/wait ◄  at capacity)      per shard per batch)            p50/p99)
 //! ```
 //!
-//! * **Batch coalescing** — worker threads drain the shared
-//!   [`crossbeam::queue::ArrayQueue`] into fixed-capacity probe batches
-//!   and drive each shard's `HdHashTable::lookup_batch`, so the
-//!   slot-deduplicated, cache-blocked scan path finally sees multi-client
-//!   traffic instead of one synchronous caller.
+//! * **Pluggable scheduler core** — the substrate between `submit` and
+//!   the workers is the [`Scheduler`] trait, selected by
+//!   [`ServeConfig::scheduler`]: [`scheduler::SharedQueue`] (one bounded
+//!   MPMC queue) or [`scheduler::WorkStealing`] (bounded injector +
+//!   per-worker deques with Chase–Lev batch stealing). Identical
+//!   backpressure and consistency contracts, test-proven under both.
+//! * **Batch coalescing** — worker threads pick fixed-capacity probe
+//!   batches out of the scheduler and drive each shard's
+//!   `HdHashTable::lookup_batch`, so the slot-deduplicated,
+//!   cache-blocked scan path finally sees multi-client traffic instead
+//!   of one synchronous caller.
+//! * **Async-capable tickets** — [`Ticket`] resolves by blocking
+//!   [`wait`](Ticket::wait), non-blocking
+//!   [`try_response`](Ticket::try_response), or `.await` (it implements
+//!   [`Future`](std::future::Future)); the vendored
+//!   [`executor::block_on`] drives the future surface with no async
+//!   runtime dependency.
 //! * **Epoch-based reconfiguration** — each shard keeps a *shadow* table
 //!   that joins and leaves mutate through the incremental
 //!   counter-plane machinery (`MembershipCentroid`), then publishes an
@@ -39,7 +51,10 @@
 //!   identical memberships read distance 0), and reconcile only diverged
 //!   state through a last-writer-wins record exchange ([`replication`])
 //!   applied via the same shadow-table → epoch-publish path — replicas
-//!   converge while readers keep streaming.
+//!   converge while readers keep streaming. Rounds advert to
+//!   `min(fanout, peers)` deterministically selected peers, and a
+//!   seen-through watermark exchange expires tombstones the whole peer
+//!   set has acknowledged.
 //!
 //! ## Quick example
 //!
@@ -71,21 +86,25 @@
 
 pub mod config;
 pub mod engine;
+pub mod executor;
 pub mod gossip;
 pub mod load;
 pub mod metrics;
 pub mod replication;
 pub mod request;
+pub mod scheduler;
 pub mod shard;
 pub mod transport;
 
-pub use config::ServeConfig;
+pub use config::{SchedulerKind, ServeConfig};
 pub use engine::ServeEngine;
+pub use executor::block_on;
 pub use gossip::{GossipConfig, GossipMessage, GossipMetrics, GossipNode};
 pub use load::{drive, LoadReport};
 pub use metrics::{EngineMetrics, ShardMetricsSnapshot};
 pub use replication::{MemberRecord, MembershipLog, ReplicatedEngine};
 pub use request::{ServeResponse, Ticket};
+pub use scheduler::Scheduler;
 pub use shard::{ShardReceipt, ShardSnapshot};
 pub use transport::{InProcessNetwork, ReplicaId, Transport};
 

@@ -70,8 +70,11 @@ pub fn drive(engine: &ServeEngine, requests: &[Request], window: usize) -> LoadR
     let mut latencies: Vec<Duration> = Vec::new();
     let started = Instant::now();
 
+    // Reap through the async front end: a `Ticket` is a future, and the
+    // vendored block-on executor drives it — so every load replay (the
+    // bench, the CLI, the examples) exercises the waker path end to end.
     let reap = |ticket: Ticket, report: &mut LoadReport, latencies: &mut Vec<Duration>| {
-        let response = ticket.wait();
+        let response = crate::executor::block_on(ticket);
         report.completed += 1;
         if response.result.is_err() {
             report.failures += 1;
@@ -135,7 +138,7 @@ mod tests {
     use crate::ServeConfig;
     use hdhash_emulator::{Generator, Workload};
 
-    fn engine() -> ServeEngine {
+    fn engine_with(scheduler: crate::SchedulerKind) -> ServeEngine {
         ServeEngine::new(ServeConfig {
             shards: 2,
             workers: 2,
@@ -144,26 +147,36 @@ mod tests {
             dimension: 2048,
             codebook_size: 64,
             seed: 9,
+            scheduler,
         })
         .expect("valid config")
     }
 
+    fn engine() -> ServeEngine {
+        engine_with(crate::SchedulerKind::SharedQueue)
+    }
+
     #[test]
     fn replays_generator_stream_end_to_end() {
-        let mut engine = engine();
-        let workload = Workload { initial_servers: 8, lookups: 400, ..Workload::default() };
-        let requests = Generator::new(workload).requests();
-        let report = drive(&engine, &requests, 64);
-        assert_eq!(report.controls, 8);
-        assert_eq!(report.control_failures, 0);
-        assert_eq!(report.submitted + report.rejected, 400);
-        assert_eq!(report.completed, report.submitted);
-        assert_eq!(report.failures, 0, "pool is non-empty for every lookup");
-        assert!(report.latency.is_some());
-        assert!(report.throughput().requests_per_sec() > 0.0);
-        engine.shutdown();
-        let metrics = engine.metrics();
-        assert_eq!(metrics.completed as usize, report.completed);
+        // The replay contract holds under both scheduling substrates.
+        for kind in [crate::SchedulerKind::SharedQueue, crate::SchedulerKind::WorkStealing] {
+            let mut engine = engine_with(kind);
+            let workload =
+                Workload { initial_servers: 8, lookups: 400, ..Workload::default() };
+            let requests = Generator::new(workload).requests();
+            let report = drive(&engine, &requests, 64);
+            assert_eq!(report.controls, 8, "{kind:?}");
+            assert_eq!(report.control_failures, 0);
+            assert_eq!(report.submitted + report.rejected, 400);
+            assert_eq!(report.completed, report.submitted);
+            assert_eq!(report.failures, 0, "pool is non-empty for every lookup");
+            assert!(report.latency.is_some());
+            assert!(report.throughput().requests_per_sec() > 0.0);
+            engine.shutdown();
+            let metrics = engine.metrics();
+            assert_eq!(metrics.completed as usize, report.completed);
+            assert_eq!(metrics.scheduler, kind.name());
+        }
     }
 
     #[test]
@@ -193,6 +206,7 @@ mod tests {
             dimension: 2048,
             codebook_size: 64,
             seed: 10,
+            scheduler: crate::SchedulerKind::default(),
         })
         .expect("valid config");
         engine.join(hdhash_table::ServerId::new(1)).expect("fresh server");

@@ -96,13 +96,17 @@ pub struct ShardMetricsSnapshot {
 /// Point-in-time metrics for the whole engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineMetrics {
+    /// Which scheduling substrate served the traffic
+    /// ([`SchedulerKind::name`](crate::SchedulerKind::name)).
+    pub scheduler: &'static str,
     /// Requests accepted into the queue.
     pub submitted: u64,
     /// Requests refused at capacity (the backpressure counter).
     pub rejected: u64,
     /// Requests served to completion.
     pub completed: u64,
-    /// Requests currently waiting in the queue.
+    /// Requests currently parked in the scheduling substrate (shared
+    /// queue, or injector + local deques under work stealing).
     pub queue_depth: usize,
     /// Per-shard breakdowns.
     pub shards: Vec<ShardMetricsSnapshot>,

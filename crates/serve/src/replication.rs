@@ -84,12 +84,43 @@ impl MergeOutcome {
 /// the clock past everything merged so far, so a local op always
 /// supersedes the state it was decided against); remote records come in
 /// through [`merge`](Self::merge).
+///
+/// ## Tombstone garbage collection
+///
+/// Dead records must normally travel forever — a peer that never saw the
+/// join still needs the leave to win over a third replica's stale join.
+/// The log bounds that cost with a **seen-through watermark exchange**
+/// expressed in *log sequence numbers* (LSN — see [`lsn`](Self::lsn)),
+/// not Lamport versions: a record adopted from a peer can carry an old
+/// version while the clock has long moved past it, so versions cannot
+/// tell "was this tombstone in the set the peer acknowledged?". The LSN
+/// can: it bumps on **every** mutation, local or adopted, and each record
+/// remembers the LSN at which its current value landed.
+///
+/// When a peer confirms it has merged this log's full record set as
+/// captured at LSN `s` (the confirmation gossip piggybacks on adverts),
+/// the log notes `s` via [`record_ack`](Self::record_ack). A tombstone
+/// whose current value landed at LSN `t ≤ s` was present in that capture,
+/// so the peer's merged state for that server is `≥` the tombstone in the
+/// LWW order — no stale join it could ever forward resurrects the member.
+/// Once *every* peer of a closed replica set has acknowledged past `t`,
+/// [`expire_tombstones`](Self::expire_tombstones) may drop it. The
+/// soundness assumption is the standard one: the acknowledging peer list
+/// covers the whole replica set (a replica outside it could still hold a
+/// stale live record).
 #[derive(Debug, Clone, Default)]
 pub struct MembershipLog {
-    /// server → (version, alive). A `BTreeMap` keeps every readout
-    /// deterministically ordered.
-    records: BTreeMap<ServerId, (u64, bool)>,
+    /// server → (version, alive, LSN at which this value landed). A
+    /// `BTreeMap` keeps every readout deterministically ordered.
+    records: BTreeMap<ServerId, (u64, bool, u64)>,
     clock: u64,
+    /// Log sequence number: bumps on every mutation (local decisions
+    /// *and* adopted merge records), unlike the Lamport clock which only
+    /// absorbs maxima.
+    lsn: u64,
+    /// peer → highest LSN `s` such that the peer has provably merged the
+    /// full record set this log captured at LSN `s` (monotone).
+    acked_through: BTreeMap<ReplicaId, u64>,
 }
 
 impl MembershipLog {
@@ -102,7 +133,7 @@ impl MembershipLog {
     /// Whether `server` is alive in the merged view.
     #[must_use]
     pub fn alive(&self, server: ServerId) -> bool {
-        matches!(self.records.get(&server), Some(&(_, true)))
+        matches!(self.records.get(&server), Some(&(_, true, _)))
     }
 
     /// The live membership, sorted by id — the reconcile target.
@@ -110,19 +141,75 @@ impl MembershipLog {
     pub fn alive_ids(&self) -> Vec<ServerId> {
         self.records
             .iter()
-            .filter_map(|(&server, &(_, alive))| alive.then_some(server))
+            .filter_map(|(&server, &(_, alive, _))| alive.then_some(server))
             .collect()
     }
 
     /// Every record (alive and tombstoned), sorted by id — the sync
     /// payload. Tombstones must travel: a peer that never saw the join
     /// still needs the leave to win over a third replica's stale join.
+    /// Capture [`lsn`](Self::lsn) alongside (under one lock) when the set
+    /// is shipped for the watermark exchange.
     #[must_use]
     pub fn records(&self) -> Vec<MemberRecord> {
         self.records
             .iter()
-            .map(|(&server, &(version, alive))| MemberRecord { server, version, alive })
+            .map(|(&server, &(version, alive, _))| MemberRecord { server, version, alive })
             .collect()
+    }
+
+    /// The log's Lamport clock: `≥` every version it has seen.
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The log sequence number: bumps on every mutation, local or
+    /// adopted. This — not the Lamport clock — is the unit of the
+    /// seen-through watermark exchange: a record adopted from a peer can
+    /// carry a version far below the clock, but its *LSN* is always
+    /// fresh, so "acknowledged through LSN `s`" really covers every
+    /// record value that existed when the capture was taken.
+    #[must_use]
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// Records that `peer` has merged this log's full record set as
+    /// captured at LSN `seen_through` (monotone — stale confirmations are
+    /// ignored).
+    pub fn record_ack(&mut self, peer: ReplicaId, seen_through: u64) {
+        let entry = self.acked_through.entry(peer).or_insert(0);
+        *entry = (*entry).max(seen_through);
+    }
+
+    /// The highest LSN every peer in `peers` has acknowledged, or `None`
+    /// while any peer has yet to acknowledge at all. Dead records whose
+    /// value landed at or below the watermark are safe to expire.
+    #[must_use]
+    pub fn gc_watermark(&self, peers: &[ReplicaId]) -> Option<u64> {
+        peers.iter().map(|peer| self.acked_through.get(peer).copied()).try_fold(
+            u64::MAX,
+            |low, ack| Some(low.min(ack?)),
+        )
+    }
+
+    /// Expires dead records acknowledged by every peer in `peers`: a
+    /// tombstone whose value landed at LSN `≤`
+    /// [`gc_watermark`](Self::gc_watermark) was present in a capture
+    /// every peer has merged, so every peer's state for that server is at
+    /// least the tombstone — dropping it cannot resurrect the member,
+    /// even via a third replica forwarding old-versioned records later.
+    /// Returns how many were dropped. Live records never expire, and an
+    /// empty `peers` list (replica running solo) expires everything dead
+    /// — there is no one left to resurrect it.
+    pub fn expire_tombstones(&mut self, peers: &[ReplicaId]) -> usize {
+        let Some(watermark) = self.gc_watermark(peers) else {
+            return 0;
+        };
+        let before = self.records.len();
+        self.records.retain(|_, &mut (_, alive, added)| alive || added > watermark);
+        before - self.records.len()
     }
 
     /// Records a local membership decision, stamping it one past the
@@ -130,7 +217,8 @@ impl MembershipLog {
     /// Returns the version assigned.
     pub fn set_local(&mut self, server: ServerId, alive: bool) -> u64 {
         self.clock += 1;
-        self.records.insert(server, (self.clock, alive));
+        self.lsn += 1;
+        self.records.insert(server, (self.clock, alive, self.lsn));
         self.clock
     }
 
@@ -138,7 +226,9 @@ impl MembershipLog {
     /// version tie, `alive = false` wins (removals dominate — the
     /// deterministic, symmetric tie-break that makes the merge a lattice
     /// join). The clock absorbs every remote version so later local
-    /// decisions supersede merged state.
+    /// decisions supersede merged state; every adopted record bumps the
+    /// LSN, so acknowledgements issued before the adoption never cover
+    /// it.
     pub fn merge(&mut self, records: &[MemberRecord]) -> MergeOutcome {
         let mut outcome = MergeOutcome::default();
         for &record in records {
@@ -146,7 +236,7 @@ impl MembershipLog {
             let local = self.records.get(&record.server).copied();
             let remote_wins = match local {
                 None => true,
-                Some((version, alive)) => {
+                Some((version, alive, _)) => {
                     record.version > version
                         || (record.version == version && alive && !record.alive)
                 }
@@ -155,13 +245,14 @@ impl MembershipLog {
                 continue;
             }
             outcome.adopted += 1;
-            let was_alive = matches!(local, Some((_, true)));
+            let was_alive = matches!(local, Some((_, true, _)));
             if record.alive && !was_alive {
                 outcome.joined.push(record.server);
             } else if !record.alive && was_alive {
                 outcome.left.push(record.server);
             }
-            self.records.insert(record.server, (record.version, record.alive));
+            self.lsn += 1;
+            self.records.insert(record.server, (record.version, record.alive, self.lsn));
         }
         outcome
     }
@@ -173,6 +264,10 @@ impl MembershipLog {
 struct LogState {
     log: MembershipLog,
     needs_reconcile: bool,
+    /// peer → that peer's clock at the moment we merged its full record
+    /// set — the "seen through" confirmation our next advert to the peer
+    /// carries (the other half of the tombstone-GC watermark exchange).
+    merged_through: BTreeMap<ReplicaId, u64>,
 }
 
 /// A [`ServeEngine`] that participates in a replica set.
@@ -241,7 +336,15 @@ impl ReplicatedEngine {
                 log.set_local(server, true);
             }
         }
-        Self { id, engine, state: Mutex::new(LogState { log, needs_reconcile: false }) }
+        Self {
+            id,
+            engine,
+            state: Mutex::new(LogState {
+                log,
+                needs_reconcile: false,
+                merged_through: BTreeMap::new(),
+            }),
+        }
     }
 
     /// This replica's id.
@@ -346,7 +449,36 @@ impl ReplicatedEngine {
     /// reports the lag, and every subsequent merge retries the engine
     /// application — the wedge clears as soon as enough leaves merge in.
     pub fn merge(&self, records: &[MemberRecord]) -> Result<MergeOutcome, ServeError> {
+        self.merge_locked(&mut self.state.lock(), records)
+    }
+
+    /// [`merge`](Self::merge), plus the watermark bookkeeping: the records
+    /// arrived from `from`, whose log LSN was `stamp` when it captured its
+    /// **full** record set — so after this merge we have provably seen
+    /// everything `from` held at that capture, and our next advert to it
+    /// can say so ([`ack_for`](Self::ack_for)).
+    ///
+    /// # Errors
+    ///
+    /// As [`merge`](Self::merge).
+    pub fn merge_from(
+        &self,
+        from: ReplicaId,
+        stamp: u64,
+        records: &[MemberRecord],
+    ) -> Result<MergeOutcome, ServeError> {
         let mut state = self.state.lock();
+        let outcome = self.merge_locked(&mut state, records)?;
+        let entry = state.merged_through.entry(from).or_insert(0);
+        *entry = (*entry).max(stamp);
+        Ok(outcome)
+    }
+
+    fn merge_locked(
+        &self,
+        state: &mut LogState,
+        records: &[MemberRecord],
+    ) -> Result<MergeOutcome, ServeError> {
         let outcome = state.log.merge(records);
         if outcome.changed_membership() || state.needs_reconcile {
             state.needs_reconcile = true;
@@ -357,6 +489,38 @@ impl ReplicatedEngine {
             state.needs_reconcile = false;
         }
         Ok(outcome)
+    }
+
+    /// The sync payload: the full record set plus the log LSN it was
+    /// captured at, read under one lock so the stamp can never claim more
+    /// than the records actually carry (a racing local op lands with a
+    /// higher LSN than the stamp, which under-claims — safe).
+    #[must_use]
+    pub fn sync_payload(&self) -> (u64, Vec<MemberRecord>) {
+        let state = self.state.lock();
+        (state.log.lsn(), state.log.records())
+    }
+
+    /// The "seen through" confirmation to piggyback on the next advert to
+    /// `peer`: the peer's capture LSN as of the last full record set we
+    /// merged from it, or `None` if we never merged one.
+    #[must_use]
+    pub fn ack_for(&self, peer: ReplicaId) -> Option<u64> {
+        self.state.lock().merged_through.get(&peer).copied()
+    }
+
+    /// Notes that `peer` has merged the record set we captured at LSN
+    /// `seen_through` (from an advert's piggybacked ack).
+    pub fn record_ack(&self, peer: ReplicaId, seen_through: u64) {
+        self.state.lock().log.record_ack(peer, seen_through);
+    }
+
+    /// Expires tombstones every peer in `peers` has acknowledged
+    /// ([`MembershipLog::expire_tombstones`]); returns how many were
+    /// dropped. Pure log hygiene: the live membership, and therefore the
+    /// engine and its signatures, never move.
+    pub fn collect_tombstones(&self, peers: &[ReplicaId]) -> usize {
+        self.state.lock().log.expire_tombstones(peers)
     }
 }
 
@@ -373,6 +537,7 @@ mod tests {
             dimension: 2048,
             codebook_size: 64,
             seed: 77,
+            scheduler: crate::SchedulerKind::default(),
         }
     }
 
@@ -417,6 +582,128 @@ mod tests {
         // The clock absorbed the remote version: the next local decision
         // supersedes it.
         assert_eq!(log.set_local(ServerId::new(2), true), 10);
+    }
+
+    #[test]
+    fn tombstones_expire_only_after_every_peer_acks() {
+        let peers = [ReplicaId::new(1), ReplicaId::new(2)];
+        let mut log = MembershipLog::new();
+        log.set_local(ServerId::new(1), true); // v1
+        log.set_local(ServerId::new(2), true); // v2
+        log.set_local(ServerId::new(1), false); // v3: tombstone
+        assert_eq!(log.clock(), 3);
+        // No acks at all: no watermark, nothing expires.
+        assert_eq!(log.gc_watermark(&peers), None);
+        assert_eq!(log.expire_tombstones(&peers), 0);
+        // One peer acked through the tombstone, the other not at all.
+        log.record_ack(ReplicaId::new(1), 3);
+        assert_eq!(log.expire_tombstones(&peers), 0);
+        // Second peer acked, but only through v2 — the v3 tombstone stays.
+        log.record_ack(ReplicaId::new(2), 2);
+        assert_eq!(log.gc_watermark(&peers), Some(2));
+        assert_eq!(log.expire_tombstones(&peers), 0);
+        assert_eq!(log.records().len(), 2, "live + tombstone");
+        // Ack catches up (stale re-ack is ignored, max wins): expires.
+        log.record_ack(ReplicaId::new(2), 3);
+        log.record_ack(ReplicaId::new(2), 1);
+        assert_eq!(log.gc_watermark(&peers), Some(3));
+        assert_eq!(log.expire_tombstones(&peers), 1);
+        // The live record never expires; the tombstone is gone.
+        assert_eq!(log.records().len(), 1);
+        assert!(log.alive(ServerId::new(2)));
+        assert!(!log.alive(ServerId::new(1)));
+        // Idempotent.
+        assert_eq!(log.expire_tombstones(&peers), 0);
+    }
+
+    #[test]
+    fn expired_tombstone_cannot_resurrect_through_acked_peers() {
+        // The soundness argument in miniature: B acked through the
+        // tombstone version, meaning B's log holds the tombstone (or
+        // newer) for that server — so whatever B sends afterwards can
+        // never carry the stale join back.
+        let a_id = ReplicaId::new(0);
+        let b_id = ReplicaId::new(1);
+        let mut a = MembershipLog::new();
+        a.set_local(ServerId::new(7), true); // v1: join
+        let mut b = MembershipLog::new();
+        b.merge(&a.records()); // B saw the join
+        a.set_local(ServerId::new(7), false); // v2: tombstone on A
+        b.merge(&a.records()); // B holds the tombstone too
+        a.record_ack(b_id, a.lsn()); // B confirmed seeing the full capture
+        assert_eq!(a.expire_tombstones(&[b_id]), 1);
+        assert!(a.records().is_empty());
+        // B gossips its full set back to A: the tombstone re-arrives (at
+        // its original version) but the member stays dead — and a
+        // genuinely *new* join (fresh version) still works.
+        a.merge(&b.records());
+        assert!(!a.alive(ServerId::new(7)), "expiry must not resurrect");
+        let v3 = a.set_local(ServerId::new(7), true);
+        assert!(v3 > 2, "new joins version past everything seen");
+        assert!(a.alive(ServerId::new(7)));
+        b.record_ack(a_id, 0); // irrelevant ack path stays independent
+    }
+
+    #[test]
+    fn late_adopted_tombstone_is_not_covered_by_earlier_acks() {
+        // Three replicas P, Q, R. R tombstones X after Q saw the join;
+        // P's peers ack P *before* P adopts the tombstone from R. The
+        // acks are in LSN units, and the adoption lands at a fresh LSN,
+        // so P must NOT expire the tombstone — Q still holds X alive and
+        // would resurrect it through P's next merge. (Clock-unit acks
+        // get this wrong: the tombstone's *version* is below the acked
+        // clock even though neither ack covered it.)
+        let q_id = ReplicaId::new(1);
+        let r_id = ReplicaId::new(2);
+        let mut p = MembershipLog::new();
+        let mut q = MembershipLog::new();
+        let mut r = MembershipLog::new();
+        let x = ServerId::new(42);
+        r.set_local(x, true); // R v1
+        q.merge(&r.records()); // Q holds X alive @ v1
+        r.set_local(x, false); // R v2: the tombstone
+        // P does unrelated local work, pushing clock and LSN to 5.
+        for id in 0..5u64 {
+            p.set_local(ServerId::new(id), true);
+        }
+        // Both peers merge P's capture (LSN 5) and P learns the acks.
+        p.record_ack(q_id, p.lsn());
+        p.record_ack(r_id, p.lsn());
+        // Now the tombstone arrives from R: version 2 (below P's clock of
+        // 5), but its LSN on P is 6 — past both acks.
+        p.merge(&r.records());
+        assert_eq!(p.clock(), 5, "old-version adoption does not move the clock");
+        assert_eq!(p.lsn(), 6, "but it does move the LSN");
+        assert_eq!(p.gc_watermark(&[q_id, r_id]), Some(5));
+        assert_eq!(
+            p.expire_tombstones(&[q_id, r_id]),
+            0,
+            "tombstone adopted after the acks must survive"
+        );
+        // The guarded failure: Q's stale live record must keep losing.
+        p.merge(&q.records());
+        assert!(!p.alive(x), "tombstone retained ⇒ stale join cannot resurrect");
+        // Once the peers re-ack a capture that includes the tombstone,
+        // expiry is safe and proceeds.
+        q.merge(&p.records());
+        p.record_ack(q_id, p.lsn());
+        p.record_ack(r_id, p.lsn());
+        assert_eq!(p.expire_tombstones(&[q_id, r_id]), 1);
+        assert!(!p.alive(x));
+        // And Q, now holding the tombstone, can no longer resurrect.
+        p.merge(&q.records());
+        assert!(!p.alive(x));
+    }
+
+    #[test]
+    fn solo_replica_expires_every_tombstone() {
+        let mut log = MembershipLog::new();
+        log.set_local(ServerId::new(1), true);
+        log.set_local(ServerId::new(1), false);
+        log.set_local(ServerId::new(2), false);
+        // No peers — no one can resurrect anything.
+        assert_eq!(log.expire_tombstones(&[]), 2);
+        assert!(log.records().is_empty());
     }
 
     #[test]
@@ -502,6 +789,7 @@ mod tests {
             dimension: 64,
             codebook_size: 8,
             seed: 5,
+            scheduler: crate::SchedulerKind::default(),
         };
         let a = ReplicatedEngine::new(ReplicaId::new(0), tiny).expect("valid");
         let b = ReplicatedEngine::new(ReplicaId::new(1), tiny).expect("valid");

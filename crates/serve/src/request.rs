@@ -1,6 +1,27 @@
 //! Request plumbing: tickets, responses and the completion cell.
+//!
+//! The completion cell is a two-state machine shared between the
+//! submitting client and the worker that eventually serves the request:
+//!
+//! ```text
+//!   Pending { waker? } ──fill(response)──► Ready(response)
+//!        ▲                                     │
+//!        │ poll() parks a Waker;               │ wait() returns, polls
+//!        │ wait() parks the thread             │ resolve, try_response
+//!        └──── clients, either surface ────────┘ reads
+//! ```
+//!
+//! Both front ends drive the same cell: [`Ticket::wait`] blocks on a
+//! condvar (closed-loop clients), and `Ticket` itself implements
+//! [`Future`] — `poll` registers the task's [`Waker`], and the serving
+//! worker wakes it on fill. The vendored
+//! [`executor::block_on`](crate::executor::block_on) drives the future
+//! surface without an async runtime dependency.
 
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -21,43 +42,119 @@ pub struct ServeResponse {
     pub latency: Duration,
 }
 
+/// The two states of a completion cell.
+#[derive(Debug, Default)]
+enum CellState {
+    /// Not served yet; holds the most recent async waiter's waker, if the
+    /// ticket is being polled as a future.
+    #[default]
+    Pending,
+    /// As `Pending`, with a parked async waiter to wake on fill.
+    Polled(Waker),
+    /// Served; terminal.
+    Ready(ServeResponse),
+}
+
 /// One-shot completion cell shared between the submitting client and the
-/// worker that eventually serves the request.
+/// worker that eventually serves the request. Supports both a blocking
+/// (condvar) and an async (waker) consumer on the same state machine.
 #[derive(Debug, Default)]
 pub(crate) struct ResponseCell {
-    slot: Mutex<Option<ServeResponse>>,
+    state: Mutex<CellState>,
     ready: Condvar,
 }
 
 impl ResponseCell {
+    /// Transitions `Pending`/`Polled` → `Ready`, releasing both kinds of
+    /// waiter (the condvar for blocked threads, the waker for parked
+    /// tasks). Calling twice is a contract violation.
     pub(crate) fn fill(&self, response: ServeResponse) {
-        let mut slot = self.slot.lock();
-        debug_assert!(slot.is_none(), "a request is served exactly once");
-        *slot = Some(response);
-        self.ready.notify_all();
+        let waker = {
+            let mut state = self.state.lock();
+            debug_assert!(
+                !matches!(*state, CellState::Ready(_)),
+                "a request is served exactly once"
+            );
+            let waker = match std::mem::replace(&mut *state, CellState::Ready(response)) {
+                CellState::Polled(waker) => Some(waker),
+                CellState::Pending | CellState::Ready(_) => None,
+            };
+            self.ready.notify_all();
+            waker
+        };
+        // Wake outside the lock: the woken task may immediately re-poll.
+        if let Some(waker) = waker {
+            waker.wake();
+        }
     }
 
     fn wait(&self) -> ServeResponse {
-        let mut slot = self.slot.lock();
+        let mut state = self.state.lock();
         loop {
-            if let Some(response) = *slot {
+            if let CellState::Ready(response) = *state {
                 return response;
             }
-            self.ready.wait(&mut slot);
+            self.ready.wait(&mut state);
         }
     }
 
     fn try_get(&self) -> Option<ServeResponse> {
-        *self.slot.lock()
+        match *self.state.lock() {
+            CellState::Ready(response) => Some(response),
+            CellState::Pending | CellState::Polled(_) => None,
+        }
+    }
+
+    /// The future surface: `Ready` resolves, otherwise the task's waker
+    /// is (re)parked in the cell and the poll returns `Pending`.
+    fn poll(&self, cx: &mut Context<'_>) -> Poll<ServeResponse> {
+        let mut state = self.state.lock();
+        match &mut *state {
+            CellState::Ready(response) => Poll::Ready(*response),
+            CellState::Polled(waker) => {
+                // Re-polled (possibly from a different task): refresh.
+                waker.clone_from(cx.waker());
+                Poll::Pending
+            }
+            CellState::Pending => {
+                *state = CellState::Polled(cx.waker().clone());
+                Poll::Pending
+            }
+        }
     }
 }
 
 /// A claim on a submitted request's eventual response.
 ///
-/// Obtained from [`ServeEngine::submit`](crate::ServeEngine::submit);
-/// either block on [`wait`](Self::wait) (closed-loop clients) or poll
-/// [`try_response`](Self::try_response) (open-loop clients that batch
-/// their own reaping).
+/// Obtained from [`ServeEngine::submit`](crate::ServeEngine::submit).
+/// Three ways to redeem it:
+///
+/// * block on [`wait`](Self::wait) (closed-loop clients);
+/// * poll [`try_response`](Self::try_response) (open-loop clients that
+///   batch their own reaping);
+/// * **await it** — `Ticket` implements [`Future`], resolving to the
+///   [`ServeResponse`] when a worker fills the cell. Any executor works;
+///   the vendored [`executor::block_on`](crate::executor::block_on)
+///   drives it without an async runtime:
+///
+/// ```
+/// use hdhash_serve::{executor, ServeConfig, ServeEngine};
+/// use hdhash_table::{RequestKey, ServerId};
+///
+/// let mut engine = ServeEngine::new(ServeConfig {
+///     shards: 1,
+///     workers: 1,
+///     dimension: 2048,
+///     codebook_size: 64,
+///     ..ServeConfig::default()
+/// })?;
+/// engine.join(ServerId::new(1))?;
+/// let ticket = engine.submit(RequestKey::new(7))?;
+/// let response = executor::block_on(async { ticket.await });
+/// assert_eq!(response.result, Ok(ServerId::new(1)));
+/// engine.shutdown();
+/// # Ok::<(), hdhash_serve::ServeError>(())
+/// ```
 #[derive(Debug)]
 pub struct Ticket {
     cell: Arc<ResponseCell>,
@@ -79,10 +176,24 @@ impl Ticket {
     }
 }
 
+impl Future for Ticket {
+    type Output = ServeResponse;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<ServeResponse> {
+        self.cell.poll(cx)
+    }
+}
+
 /// A queued lookup: the key, its shard (fixed at submit time so workers
 /// never re-hash), the submit instant, and the client's completion cell.
+///
+/// Public because it is the currency of the [`Scheduler`] trait; its
+/// internals stay crate-private — schedulers move jobs, only the engine
+/// opens them.
+///
+/// [`Scheduler`]: crate::scheduler::Scheduler
 #[derive(Debug)]
-pub(crate) struct LookupJob {
+pub struct LookupJob {
     pub(crate) key: RequestKey,
     pub(crate) shard: usize,
     pub(crate) enqueued: Instant,
@@ -131,5 +242,46 @@ mod tests {
             waiter.join().expect("no panic")
         });
         assert_eq!(got, response());
+    }
+
+    #[test]
+    fn future_resolves_when_filled_across_threads() {
+        let (job, ticket) = LookupJob::new(RequestKey::new(2), 0);
+        let got = std::thread::scope(|s| {
+            let waiter = s.spawn(move || crate::executor::block_on(ticket));
+            std::thread::sleep(Duration::from_millis(10));
+            job.cell.fill(response());
+            waiter.join().expect("no panic")
+        });
+        assert_eq!(got, response());
+    }
+
+    #[test]
+    fn future_already_ready_resolves_without_parking() {
+        let (job, ticket) = LookupJob::new(RequestKey::new(3), 0);
+        job.cell.fill(response());
+        assert_eq!(crate::executor::block_on(ticket), response());
+    }
+
+    #[test]
+    fn polled_then_waited_surfaces_one_response() {
+        // A ticket polled once as a future (parking a waker) can still be
+        // redeemed by the blocking surface: the state machine serves both.
+        let (job, ticket) = LookupJob::new(RequestKey::new(4), 0);
+        let mut ticket = ticket;
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        assert!(Pin::new(&mut ticket).poll(&mut cx).is_pending());
+        job.cell.fill(response());
+        assert_eq!(Pin::new(&mut ticket).poll(&mut cx), Poll::Ready(response()));
+        assert_eq!(ticket.wait(), response());
+    }
+
+    fn noop_waker() -> Waker {
+        struct Noop;
+        impl std::task::Wake for Noop {
+            fn wake(self: Arc<Self>) {}
+        }
+        Waker::from(Arc::new(Noop))
     }
 }

@@ -1,0 +1,401 @@
+//! The pluggable scheduling substrate: how accepted jobs reach workers.
+//!
+//! The engine splits request execution into two layers. *Policy* — batch
+//! coalescing, shard grouping, epoch snapshots, metrics — lives in
+//! [`engine`](crate::engine) and is identical for every scheduler.
+//! *Substrate* — where a submitted job parks until a worker picks it up —
+//! is this module's [`Scheduler`] trait, selected per engine by
+//! [`ServeConfig::scheduler`]:
+//!
+//! * [`SharedQueue`] — every worker drains one bounded MPMC queue. The
+//!   original engine behavior, preserved exactly (same queue, same pop
+//!   order) so the two substrates stay comparable benchmark-to-benchmark.
+//! * [`WorkStealing`] — a bounded shared *injector* plus one local deque
+//!   per worker. A worker serves its local deque first; when dry it pulls
+//!   a pickup chunk (2 × batch) from the injector — one batch to serve
+//!   now, the surplus parked locally as stealable work — and when both
+//!   are empty it steals a probe chunk from a sibling's deque
+//!   (Chase–Lev-style `steal_batch_and_pop`). On many-core hosts this
+//!   cuts every-worker-on-one-queue contention to one injector touch per
+//!   pickup chunk; on the single-core dev box the two substrates measure
+//!   the same (see `BENCH_serve.json`'s note).
+//!
+//! Backpressure is identical under both: [`ServeConfig::queue_capacity`]
+//! bounds the *submission* queue (shared queue, or the injector), and a
+//! full queue rejects with [`QueueFull`](crate::ServeError::QueueFull).
+//! Jobs a worker has already moved to its local deque are in service —
+//! they no longer occupy submission capacity, exactly as a popped batch
+//! never did.
+//!
+//! ```text
+//!            SharedQueue                       WorkStealing
+//!   submit ──► [ArrayQueue] ─┬─► worker 0    submit ──► [injector] ──┐
+//!                            ├─► worker 1               chunk pickup │
+//!                            └─► worker 2      ┌───────────┬─────────┤
+//!                                              ▼           ▼         ▼
+//!                                          [deque 0]   [deque 1] [deque 2]
+//!                                              │  ▲        │         │
+//!                                              ▼  └─steal──┘         ▼
+//!                                          worker 0     worker 1  worker 2
+//! ```
+
+use std::sync::atomic::Ordering;
+
+use crossbeam::deque::{Steal, Stealer, Worker};
+use crossbeam::queue::ArrayQueue;
+
+use crate::config::{SchedulerKind, ServeConfig};
+use crate::engine::EngineCore;
+use crate::request::LookupJob;
+
+/// The scheduling substrate a [`ServeEngine`](crate::ServeEngine) runs
+/// on: accepts submitted jobs on the client side and hands batches to
+/// worker threads on the serving side.
+///
+/// Implementations are passive data structures — parking, shutdown and
+/// batch execution belong to the engine — so a scheduler only answers
+/// four questions: can this job be accepted, what should worker *i* serve
+/// next, is anything pending, and what is left at shutdown.
+pub trait Scheduler: std::fmt::Debug + Send + Sync {
+    /// Accepts `job`, or hands it back when the submission queue is at
+    /// capacity — the backpressure signal the engine converts to
+    /// [`QueueFull`](crate::ServeError::QueueFull).
+    ///
+    /// # Errors
+    ///
+    /// Returns the job itself so the caller can recover it.
+    fn submit(&self, job: LookupJob) -> Result<(), LookupJob>;
+
+    /// Moves up to `max` jobs into `batch` for worker `worker`; returns
+    /// how many were moved. An empty result means the worker found no
+    /// work anywhere it can look (for [`WorkStealing`]: local deque,
+    /// injector, and every sibling's deque).
+    fn pop_batch(&self, worker: usize, batch: &mut Vec<LookupJob>, max: usize) -> usize;
+
+    /// Jobs currently parked anywhere in the substrate (submission queue
+    /// plus local deques). The engine's parking predicate and the
+    /// `queue_depth` metric.
+    fn depth(&self) -> usize;
+
+    /// Whether worker `worker` left stealable surplus behind after its
+    /// last pickup — the engine wakes a sibling when true. The shared
+    /// queue never has surplus (submissions already notify per job).
+    fn has_surplus(&self, worker: usize) -> bool {
+        let _ = worker;
+        false
+    }
+
+    /// Drains every parked job into `out` — the shutdown straggler path,
+    /// called after the workers have exited.
+    fn drain_into(&self, out: &mut Vec<LookupJob>);
+
+    /// The substrate's name, as reported by metrics and benchmark JSON.
+    fn name(&self) -> &'static str;
+}
+
+/// Builds the substrate [`ServeConfig::scheduler`] selects.
+pub(crate) fn build(config: &ServeConfig) -> Box<dyn Scheduler> {
+    match config.scheduler {
+        SchedulerKind::SharedQueue => Box::new(SharedQueue::new(config.queue_capacity)),
+        SchedulerKind::WorkStealing => {
+            Box::new(WorkStealing::new(config.queue_capacity, config.workers))
+        }
+    }
+}
+
+/// The original substrate: one bounded MPMC queue every worker drains.
+#[derive(Debug)]
+pub struct SharedQueue {
+    queue: ArrayQueue<LookupJob>,
+}
+
+impl SharedQueue {
+    /// An empty queue bounded at `capacity` jobs.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self { queue: ArrayQueue::new(capacity) }
+    }
+}
+
+impl Scheduler for SharedQueue {
+    fn submit(&self, job: LookupJob) -> Result<(), LookupJob> {
+        self.queue.push(job)
+    }
+
+    fn pop_batch(&self, _worker: usize, batch: &mut Vec<LookupJob>, max: usize) -> usize {
+        while batch.len() < max {
+            match self.queue.pop() {
+                Some(job) => batch.push(job),
+                None => break,
+            }
+        }
+        batch.len()
+    }
+
+    fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn drain_into(&self, out: &mut Vec<LookupJob>) {
+        while let Some(job) = self.queue.pop() {
+            out.push(job);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        SchedulerKind::SharedQueue.name()
+    }
+}
+
+/// Work-stealing substrate: a bounded injector feeding per-worker local
+/// deques, with Chase–Lev-style batch stealing between siblings.
+#[derive(Debug)]
+pub struct WorkStealing {
+    /// The submission side — bounded, the backpressure surface.
+    injector: ArrayQueue<LookupJob>,
+    /// One local deque per worker; worker `i` pushes/pops `locals[i]`
+    /// only (the discipline the real lock-free deque requires).
+    locals: Vec<Worker<LookupJob>>,
+    /// Thief handles onto every local deque, probed round-robin.
+    stealers: Vec<Stealer<LookupJob>>,
+}
+
+impl WorkStealing {
+    /// An empty substrate for `workers` workers, submission-bounded at
+    /// `capacity` jobs.
+    #[must_use]
+    pub fn new(capacity: usize, workers: usize) -> Self {
+        let locals: Vec<Worker<LookupJob>> =
+            (0..workers.max(1)).map(|_| Worker::new_fifo()).collect();
+        let stealers = locals.iter().map(Worker::stealer).collect();
+        Self { injector: ArrayQueue::new(capacity), locals, stealers }
+    }
+}
+
+impl Scheduler for WorkStealing {
+    fn submit(&self, job: LookupJob) -> Result<(), LookupJob> {
+        self.injector.push(job)
+    }
+
+    fn pop_batch(&self, worker: usize, batch: &mut Vec<LookupJob>, max: usize) -> usize {
+        let local = &self.locals[worker];
+        // 1. Local deque first: jobs this worker (or a steal on its
+        //    behalf) already claimed.
+        while batch.len() < max {
+            match local.pop() {
+                Some(job) => batch.push(job),
+                None => break,
+            }
+        }
+        if batch.len() < max {
+            // 2. Pickup chunk from the injector: up to 2 × max in one
+            //    pass — `max` fills this batch, the surplus parks in the
+            //    local deque where siblings can steal it.
+            for _ in 0..max.saturating_mul(2) {
+                match self.injector.pop() {
+                    Some(job) => {
+                        if batch.len() < max {
+                            batch.push(job);
+                        } else {
+                            local.push(job);
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        if batch.is_empty() {
+            // 3. Idle: steal a probe chunk from the first non-empty
+            //    sibling (round-robin from our right neighbour, so
+            //    victims spread under many thieves).
+            let n = self.stealers.len();
+            'victims: for offset in 1..n {
+                let victim = &self.stealers[(worker + offset) % n];
+                loop {
+                    match victim.steal_batch_and_pop(local) {
+                        Steal::Success(job) => {
+                            batch.push(job);
+                            while batch.len() < max {
+                                match local.pop() {
+                                    Some(job) => batch.push(job),
+                                    None => break,
+                                }
+                            }
+                            break 'victims;
+                        }
+                        Steal::Empty => continue 'victims,
+                        // The real lock-free deque can lose a race and
+                        // ask to retry; the shim never does.
+                        Steal::Retry => {}
+                    }
+                }
+            }
+        }
+        batch.len()
+    }
+
+    fn depth(&self) -> usize {
+        self.injector.len() + self.locals.iter().map(Worker::len).sum::<usize>()
+    }
+
+    fn has_surplus(&self, worker: usize) -> bool {
+        !self.locals[worker].is_empty()
+    }
+
+    fn drain_into(&self, out: &mut Vec<LookupJob>) {
+        while let Some(job) = self.injector.pop() {
+            out.push(job);
+        }
+        for local in &self.locals {
+            while let Some(job) = local.pop() {
+                out.push(job);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        SchedulerKind::WorkStealing.name()
+    }
+}
+
+/// The worker loop, shared by both substrates: pick a batch up, serve it
+/// as one shard-grouped coalesced unit, park when the substrate runs dry.
+///
+/// Parking protocol: the pickup and the park predicate re-check happen on
+/// either side of taking `core.park`; every successful submission and the
+/// shutdown flip notify under that same lock, so a worker can never sleep
+/// through a job it was supposed to see (the submit is either visible to
+/// the re-check or its notification arrives after the wait begins).
+pub(crate) fn worker_loop(core: &EngineCore, worker: usize) {
+    let mut batch: Vec<LookupJob> = Vec::with_capacity(core.config.batch_capacity);
+    let mut keys = Vec::new();
+    let mut latencies = Vec::new();
+    loop {
+        batch.clear();
+        core.scheduler.pop_batch(worker, &mut batch, core.config.batch_capacity);
+        if batch.is_empty() {
+            if core.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let mut guard = core.park.lock();
+            // Re-check under the lock: a submit or shutdown that raced the
+            // empty pickup has already fired its notification.
+            if core.shutdown.load(Ordering::Acquire) || core.scheduler.depth() > 0 {
+                continue;
+            }
+            core.ready.wait(&mut guard);
+            continue;
+        }
+        if core.scheduler.has_surplus(worker) {
+            // Our pickup chunk left stealable work behind; wake a sibling
+            // to steal it while we serve this batch. Notify under the
+            // park lock so the wakeup can't slip between a sibling's
+            // predicate check and its wait.
+            let _guard = core.park.lock();
+            core.ready.notify_one();
+        }
+        core.serve_batch(&mut batch, &mut keys, &mut latencies);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdhash_table::RequestKey;
+
+    fn job(key: u64) -> LookupJob {
+        LookupJob::new(RequestKey::new(key), 0).0
+    }
+
+    fn keys_of(batch: &[LookupJob]) -> Vec<u64> {
+        batch.iter().map(|j| j.key.get()).collect()
+    }
+
+    #[test]
+    fn shared_queue_is_fifo_and_bounded() {
+        let scheduler = SharedQueue::new(3);
+        assert_eq!(scheduler.name(), "shared-queue");
+        for k in 0..3 {
+            assert!(scheduler.submit(job(k)).is_ok());
+        }
+        assert_eq!(scheduler.depth(), 3);
+        let bounced = scheduler.submit(job(9)).expect_err("at capacity");
+        assert_eq!(bounced.key, RequestKey::new(9));
+        let mut batch = Vec::new();
+        assert_eq!(scheduler.pop_batch(0, &mut batch, 2), 2);
+        assert_eq!(keys_of(&batch), vec![0, 1]);
+        assert!(!scheduler.has_surplus(0), "shared queue never reports surplus");
+        let mut rest = Vec::new();
+        scheduler.drain_into(&mut rest);
+        assert_eq!(keys_of(&rest), vec![2]);
+        assert_eq!(scheduler.depth(), 0);
+    }
+
+    #[test]
+    fn work_stealing_pickup_parks_surplus_locally() {
+        let scheduler = WorkStealing::new(64, 2);
+        assert_eq!(scheduler.name(), "work-stealing");
+        for k in 0..10 {
+            assert!(scheduler.submit(job(k)).is_ok());
+        }
+        // Worker 0 asks for 4: the pickup chunk is 8 (2 × max), so 4 are
+        // served and 4 park in its local deque as stealable surplus.
+        let mut batch = Vec::new();
+        assert_eq!(scheduler.pop_batch(0, &mut batch, 4), 4);
+        assert_eq!(keys_of(&batch), vec![0, 1, 2, 3]);
+        assert!(scheduler.has_surplus(0));
+        assert_eq!(scheduler.depth(), 6, "4 local + 2 still in the injector");
+        // Worker 0's next pickup serves its local deque first.
+        batch.clear();
+        assert_eq!(scheduler.pop_batch(0, &mut batch, 4), 4);
+        assert_eq!(keys_of(&batch), vec![4, 5, 6, 7]);
+        assert!(!scheduler.has_surplus(0));
+    }
+
+    #[test]
+    fn work_stealing_idle_worker_steals_from_sibling() {
+        let scheduler = WorkStealing::new(64, 2);
+        for k in 0..12 {
+            assert!(scheduler.submit(job(k)).is_ok());
+        }
+        // Worker 0 claims everything: batch of 6 + 6 parked locally.
+        let mut batch = Vec::new();
+        assert_eq!(scheduler.pop_batch(0, &mut batch, 6), 6);
+        assert_eq!(scheduler.depth(), 6);
+        // Worker 1 finds the injector empty and steals half of worker
+        // 0's surplus (3 of 6), serving them as its own batch.
+        let mut stolen = Vec::new();
+        assert_eq!(scheduler.pop_batch(1, &mut stolen, 6), 3);
+        assert_eq!(keys_of(&stolen), vec![6, 7, 8]);
+        assert_eq!(scheduler.depth(), 3);
+        // Stragglers drain from every deque at shutdown.
+        let mut rest = Vec::new();
+        scheduler.drain_into(&mut rest);
+        let mut left = keys_of(&rest);
+        left.sort_unstable();
+        assert_eq!(left, vec![9, 10, 11]);
+    }
+
+    #[test]
+    fn work_stealing_backpressure_bounds_the_injector() {
+        let scheduler = WorkStealing::new(2, 2);
+        assert!(scheduler.submit(job(1)).is_ok());
+        assert!(scheduler.submit(job(2)).is_ok());
+        assert!(scheduler.submit(job(3)).is_err(), "injector at capacity");
+        // A pickup frees submission capacity (jobs move into service).
+        let mut batch = Vec::new();
+        assert_eq!(scheduler.pop_batch(0, &mut batch, 1), 1);
+        assert!(scheduler.submit(job(3)).is_ok());
+    }
+
+    #[test]
+    fn work_stealing_empty_everywhere_returns_nothing() {
+        let scheduler = WorkStealing::new(8, 3);
+        let mut batch = Vec::new();
+        for worker in 0..3 {
+            assert_eq!(scheduler.pop_batch(worker, &mut batch, 4), 0);
+        }
+        assert_eq!(scheduler.depth(), 0);
+        assert!(!scheduler.has_surplus(0));
+    }
+}

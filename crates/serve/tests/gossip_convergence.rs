@@ -30,15 +30,28 @@ fn serve_config(shards: usize, seed: u64) -> ServeConfig {
         dimension: 2048,
         codebook_size: 64,
         seed,
+        scheduler: hdhash_serve::SchedulerKind::default(),
     }
 }
 
-/// Builds `n` replicas on one in-process network, full-mesh peering.
+/// Builds `n` replicas on one in-process network, full-mesh peer lists
+/// (the default fanout restricts how many are *adverted* per round once
+/// `n` grows past it).
 fn replica_set(
     n: u64,
     shards: usize,
     seed: u64,
     period: Duration,
+) -> Vec<(Arc<ReplicatedEngine>, GossipNode<InProcessEndpoint>)> {
+    replica_set_with_fanout(n, shards, seed, period, GossipConfig::default().fanout)
+}
+
+fn replica_set_with_fanout(
+    n: u64,
+    shards: usize,
+    seed: u64,
+    period: Duration,
+    fanout: usize,
 ) -> Vec<(Arc<ReplicatedEngine>, GossipNode<InProcessEndpoint>)> {
     let network = InProcessNetwork::new();
     let peers: Vec<ReplicaId> = (0..n).map(ReplicaId::new).collect();
@@ -52,7 +65,7 @@ fn replica_set(
                 Arc::clone(&replica),
                 network.endpoint(id),
                 peers.clone(),
-                GossipConfig { period, ..GossipConfig::default() },
+                GossipConfig { period, fanout, ..GossipConfig::default() },
             );
             (replica, node)
         })
@@ -118,6 +131,46 @@ fn three_replica_mesh_converges() {
     let replicas: Vec<&ReplicatedEngine> = nodes.iter().map(GossipNode::replica).collect();
     assert_byte_identical_signatures(&replicas);
     assert_eq!(replicas[0].member_ids(), vec![ServerId::new(1), ServerId::new(2)]);
+}
+
+#[test]
+fn six_replica_set_converges_under_restricted_fanout() {
+    // 6 replicas, fanout 2: each round adverts to 2 of 5 peers (chosen by
+    // the deterministic per-round shuffle), yet the epidemic still
+    // converges — in more rounds than full mesh, but bounded.
+    for fanout in [2usize, 3] {
+        let set = replica_set_with_fanout(6, 2, 60 + fanout as u64, Duration::from_millis(50), fanout);
+        // Disjoint histories: replica i joins servers 10i..10i+3, and
+        // replica 1 tombstones one of its own members so removal
+        // propagation is exercised across the sparse rounds too.
+        for (i, (replica, _)) in set.iter().enumerate() {
+            for s in 0..3u64 {
+                replica.join(ServerId::new(10 * i as u64 + s)).expect("fresh");
+            }
+        }
+        set[1].0.leave(ServerId::new(11)).expect("present");
+        let nodes: Vec<GossipNode<InProcessEndpoint>> =
+            set.into_iter().map(|(_, n)| n).collect();
+        let rounds = run_until_converged(&nodes, 64)
+            .unwrap_or_else(|| panic!("6-replica fanout-{fanout} set failed to converge"));
+        assert!(rounds <= 16, "fanout {fanout} took {rounds} rounds");
+        let replicas: Vec<&ReplicatedEngine> =
+            nodes.iter().map(GossipNode::replica).collect();
+        assert_byte_identical_signatures(&replicas);
+        // Union of all joins minus the tombstoned member.
+        let want: Vec<ServerId> = (0..6u64)
+            .flat_map(|i| (0..3u64).map(move |s| 10 * i + s))
+            .filter(|&id| id != 11)
+            .map(ServerId::new)
+            .collect();
+        assert_eq!(replicas[0].member_ids(), want, "fanout {fanout}");
+        // Sparse rounds really happened: with fanout f each tick sends f
+        // adverts, not peers-1.
+        for node in &nodes {
+            let m = node.metrics();
+            assert_eq!(m.adverts_sent, m.rounds * fanout as u64, "fanout {fanout}");
+        }
+    }
 }
 
 #[test]

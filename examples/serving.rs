@@ -3,19 +3,31 @@
 //!
 //! ```text
 //! cargo run --release --example serving
+//! cargo run --release --example serving -- work-stealing
 //! ```
 //!
 //! Architecture exercised (see README "Serving layer"):
 //!
 //! ```text
-//! generator ──► MPMC queue ──► coalescing workers ──► shards ──► metrics
+//! generator ──► scheduler core ──► coalescing workers ──► shards ──► metrics
+//!               (shared queue or
+//!                work-stealing deques)
 //! ```
+//!
+//! The churn phase drives lookups through the **async front end**: each
+//! `Ticket` is awaited as a future on the vendored block-on executor, a
+//! window of them in flight at a time.
 
 use hdhash::emulator::{Generator, KeyDistribution, Workload};
-use hdhash::serve::{drive, ServeConfig, ServeEngine};
+use hdhash::serve::{drive, executor, SchedulerKind, ServeConfig, ServeEngine};
 use hdhash::table::{RequestKey, ServerId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scheduler = match std::env::args().nth(1).as_deref() {
+        Some(name) => SchedulerKind::parse(name)
+            .ok_or_else(|| format!("unknown scheduler `{name}`"))?,
+        None => SchedulerKind::SharedQueue,
+    };
     let config = ServeConfig {
         shards: 4,
         workers: 2,
@@ -24,10 +36,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dimension: 4096,
         codebook_size: 256,
         seed: 2022,
+        scheduler,
     };
     println!(
-        "engine: {} shards × {} workers, batch capacity {}, queue capacity {}",
-        config.shards, config.workers, config.batch_capacity, config.queue_capacity
+        "engine: {} shards × {} workers, batch capacity {}, queue capacity {}, \
+         scheduler {}",
+        config.shards,
+        config.workers,
+        config.batch_capacity,
+        config.queue_capacity,
+        config.scheduler.name()
     );
     let mut engine = ServeEngine::new(config)?;
 
@@ -65,7 +83,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phase 2: churn — requests race membership changes through the epoch
     // path. Readers never block on the reconfigurations; responses carry
-    // the epoch they were served at.
+    // the epoch they were served at. The client side is **async**: a
+    // window of tickets is awaited as futures on the block-on executor.
     let verdicts = std::thread::scope(|scope| {
         let engine = &engine;
         let churner = scope.spawn(move || {
@@ -74,23 +93,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 engine.join(ServerId::new(100 + id)).expect("fresh");
             }
         });
-        let mut epochs_seen = std::collections::BTreeSet::new();
-        let mut served = 0usize;
-        for k in 0..10_000u64 {
-            let response = engine
-                .submit(RequestKey::new(k.wrapping_mul(0x9E37_79B9)))
-                .expect("queue sized for the load")
-                .wait();
-            assert!(response.result.is_ok(), "pool never empties during churn");
-            epochs_seen.insert((response.shard, response.epoch));
-            served += 1;
-        }
+        let (served, epochs) = executor::block_on(async {
+            let mut epochs_seen = std::collections::BTreeSet::new();
+            let mut served = 0usize;
+            let mut window = std::collections::VecDeque::new();
+            for k in 0..10_000u64 {
+                if window.len() >= 64 {
+                    let ticket: hdhash::serve::Ticket =
+                        window.pop_front().expect("non-empty window");
+                    let response = ticket.await;
+                    assert!(response.result.is_ok(), "pool never empties during churn");
+                    epochs_seen.insert((response.shard, response.epoch));
+                    served += 1;
+                }
+                window.push_back(
+                    engine
+                        .submit(RequestKey::new(k.wrapping_mul(0x9E37_79B9)))
+                        .expect("queue sized for the load"),
+                );
+            }
+            for ticket in window {
+                let response = ticket.await;
+                assert!(response.result.is_ok(), "pool never empties during churn");
+                epochs_seen.insert((response.shard, response.epoch));
+                served += 1;
+            }
+            (served, epochs_seen.len())
+        });
         churner.join().expect("churner");
-        (served, epochs_seen.len())
+        (served, epochs)
     });
     println!(
-        "\nphase 2 — churn race: {} lookups served across {} distinct (shard, epoch) \
-         snapshots, zero failures",
+        "\nphase 2 — churn race (async front end): {} lookups awaited across {} \
+         distinct (shard, epoch) snapshots, zero failures",
         verdicts.0, verdicts.1
     );
 

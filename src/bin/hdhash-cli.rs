@@ -211,9 +211,11 @@ impl Shell {
         ))
     }
 
-    /// `serve [shards] [workers] [requests]`: runs a closed-loop burst
-    /// through the sharded serving engine and prints throughput plus
-    /// per-shard batch-coalescing and latency metrics.
+    /// `serve [shards] [workers] [requests] [scheduler]`: runs a
+    /// closed-loop burst through the sharded serving engine (tickets are
+    /// reaped through the async front end) and prints throughput plus
+    /// per-shard batch-coalescing and latency metrics. `scheduler` is
+    /// `shared-queue` (default) or `work-stealing`.
     fn cmd_serve(args: &[&str]) -> Result<String, String> {
         let parse = |i: usize, default: usize| -> Result<usize, String> {
             match args.get(i) {
@@ -224,11 +226,18 @@ impl Shell {
         let shards = parse(0, 4)?.max(1);
         let workers = parse(1, 2)?.max(1);
         let requests = parse(2, 20_000)?;
+        let scheduler = match args.get(3) {
+            Some(name) => SchedulerKind::parse(name).ok_or_else(|| {
+                format!("unknown scheduler `{name}`; shared-queue or work-stealing")
+            })?,
+            None => SchedulerKind::SharedQueue,
+        };
         let config = hdhash::serve::ServeConfig {
             shards,
             workers,
             dimension: 4096,
             codebook_size: 256,
+            scheduler,
             ..hdhash::serve::ServeConfig::default()
         };
         let mut engine =
@@ -246,10 +255,12 @@ impl Shell {
         engine.shutdown();
         let metrics = engine.metrics();
         let mut out = format!(
-            "served {} lookups over {} shard(s) × {} worker(s): {:.0} req/s, {} rejected\n",
+            "served {} lookups over {} shard(s) × {} worker(s) [{}]: {:.0} req/s, \
+             {} rejected\n",
             report.completed,
             shards,
             workers,
+            metrics.scheduler,
             report.throughput().requests_per_sec(),
             report.rejected,
         );
@@ -350,12 +361,35 @@ impl Shell {
         let metrics = nodes[0].metrics();
         out.push_str(&format!(
             "converged in {rounds} round(s): {} member(s), byte-identical signatures; \
-             replica0 sent {} B ({} advert(s), {} sync(s), {} record(s) adopted)",
+             replica0 sent {} B ({} advert(s), {} sync(s), {} record(s) adopted)\n",
             replicas[0].member_ids().len(),
             metrics.bytes_sent,
             metrics.adverts_sent,
             metrics.syncs_sent,
             metrics.records_adopted,
+        ));
+        // Operational payoff, checked through the async front end: the
+        // converged replicas route a probe burst identically.
+        let agreeing = hdhash::serve::executor::block_on(async {
+            let mut agreeing = 0usize;
+            for k in 0..64u64 {
+                let a = replicas[0]
+                    .submit(RequestKey::new(k))
+                    .map_err(|e| e.to_string())?
+                    .await;
+                let b = replicas[1]
+                    .submit(RequestKey::new(k))
+                    .map_err(|e| e.to_string())?
+                    .await;
+                if a.result == b.result {
+                    agreeing += 1;
+                }
+            }
+            Ok::<usize, String>(agreeing)
+        })?;
+        out.push_str(&format!(
+            "post-convergence probe: {agreeing}/64 lookups route identically \
+             (awaited on the block-on executor)"
         ));
         Ok(out)
     }
@@ -405,7 +439,8 @@ commands:
   burst <bits> [seed]          inject one adjacent-bit burst (MCU)
   clear                        repair all injected noise
   stats                        table summary
-  serve [shards] [workers] [n] closed-loop burst through the sharded serving engine
+  serve [shards] [workers] [n] [sched]  closed-loop burst through the serving engine
+                               (sched: shared-queue | work-stealing)
   replicate [shards] [ops]     anti-entropy demo: diverge two replicas, gossip to convergence
   accel [servers] [d]          projected single-cycle lookup time on HDC hardware
   quit                         exit
@@ -527,9 +562,19 @@ mod tests {
         let mut shell = Shell::new();
         let out = shell.execute("serve 2 2 500").expect("ok");
         assert!(out.contains("served 500 lookups over 2 shard(s)"), "{out}");
+        assert!(out.contains("[shared-queue]"), "{out}");
         assert!(out.contains("shard 0:") && out.contains("shard 1:"), "{out}");
         assert!(out.contains("latency p50"), "{out}");
         assert!(shell.execute("serve x").is_err());
+    }
+
+    #[test]
+    fn serve_selects_the_work_stealing_scheduler() {
+        let mut shell = Shell::new();
+        let out = shell.execute("serve 2 2 500 work-stealing").expect("ok");
+        assert!(out.contains("[work-stealing]"), "{out}");
+        assert!(out.contains("served 500 lookups"), "{out}");
+        assert!(shell.execute("serve 2 2 100 bogus").is_err());
     }
 
     #[test]

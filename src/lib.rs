@@ -40,10 +40,12 @@
 //!   the paper's `O(1)` claim cites (Schmuck et al. \[18\]): CA90
 //!   rematerialization, combinational associative memory, binarized
 //!   bundling, and the Figure 4 hardware projection;
-//! * [`serve`] — the sharded, batch-coalescing serving layer: an MPMC
-//!   request queue, coalescing workers driving the zero-alloc batched
-//!   lookup path, and epoch-published shard snapshots so membership
-//!   reconfiguration never blocks readers.
+//! * [`serve`] — the sharded, batch-coalescing serving layer: a
+//!   pluggable scheduler core (shared queue or work-stealing deques),
+//!   coalescing workers driving the zero-alloc batched lookup path,
+//!   epoch-published shard snapshots so membership reconfiguration never
+//!   blocks readers, and an async-capable ticket front end (`Ticket` is
+//!   a `Future`; a vendored block-on executor drives it runtime-free).
 //!
 //! ## Quick start
 //!
@@ -97,7 +99,7 @@ pub mod prelude {
     pub use hdhash_maglev::MaglevTable;
     pub use hdhash_rendezvous::RendezvousTable;
     pub use hdhash_ring::ConsistentTable;
-    pub use hdhash_serve::{ServeConfig, ServeEngine};
+    pub use hdhash_serve::{SchedulerKind, ServeConfig, ServeEngine, Ticket};
     pub use hdhash_table::{
         remap_fraction, Assignment, DynamicHashTable, ModularTable, NoisyTable, RequestKey,
         ServerId, TableError,
