@@ -84,6 +84,23 @@ impl Condvar {
         guard.inner = Some(reacquired);
     }
 
+    /// Blocks until notified or `timeout` elapses, releasing the guarded
+    /// mutex while parked. Returns a [`WaitTimeoutResult`] that reports
+    /// whether the wait expired; spurious wakeups are possible either way.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard present before wait");
+        let (reacquired, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+        WaitTimeoutResult { timed_out: result.timed_out() }
+    }
+
     /// Wakes one parked waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -92,6 +109,21 @@ impl Condvar {
     /// Wakes every parked waiter.
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Outcome of [`Condvar::wait_for`]: whether the wait hit its timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` when the wait returned because the timeout elapsed rather
+    /// than a notification.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -105,6 +137,29 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_wakes() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        // Nobody notifies: the wait must expire.
+        let mut guard = m.lock();
+        let result = cv.wait_for(&mut guard, std::time::Duration::from_millis(5));
+        assert!(result.timed_out());
+        drop(guard);
+        // A notification beats a generous timeout.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                *m.lock() = true;
+                cv.notify_one();
+            });
+            let mut guard = m.lock();
+            while !*guard {
+                let result = cv.wait_for(&mut guard, std::time::Duration::from_secs(5));
+                assert!(!result.timed_out() || *guard);
+            }
+        });
     }
 
     #[test]

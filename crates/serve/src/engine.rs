@@ -38,6 +38,15 @@ pub(crate) struct EngineCore {
     submitted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
+    /// Worker panics caught and contained (batches backfilled with
+    /// [`TableError::WorkerPanicked`] instead of hanging their tickets).
+    panics_contained: AtomicU64,
+    /// Fast-path flag for the fault-injection hook: workers only take the
+    /// `panic_key` lock while a test has armed an injection.
+    panic_armed: AtomicBool,
+    /// The key whose batch the next serving worker panics on — the chaos
+    /// test hook behind [`ServeEngine::inject_worker_panic`].
+    panic_key: Mutex<Option<RequestKey>>,
     pub(crate) shutdown: AtomicBool,
 }
 
@@ -63,6 +72,9 @@ impl EngineCore {
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            panics_contained: AtomicU64::new(0),
+            panic_armed: AtomicBool::new(false),
+            panic_key: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             config,
         })
@@ -111,6 +123,7 @@ impl EngineCore {
                 end += 1;
             }
             let jobs = &batch[start..end];
+            self.maybe_inject_panic(jobs);
             // One snapshot per shard-group: every response in the group is
             // computed against a single consistent epoch.
             let snapshot = self.shards[shard_idx].load();
@@ -136,6 +149,51 @@ impl EngineCore {
             self.completed.fetch_add(jobs.len() as u64, Ordering::Relaxed);
             start = end;
         }
+        batch.clear();
+    }
+
+    /// The fault-injection hook: panics before the group is served when a
+    /// test armed this batch's key via
+    /// [`ServeEngine::inject_worker_panic`]. Firing disarms the hook, so
+    /// exactly one panic is injected per arm. Panicking *before* any cell
+    /// fill keeps the completion accounting exact — containment backfills
+    /// (and counts) every job of the abandoned batch.
+    fn maybe_inject_panic(&self, jobs: &[LookupJob]) {
+        if !self.panic_armed.load(Ordering::Acquire) {
+            return;
+        }
+        let mut armed = self.panic_key.lock();
+        if let Some(key) = *armed {
+            if jobs.iter().any(|job| job.key == key) {
+                *armed = None;
+                self.panic_armed.store(false, Ordering::Release);
+                drop(armed);
+                panic!("injected worker panic on {key:?}");
+            }
+        }
+    }
+
+    /// Panic containment: backfills every still-pending ticket of an
+    /// abandoned batch with [`TableError::WorkerPanicked`], so a panicking
+    /// lookup costs its batch an error response instead of hung clients.
+    /// Cells the worker already filled are left untouched.
+    pub(crate) fn contain_panic(&self, batch: &mut Vec<LookupJob>) {
+        let mut backfilled = 0u64;
+        for job in batch.iter() {
+            let filled = job.cell.fill_if_pending(ServeResponse {
+                result: Err(TableError::WorkerPanicked),
+                // No snapshot produced this verdict; report the shard's
+                // currently published epoch for diagnostics.
+                shard: job.shard,
+                epoch: self.shards[job.shard].load().epoch,
+                latency: job.enqueued.elapsed(),
+            });
+            if filled {
+                backfilled += 1;
+            }
+        }
+        self.completed.fetch_add(backfilled, Ordering::Relaxed);
+        self.panics_contained.fetch_add(1, Ordering::Relaxed);
         batch.clear();
     }
 }
@@ -316,9 +374,22 @@ impl ServeEngine {
             submitted: self.core.submitted.load(Ordering::Relaxed),
             rejected: self.core.rejected.load(Ordering::Relaxed),
             completed: self.core.completed.load(Ordering::Relaxed),
+            panics_contained: self.core.panics_contained.load(Ordering::Relaxed),
             queue_depth: self.core.scheduler.depth(),
             shards,
         }
+    }
+
+    /// Arms the fault-injection hook: the next worker batch containing
+    /// `key` panics before serving any of its jobs. The panic is caught by
+    /// the worker loop, every ticket of the abandoned batch resolves with
+    /// [`TableError::WorkerPanicked`], and the worker keeps serving —
+    /// [`EngineMetrics::panics_contained`] counts the event. Test-facing,
+    /// but kept in the public surface so integration suites (and the chaos
+    /// harness) can exercise containment on a real engine.
+    pub fn inject_worker_panic(&self, key: RequestKey) {
+        *self.core.panic_key.lock() = Some(key);
+        self.core.panic_armed.store(true, Ordering::Release);
     }
 
     /// Stops accepting requests, joins the workers, and serves any

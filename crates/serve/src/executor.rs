@@ -133,6 +133,63 @@ pub fn block_on<F: Future>(future: F) -> F::Output {
     }
 }
 
+/// Drives `future` until it resolves or `timeout` elapses, parking
+/// between polls. Returns `None` on expiry — the future is dropped, so a
+/// pending [`Ticket`](crate::Ticket) is simply abandoned (its cell fill
+/// becomes a no-op for every observer).
+///
+/// The chaos harness and the bounded load reaper use this to survive a
+/// worker that never answers: a lost response costs one timeout instead
+/// of a hung test.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use hdhash_serve::executor::block_on_timeout;
+///
+/// // A ready future resolves well inside any deadline.
+/// assert_eq!(block_on_timeout(async { 7 }, Duration::from_secs(1)), Some(7));
+/// // A future that never resolves times out.
+/// assert_eq!(
+///     block_on_timeout(std::future::pending::<()>(), Duration::from_millis(5)),
+///     None,
+/// );
+/// ```
+pub fn block_on_timeout<F: Future>(future: F, timeout: std::time::Duration) -> Option<F::Output> {
+    let deadline = std::time::Instant::now() + timeout;
+    let state = WAKER_CACHE.with(std::cell::Cell::take).unwrap_or_else(|| {
+        Arc::new(ThreadWaker { thread: std::thread::current(), woken: AtomicBool::new(false) })
+    });
+    state.woken.store(false, Ordering::Relaxed);
+    let restore = CacheRestore(Some(Arc::clone(&state)));
+    let waker = Waker::from(Arc::clone(&state));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => {
+                drop(restore);
+                return Some(value);
+            }
+            Poll::Pending => {
+                // Park on the woken flag like `block_on`, but never past
+                // the deadline; `park_timeout` may return spuriously, so
+                // the remaining budget is recomputed every lap.
+                while !state.woken.swap(false, Ordering::Acquire) {
+                    let Some(remaining) =
+                        deadline.checked_duration_since(std::time::Instant::now())
+                    else {
+                        drop(restore);
+                        return None;
+                    };
+                    std::thread::park_timeout(remaining);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +274,51 @@ mod tests {
             inner_thread.join().expect("no panic");
             outer_thread.join().expect("no panic");
         }
+    }
+
+    #[test]
+    fn block_on_timeout_resolves_or_expires() {
+        assert_eq!(block_on_timeout(async { 5 }, std::time::Duration::from_secs(1)), Some(5));
+        assert_eq!(
+            block_on_timeout(std::future::pending::<u32>(), std::time::Duration::from_millis(5)),
+            None
+        );
+        // The cached waker state survives an expiry: the next call works.
+        assert_eq!(block_on(async { 6 }), 6);
+    }
+
+    #[test]
+    fn block_on_timeout_wakes_before_the_deadline() {
+        struct YieldOnce {
+            tx: Option<std::sync::mpsc::Sender<Waker>>,
+        }
+        impl Future for YieldOnce {
+            type Output = &'static str;
+            fn poll(
+                mut self: std::pin::Pin<&mut Self>,
+                cx: &mut Context<'_>,
+            ) -> Poll<&'static str> {
+                match self.tx.take() {
+                    Some(tx) => {
+                        tx.send(cx.waker().clone()).expect("receiver alive");
+                        Poll::Pending
+                    }
+                    None => Poll::Ready("in time"),
+                }
+            }
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        let waker_thread = std::thread::spawn(move || {
+            let waker: Waker = rx.recv().expect("sender alive");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            waker.wake();
+        });
+        let got = block_on_timeout(
+            YieldOnce { tx: Some(tx) },
+            std::time::Duration::from_secs(30),
+        );
+        assert_eq!(got, Some("in time"));
+        waker_thread.join().expect("no panic");
     }
 
     #[test]

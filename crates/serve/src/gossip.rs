@@ -30,12 +30,14 @@
 //!
 //! [`signature_diff`]: hdhash_hdc::maintenance::signature_diff
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hdhash_hdc::maintenance::signature_diff;
 use hdhash_hdc::Hypervector;
+use parking_lot::Mutex;
 
 use crate::replication::{MemberRecord, ReplicatedEngine};
 use crate::transport::{Envelope, ReplicaId, Transport};
@@ -143,12 +145,58 @@ pub struct GossipConfig {
     /// default (3) keeps today's full-mesh behavior for replica sets of
     /// up to 4 — in particular every ≤3-replica set is unchanged.
     pub fanout: usize,
+    /// Failure detector: rounds without hearing from a peer before it is
+    /// considered [`PeerHealth::Suspect`].
+    pub suspect_after: u64,
+    /// Failure detector: rounds without hearing from a peer before it is
+    /// considered [`PeerHealth::Dead`] and excluded from fanout
+    /// selection (probes still reach it — see
+    /// [`probe_period`](Self::probe_period)).
+    pub dead_after: u64,
+    /// Every `probe_period`-th round redirects one fanout slot to a dead
+    /// peer (round-robin over the dead set), so a healed peer or mended
+    /// partition is re-detected instead of shunned forever.
+    pub probe_period: u64,
+    /// Retry: base backoff (in rounds) before an unanswered
+    /// `SyncRequest` is retransmitted. Attempt `n` waits
+    /// `base · 2ⁿ + jitter` rounds, with deterministic per-peer jitter
+    /// in `0..base`.
+    pub sync_retry_rounds: u64,
+    /// Retry: retransmissions attempted before an in-flight sync is
+    /// abandoned (counted in [`GossipMetrics::sync_abandoned`]; the next
+    /// divergent advert starts a fresh exchange).
+    pub sync_retry_cap: u32,
 }
 
 impl Default for GossipConfig {
     fn default() -> Self {
-        Self { period: Duration::from_millis(50), divergence_threshold: 0, fanout: 3 }
+        Self {
+            period: Duration::from_millis(50),
+            divergence_threshold: 0,
+            fanout: 3,
+            suspect_after: 3,
+            dead_after: 8,
+            probe_period: 4,
+            sync_retry_rounds: 2,
+            sync_retry_cap: 3,
+        }
     }
+}
+
+/// Failure-detector verdict on one peer, derived from how many rounds
+/// have passed since a message from it was last received (never-heard
+/// peers age from round 0). Any received message restores
+/// [`Alive`](Self::Alive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerHealth {
+    /// Heard from within [`GossipConfig::suspect_after`] rounds.
+    Alive,
+    /// Silent past `suspect_after` but within
+    /// [`GossipConfig::dead_after`] rounds — still gossiped to.
+    Suspect,
+    /// Silent past `dead_after` rounds: excluded from fanout selection,
+    /// reached only by periodic probes.
+    Dead,
 }
 
 /// Monotone protocol counters, snapshotted by [`GossipNode::metrics`].
@@ -185,6 +233,25 @@ pub struct GossipMetrics {
     pub protocol_errors: u64,
     /// Tombstones expired by the seen-through watermark GC.
     pub tombstones_expired: u64,
+    /// Unanswered sync requests retransmitted after their backoff
+    /// deadline expired.
+    pub sync_retries: u64,
+    /// In-flight syncs given up on after
+    /// [`GossipConfig::sync_retry_cap`] retransmissions.
+    pub sync_abandoned: u64,
+    /// Bytes spent on retransmitted sync requests (already included in
+    /// [`bytes_sent`](Self::bytes_sent); broken out so `bench_chaos` can
+    /// report the retry overhead per scenario).
+    pub retry_bytes: u64,
+    /// Fanout slots redirected to dead peers by the periodic probe.
+    pub probes_sent: u64,
+    /// Peers currently [`PeerHealth::Alive`] (point-in-time, not
+    /// monotone).
+    pub peers_alive: u64,
+    /// Peers currently [`PeerHealth::Suspect`] (point-in-time).
+    pub peers_suspect: u64,
+    /// Peers currently [`PeerHealth::Dead`] (point-in-time).
+    pub peers_dead: u64,
 }
 
 #[derive(Debug, Default)]
@@ -204,6 +271,10 @@ struct Counters {
     send_failures: AtomicU64,
     protocol_errors: AtomicU64,
     tombstones_expired: AtomicU64,
+    sync_retries: AtomicU64,
+    sync_abandoned: AtomicU64,
+    retry_bytes: AtomicU64,
+    probes_sent: AtomicU64,
 }
 
 impl Counters {
@@ -224,6 +295,24 @@ pub struct GossipNode<T: Transport> {
     config: GossipConfig,
     round: AtomicU64,
     counters: Counters,
+    /// Failure detector state: the local round at which each peer was
+    /// last heard from (any message kind counts as a heartbeat — every
+    /// round adverts, so silence is meaningful). Missing entry = never
+    /// heard, aging from round 0.
+    last_heard: Mutex<BTreeMap<ReplicaId, u64>>,
+    /// In-flight sync exchanges awaiting a `SyncResponse`, keyed by the
+    /// peer the request went to.
+    outstanding: Mutex<BTreeMap<ReplicaId, OutstandingSync>>,
+}
+
+/// Bookkeeping for one unanswered `SyncRequest`.
+#[derive(Debug, Clone, Copy)]
+struct OutstandingSync {
+    /// Retransmissions performed so far.
+    attempt: u32,
+    /// Local round at which the next retransmission (or abandonment)
+    /// fires.
+    deadline: u64,
 }
 
 impl<T: Transport> GossipNode<T> {
@@ -245,6 +334,8 @@ impl<T: Transport> GossipNode<T> {
             config,
             round: AtomicU64::new(0),
             counters: Counters::default(),
+            last_heard: Mutex::new(BTreeMap::new()),
+            outstanding: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -265,9 +356,13 @@ impl<T: Transport> GossipNode<T> {
         let round = self.round.fetch_add(1, Ordering::Relaxed) + 1;
         Counters::add(&self.counters.rounds, 1);
         // Opportunistic GC: expire whatever the whole peer set has
-        // acknowledged by now (cheap no-op when nothing qualifies).
+        // acknowledged by now (cheap no-op when nothing qualifies). The
+        // gate is the *full* peer set, dead peers included — expiring a
+        // tombstone a dead peer never acknowledged could let its stale
+        // record resurrect the member when it heals.
         let expired = self.replica.collect_tombstones(&self.peers);
         Counters::add(&self.counters.tombstones_expired, expired as u64);
+        self.retry_expired_syncs(round);
         let targets = self.round_targets(round);
         let mut signatures = Some(self.replica.shard_signatures());
         for (i, &peer) in targets.iter().enumerate() {
@@ -289,29 +384,150 @@ impl<T: Transport> GossipNode<T> {
         }
     }
 
-    /// The peers this round adverts to: all of them while the peer count
-    /// is within `fanout`, otherwise `fanout` distinct peers drawn by a
-    /// `(replica, round)`-seeded partial Fisher–Yates shuffle —
-    /// deterministic (tests and benches can replay a round sequence),
-    /// unbiased across rounds, and different per replica so two nodes
-    /// don't mirror each other's choices.
+    /// The peers this round adverts to: all non-dead peers while their
+    /// count is within `fanout`, otherwise `fanout` distinct non-dead
+    /// peers drawn by a `(replica, round)`-seeded partial Fisher–Yates
+    /// shuffle — deterministic (tests and benches can replay a round
+    /// sequence), unbiased across rounds, and different per replica so
+    /// two nodes don't mirror each other's choices.
+    ///
+    /// The failure detector shapes the pool: [`PeerHealth::Dead`] peers
+    /// are excluded, except that every
+    /// [`probe_period`](GossipConfig::probe_period)-th round redirects
+    /// one slot to a dead peer (round-robin) so recovery is noticed. A
+    /// fully dead pool falls back to every peer — an isolated node keeps
+    /// gossiping blindly rather than going silent.
     fn round_targets(&self, round: u64) -> Vec<ReplicaId> {
-        let k = self.config.fanout.min(self.peers.len());
-        if k == self.peers.len() {
-            return self.peers.clone();
-        }
-        let mut pool = self.peers.clone();
-        let mut state = hdhash_hashfn::mix64(
-            self.transport.local().get() ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-        for i in 0..k {
-            state = hdhash_hashfn::mix64(state.wrapping_add(0xD1B5_4A32_D192_ED03));
+        let (live, dead): (Vec<ReplicaId>, Vec<ReplicaId>) = self
+            .peers
+            .iter()
+            .partition(|&&peer| self.health_at(peer, round) != PeerHealth::Dead);
+        let all_dead = live.is_empty();
+        let pool = if all_dead { self.peers.clone() } else { live };
+        let k = self.config.fanout.min(pool.len());
+        let mut targets = if k == pool.len() {
+            pool
+        } else {
+            let mut pool = pool;
+            let mut state = hdhash_hashfn::mix64(
+                self.transport.local().get() ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            for i in 0..k {
+                state = hdhash_hashfn::mix64(state.wrapping_add(0xD1B5_4A32_D192_ED03));
+                #[allow(clippy::cast_possible_truncation)]
+                let j = i + (state % (pool.len() - i) as u64) as usize;
+                pool.swap(i, j);
+            }
+            pool.truncate(k);
+            pool
+        };
+        if !all_dead
+            && !dead.is_empty()
+            && !targets.is_empty()
+            && self.config.probe_period > 0
+            && round.is_multiple_of(self.config.probe_period)
+        {
             #[allow(clippy::cast_possible_truncation)]
-            let j = i + (state % (pool.len() - i) as u64) as usize;
-            pool.swap(i, j);
+            let probe = dead[((round / self.config.probe_period) as usize) % dead.len()];
+            targets[0] = probe;
+            Counters::add(&self.counters.probes_sent, 1);
         }
-        pool.truncate(k);
-        pool
+        targets
+    }
+
+    /// Detector verdict on `peer` as of the current round.
+    #[must_use]
+    pub fn peer_health(&self, peer: ReplicaId) -> PeerHealth {
+        self.health_at(peer, self.round.load(Ordering::Relaxed))
+    }
+
+    /// Detector verdicts for every peer, in peer order.
+    #[must_use]
+    pub fn peer_states(&self) -> Vec<(ReplicaId, PeerHealth)> {
+        let round = self.round.load(Ordering::Relaxed);
+        self.peers.iter().map(|&p| (p, self.health_at(p, round))).collect()
+    }
+
+    fn health_at(&self, peer: ReplicaId, round: u64) -> PeerHealth {
+        let heard = self.last_heard.lock().get(&peer).copied().unwrap_or(0);
+        let elapsed = round.saturating_sub(heard);
+        if elapsed <= self.config.suspect_after {
+            PeerHealth::Alive
+        } else if elapsed <= self.config.dead_after {
+            PeerHealth::Suspect
+        } else {
+            PeerHealth::Dead
+        }
+    }
+
+    /// Records a heartbeat: a message from `peer` arrived this round.
+    fn note_heard(&self, peer: ReplicaId) {
+        let round = self.round.load(Ordering::Relaxed);
+        self.last_heard.lock().insert(peer, round);
+    }
+
+    /// Starts tracking an in-flight sync to `peer` (no-op if one is
+    /// already outstanding — a retransmission chain is in progress).
+    fn track_sync(&self, peer: ReplicaId) {
+        let round = self.round.load(Ordering::Relaxed);
+        self.outstanding
+            .lock()
+            .entry(peer)
+            .or_insert(OutstandingSync { attempt: 0, deadline: round + self.retry_delay(peer, 0) });
+    }
+
+    /// Backoff before attempt `attempt`'s deadline: `base · 2^attempt`
+    /// plus deterministic per-`(local, peer, attempt)` jitter in
+    /// `0..base`, so a partitioned clique doesn't retransmit in
+    /// lockstep.
+    fn retry_delay(&self, peer: ReplicaId, attempt: u32) -> u64 {
+        let base = self.config.sync_retry_rounds.max(1);
+        let backoff = base << attempt.min(6);
+        let jitter = hdhash_hashfn::mix64(
+            self.transport.local().get()
+                ^ peer.get().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(attempt),
+        ) % base;
+        backoff + jitter
+    }
+
+    /// Retransmits (or abandons) in-flight syncs whose deadline passed.
+    /// Retransmissions carry a *fresh* capture of the local records —
+    /// merge idempotence makes re-delivery harmless, and a newer capture
+    /// can only help.
+    fn retry_expired_syncs(&self, round: u64) {
+        let mut retransmit = Vec::new();
+        let mut abandoned = 0u64;
+        {
+            let mut outstanding = self.outstanding.lock();
+            let peers: Vec<ReplicaId> = outstanding.keys().copied().collect();
+            for peer in peers {
+                let Some(entry) = outstanding.get_mut(&peer) else { continue };
+                if entry.deadline > round {
+                    continue;
+                }
+                if entry.attempt >= self.config.sync_retry_cap {
+                    outstanding.remove(&peer);
+                    abandoned += 1;
+                } else {
+                    entry.attempt += 1;
+                    let attempt = entry.attempt;
+                    entry.deadline = round + self.retry_delay(peer, attempt);
+                    retransmit.push(peer);
+                }
+            }
+        }
+        Counters::add(&self.counters.sync_abandoned, abandoned);
+        for peer in retransmit {
+            let (stamp, records) = self.replica.sync_payload();
+            let message =
+                GossipMessage::SyncRequest { round, stamp, records, diverged: Vec::new() };
+            let bytes = message.wire_size() as u64;
+            if self.send(peer, message) {
+                Counters::add(&self.counters.sync_retries, 1);
+                Counters::add(&self.counters.retry_bytes, bytes);
+            }
+        }
     }
 
     /// Drains and handles every pending incoming message; returns how
@@ -325,9 +541,21 @@ impl<T: Transport> GossipNode<T> {
         handled
     }
 
-    /// Point-in-time protocol counters.
+    /// Point-in-time protocol counters (plus the detector's current
+    /// per-state peer counts).
     #[must_use]
     pub fn metrics(&self) -> GossipMetrics {
+        let round = self.round.load(Ordering::Relaxed);
+        let mut peers_alive = 0;
+        let mut peers_suspect = 0;
+        let mut peers_dead = 0;
+        for &peer in &self.peers {
+            match self.health_at(peer, round) {
+                PeerHealth::Alive => peers_alive += 1,
+                PeerHealth::Suspect => peers_suspect += 1,
+                PeerHealth::Dead => peers_dead += 1,
+            }
+        }
         let c = &self.counters;
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         GossipMetrics {
@@ -346,6 +574,13 @@ impl<T: Transport> GossipNode<T> {
             send_failures: load(&c.send_failures),
             protocol_errors: load(&c.protocol_errors),
             tombstones_expired: load(&c.tombstones_expired),
+            sync_retries: load(&c.sync_retries),
+            sync_abandoned: load(&c.sync_abandoned),
+            retry_bytes: load(&c.retry_bytes),
+            probes_sent: load(&c.probes_sent),
+            peers_alive,
+            peers_suspect,
+            peers_dead,
         }
     }
 
@@ -401,6 +636,8 @@ impl<T: Transport> GossipNode<T> {
     fn handle(&self, envelope: Envelope) {
         let Envelope { from, message } = envelope;
         Counters::add(&self.counters.bytes_received, message.wire_size() as u64);
+        // Any message is a heartbeat: the detector only measures silence.
+        self.note_heard(from);
         match message {
             GossipMessage::Advert { round, signatures, ack } => {
                 Counters::add(&self.counters.adverts_received, 1);
@@ -414,7 +651,10 @@ impl<T: Transport> GossipNode<T> {
                     return;
                 };
                 if diverged.is_empty() {
-                    return; // replicas agree — 1 message, d·shards bits.
+                    // Replicas agree — 1 message, d·shards bits. An
+                    // in-flight sync to this peer became moot.
+                    self.outstanding.lock().remove(&from);
+                    return;
                 }
                 Counters::add(&self.counters.divergence_detections, 1);
                 Counters::add(&self.counters.divergent_shards, diverged.len() as u64);
@@ -422,6 +662,7 @@ impl<T: Transport> GossipNode<T> {
                 let message = GossipMessage::SyncRequest { round, stamp, records, diverged };
                 if self.send(from, message) {
                     Counters::add(&self.counters.syncs_sent, 1);
+                    self.track_sync(from);
                 }
             }
             GossipMessage::SyncRequest { round, stamp, records, .. } => {
@@ -435,6 +676,8 @@ impl<T: Transport> GossipNode<T> {
                 self.send(from, message);
             }
             GossipMessage::SyncResponse { stamp, records, .. } => {
+                // The exchange completed; stop any retransmission chain.
+                self.outstanding.lock().remove(&from);
                 self.merge_from(from, stamp, &records);
             }
         }
@@ -756,6 +999,109 @@ mod tests {
         assert!(run_until_converged(&nodes, 8).is_some());
         for node in &nodes {
             assert!(node.replica().member_ids().contains(&ServerId::new(1)));
+        }
+    }
+
+    #[test]
+    fn failure_detector_follows_silence_and_recovers() {
+        let nodes = pair(1);
+        let peer = ReplicaId::new(1);
+        let cfg = nodes[0].config;
+        assert_eq!(nodes[0].peer_health(peer), PeerHealth::Alive, "grace at round 0");
+        // Silence: node 0 ticks alone, never hearing from node 1.
+        for _ in 0..cfg.suspect_after + 1 {
+            nodes[0].tick();
+        }
+        assert_eq!(nodes[0].peer_health(peer), PeerHealth::Suspect);
+        while nodes[0].round.load(Ordering::Relaxed) <= cfg.dead_after {
+            nodes[0].tick();
+        }
+        nodes[0].tick();
+        assert_eq!(nodes[0].peer_health(peer), PeerHealth::Dead);
+        let m = nodes[0].metrics();
+        assert_eq!(m.peers_dead, 1);
+        assert_eq!(m.peers_alive, 0);
+        // Any received message revives the peer.
+        nodes[1].tick();
+        nodes[0].pump();
+        assert_eq!(nodes[0].peer_health(peer), PeerHealth::Alive);
+        assert_eq!(nodes[0].metrics().peers_alive, 1);
+        assert_eq!(nodes[0].peer_states(), vec![(peer, PeerHealth::Alive)]);
+    }
+
+    #[test]
+    fn round_targets_steer_away_from_dead_peers_but_probe_them() {
+        let network = InProcessNetwork::new();
+        let id = ReplicaId::new(0);
+        let peers: Vec<ReplicaId> = (0..4u64).map(ReplicaId::new).collect();
+        let node = GossipNode::new(
+            Arc::new(ReplicatedEngine::new(id, config(1)).expect("valid config")),
+            network.endpoint(id),
+            peers,
+            GossipConfig { fanout: 3, ..GossipConfig::default() },
+        );
+        // Peers 1 and 2 were heard recently; peer 3 has been silent since
+        // round 0 and is long dead by round 20.
+        node.round.store(20, Ordering::Relaxed);
+        node.note_heard(ReplicaId::new(1));
+        node.note_heard(ReplicaId::new(2));
+        assert_eq!(node.peer_health(ReplicaId::new(3)), PeerHealth::Dead);
+        // Non-probe round: the dead peer is excluded even though fanout
+        // has room for it.
+        let targets = node.round_targets(21);
+        assert_eq!(targets, vec![ReplicaId::new(1), ReplicaId::new(2)]);
+        // Probe round (divisible by probe_period): one slot redirects to
+        // the dead peer.
+        let probe_round = 24;
+        let targets = node.round_targets(probe_round);
+        assert!(targets.contains(&ReplicaId::new(3)), "probe must reach the dead peer");
+        assert!(node.metrics().probes_sent >= 1);
+        // All peers dead: fall back to blind gossip over everyone.
+        node.round.store(200, Ordering::Relaxed);
+        let targets = node.round_targets(201);
+        assert_eq!(targets.len(), 3, "fanout-capped blind selection");
+    }
+
+    #[test]
+    fn unanswered_syncs_retry_with_backoff_then_abandon() {
+        let nodes = pair(2);
+        // Divergence: node 0 has a member node 1 lacks.
+        nodes[0].replica().join(ServerId::new(1)).expect("fresh");
+        // Node 1 adverts; node 0 detects divergence and sends a
+        // SyncRequest that node 1 never answers (it stops pumping).
+        nodes[1].tick();
+        nodes[0].pump();
+        assert_eq!(nodes[0].metrics().syncs_sent, 1);
+        assert_eq!(nodes[0].outstanding.lock().len(), 1);
+        // Node 0 keeps ticking into silence; the retransmission chain
+        // runs its course.
+        let cfg = nodes[0].config;
+        for _ in 0..8 * cfg.sync_retry_rounds * (1 << cfg.sync_retry_cap) {
+            nodes[0].tick();
+        }
+        let m = nodes[0].metrics();
+        assert_eq!(m.sync_retries, u64::from(cfg.sync_retry_cap), "capped retransmissions");
+        assert_eq!(m.sync_abandoned, 1, "chain abandoned after the cap");
+        assert!(m.retry_bytes > 0, "retry traffic is accounted");
+        assert!(nodes[0].outstanding.lock().is_empty(), "no tracking leak");
+        // The divergence is not lost: once node 1 answers again, the
+        // normal advert cycle converges the pair.
+        assert!(run_until_converged(&nodes, 8).is_some());
+        assert_eq!(nodes[1].replica().member_ids(), vec![ServerId::new(1)]);
+    }
+
+    #[test]
+    fn sync_response_clears_the_retransmission_chain() {
+        let nodes = pair(2);
+        nodes[0].replica().join(ServerId::new(9)).expect("fresh");
+        assert_eq!(run_until_converged(&nodes, 8), Some(1));
+        // The full exchange completed inside the round: nothing is left
+        // outstanding and nothing was retried.
+        for node in &nodes {
+            assert!(node.outstanding.lock().is_empty());
+            let m = node.metrics();
+            assert_eq!(m.sync_retries, 0);
+            assert_eq!(m.sync_abandoned, 0);
         }
     }
 

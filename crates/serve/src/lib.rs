@@ -55,6 +55,14 @@
 //!   `min(fanout, peers)` deterministically selected peers, and a
 //!   seen-through watermark exchange expires tombstones the whole peer
 //!   set has acknowledged.
+//! * **Failure model** — [`chaos`] decorates the transport with a
+//!   seeded, scriptable fault plan (per-link drops, bounded delay,
+//!   duplication, reordering, asymmetric partitions, crash/restart
+//!   windows); the gossip layer answers with a heartbeat failure
+//!   detector (per-peer [`PeerHealth`] steering fanout away from dead
+//!   peers) and bounded jittered-backoff retry for in-flight sync
+//!   exchanges — the chaos suite pins convergence-after-heal and
+//!   no-resurrection under up to 50% loss.
 //!
 //! ## Quick example
 //!
@@ -84,6 +92,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod engine;
 pub mod executor;
@@ -96,10 +105,11 @@ pub mod scheduler;
 pub mod shard;
 pub mod transport;
 
+pub use chaos::{ChaosEndpoint, ChaosNetwork, ChaosStats, FaultPlan, LinkFaults};
 pub use config::{SchedulerKind, ServeConfig};
 pub use engine::ServeEngine;
-pub use executor::block_on;
-pub use gossip::{GossipConfig, GossipMessage, GossipMetrics, GossipNode};
+pub use executor::{block_on, block_on_timeout};
+pub use gossip::{GossipConfig, GossipMessage, GossipMetrics, GossipNode, PeerHealth};
 pub use load::{drive, LoadReport};
 pub use metrics::{EngineMetrics, ShardMetricsSnapshot};
 pub use replication::{MemberRecord, MembershipLog, ReplicatedEngine};

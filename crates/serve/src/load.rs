@@ -34,6 +34,11 @@ pub struct LoadReport {
     pub controls: usize,
     /// Control requests that failed (duplicate join, unknown leave).
     pub control_failures: usize,
+    /// Accepted lookups whose response never arrived within the reap
+    /// deadline ([`REAP_TIMEOUT`]); the tickets were abandoned. Always
+    /// zero against a healthy engine — non-zero means a worker wedged or
+    /// died uncontained.
+    pub timed_out: usize,
     /// Wall time of the whole replay.
     pub elapsed: Duration,
     /// Submit-to-response latency profile over every completed lookup.
@@ -48,11 +53,19 @@ impl LoadReport {
     }
 }
 
+/// How long [`drive`] waits for any single outstanding response before
+/// abandoning its ticket. Generous — orders of magnitude above a healthy
+/// engine's worst latency — because its only job is turning a wedged
+/// worker into a counted [`LoadReport::timed_out`] instead of a hung
+/// replay.
+pub const REAP_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// Replays `requests` against `engine`, keeping at most `window` lookups
 /// outstanding (closed loop). Backpressured submissions drain one
 /// outstanding ticket and retry once before counting as rejected.
 ///
-/// Returns after every in-flight lookup has been reaped.
+/// Returns after every in-flight lookup has been reaped or has timed out
+/// ([`REAP_TIMEOUT`] per ticket, counted in [`LoadReport::timed_out`]).
 #[must_use]
 pub fn drive(engine: &ServeEngine, requests: &[Request], window: usize) -> LoadReport {
     let window = window.max(1);
@@ -64,6 +77,7 @@ pub fn drive(engine: &ServeEngine, requests: &[Request], window: usize) -> LoadR
         failures: 0,
         controls: 0,
         control_failures: 0,
+        timed_out: 0,
         elapsed: Duration::ZERO,
         latency: None,
     };
@@ -71,15 +85,21 @@ pub fn drive(engine: &ServeEngine, requests: &[Request], window: usize) -> LoadR
     let started = Instant::now();
 
     // Reap through the async front end: a `Ticket` is a future, and the
-    // vendored block-on executor drives it — so every load replay (the
+    // vendored timeout executor drives it — so every load replay (the
     // bench, the CLI, the examples) exercises the waker path end to end.
+    // The deadline bounds the damage of a wedged worker: one counted
+    // timeout per ticket instead of a replay that never returns.
     let reap = |ticket: Ticket, report: &mut LoadReport, latencies: &mut Vec<Duration>| {
-        let response = crate::executor::block_on(ticket);
-        report.completed += 1;
-        if response.result.is_err() {
-            report.failures += 1;
+        match crate::executor::block_on_timeout(ticket, REAP_TIMEOUT) {
+            Some(response) => {
+                report.completed += 1;
+                if response.result.is_err() {
+                    report.failures += 1;
+                }
+                latencies.push(response.latency);
+            }
+            None => report.timed_out += 1,
         }
-        latencies.push(response.latency);
     };
 
     for request in requests {
@@ -169,6 +189,7 @@ mod tests {
             assert_eq!(report.control_failures, 0);
             assert_eq!(report.submitted + report.rejected, 400);
             assert_eq!(report.completed, report.submitted);
+            assert_eq!(report.timed_out, 0, "healthy engine never times out");
             assert_eq!(report.failures, 0, "pool is non-empty for every lookup");
             assert!(report.latency.is_some());
             assert!(report.throughput().requests_per_sec() > 0.0);

@@ -103,8 +103,14 @@ pub struct EngineMetrics {
     pub submitted: u64,
     /// Requests refused at capacity (the backpressure counter).
     pub rejected: u64,
-    /// Requests served to completion.
+    /// Requests served to completion — including requests backfilled with
+    /// [`WorkerPanicked`](hdhash_table::TableError::WorkerPanicked) by
+    /// panic containment (they resolved, with an error verdict).
     pub completed: u64,
+    /// Worker panics caught and contained: each counts one abandoned
+    /// batch whose pending tickets were backfilled with an error response
+    /// while the worker kept serving. Zero in healthy operation.
+    pub panics_contained: u64,
     /// Requests currently parked in the scheduling substrate (shared
     /// queue, or injector + local deques under work stealing).
     pub queue_depth: usize,

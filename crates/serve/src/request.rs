@@ -88,6 +88,30 @@ impl ResponseCell {
         }
     }
 
+    /// As [`fill`](Self::fill), but a no-op when the cell is already
+    /// `Ready`. Returns whether this call filled the cell. The
+    /// panic-containment path uses this to backfill every job of a
+    /// partially-served batch without knowing which cells the worker
+    /// filled before it panicked.
+    pub(crate) fn fill_if_pending(&self, response: ServeResponse) -> bool {
+        let waker = {
+            let mut state = self.state.lock();
+            if matches!(*state, CellState::Ready(_)) {
+                return false;
+            }
+            let waker = match std::mem::replace(&mut *state, CellState::Ready(response)) {
+                CellState::Polled(waker) => Some(waker),
+                CellState::Pending | CellState::Ready(_) => None,
+            };
+            self.ready.notify_all();
+            waker
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+        true
+    }
+
     fn wait(&self) -> ServeResponse {
         let mut state = self.state.lock();
         loop {
@@ -95,6 +119,19 @@ impl ResponseCell {
                 return response;
             }
             self.ready.wait(&mut state);
+        }
+    }
+
+    fn wait_timeout(&self, timeout: Duration) -> Option<ServeResponse> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock();
+        loop {
+            if let CellState::Ready(response) = *state {
+                return Some(response);
+            }
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            // Spurious wakeups loop back through the deadline check.
+            let _ = self.ready.wait_for(&mut state, remaining);
         }
     }
 
@@ -169,6 +206,19 @@ impl Ticket {
         self.cell.wait()
     }
 
+    /// Blocks until the request is served or `timeout` elapses, whichever
+    /// comes first. `None` means the deadline expired with the request
+    /// still in flight — the ticket stays redeemable, so callers can
+    /// retry, escalate, or abandon it.
+    ///
+    /// This is the chaos-harness-facing surface: under injected faults a
+    /// response may be arbitrarily delayed, and a bounded wait turns a
+    /// hung assertion into a diagnosable timeout.
+    #[must_use]
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<ServeResponse> {
+        self.cell.wait_timeout(timeout)
+    }
+
     /// The response, if already served.
     #[must_use]
     pub fn try_response(&self) -> Option<ServeResponse> {
@@ -229,6 +279,38 @@ mod tests {
         assert!(ticket.try_response().is_none());
         job.cell.fill(response());
         assert_eq!(ticket.try_response(), Some(response()));
+        assert_eq!(ticket.wait(), response());
+    }
+
+    #[test]
+    fn wait_timeout_expires_then_redeems() {
+        let (job, ticket) = LookupJob::new(RequestKey::new(8), 0);
+        assert_eq!(ticket.wait_timeout(Duration::from_millis(5)), None);
+        job.cell.fill(response());
+        assert_eq!(ticket.wait_timeout(Duration::from_millis(5)), Some(response()));
+        assert_eq!(ticket.wait(), response());
+    }
+
+    #[test]
+    fn wait_timeout_wakes_on_fill_across_threads() {
+        let (job, ticket) = LookupJob::new(RequestKey::new(9), 0);
+        let got = std::thread::scope(|s| {
+            let waiter = s.spawn(move || ticket.wait_timeout(Duration::from_secs(30)));
+            std::thread::sleep(Duration::from_millis(10));
+            job.cell.fill(response());
+            waiter.join().expect("no panic")
+        });
+        assert_eq!(got, Some(response()));
+    }
+
+    #[test]
+    fn fill_if_pending_is_idempotent() {
+        let (job, ticket) = LookupJob::new(RequestKey::new(10), 0);
+        assert!(job.cell.fill_if_pending(response()));
+        // A second fill attempt must not clobber the first answer.
+        let mut other = response();
+        other.epoch = 99;
+        assert!(!job.cell.fill_if_pending(other));
         assert_eq!(ticket.wait(), response());
     }
 

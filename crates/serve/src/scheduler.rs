@@ -266,6 +266,15 @@ impl Scheduler for WorkStealing {
 /// shutdown flip notify under that same lock, so a worker can never sleep
 /// through a job it was supposed to see (the submit is either visible to
 /// the re-check or its notification arrives after the wait begins).
+///
+/// Panic containment: batch execution runs under `catch_unwind`, so a
+/// panicking lookup (or the injection hook) costs one batch — its pending
+/// tickets are backfilled with an error response — and the worker loops
+/// back for the next pickup instead of dying and silently shrinking the
+/// pool. `AssertUnwindSafe` is sound here: the only state crossing the
+/// boundary is the batch (fully backfilled and cleared by containment),
+/// the scratch vectors (cleared before reuse), and the engine core, whose
+/// shared state is lock-protected with poison-recovering mutexes.
 pub(crate) fn worker_loop(core: &EngineCore, worker: usize) {
     let mut batch: Vec<LookupJob> = Vec::with_capacity(core.config.batch_capacity);
     let mut keys = Vec::new();
@@ -294,7 +303,12 @@ pub(crate) fn worker_loop(core: &EngineCore, worker: usize) {
             let _guard = core.park.lock();
             core.ready.notify_one();
         }
-        core.serve_batch(&mut batch, &mut keys, &mut latencies);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            core.serve_batch(&mut batch, &mut keys, &mut latencies);
+        }));
+        if outcome.is_err() {
+            core.contain_panic(&mut batch);
+        }
     }
 }
 

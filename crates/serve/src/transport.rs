@@ -149,8 +149,16 @@ impl InProcessNetwork {
         ids
     }
 
-    fn route(&self, from: ReplicaId, to: ReplicaId, message: GossipMessage)
-        -> Result<(), TransportError> {
+    /// Delivers `message` into `to`'s mailbox as if sent by `from`.
+    /// Shared with the chaos layer ([`crate::chaos`]), which injects
+    /// faults *before* routing and needs direct delivery for messages it
+    /// releases from its held queue.
+    pub(crate) fn route(
+        &self,
+        from: ReplicaId,
+        to: ReplicaId,
+        message: GossipMessage,
+    ) -> Result<(), TransportError> {
         let sender = self
             .mailboxes
             .lock()

@@ -24,6 +24,11 @@ pub enum TableError {
     /// A weighted join was attempted with weight zero (weighted tables
     /// require every server to hold at least one replica).
     ZeroWeight(ServerId),
+    /// The worker serving this lookup panicked; the serving layer
+    /// contained the panic and backfilled the ticket with this verdict
+    /// instead of leaving the caller hanging. The request itself was
+    /// never evaluated — retrying is safe.
+    WorkerPanicked,
 }
 
 impl core::fmt::Display for TableError {
@@ -39,6 +44,9 @@ impl core::fmt::Display for TableError {
             }
             TableError::ZeroWeight(id) => {
                 write!(f, "server {id} joined with weight zero")
+            }
+            TableError::WorkerPanicked => {
+                f.write_str("serving worker panicked; lookup not evaluated")
             }
         }
     }
@@ -61,6 +69,7 @@ mod tests {
             .to_string()
             .contains("capacity 8"));
         assert!(TableError::ZeroWeight(ServerId::new(3)).to_string().contains("weight zero"));
+        assert!(TableError::WorkerPanicked.to_string().contains("panicked"));
     }
 
     #[test]
