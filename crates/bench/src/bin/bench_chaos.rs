@@ -104,6 +104,7 @@ fn run_point(replicas: usize, drop_per_mille: u16, partition_rounds: u64) -> Cha
         delay_per_mille: 100,
         max_delay_rounds: 2,
         reorder_per_mille: 50,
+        ..LinkFaults::RELIABLE
     });
     if partition_rounds > 0 {
         plan = plan.with_partition_one_way(ReplicaId::new(0), ReplicaId::new(1), 0..partition_rounds);

@@ -61,6 +61,12 @@ pub struct LinkFaults {
     /// traffic (delivered at the next round boundary — reordered relative
     /// to everything sent after it this round).
     pub reorder_per_mille: u16,
+    /// Probability the send *fails at the sender* with
+    /// [`TransportError::Timeout`] — modelling a write deadline expiring
+    /// on a stalled connection (the TCP transport's
+    /// `set_write_timeout` path). Unlike a silent drop, the sender
+    /// observes the failure; the message is still lost.
+    pub stall_per_mille: u16,
 }
 
 impl LinkFaults {
@@ -71,6 +77,7 @@ impl LinkFaults {
         delay_per_mille: 0,
         max_delay_rounds: 0,
         reorder_per_mille: 0,
+        stall_per_mille: 0,
     };
 
     /// A link that only drops, with probability `drop_per_mille`/1000.
@@ -254,6 +261,10 @@ pub struct ChaosStats {
     pub reordered: u64,
     /// Messages currently sitting in the held queue.
     pub in_flight: u64,
+    /// Sends rejected with [`TransportError::Timeout`] by an injected
+    /// stall — sender-visible loss, counted into
+    /// [`dropped_total`](Self::dropped_total).
+    pub stalled: u64,
     /// Mailbox messages discarded because their owner polled while
     /// crashed. These were already counted `delivered`, so they sit
     /// outside the reconciliation identity.
@@ -268,6 +279,7 @@ impl ChaosStats {
             + self.dropped_partition
             + self.dropped_crash
             + self.dropped_disconnected
+            + self.stalled
     }
 
     /// The conservation identity every snapshot must satisfy:
@@ -289,6 +301,7 @@ struct ChaosCounters {
     dropped_disconnected: AtomicU64,
     delayed: AtomicU64,
     reordered: AtomicU64,
+    stalled: AtomicU64,
     purged_on_crash: AtomicU64,
 }
 
@@ -411,6 +424,7 @@ impl ChaosNetwork {
             dropped_disconnected: load(&c.dropped_disconnected),
             delayed: load(&c.delayed),
             reordered: load(&c.reordered),
+            stalled: load(&c.stalled),
             in_flight: self.in_flight(),
             purged_on_crash: load(&c.purged_on_crash),
         }
@@ -452,6 +466,12 @@ impl ChaosNetwork {
         if per_mille(&mut state, faults.drop_per_mille) {
             Self::add(&self.counters.dropped_random, 1);
             return Ok(());
+        }
+        if per_mille(&mut state, faults.stall_per_mille) {
+            // Sender-visible loss: the write deadline expired. Same
+            // failure the TCP transport surfaces for a wedged peer.
+            Self::add(&self.counters.stalled, 1);
+            return Err(TransportError::Timeout(to));
         }
         if per_mille(&mut state, faults.duplicate_per_mille) {
             // The extra copy trails one round behind, like a late
@@ -678,6 +698,7 @@ mod tests {
                 delay_per_mille: 150,
                 max_delay_rounds: 3,
                 reorder_per_mille: 150,
+                stall_per_mille: 100,
             });
             let net = ChaosNetwork::new(plan);
             let r = ids(2);
@@ -709,6 +730,33 @@ mod tests {
         assert_ne!(order_a, order_c, "different seed must differ somewhere");
         assert!(stats_a.reconciles());
         assert_eq!(stats_a.in_flight, 0, "heal flushed the held queue");
+    }
+
+    #[test]
+    fn stall_fault_surfaces_timeout_at_the_sender() {
+        let plan = FaultPlan::new(5).with_default_link(LinkFaults {
+            stall_per_mille: 1000,
+            ..LinkFaults::RELIABLE
+        });
+        let net = ChaosNetwork::new(plan);
+        let r = ids(2);
+        let a = net.endpoint(r[0]);
+        let b = net.endpoint(r[1]);
+        for round in 0..10 {
+            // Every send fails loudly — the same error the TCP transport
+            // returns for a wedged peer — and the message is lost.
+            match a.send(r[1], advert(round)) {
+                Err(TransportError::Timeout(peer)) => assert_eq!(peer, r[1]),
+                other => panic!("expected Timeout, got {other:?}"),
+            }
+        }
+        net.advance_round();
+        assert!(b.try_recv().is_none(), "stalled sends must not deliver");
+        let stats = net.stats();
+        assert_eq!(stats.offered, 10);
+        assert_eq!(stats.stalled, 10);
+        assert_eq!(stats.delivered, 0);
+        assert!(stats.reconciles(), "{stats:?}");
     }
 
     #[test]

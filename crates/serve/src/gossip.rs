@@ -44,10 +44,11 @@ use crate::transport::{Envelope, ReplicaId, Transport};
 
 /// The gossip wire protocol.
 ///
-/// `wire_size` defines the byte accounting a framed socket transport
-/// would ship; the in-process transport uses it for the bytes-on-wire
-/// metrics so `BENCH_gossip.json` measures the real protocol cost.
-#[derive(Debug, Clone)]
+/// `wire_size` defines the byte accounting; the framed codec in
+/// [`wire`](crate::wire) serializes to exactly this many bytes (a
+/// property-tested invariant), so the in-process bytes-on-wire metrics
+/// and the measured TCP byte counters describe the same protocol cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GossipMessage {
     /// Round opener: the sender's per-shard membership signatures.
     Advert {

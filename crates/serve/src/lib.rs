@@ -63,6 +63,15 @@
 //!   peers) and bounded jittered-backoff retry for in-flight sync
 //!   exchanges — the chaos suite pins convergence-after-heal and
 //!   no-resurrection under up to 50% loss.
+//! * **Socket-native cluster** — [`wire`] frames every
+//!   [`GossipMessage`] with a magic/version/CRC32 header (encoded length
+//!   equals `wire_size`, property-tested), and [`tcp`] runs the same
+//!   gossip over real loopback TCP: per-peer supervised writer threads
+//!   with jittered exponential-backoff reconnect, read/write deadlines,
+//!   partial/garbage-frame connection drops, and bounded drop-oldest
+//!   outboxes for slow peers. The `hdhash-cli cluster` mode and
+//!   `tests/cluster.rs` run ≥3 replica *processes* that reconverge to
+//!   byte-identical signatures after a real SIGKILL + restart.
 //!
 //! ## Quick example
 //!
@@ -103,7 +112,9 @@ pub mod replication;
 pub mod request;
 pub mod scheduler;
 pub mod shard;
+pub mod tcp;
 pub mod transport;
+pub mod wire;
 
 pub use chaos::{ChaosEndpoint, ChaosNetwork, ChaosStats, FaultPlan, LinkFaults};
 pub use config::{SchedulerKind, ServeConfig};
@@ -116,7 +127,9 @@ pub use replication::{MemberRecord, MembershipLog, ReplicatedEngine};
 pub use request::{ServeResponse, Ticket};
 pub use scheduler::Scheduler;
 pub use shard::{ShardReceipt, ShardSnapshot};
-pub use transport::{InProcessNetwork, ReplicaId, Transport};
+pub use tcp::{TcpConfig, TcpEndpoint, TcpNetwork, TcpStats};
+pub use transport::{InProcessNetwork, ReplicaId, Transport, TransportError};
+pub use wire::{FrameError, FRAME_OVERHEAD};
 
 use hdhash_table::TableError;
 

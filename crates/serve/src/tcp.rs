@@ -1,0 +1,815 @@
+//! Socket-native transport: framed loopback TCP with connection
+//! supervision.
+//!
+//! [`TcpNetwork`] is one replica's seat on a real network: a listener
+//! plus one supervised outbound connection per peer, speaking the
+//! [`wire`] frame format (`std::net` only — no async
+//! runtime, no socket crates). [`TcpEndpoint`] is the
+//! [`Transport`] handle the gossip layer drives; nothing above this
+//! module knows bytes are moving through the kernel instead of a
+//! channel.
+//!
+//! ```text
+//!             ┌──────────────── TcpNetwork (replica R) ────────────────┐
+//!  send(to,m) │ per-peer outbox (bounded, drop-oldest)                 │
+//!  ──────────►│   └─► writer thread: connect → hello-free framed       │
+//!             │       write_all, reconnect w/ jittered exp backoff     │
+//!             │ acceptor thread: accept → reader thread per conn       │
+//!  try_recv ◄─│   └─► read frame → CRC/decode → inbox (MPMC channel)   │
+//!             └────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! ## Supervision policy
+//!
+//! * **Reconnect** — a failed connect or broken write drops the
+//!   connection and retries with exponential backoff
+//!   (`base · 2ⁿ`, capped) plus deterministic per-`(local, peer,
+//!   attempt)` jitter, so a restarted cluster doesn't thundering-herd
+//!   its first peer back up. Queued messages survive the outage (up to
+//!   the outbox bound) and flush on reconnect.
+//! * **Deadlines** — every socket carries `set_read_timeout` /
+//!   `set_write_timeout`. An idle timeout *between* frames is normal; a
+//!   timeout *inside* a frame means the peer stalled mid-frame and the
+//!   connection is dropped ([`TcpStats::partial_frames`]).
+//! * **Garbage rejection** — a bad magic/version byte, an oversize
+//!   length claim, a CRC mismatch or a non-canonical payload drops the
+//!   connection ([`TcpStats::corrupt_frames`]) and never the process;
+//!   the peer's supervisor reconnects and the stream re-aligns at a
+//!   fresh frame boundary.
+//! * **Slow peers** — the per-peer outbox is bounded; at capacity the
+//!   *oldest* queued frame is dropped
+//!   ([`TcpStats::peer_backpressure_drops`]) rather than blocking the
+//!   gossip scheduler. Anti-entropy is memoryless across rounds, so a
+//!   dropped advert or sync is re-derived from current state on a later
+//!   round — exactly the failure model the chaos suite already proves
+//!   convergence under.
+//!
+//! Peers may move: [`set_peer_addr`](TcpNetwork::set_peer_addr)
+//! repoints a peer's supervisor (the next reconnect attempt dials the
+//! new address), which is how a cluster driver re-wires survivors to a
+//! replica restarted on a fresh port.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::gossip::GossipMessage;
+use crate::transport::{Envelope, ReplicaId, Transport, TransportError};
+use crate::wire::{self, FrameError, FRAME_OVERHEAD};
+
+/// Tuning knobs of a [`TcpNetwork`]. Defaults suit loopback clusters;
+/// tests shrink the timeouts to keep failure paths fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Per-attempt outbound connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read deadline: bounds mid-frame stalls (a timeout inside a
+    /// frame drops the connection) and shutdown latency (idle readers
+    /// re-check the shutdown flag this often).
+    pub read_timeout: Duration,
+    /// Socket write deadline: a peer that stops draining its receive
+    /// buffer fails the write instead of wedging the writer thread.
+    pub write_timeout: Duration,
+    /// Reconnect backoff base; attempt `n` waits `base · 2ⁿ` (capped at
+    /// [`reconnect_cap`](Self::reconnect_cap)) plus jitter in `0..base`.
+    pub reconnect_base: Duration,
+    /// Ceiling on the exponential reconnect backoff.
+    pub reconnect_cap: Duration,
+    /// Bound of each per-peer outbox; at capacity the oldest queued
+    /// message is dropped ([`TcpStats::peer_backpressure_drops`]).
+    pub outbox_capacity: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_secs(1),
+            reconnect_base: Duration::from_millis(50),
+            reconnect_cap: Duration::from_secs(2),
+            outbox_capacity: 1024,
+        }
+    }
+}
+
+/// Monotone transport counters, snapshotted by [`TcpNetwork::stats`] /
+/// [`TcpEndpoint::stats`]. `bytes_sent` / `bytes_received` are
+/// **measured** socket bytes (payload + [`FRAME_OVERHEAD`] per frame) —
+/// the ground truth the `wire_size` accounting is asserted against in
+/// `bench_cluster`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Outbound connections successfully established.
+    pub connections_established: u64,
+    /// Inbound connections accepted.
+    pub connections_accepted: u64,
+    /// Outbound connect attempts that failed (each is followed by a
+    /// backoff sleep — this is the reconnect-supervision odometer).
+    pub connect_failures: u64,
+    /// Frames fully written to a socket.
+    pub frames_sent: u64,
+    /// Frames fully received, CRC-verified and decoded.
+    pub frames_received: u64,
+    /// Measured bytes written (frame headers included).
+    pub bytes_sent: u64,
+    /// Measured bytes received over verified frames (headers included).
+    pub bytes_received: u64,
+    /// Writes that failed or timed out (the frame stays queued and the
+    /// connection is rebuilt).
+    pub send_errors: u64,
+    /// Frames rejected for corruption (bad magic/version, oversize
+    /// claim, CRC mismatch, non-canonical payload); each drops its
+    /// connection.
+    pub corrupt_frames: u64,
+    /// Frames abandoned because the sender stalled mid-frame past the
+    /// read deadline (or the stream ended inside a frame); each drops
+    /// its connection.
+    pub partial_frames: u64,
+    /// Messages evicted from a full per-peer outbox (slow-peer
+    /// backpressure: drop-oldest, never block the gossip scheduler).
+    pub peer_backpressure_drops: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections_established: AtomicU64,
+    connections_accepted: AtomicU64,
+    connect_failures: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    send_errors: AtomicU64,
+    corrupt_frames: AtomicU64,
+    partial_frames: AtomicU64,
+    peer_backpressure_drops: AtomicU64,
+}
+
+fn bump(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+/// One peer's supervised outbound state.
+#[derive(Debug)]
+struct PeerState {
+    id: ReplicaId,
+    /// Where the peer currently listens; re-read on every connect
+    /// attempt so [`TcpNetwork::set_peer_addr`] takes effect at the next
+    /// reconnect.
+    addr: Mutex<SocketAddr>,
+    outbox: Mutex<VecDeque<GossipMessage>>,
+    /// Signals the writer thread that the outbox gained a message (or
+    /// the network is shutting down).
+    available: Condvar,
+}
+
+#[derive(Debug)]
+struct Shared {
+    local: ReplicaId,
+    config: TcpConfig,
+    inbox: Sender<Envelope>,
+    peers: Mutex<BTreeMap<ReplicaId, Arc<PeerState>>>,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Sleeps the reconnect backoff for `attempt`, in small slices so
+    /// shutdown is honored promptly. Returns `false` when shutdown
+    /// interrupted the wait.
+    fn backoff(&self, peer: ReplicaId, attempt: u32) -> bool {
+        let base = self.config.reconnect_base.max(Duration::from_millis(1));
+        let exp = base.saturating_mul(1u32 << attempt.min(6));
+        let capped = exp.min(self.config.reconnect_cap);
+        let jitter_ms = hdhash_hashfn::mix64(
+            self.local.get()
+                ^ peer.get().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(attempt),
+        ) % base.as_millis().max(1) as u64;
+        let mut left = capped + Duration::from_millis(jitter_ms);
+        while !left.is_zero() {
+            if self.is_shutdown() {
+                return false;
+            }
+            let slice = left.min(Duration::from_millis(20));
+            std::thread::sleep(slice);
+            left -= slice;
+        }
+        !self.is_shutdown()
+    }
+}
+
+/// Is this I/O error a deadline expiry (as opposed to a broken stream)?
+fn is_timeout(err: &std::io::Error) -> bool {
+    matches!(err.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Outcome of reading one frame off a connection.
+enum FrameRead {
+    /// A verified, decoded message.
+    Message(ReplicaId, GossipMessage, usize),
+    /// Clean end: EOF at a frame boundary, or shutdown.
+    Closed,
+    /// The stream stalled or ended mid-frame.
+    Partial,
+    /// The frame failed validation; the stream is no longer trustworthy.
+    Corrupt,
+}
+
+/// Reads exactly `buf.len()` bytes of an in-progress frame. A deadline
+/// expiry or EOF here is mid-frame — the connection is condemned.
+fn read_exact_frame(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), ()> {
+    let mut at = 0;
+    while at < buf.len() {
+        match stream.read(&mut buf[at..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => at += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(()),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame: tolerant of idleness at the frame boundary, strict
+/// once the first byte has arrived.
+fn read_frame(shared: &Shared, stream: &mut TcpStream) -> FrameRead {
+    let mut header = [0u8; FRAME_OVERHEAD];
+    // Frame boundary: idle timeouts are normal; poll until a byte
+    // arrives, the peer closes, or the network shuts down.
+    loop {
+        if shared.is_shutdown() {
+            return FrameRead::Closed;
+        }
+        match stream.read(&mut header[..1]) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(_) => break,
+            Err(e) if is_timeout(&e) || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+    // In-frame: the rest of the header and the payload must arrive
+    // within the read deadline each.
+    if read_exact_frame(stream, &mut header[1..]).is_err() {
+        return FrameRead::Partial;
+    }
+    let parsed = match wire::decode_frame_header(&header) {
+        Ok(h) => h,
+        Err(_) => return FrameRead::Corrupt,
+    };
+    let mut payload = vec![0u8; parsed.len];
+    if read_exact_frame(stream, &mut payload).is_err() {
+        return FrameRead::Partial;
+    }
+    match wire::decode_frame_payload(parsed, &payload) {
+        Ok(message) => FrameRead::Message(parsed.from, message, FRAME_OVERHEAD + parsed.len),
+        Err(_) => FrameRead::Corrupt,
+    }
+}
+
+/// Inbound connection loop: frames → inbox until the stream breaks, a
+/// frame is rejected, or the network shuts down.
+fn reader_loop(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    loop {
+        match read_frame(shared, &mut stream) {
+            FrameRead::Message(from, message, frame_bytes) => {
+                bump(&shared.counters.frames_received, 1);
+                bump(&shared.counters.bytes_received, frame_bytes as u64);
+                if shared.inbox.send(Envelope { from, message }).is_err() {
+                    return;
+                }
+            }
+            FrameRead::Closed => return,
+            FrameRead::Partial => {
+                bump(&shared.counters.partial_frames, 1);
+                return;
+            }
+            FrameRead::Corrupt => {
+                bump(&shared.counters.corrupt_frames, 1);
+                return;
+            }
+        }
+    }
+}
+
+/// Acceptor loop: hand every inbound connection its own reader thread.
+fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener, readers: &Mutex<Vec<std::thread::JoinHandle<()>>>) {
+    while !shared.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The listener is non-blocking (for shutdown); the
+                // accepted stream must not inherit that.
+                let _ = stream.set_nonblocking(false);
+                bump(&shared.counters.connections_accepted, 1);
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("hdhash-tcp-read-{}", shared.local))
+                    .spawn(move || reader_loop(&shared, stream))
+                    .expect("spawn tcp reader");
+                readers.lock().push(handle);
+            }
+            Err(e) if is_timeout(&e) => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Outbound supervisor for one peer: connect (with backoff), drain the
+/// outbox through framed writes, rebuild the connection on any error.
+fn writer_loop(shared: &Shared, peer: &PeerState) {
+    let mut stream: Option<TcpStream> = None;
+    let mut attempt: u32 = 0;
+    loop {
+        // Wait until a message is queued (or shutdown).
+        let message = {
+            let mut outbox = peer.outbox.lock();
+            loop {
+                if shared.is_shutdown() {
+                    return;
+                }
+                if let Some(front) = outbox.front() {
+                    break front.clone();
+                }
+                let _ =
+                    peer.available.wait_for(&mut outbox, Duration::from_millis(50));
+            }
+        };
+        // Ensure a connection; on failure, back off and re-enter the
+        // loop (the message stays queued; the address is re-read so a
+        // moved peer is picked up).
+        let connection = match stream.take() {
+            Some(s) => s,
+            None => {
+                let addr = *peer.addr.lock();
+                match TcpStream::connect_timeout(&addr, shared.config.connect_timeout) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        let _ = s.set_write_timeout(Some(shared.config.write_timeout));
+                        bump(&shared.counters.connections_established, 1);
+                        attempt = 0;
+                        s
+                    }
+                    Err(_) => {
+                        bump(&shared.counters.connect_failures, 1);
+                        if !shared.backoff(peer.id, attempt) {
+                            return;
+                        }
+                        attempt = attempt.saturating_add(1);
+                        continue;
+                    }
+                }
+            }
+        };
+        let mut connection = connection;
+        let frame = wire::encode_frame(shared.local, &message);
+        match connection.write_all(&frame).and_then(|()| connection.flush()) {
+            Ok(()) => {
+                bump(&shared.counters.frames_sent, 1);
+                bump(&shared.counters.bytes_sent, frame.len() as u64);
+                // Dequeue only after the write landed: a frame never
+                // vanishes into a dead connection.
+                peer.outbox.lock().pop_front();
+                stream = Some(connection);
+            }
+            Err(_) => {
+                // Broken or stalled connection: count it, drop the
+                // socket, and let the next iteration reconnect. The
+                // message stays at the front of the outbox.
+                bump(&shared.counters.send_errors, 1);
+            }
+        }
+    }
+}
+
+/// One replica's socket stack: listener + per-peer supervised outbound
+/// connections. Create with [`bind`](Self::bind), wire peers with
+/// [`add_peer`](Self::add_peer), then hand [`endpoint`](Self::endpoint)
+/// to a [`GossipNode`](crate::gossip::GossipNode).
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_serve::tcp::{TcpConfig, TcpNetwork};
+/// use hdhash_serve::transport::{ReplicaId, Transport};
+/// use hdhash_serve::gossip::GossipMessage;
+/// use std::time::Duration;
+///
+/// let mut a = TcpNetwork::bind(ReplicaId::new(0), "127.0.0.1:0", TcpConfig::default())?;
+/// let mut b = TcpNetwork::bind(ReplicaId::new(1), "127.0.0.1:0", TcpConfig::default())?;
+/// a.add_peer(ReplicaId::new(1), b.local_addr());
+/// b.add_peer(ReplicaId::new(0), a.local_addr());
+/// let (ea, eb) = (a.endpoint(), b.endpoint());
+/// ea.send(ReplicaId::new(1), GossipMessage::Advert { round: 1, signatures: vec![], ack: None })?;
+/// let envelope = eb.recv_timeout(Duration::from_secs(5)).expect("delivered over TCP");
+/// assert_eq!(envelope.from, ReplicaId::new(0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct TcpNetwork {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    inbox_rx: Receiver<Envelope>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    writers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl TcpNetwork {
+    /// Binds the listener (use port 0 to let the OS pick; read the
+    /// outcome with [`local_addr`](Self::local_addr)) and starts the
+    /// acceptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind<A: ToSocketAddrs>(
+        local: ReplicaId,
+        addr: A,
+        config: TcpConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let (inbox_tx, inbox_rx) = unbounded();
+        let shared = Arc::new(Shared {
+            local,
+            config,
+            inbox: inbox_tx,
+            peers: Mutex::new(BTreeMap::new()),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let readers = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let readers = Arc::clone(&readers);
+            std::thread::Builder::new()
+                .name(format!("hdhash-tcp-accept-{local}"))
+                .spawn(move || acceptor_loop(&shared, &listener, &readers))
+                .expect("spawn tcp acceptor")
+        };
+        Ok(Self {
+            shared,
+            local_addr,
+            inbox_rx,
+            acceptor: Some(acceptor),
+            writers: Mutex::new(Vec::new()),
+            readers,
+        })
+    }
+
+    /// The replica this network belongs to.
+    #[must_use]
+    pub fn local(&self) -> ReplicaId {
+        self.shared.local
+    }
+
+    /// Where the listener actually bound (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Registers `peer` at `addr` and starts its connection supervisor.
+    /// Registering the local id or an already-known peer just updates
+    /// the address (see [`set_peer_addr`](Self::set_peer_addr)).
+    pub fn add_peer(&self, peer: ReplicaId, addr: SocketAddr) {
+        if peer == self.shared.local {
+            return;
+        }
+        let state = {
+            let mut peers = self.shared.peers.lock();
+            if peers.contains_key(&peer) {
+                drop(peers);
+                self.set_peer_addr(peer, addr);
+                return;
+            }
+            let state = Arc::new(PeerState {
+                id: peer,
+                addr: Mutex::new(addr),
+                outbox: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+            });
+            peers.insert(peer, Arc::clone(&state));
+            state
+        };
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("hdhash-tcp-write-{}-to-{}", self.shared.local, peer))
+            .spawn(move || writer_loop(&shared, &state))
+            .expect("spawn tcp writer");
+        self.writers.lock().push(handle);
+    }
+
+    /// Repoints a known peer to a new address; the supervisor dials it
+    /// on the next (re)connect attempt. Returns whether the peer was
+    /// known. The live connection, if any, is left to drain — a moved
+    /// peer's old connection dies on its own and the reconnect follows
+    /// the new address.
+    pub fn set_peer_addr(&self, peer: ReplicaId, addr: SocketAddr) -> bool {
+        match self.shared.peers.lock().get(&peer) {
+            Some(state) => {
+                *state.addr.lock() = addr;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The registered peer ids, sorted.
+    #[must_use]
+    pub fn peers(&self) -> Vec<ReplicaId> {
+        self.shared.peers.lock().keys().copied().collect()
+    }
+
+    /// A [`Transport`] handle onto this network. Endpoints share the
+    /// inbox: give the gossip node exactly one (a second endpoint would
+    /// *compete* for incoming messages, not observe them).
+    #[must_use]
+    pub fn endpoint(&self) -> TcpEndpoint {
+        TcpEndpoint { shared: Arc::clone(&self.shared), inbox: self.inbox_rx.clone() }
+    }
+
+    /// Point-in-time transport counters.
+    #[must_use]
+    pub fn stats(&self) -> TcpStats {
+        let c = &self.shared.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        TcpStats {
+            connections_established: load(&c.connections_established),
+            connections_accepted: load(&c.connections_accepted),
+            connect_failures: load(&c.connect_failures),
+            frames_sent: load(&c.frames_sent),
+            frames_received: load(&c.frames_received),
+            bytes_sent: load(&c.bytes_sent),
+            bytes_received: load(&c.bytes_received),
+            send_errors: load(&c.send_errors),
+            corrupt_frames: load(&c.corrupt_frames),
+            partial_frames: load(&c.partial_frames),
+            peer_backpressure_drops: load(&c.peer_backpressure_drops),
+        }
+    }
+
+    /// Messages queued in outboxes but not yet written to a socket.
+    /// Benches drain this to zero before comparing measured bytes
+    /// against the `wire_size` accounting.
+    #[must_use]
+    pub fn pending_frames(&self) -> usize {
+        self.shared.peers.lock().values().map(|p| p.outbox.lock().len()).sum()
+    }
+
+    /// Stops every thread (acceptor, readers, writers) and closes the
+    /// listener. Queued-but-unsent messages are discarded. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake idle writers so they observe the flag.
+        for peer in self.shared.peers.lock().values() {
+            peer.available.notify_all();
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for handle in self.writers.lock().drain(..) {
+            let _ = handle.join();
+        }
+        for handle in self.readers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpNetwork {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One replica's [`Transport`] handle onto its [`TcpNetwork`].
+/// [`send`](Transport::send) enqueues onto the peer's bounded outbox and
+/// never blocks on the kernel; receiving drains the shared inbox the
+/// reader threads feed.
+#[derive(Debug)]
+pub struct TcpEndpoint {
+    shared: Arc<Shared>,
+    inbox: Receiver<Envelope>,
+}
+
+impl TcpEndpoint {
+    /// Point-in-time transport counters (same as
+    /// [`TcpNetwork::stats`]).
+    #[must_use]
+    pub fn stats(&self) -> TcpStats {
+        let c = &self.shared.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        TcpStats {
+            connections_established: load(&c.connections_established),
+            connections_accepted: load(&c.connections_accepted),
+            connect_failures: load(&c.connect_failures),
+            frames_sent: load(&c.frames_sent),
+            frames_received: load(&c.frames_received),
+            bytes_sent: load(&c.bytes_sent),
+            bytes_received: load(&c.bytes_received),
+            send_errors: load(&c.send_errors),
+            corrupt_frames: load(&c.corrupt_frames),
+            partial_frames: load(&c.partial_frames),
+            peer_backpressure_drops: load(&c.peer_backpressure_drops),
+        }
+    }
+}
+
+impl Transport for TcpEndpoint {
+    fn local(&self) -> ReplicaId {
+        self.shared.local
+    }
+
+    fn send(&self, to: ReplicaId, message: GossipMessage) -> Result<(), TransportError> {
+        if self.shared.is_shutdown() {
+            return Err(TransportError::Disconnected(to));
+        }
+        let peer = self
+            .shared
+            .peers
+            .lock()
+            .get(&to)
+            .cloned()
+            .ok_or(TransportError::UnknownPeer(to))?;
+        let mut outbox = peer.outbox.lock();
+        if outbox.len() >= self.shared.config.outbox_capacity.max(1) {
+            outbox.pop_front();
+            bump(&self.shared.counters.peer_backpressure_drops, 1);
+        }
+        outbox.push_back(message);
+        drop(outbox);
+        peer.available.notify_one();
+        Ok(())
+    }
+
+    fn try_recv(&self) -> Option<Envelope> {
+        self.inbox.try_recv().ok()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+}
+
+// Keep the unused-field lint honest: FrameError is re-exported for
+// callers matching on decode failures surfaced through stats-adjacent
+// APIs; the module itself consumes it via the wire helpers.
+const _: fn(FrameError) -> TransportError = TransportError::Corrupt;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> TcpConfig {
+        TcpConfig {
+            connect_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_millis(500),
+            reconnect_base: Duration::from_millis(10),
+            reconnect_cap: Duration::from_millis(100),
+            outbox_capacity: 64,
+        }
+    }
+
+    fn advert(round: u64) -> GossipMessage {
+        GossipMessage::Advert { round, signatures: Vec::new(), ack: None }
+    }
+
+    #[test]
+    fn two_endpoints_exchange_frames_with_measured_bytes() {
+        let a = TcpNetwork::bind(ReplicaId::new(0), "127.0.0.1:0", fast()).expect("bind");
+        let b = TcpNetwork::bind(ReplicaId::new(1), "127.0.0.1:0", fast()).expect("bind");
+        a.add_peer(ReplicaId::new(1), b.local_addr());
+        b.add_peer(ReplicaId::new(0), a.local_addr());
+        let ea = a.endpoint();
+        let eb = b.endpoint();
+        assert_eq!(ea.local(), ReplicaId::new(0));
+        let message = advert(3);
+        let expected = (message.wire_size() + FRAME_OVERHEAD) as u64;
+        ea.send(ReplicaId::new(1), message.clone()).expect("queued");
+        let envelope = eb.recv_timeout(Duration::from_secs(5)).expect("delivered");
+        assert_eq!(envelope.from, ReplicaId::new(0));
+        assert_eq!(envelope.message, message);
+        // Reply in the other direction.
+        eb.send(ReplicaId::new(0), advert(4)).expect("queued");
+        assert!(ea.recv_timeout(Duration::from_secs(5)).is_some());
+        let stats = a.stats();
+        assert_eq!(stats.frames_sent, 1);
+        assert_eq!(stats.bytes_sent, expected, "measured = wire_size + frame overhead");
+        assert_eq!(stats.frames_received, 1);
+        assert_eq!(stats.corrupt_frames, 0);
+    }
+
+    #[test]
+    fn unknown_peer_is_an_error_and_shutdown_disconnects() {
+        let mut a = TcpNetwork::bind(ReplicaId::new(0), "127.0.0.1:0", fast()).expect("bind");
+        let ea = a.endpoint();
+        assert_eq!(
+            ea.send(ReplicaId::new(9), advert(1)),
+            Err(TransportError::UnknownPeer(ReplicaId::new(9)))
+        );
+        a.shutdown();
+        assert_eq!(
+            ea.send(ReplicaId::new(9), advert(1)),
+            Err(TransportError::Disconnected(ReplicaId::new(9)))
+        );
+        assert!(ea.try_recv().is_none());
+    }
+
+    #[test]
+    fn garbage_connection_is_dropped_without_killing_the_listener() {
+        let b = TcpNetwork::bind(ReplicaId::new(1), "127.0.0.1:0", fast()).expect("bind");
+        let eb = b.endpoint();
+        // A hostile stream: a full-size header with valid magic but a
+        // version this build does not speak.
+        let mut junk = [0xABu8; FRAME_OVERHEAD];
+        junk[0] = wire::FRAME_MAGIC;
+        junk[1] = 0xFF;
+        let mut garbage = TcpStream::connect(b.local_addr()).expect("connect");
+        garbage.write_all(&junk).expect("write junk");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while b.stats().corrupt_frames == 0 {
+            assert!(std::time::Instant::now() < deadline, "corrupt frame not counted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The listener survived: a well-formed connection still works.
+        let a = TcpNetwork::bind(ReplicaId::new(0), "127.0.0.1:0", fast()).expect("bind");
+        a.add_peer(ReplicaId::new(1), b.local_addr());
+        a.endpoint().send(ReplicaId::new(1), advert(7)).expect("queued");
+        let envelope = eb.recv_timeout(Duration::from_secs(5)).expect("delivered");
+        assert!(matches!(envelope.message, GossipMessage::Advert { round: 7, .. }));
+    }
+
+    #[test]
+    fn stalled_mid_frame_connection_is_condemned() {
+        let b = TcpNetwork::bind(ReplicaId::new(1), "127.0.0.1:0", fast()).expect("bind");
+        // Half a header, then silence: the reader must give up after its
+        // read deadline and count a partial frame.
+        let mut stall = TcpStream::connect(b.local_addr()).expect("connect");
+        stall.write_all(&[wire::FRAME_MAGIC, wire::WIRE_VERSION, 0, 0]).expect("half header");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while b.stats().partial_frames == 0 {
+            assert!(std::time::Instant::now() < deadline, "partial frame not counted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn messages_queue_across_reconnect_to_a_moved_peer() {
+        let a = TcpNetwork::bind(ReplicaId::new(0), "127.0.0.1:0", fast()).expect("bind");
+        // Point at a dead address first: sends must queue, the
+        // supervisor must keep retrying with backoff.
+        let dead: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+        a.add_peer(ReplicaId::new(1), dead);
+        let ea = a.endpoint();
+        ea.send(ReplicaId::new(1), advert(11)).expect("queued despite dead peer");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while a.stats().connect_failures < 2 {
+            assert!(std::time::Instant::now() < deadline, "no reconnect attempts");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(a.stats().frames_sent, 0);
+        assert_eq!(a.pending_frames(), 1);
+        // The peer comes up elsewhere; repoint and the queue drains.
+        let b = TcpNetwork::bind(ReplicaId::new(1), "127.0.0.1:0", fast()).expect("bind");
+        assert!(a.set_peer_addr(ReplicaId::new(1), b.local_addr()));
+        let envelope = b.endpoint().recv_timeout(Duration::from_secs(10)).expect("drained");
+        assert!(matches!(envelope.message, GossipMessage::Advert { round: 11, .. }));
+        assert_eq!(a.pending_frames(), 0);
+        assert!(!a.set_peer_addr(ReplicaId::new(9), b.local_addr()), "unknown peer");
+    }
+
+    #[test]
+    fn slow_peer_overflow_drops_oldest_without_blocking() {
+        let config = TcpConfig { outbox_capacity: 4, ..fast() };
+        let a = TcpNetwork::bind(ReplicaId::new(0), "127.0.0.1:0", config).expect("bind");
+        let dead: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+        a.add_peer(ReplicaId::new(1), dead);
+        let ea = a.endpoint();
+        for round in 0..10 {
+            ea.send(ReplicaId::new(1), advert(round)).expect("never blocks");
+        }
+        assert!(a.pending_frames() <= 4, "outbox stays bounded");
+        assert!(a.stats().peer_backpressure_drops >= 6, "oldest frames evicted");
+    }
+}

@@ -5,11 +5,14 @@
 //! [`Transport`] trait and never assumes how the bytes move. This module
 //! provides the trait plus the in-process implementation —
 //! [`InProcessNetwork`] hands out per-replica [`InProcessEndpoint`]s wired
-//! together with `crossbeam::channel` mailboxes — which is what the tests,
-//! the bench and the CLI demo run on. A socket transport is a future
-//! drop-in: implement [`Transport`] over framed TCP and nothing above this
-//! module changes (`wire_size` on the message type already defines the
-//! frame accounting).
+//! together with `crossbeam::channel` mailboxes — which is what most
+//! tests, the bench and the CLI demo run on. The socket implementation
+//! lives in [`tcp`](crate::tcp): a [`TcpNetwork`](crate::tcp::TcpNetwork)
+//! moves the same messages over framed loopback TCP
+//! ([`wire`](crate::wire) defines the frame format), and nothing above
+//! this module can tell the difference. All three transports — in-process,
+//! chaos ([`crate::chaos`]) and TCP — fail through the one
+//! [`TransportError`] vocabulary.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -19,6 +22,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::gossip::GossipMessage;
+use crate::wire::FrameError;
 
 /// Identifies one replica (one [`ServeEngine`](crate::ServeEngine) plus
 /// its gossip node) inside a replica set.
@@ -54,13 +58,22 @@ pub struct Envelope {
     pub message: GossipMessage,
 }
 
-/// Errors a [`Transport`] can surface.
+/// The one failure vocabulary every transport speaks — in-process
+/// mailboxes, the chaos harness and the TCP endpoints all surface these
+/// same variants, so gossip-layer error handling is transport-blind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransportError {
     /// The destination replica is not registered on this network.
     UnknownPeer(ReplicaId),
-    /// The destination's mailbox is gone (its endpoint was dropped).
+    /// The path to the destination is gone: its mailbox was dropped
+    /// (in-process), or the local network was shut down (TCP).
     Disconnected(ReplicaId),
+    /// A deadline expired talking to the peer (TCP read/write timeout;
+    /// the chaos harness injects this to model stalls).
+    Timeout(ReplicaId),
+    /// Bytes from the peer failed frame validation — bad magic, version,
+    /// length, checksum or payload encoding ([`FrameError`] says which).
+    Corrupt(FrameError),
 }
 
 impl core::fmt::Display for TransportError {
@@ -68,7 +81,15 @@ impl core::fmt::Display for TransportError {
         match self {
             TransportError::UnknownPeer(id) => write!(f, "unknown peer {id}"),
             TransportError::Disconnected(id) => write!(f, "peer {id} disconnected"),
+            TransportError::Timeout(id) => write!(f, "timed out talking to {id}"),
+            TransportError::Corrupt(err) => write!(f, "corrupt frame: {err}"),
         }
+    }
+}
+
+impl From<FrameError> for TransportError {
+    fn from(err: FrameError) -> Self {
+        TransportError::Corrupt(err)
     }
 }
 
@@ -249,6 +270,25 @@ mod tests {
         let network = InProcessNetwork::new();
         let a = network.endpoint(ReplicaId::new(1));
         assert!(a.recv_timeout(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn transport_error_display_covers_all_variants() {
+        use crate::wire::FrameError;
+        assert_eq!(
+            TransportError::UnknownPeer(ReplicaId::new(9)).to_string(),
+            "unknown peer replica9"
+        );
+        assert_eq!(
+            TransportError::Disconnected(ReplicaId::new(2)).to_string(),
+            "peer replica2 disconnected"
+        );
+        assert_eq!(
+            TransportError::Timeout(ReplicaId::new(3)).to_string(),
+            "timed out talking to replica3"
+        );
+        let corrupt: TransportError = FrameError::BadChecksum.into();
+        assert!(corrupt.to_string().starts_with("corrupt frame:"));
     }
 
     #[test]

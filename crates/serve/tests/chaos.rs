@@ -341,6 +341,7 @@ fn same_seed_replays_the_same_scenario() {
             delay_per_mille: 200,
             max_delay_rounds: 2,
             reorder_per_mille: 100,
+            ..LinkFaults::RELIABLE
         });
         let (net, set) = chaos_set(3, 2, 0x55_000, plan);
         diverge(&set);
@@ -403,6 +404,7 @@ fn randomized_soak_converges_after_heal() {
             delay_per_mille: 150,
             max_delay_rounds: 3,
             reorder_per_mille: 50,
+            ..LinkFaults::RELIABLE
         })
         .with_partition_one_way(victim, other, 3..9);
     let (net, set) = chaos_set(n, 2, seed ^ 0x66_000, plan);

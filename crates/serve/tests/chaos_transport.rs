@@ -47,6 +47,7 @@ fn fault_plans() -> impl Strategy<Value = FaultPlan> {
                 delay_per_mille: delay,
                 max_delay_rounds: max_delay,
                 reorder_per_mille: reorder,
+                ..LinkFaults::RELIABLE
             });
             if partition {
                 plan = plan.with_partition_one_way(ReplicaId::new(0), ReplicaId::new(1), 2..6);

@@ -444,9 +444,21 @@ commands:
   replicate [shards] [ops]     anti-entropy demo: diverge two replicas, gossip to convergence
   accel [servers] [d]          projected single-cycle lookup time on HDC hardware
   quit                         exit
+
+process modes (argv, not shell commands):
+  hdhash-cli cluster [n] [churn]   spawn n replica processes gossiping over
+                                   loopback TCP, churn, converge, SIGKILL one,
+                                   restart it, and prove reconvergence
+  hdhash-cli cluster-replica ...   one replica process (spawned by `cluster`)
 ";
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("cluster") => std::process::exit(cluster::driver_main(&args[1..])),
+        Some("cluster-replica") => std::process::exit(cluster::replica_main(&args[1..])),
+        _ => {}
+    }
     let stdin = std::io::stdin();
     let interactive = atty_stdin();
     let mut shell = Shell::new();
@@ -481,6 +493,432 @@ fn main() {
 /// failed prompt being harmless either way).
 fn atty_stdin() -> bool {
     std::env::var_os("HDHASH_CLI_BATCH").is_none()
+}
+
+/// Multi-process cluster mode: a driver (`hdhash-cli cluster`) that
+/// spawns N replica processes (`hdhash-cli cluster-replica`), each
+/// running a [`ReplicatedEngine`](hdhash::serve::replication) gossiping
+/// over framed loopback TCP, and a crash-recovery script: churn,
+/// converge, SIGKILL one replica mid-churn, restart it on a fresh port,
+/// and prove the cluster reconverges to byte-identical per-shard
+/// signatures.
+///
+/// The driver↔replica protocol is line-oriented over stdin/stdout (one
+/// response line per command), so a supervisor harness — or a human with
+/// a pipe — can drive a replica directly:
+///
+/// ```text
+/// $ hdhash-cli cluster-replica 0 2 1024 128 1789 20
+/// listening 40123            # OS-assigned loopback port
+/// peer 1 127.0.0.1:40124     -> ok
+/// start                      -> ok
+/// join 7                     -> ok
+/// members                    -> members 7
+/// sig                        -> sig <hex per shard>
+/// metrics                    -> metrics frames_sent=… bytes_sent=…
+/// quit                       -> bye
+/// ```
+mod cluster {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use hdhash::serve::gossip::{GossipConfig, GossipNode};
+    use hdhash::serve::replication::ReplicatedEngine;
+    use hdhash::serve::tcp::{TcpConfig, TcpNetwork};
+    use hdhash::serve::transport::ReplicaId;
+    use hdhash::serve::ServeConfig;
+    use hdhash::table::ServerId;
+
+    /// Socket deadlines tuned for loopback: fast enough that a SIGKILLed
+    /// peer is noticed in tens of milliseconds, long enough to never
+    /// false-positive on a loaded CI box.
+    fn tcp_config() -> TcpConfig {
+        TcpConfig {
+            connect_timeout: Duration::from_millis(400),
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(1),
+            reconnect_base: Duration::from_millis(25),
+            reconnect_cap: Duration::from_millis(500),
+            outbox_capacity: 1024,
+        }
+    }
+
+    fn parse<T: std::str::FromStr>(args: &[String], at: usize, name: &str) -> Result<T, String> {
+        let raw = args.get(at).ok_or_else(|| format!("missing argument <{name}>"))?;
+        raw.parse().map_err(|_| format!("bad {name} `{raw}`"))
+    }
+
+    // ------------------------------------------------------------------
+    // Replica process
+    // ------------------------------------------------------------------
+
+    /// Entry point of `hdhash-cli cluster-replica <id> <shards>
+    /// <dimension> <codebook> <seed> <period_ms>`.
+    pub fn replica_main(args: &[String]) -> i32 {
+        match run_replica(args) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("cluster-replica error: {e}");
+                1
+            }
+        }
+    }
+
+    fn run_replica(args: &[String]) -> Result<(), String> {
+        let id: u64 = parse(args, 0, "id")?;
+        let shards: usize = parse(args, 1, "shards")?;
+        let dimension: usize = parse(args, 2, "dimension")?;
+        let codebook: usize = parse(args, 3, "codebook")?;
+        let seed: u64 = parse(args, 4, "seed")?;
+        let period_ms: u64 = parse(args, 5, "period_ms")?;
+        let local = ReplicaId::new(id);
+        let network =
+            TcpNetwork::bind(local, "127.0.0.1:0", tcp_config()).map_err(|e| e.to_string())?;
+        let config = ServeConfig {
+            shards,
+            workers: 1,
+            batch_capacity: 16,
+            queue_capacity: 256,
+            dimension,
+            codebook_size: codebook,
+            seed,
+            scheduler: hdhash::serve::SchedulerKind::default(),
+        };
+        let replica = Arc::new(ReplicatedEngine::new(local, config).map_err(|e| e.to_string())?);
+        let mut stdout = std::io::stdout();
+        let mut respond = |line: &str| -> Result<(), String> {
+            writeln!(stdout, "{line}").and_then(|()| stdout.flush()).map_err(|e| e.to_string())
+        };
+        respond(&format!("listening {}", network.local_addr().port()))?;
+        let mut gossip = None;
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            let mut parts = line.split_whitespace();
+            let Some(command) = parts.next() else { continue };
+            let args: Vec<&str> = parts.collect();
+            let reply = match command {
+                "peer" => match (args.first(), args.get(1)) {
+                    (Some(peer), Some(addr)) => {
+                        match (peer.parse::<u64>(), addr.parse::<std::net::SocketAddr>()) {
+                            (Ok(peer), Ok(addr)) => {
+                                network.add_peer(ReplicaId::new(peer), addr);
+                                "ok".to_string()
+                            }
+                            _ => format!("err bad peer line `{line}`"),
+                        }
+                    }
+                    _ => "err usage: peer <id> <ip:port>".to_string(),
+                },
+                "start" => {
+                    if gossip.is_some() {
+                        "err already started".to_string()
+                    } else {
+                        let node = GossipNode::new(
+                            Arc::clone(&replica),
+                            network.endpoint(),
+                            network.peers(),
+                            GossipConfig {
+                                period: Duration::from_millis(period_ms),
+                                ..GossipConfig::default()
+                            },
+                        );
+                        gossip = Some(node.spawn());
+                        "ok".to_string()
+                    }
+                }
+                "join" | "leave" => match args.first().map(|a| a.parse::<u64>()) {
+                    Some(Ok(server)) => {
+                        let server = ServerId::new(server);
+                        let outcome = if command == "join" {
+                            replica.join(server)
+                        } else {
+                            replica.leave(server)
+                        };
+                        match outcome {
+                            Ok(_) => "ok".to_string(),
+                            Err(e) => format!("err {e}"),
+                        }
+                    }
+                    _ => format!("err usage: {command} <server-id>"),
+                },
+                "members" => {
+                    let ids: Vec<String> =
+                        replica.member_ids().iter().map(|s| s.get().to_string()).collect();
+                    format!("members {}", ids.join(" "))
+                }
+                "sig" => {
+                    let mut out = String::from("sig");
+                    for signature in replica.shard_signatures() {
+                        out.push(' ');
+                        for byte in signature.to_bytes() {
+                            out.push_str(&format!("{byte:02x}"));
+                        }
+                    }
+                    out
+                }
+                "metrics" => {
+                    let s = network.stats();
+                    format!(
+                        "metrics frames_sent={} frames_received={} bytes_sent={} \
+                         bytes_received={} connections_established={} connections_accepted={} \
+                         connect_failures={} send_errors={} corrupt_frames={} partial_frames={} \
+                         peer_backpressure_drops={}",
+                        s.frames_sent,
+                        s.frames_received,
+                        s.bytes_sent,
+                        s.bytes_received,
+                        s.connections_established,
+                        s.connections_accepted,
+                        s.connect_failures,
+                        s.send_errors,
+                        s.corrupt_frames,
+                        s.partial_frames,
+                        s.peer_backpressure_drops,
+                    )
+                }
+                "quit" => {
+                    respond("bye")?;
+                    break;
+                }
+                other => format!("err unknown command `{other}`"),
+            };
+            respond(&reply)?;
+        }
+        if let Some(handle) = gossip {
+            let _ = handle.stop();
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Driver process
+    // ------------------------------------------------------------------
+
+    /// One spawned replica process, driven over its stdin/stdout pipe.
+    struct Replica {
+        id: u64,
+        port: u16,
+        child: Child,
+        stdin: ChildStdin,
+        lines: std::io::Lines<BufReader<ChildStdout>>,
+    }
+
+    impl Replica {
+        fn spawn(id: u64, shards: usize, seed: u64, period_ms: u64) -> Result<Self, String> {
+            let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+            let mut child = Command::new(exe)
+                .arg("cluster-replica")
+                .args([
+                    id.to_string(),
+                    shards.to_string(),
+                    "1024".into(),
+                    "128".into(),
+                    seed.to_string(),
+                    period_ms.to_string(),
+                ])
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .map_err(|e| format!("spawn replica{id}: {e}"))?;
+            let stdin = child.stdin.take().ok_or("no child stdin")?;
+            let stdout = child.stdout.take().ok_or("no child stdout")?;
+            let mut lines = BufReader::new(stdout).lines();
+            let banner = lines
+                .next()
+                .ok_or_else(|| format!("replica{id} exited before its banner"))?
+                .map_err(|e| e.to_string())?;
+            let port = banner
+                .strip_prefix("listening ")
+                .and_then(|p| p.parse().ok())
+                .ok_or_else(|| format!("replica{id}: bad banner `{banner}`"))?;
+            Ok(Self { id, port, child, stdin, lines })
+        }
+
+        fn addr(&self) -> String {
+            format!("127.0.0.1:{}", self.port)
+        }
+
+        /// Sends one command line and reads its one response line.
+        fn command(&mut self, command: &str) -> Result<String, String> {
+            writeln!(self.stdin, "{command}")
+                .and_then(|()| self.stdin.flush())
+                .map_err(|e| format!("replica{}: write `{command}`: {e}", self.id))?;
+            self.lines
+                .next()
+                .ok_or_else(|| format!("replica{}: eof after `{command}`", self.id))?
+                .map_err(|e| e.to_string())
+        }
+
+        fn expect_ok(&mut self, command: &str) -> Result<(), String> {
+            match self.command(command)? {
+                ref ok if ok == "ok" => Ok(()),
+                other => Err(format!("replica{}: `{command}` -> `{other}`", self.id)),
+            }
+        }
+
+        /// Real SIGKILL — no shutdown handshake, no flushing.
+        fn sigkill(&mut self) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+
+        fn quit(&mut self) {
+            let _ = self.command("quit");
+            let _ = self.child.wait();
+        }
+    }
+
+    impl Drop for Replica {
+        fn drop(&mut self) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+
+    /// Polls `sig` on every replica until the lines are byte-identical.
+    fn await_convergence(
+        replicas: &mut [Replica],
+        deadline: Duration,
+    ) -> Result<(usize, String), String> {
+        let start = Instant::now();
+        let mut polls = 0;
+        loop {
+            polls += 1;
+            let mut sigs = Vec::with_capacity(replicas.len());
+            for replica in replicas.iter_mut() {
+                sigs.push(replica.command("sig")?);
+            }
+            if sigs.windows(2).all(|w| w[0] == w[1]) && sigs[0].len() > "sig".len() {
+                return Ok((polls, sigs.remove(0)));
+            }
+            if start.elapsed() > deadline {
+                return Err(format!(
+                    "no convergence after {polls} polls ({}ms)",
+                    start.elapsed().as_millis()
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Entry point of `hdhash-cli cluster [replicas] [churn]`: the full
+    /// crash-recovery story, exit code 0 only if every phase held.
+    pub fn driver_main(args: &[String]) -> i32 {
+        match run_driver(args) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("[cluster] FAILED: {e}");
+                1
+            }
+        }
+    }
+
+    fn run_driver(args: &[String]) -> Result<(), String> {
+        let n: u64 = args.first().map_or(Ok(3), |a| {
+            a.parse().map_err(|_| format!("bad replica count `{a}`"))
+        })?;
+        let churn: u64 = args.get(1).map_or(Ok(24), |a| {
+            a.parse().map_err(|_| format!("bad churn `{a}`"))
+        })?;
+        if n < 3 {
+            return Err("need at least 3 replicas".into());
+        }
+        let (shards, seed, period_ms) = (2usize, 0x7EA_C1u64, 20u64);
+        println!("[cluster] spawning {n} replica processes (shards={shards} churn={churn})");
+        let mut replicas = Vec::new();
+        for id in 0..n {
+            let replica = Replica::spawn(id, shards, seed, period_ms)?;
+            println!("[cluster] replica{id} pid {} listening on {}", replica.child.id(), replica.addr());
+            replicas.push(replica);
+        }
+        // Full-mesh wiring, then start gossip everywhere.
+        let addrs: Vec<String> = replicas.iter().map(Replica::addr).collect();
+        for (i, replica) in replicas.iter_mut().enumerate() {
+            for (j, addr) in addrs.iter().enumerate() {
+                if i != j {
+                    replica.expect_ok(&format!("peer {j} {addr}"))?;
+                }
+            }
+            replica.expect_ok("start")?;
+        }
+        // Divergent churn: disjoint server ranges per replica, plus a few
+        // conflicting leaves, all applied concurrently with live gossip.
+        println!("[cluster] phase 1: divergent churn ({churn} joins per replica)");
+        for (i, replica) in replicas.iter_mut().enumerate() {
+            let base = i as u64 * 100;
+            for server in base..base + churn {
+                replica.expect_ok(&format!("join {server}"))?;
+            }
+        }
+        for server in 0..3u64 {
+            replicas[0].expect_ok(&format!("leave {server}"))?;
+        }
+        let (polls, _) = await_convergence(&mut replicas, Duration::from_secs(60))?;
+        println!("[cluster] phase 1: converged after {polls} sig polls");
+        // SIGKILL the last replica mid-churn: more churn lands on the
+        // survivors while the corpse still holds its old port.
+        let victim = replicas.len() - 1;
+        let victim_id = replicas[victim].id;
+        println!("[cluster] phase 2: SIGKILL replica{victim_id}");
+        replicas[victim].sigkill();
+        for (i, replica) in replicas[..victim].iter_mut().enumerate() {
+            let base = 1000 + i as u64 * 100;
+            for server in base..base + churn / 2 {
+                replica.expect_ok(&format!("join {server}"))?;
+            }
+        }
+        let (polls, _) = await_convergence(&mut replicas[..victim], Duration::from_secs(60))?;
+        println!("[cluster] phase 2: survivors reconverged after {polls} sig polls");
+        // Restart the victim on a fresh OS-assigned port, re-wire the
+        // survivors to it, and demand full-cluster byte-identical
+        // signatures again.
+        let restarted = Replica::spawn(victim_id, shards, seed, period_ms)?;
+        println!(
+            "[cluster] phase 3: replica{victim_id} restarted on {} (was {})",
+            restarted.addr(),
+            replicas[victim].addr()
+        );
+        replicas[victim] = restarted;
+        let new_addr = replicas[victim].addr();
+        for survivor in replicas[..victim].iter_mut() {
+            survivor.expect_ok(&format!("peer {victim_id} {new_addr}"))?;
+        }
+        let survivor_lines: Vec<String> = addrs[..victim]
+            .iter()
+            .enumerate()
+            .map(|(j, addr)| format!("peer {j} {addr}"))
+            .collect();
+        for line in &survivor_lines {
+            replicas[victim].expect_ok(line)?;
+        }
+        replicas[victim].expect_ok("start")?;
+        let (polls, sig) = await_convergence(&mut replicas, Duration::from_secs(120))?;
+        println!(
+            "[cluster] phase 3: full cluster reconverged after {polls} sig polls \
+             ({} hex chars/shard set)",
+            sig.len() - 4
+        );
+        // Wire ledger + orderly teardown.
+        let mut total_bytes = 0u64;
+        for replica in &mut replicas {
+            let metrics = replica.command("metrics")?;
+            println!("[cluster] replica{} {metrics}", replica.id);
+            for field in metrics.split_whitespace() {
+                if let Some(v) = field.strip_prefix("bytes_sent=") {
+                    total_bytes += v.parse::<u64>().unwrap_or(0);
+                }
+            }
+        }
+        println!("[cluster] total measured wire bytes sent: {total_bytes}");
+        for replica in &mut replicas {
+            replica.quit();
+        }
+        println!("[cluster] ok: {n} processes, SIGKILL + restart, byte-identical signatures");
+        Ok(())
+    }
 }
 
 #[cfg(test)]
