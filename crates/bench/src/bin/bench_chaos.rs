@@ -32,10 +32,12 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use hdhash_bench::Params;
+use hdhash_bench::{telemetry_embed, Params};
+use hdhash_obs::TelemetrySnapshot;
 use hdhash_serve::chaos::{ChaosEndpoint, ChaosNetwork, FaultPlan, LinkFaults};
 use hdhash_serve::gossip::{converged, GossipConfig, GossipNode};
 use hdhash_serve::replication::ReplicatedEngine;
+use hdhash_serve::telemetry::{export_chaos, export_gossip};
 use hdhash_serve::transport::ReplicaId;
 use hdhash_serve::ServeConfig;
 use hdhash_table::ServerId;
@@ -79,6 +81,7 @@ fn serve_config(shards: usize) -> ServeConfig {
         codebook_size: 64,
         seed: ENGINE_SEED,
         scheduler: hdhash_serve::SchedulerKind::default(),
+        trace: Default::default(),
     }
 }
 
@@ -97,7 +100,12 @@ fn chaos_round(net: &ChaosNetwork, nodes: &[GossipNode<ChaosEndpoint>]) {
     }
 }
 
-fn run_point(replicas: usize, drop_per_mille: u16, partition_rounds: u64) -> ChaosPoint {
+fn run_point(
+    replicas: usize,
+    drop_per_mille: u16,
+    partition_rounds: u64,
+    telemetry: &mut TelemetrySnapshot,
+) -> ChaosPoint {
     let mut plan = FaultPlan::new(CHAOS_SEED).with_default_link(LinkFaults {
         drop_per_mille,
         duplicate_per_mille: 50,
@@ -174,6 +182,25 @@ fn run_point(replicas: usize, drop_per_mille: u16, partition_rounds: u64) -> Cha
     let stats = net.stats();
     assert!(stats.reconciles(), "fault counters must reconcile");
     let metrics: Vec<_> = nodes.iter().map(GossipNode::metrics).collect();
+    // Fold this point's gossip + chaos counters into the run-wide
+    // unified snapshot; the JSON embeds its validated totals.
+    let (n, d, p) =
+        (replicas.to_string(), drop_per_mille.to_string(), partition_rounds.to_string());
+    for (i, m) in metrics.iter().enumerate() {
+        let r = i.to_string();
+        let labels = [
+            ("replicas", n.as_str()),
+            ("drop", d.as_str()),
+            ("partition", p.as_str()),
+            ("replica", r.as_str()),
+        ];
+        export_gossip(telemetry, &labels, m);
+    }
+    export_chaos(
+        telemetry,
+        &[("replicas", n.as_str()), ("drop", d.as_str()), ("partition", p.as_str())],
+        &stats,
+    );
     ChaosPoint {
         replicas,
         drop_per_mille,
@@ -206,6 +233,7 @@ fn main() {
         params.get_usize_list("replicas", if quick { &[3][..] } else { &[2, 3, 5][..] });
 
     println!("chaos seed: {CHAOS_SEED:#x}");
+    let mut telemetry = TelemetrySnapshot::new();
     let mut grid: Vec<ChaosPoint> = Vec::new();
     for &replicas in &replica_counts {
         for &drop in &drop_rates {
@@ -214,6 +242,7 @@ fn main() {
                     replicas,
                     u16::try_from(drop).expect("drop rate fits in per-mille"),
                     partition as u64,
+                    &mut telemetry,
                 );
                 println!(
                     "replicas={:<2} drop={:<4}‰ partition={:<3} rounds-to-converge={:<3} \
@@ -256,6 +285,21 @@ fn main() {
          50‰ reorder; optional one-way partition 0→1\","
     );
     let _ = writeln!(json, "  \"max_rounds_to_converge\": {max_rounds},");
+    let _ = writeln!(
+        json,
+        "  \"telemetry\": {},",
+        telemetry_embed::embed(
+            &telemetry,
+            &[
+                "hdhash_chaos_offered_total",
+                "hdhash_chaos_delivered_total",
+                "hdhash_chaos_dropped_random_total",
+                "hdhash_chaos_dropped_partition_total",
+                "hdhash_gossip_sync_retries_total",
+                "hdhash_gossip_sync_abandoned_total",
+            ],
+        )
+    );
     json.push_str("  \"series\": [\n");
     for (i, p) in grid.iter().enumerate() {
         let _ = writeln!(

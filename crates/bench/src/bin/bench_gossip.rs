@@ -34,9 +34,11 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use hdhash_bench::Params;
+use hdhash_bench::{telemetry_embed, Params};
+use hdhash_obs::TelemetrySnapshot;
 use hdhash_serve::gossip::{converged, run_round, GossipConfig, GossipNode};
 use hdhash_serve::replication::ReplicatedEngine;
+use hdhash_serve::telemetry::export_gossip;
 use hdhash_serve::transport::{InProcessNetwork, ReplicaId};
 use hdhash_serve::ServeConfig;
 use hdhash_table::ServerId;
@@ -69,6 +71,7 @@ fn replica(id: u64, shards: usize) -> (Arc<ReplicatedEngine>, ReplicaId) {
         codebook_size: 256,
         seed: 0x6055,
         scheduler: hdhash_serve::SchedulerKind::default(),
+        trace: Default::default(),
     };
     (
         Arc::new(ReplicatedEngine::new(replica_id, config).expect("valid config")),
@@ -85,7 +88,11 @@ fn signature_distance(a: &ReplicatedEngine, b: &ReplicatedEngine) -> usize {
         .sum()
 }
 
-fn run_point(shards: usize, churn_ops: usize) -> GridPoint {
+fn run_point(
+    shards: usize,
+    churn_ops: usize,
+    telemetry: &mut TelemetrySnapshot,
+) -> GridPoint {
     let network = InProcessNetwork::new();
     let (a, a_id) = replica(0, shards);
     let (b, b_id) = replica(1, shards);
@@ -141,6 +148,14 @@ fn run_point(shards: usize, churn_ops: usize) -> GridPoint {
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
 
     let metrics = [nodes[0].metrics(), nodes[1].metrics()];
+    // Fold this point's gossip counters into the run-wide unified
+    // snapshot; the JSON embeds its validated totals.
+    for (i, m) in metrics.iter().enumerate() {
+        let (s, c, r) = (shards.to_string(), churn_ops.to_string(), i.to_string());
+        let labels =
+            [("shards", s.as_str()), ("churn", c.as_str()), ("replica", r.as_str())];
+        export_gossip(telemetry, &labels, m);
+    }
     let advert_bytes_per_round =
         (shards * (4 + DIMENSION / 8) + 13 + 9) as u64 * nodes.len() as u64;
     GridPoint {
@@ -242,10 +257,11 @@ fn main() {
     let churn_rates =
         params.get_usize_list("churn", if quick { &[8, 32][..] } else { &[0, 8, 32, 128][..] });
 
+    let mut telemetry = TelemetrySnapshot::new();
     let mut grid: Vec<GridPoint> = Vec::new();
     for &shards in &shard_counts {
         for &churn_ops in &churn_rates {
-            let point = run_point(shards, churn_ops);
+            let point = run_point(shards, churn_ops, &mut telemetry);
             println!(
                 "shards={:<2} churn={:<4} rounds={:<2} start-distance={:<6} \
                  wire {:>7} B  records {:>4}  {:>7.2} ms",
@@ -301,6 +317,21 @@ fn main() {
         "  \"protocol\": \"advert per-shard signatures; push-pull LWW member records on divergence\","
     );
     let _ = writeln!(json, "  \"max_rounds_to_converge\": {max_rounds},");
+    let _ = writeln!(
+        json,
+        "  \"telemetry\": {},",
+        telemetry_embed::embed(
+            &telemetry,
+            &[
+                "hdhash_gossip_rounds_total",
+                "hdhash_gossip_syncs_sent_total",
+                "hdhash_gossip_sync_retries_total",
+                "hdhash_gossip_sync_abandoned_total",
+                "hdhash_gossip_records_adopted_total",
+                "hdhash_gossip_bytes_sent_total",
+            ],
+        )
+    );
     json.push_str("  \"series\": [\n");
     for (i, p) in grid.iter().enumerate() {
         let trajectory = p

@@ -24,7 +24,7 @@ use std::fmt::Write as _;
 
 use hdhash_bench::Params;
 use hdhash_emulator::{Generator, KeyDistribution, Workload};
-use hdhash_serve::{drive, SchedulerKind, ServeConfig, ServeEngine};
+use hdhash_serve::{drive, SchedulerKind, ServeConfig, ServeEngine, TraceConfig};
 use hdhash_table::ServerId;
 
 struct GridPoint {
@@ -46,6 +46,17 @@ fn run_point(
     requests: usize,
     scheduler: SchedulerKind,
 ) -> GridPoint {
+    run_point_traced(shards, workers, batch, requests, scheduler, TraceConfig::disabled())
+}
+
+fn run_point_traced(
+    shards: usize,
+    workers: usize,
+    batch: usize,
+    requests: usize,
+    scheduler: SchedulerKind,
+    trace: TraceConfig,
+) -> GridPoint {
     let mut engine = ServeEngine::new(ServeConfig {
         shards,
         workers,
@@ -55,6 +66,7 @@ fn run_point(
         codebook_size: 256,
         seed: 0xBEE,
         scheduler,
+        trace,
     })
     .expect("valid config");
     for id in 0..64u64 {
@@ -154,6 +166,42 @@ fn main() {
         }
     }
 
+    // Tracing-overhead A/B on a representative mid-grid point: the
+    // request-path tracer at its default 1/64 sampling rate vs tracing
+    // fully disabled. Arms are interleaved and each keeps its best of 5
+    // — closed-loop throughput on a shared host swings far more from
+    // scheduler noise than from the one-atomic-per-request tracer, and
+    // best-of-N is robust against that one-sided noise. The acceptance
+    // bar for the telemetry layer is ≤5% regression.
+    let (ab_shards, ab_workers, ab_batch) = (2, 2, 64);
+    // 4× the grid's request count per arm: each trial must run long
+    // enough that a single descheduling blip can't move the number.
+    let ab_requests = requests * 4;
+    let ab_run = |trace: TraceConfig| -> f64 {
+        run_point_traced(ab_shards, ab_workers, ab_batch, ab_requests, scheduler, trace)
+            .throughput_rps
+    };
+    // Paired trials: each trial runs both arms back to back and yields
+    // one on/off throughput ratio, so slow host drift cancels; the
+    // reported regression is the median ratio across trials.
+    let (mut trace_off_rps, mut trace_on_rps) = (0.0f64, 0.0f64);
+    let mut ratios: Vec<f64> = (0..9)
+        .map(|_| {
+            let off = ab_run(TraceConfig::disabled());
+            let on = ab_run(TraceConfig::sampled(64));
+            trace_off_rps = trace_off_rps.max(off);
+            trace_on_rps = trace_on_rps.max(on);
+            if off > 0.0 { on / off } else { 1.0 }
+        })
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let trace_regression_pct = (1.0 - ratios[ratios.len() / 2]) * 100.0;
+    println!(
+        "tracing overhead @ shards={ab_shards} workers={ab_workers} batch={ab_batch}: \
+         best off {trace_off_rps:.0} req/s, best 1/64 sampled {trace_on_rps:.0} req/s, \
+         median paired regression {trace_regression_pct:+.1}%"
+    );
+
     // Headline scaling ratio: best multi-shard vs best single-shard
     // throughput at the highest measured worker count.
     let max_workers = worker_counts.iter().copied().max().unwrap_or(1);
@@ -185,6 +233,19 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"multi_vs_single_shard_at_{max_workers}_workers\": {scaling:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"tracing_overhead\": {{\"shards\": {ab_shards}, \"workers\": {ab_workers}, \
+         \"batch\": {ab_batch}, \"disabled_rps\": {trace_off_rps:.0}, \
+         \"sampled_1_in_64_rps\": {trace_on_rps:.0}, \
+         \"regression_pct\": {trace_regression_pct:.1}}},"
+    );
+    json.push_str(
+        "  \"latency_note\": \"per-shard latency now feeds a lock-free 65-bucket log2 \
+         histogram (atomic increments, bucket-accurate quantiles) instead of the previous \
+         Mutex<Vec> reservoir that serialized every worker on the response path; the \
+         tracing_overhead A/B above is measured on top of that histogram path\",\n",
     );
     json.push_str("  \"series\": [\n");
     for (i, p) in grid.iter().enumerate() {

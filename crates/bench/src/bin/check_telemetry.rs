@@ -1,0 +1,96 @@
+//! Offline validator for the unified telemetry layer's two export
+//! formats — CI's observability job runs it against the files the
+//! `serving` example emits.
+//!
+//! ```text
+//! check_telemetry <trace.jsonl> <metrics.prom> [required_kind ...]
+//! ```
+//!
+//! * every JSONL line must parse and carry a known [`SpanKind`];
+//! * every `required_kind` must appear at least once in the trace;
+//! * the Prometheus exposition must survive the strict vendored parser
+//!   (`# HELP`/`# TYPE` headers, label syntax, histogram invariants)
+//!   and must contain at least one `hdhash_`-prefixed series.
+//!
+//! Exits non-zero with a one-line diagnosis on the first violation; no
+//! network, no external tooling.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use hdhash_obs::{jsonlite, promparse, SpanKind};
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [trace_path, metrics_path, required @ ..] = args.as_slice() else {
+        return Err("usage: check_telemetry <trace.jsonl> <metrics.prom> [kind ...]".into());
+    };
+
+    // --- the JSONL trace: every line a well-formed, known span event.
+    let trace = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("read {trace_path}: {e}"))?;
+    let mut kinds = BTreeSet::new();
+    let mut events = 0usize;
+    for (i, line) in trace.lines().enumerate() {
+        let doc = jsonlite::parse(line)
+            .map_err(|e| format!("{trace_path}:{}: bad JSON: {e}", i + 1))?;
+        let kind = doc
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .ok_or_else(|| format!("{trace_path}:{}: missing `kind` field", i + 1))?;
+        let parsed = SpanKind::parse(kind)
+            .ok_or_else(|| format!("{trace_path}:{}: unknown span kind `{kind}`", i + 1))?;
+        for field in ["ts_us", "trace_id", "lane", "subject", "amount"] {
+            doc.get(field)
+                .and_then(jsonlite::JsonValue::as_f64)
+                .ok_or_else(|| {
+                    format!("{trace_path}:{}: missing numeric `{field}`", i + 1)
+                })?;
+        }
+        kinds.insert(parsed.name().to_string());
+        events += 1;
+    }
+    if events == 0 {
+        return Err(format!("{trace_path}: empty trace — tracing was not enabled?"));
+    }
+    for kind in required {
+        if SpanKind::parse(kind).is_none() {
+            return Err(format!("required kind `{kind}` is not a known span kind"));
+        }
+        if !kinds.contains(kind.as_str()) {
+            return Err(format!(
+                "{trace_path}: required span kind `{kind}` absent (saw {kinds:?})"
+            ));
+        }
+    }
+
+    // --- the Prometheus exposition: strict-parse, then validate.
+    let text = std::fs::read_to_string(metrics_path)
+        .map_err(|e| format!("read {metrics_path}: {e}"))?;
+    let parsed =
+        promparse::parse(&text).map_err(|e| format!("{metrics_path}: parse: {e}"))?;
+    promparse::validate(&parsed).map_err(|e| format!("{metrics_path}: validate: {e}"))?;
+    let hd = parsed.series.iter().filter(|s| s.name.starts_with("hdhash_")).count();
+    if hd == 0 {
+        return Err(format!("{metrics_path}: no hdhash_* series in exposition"));
+    }
+
+    println!(
+        "check_telemetry ok: {events} trace events across {} kinds ({}); \
+         {} series ({hd} hdhash_*) validated",
+        kinds.len(),
+        kinds.iter().cloned().collect::<Vec<_>>().join(", "),
+        parsed.series.len(),
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("check_telemetry: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -19,5 +19,6 @@
 #![warn(missing_docs)]
 
 pub mod params;
+pub mod telemetry_embed;
 
 pub use params::Params;

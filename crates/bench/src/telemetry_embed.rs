@@ -1,0 +1,32 @@
+//! Embedding unified telemetry in the `BENCH_*.json` emitters.
+//!
+//! Bench runs already hold live metrics structs at teardown; the bins
+//! export them into one [`TelemetrySnapshot`] and call [`embed`] to
+//! fold the snapshot into the report — after round-tripping the
+//! Prometheus exposition through the strict vendored parser, so every
+//! benchmark run doubles as an exporter conformance check.
+
+use std::fmt::Write as _;
+
+use hdhash_obs::{promparse, TelemetrySnapshot};
+
+/// Renders `snapshot` as a one-line JSON object for a `"telemetry":`
+/// field: the validated series count plus the summed total for each of
+/// the requested metric names.
+///
+/// # Panics
+///
+/// Panics if the snapshot's own Prometheus exposition fails the strict
+/// vendored parser — a bench run must never publish an exposition the
+/// scrape path would reject.
+pub fn embed(snapshot: &TelemetrySnapshot, keys: &[&str]) -> String {
+    let text = snapshot.to_prometheus();
+    let parsed = promparse::parse(&text).expect("bench telemetry exposition parses");
+    promparse::validate(&parsed).expect("bench telemetry exposition validates");
+    let mut out = format!("{{\"exposition_series\": {}", parsed.series.len());
+    for key in keys {
+        let _ = write!(out, ", \"{key}\": {:.0}", snapshot.total(key));
+    }
+    out.push('}');
+    out
+}

@@ -1,0 +1,362 @@
+//! Atomic log2-bucketed histogram.
+//!
+//! The bucket for a value `n` is its bit length: bucket 0 holds exactly the
+//! value 0, bucket `b ≥ 1` holds the half-open range `[2^(b-1), 2^b)`, and
+//! bucket 64 holds everything from `2^63` up to and including `u64::MAX`.
+//! Recording is a handful of relaxed atomic RMWs — no lock, no allocation —
+//! so the type is safe on a per-batch serving hot path. Quantiles are
+//! computed from the bucket counts at snapshot time; the estimate for a
+//! quantile always lands in the same bucket as the true (sorted-reference)
+//! value, so the error is bounded by one bucket width.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero, one per bit length 1..=64.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, otherwise the value's bit length.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Largest value a bucket can hold (inclusive). This is the `le` bound the
+/// Prometheus exposition uses for the bucket.
+#[inline]
+pub fn bucket_upper_inclusive(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        1..=63 => (1u64 << bucket) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// A lock-free log2-bucketed histogram of `u64` samples.
+///
+/// ```
+/// use hdhash_obs::LogHistogram;
+/// let h = LogHistogram::new();
+/// for v in [3, 5, 90, 7] {
+///     h.record(v);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 4);
+/// assert_eq!(snap.max, 90);
+/// assert_eq!(snap.quantile(1.0), Some(90));
+/// ```
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Lock-free; safe from any number of threads.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating: a sum overflow would need ~584 years of nanoseconds,
+        // but a stuck clock shouldn't wrap the mean into nonsense either.
+        let mut sum = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = sum.saturating_add(value);
+            match self.sum.compare_exchange_weak(
+                sum,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => sum = actual,
+            }
+        }
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts and extrema.
+    ///
+    /// Concurrent `record` calls may straddle the snapshot (a racing sample
+    /// can appear in `count` but not yet in a bucket, or vice versa); each
+    /// field is individually consistent, which is all quantile estimation
+    /// needs.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every bucket and the extrema to the empty state.
+    ///
+    /// Not atomic with respect to concurrent `record`s — intended for
+    /// between-phase resets in benchmarks and tests.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable copy of a [`LogHistogram`]'s state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+    /// Smallest sample seen (0 when empty).
+    pub min: u64,
+    /// Largest sample seen (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Self { buckets: [0; BUCKETS], count: 0, sum: 0, min: 0, max: 0 }
+    }
+
+    /// Nearest-rank quantile estimate, or `None` when the histogram is
+    /// empty. `q` is clamped to `[0, 1]`.
+    ///
+    /// The estimate is the containing bucket's inclusive upper bound,
+    /// clamped into `[min, max]` — it therefore lies in the same bucket as
+    /// the true nearest-rank value, bounding the error to one bucket width,
+    /// and is *exact* for a single sample, for all-equal samples, and for
+    /// `q = 1` (which always returns `max`).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest rank: the k-th smallest sample, k = ceil(q·count), at
+        // least 1 so q=0 means the minimum.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return Some(bucket_upper_inclusive(b).clamp(self.min, self.max));
+            }
+        }
+        // Unreachable when the bucket counts agree with `count`; under a
+        // racing snapshot fall back to the observed maximum.
+        Some(self.max)
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_inclusive(b)), b, "upper of bucket {b}");
+        }
+        for b in 1..BUCKETS {
+            assert_eq!(bucket_index(1u64 << (b - 1)), b, "lower of bucket {b}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LogHistogram::new();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.quantile(0.5), None);
+        assert_eq!(snap.mean(), 0.0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_quantile() {
+        for v in [0u64, 1, 7, 4096, u64::MAX] {
+            let h = LogHistogram::new();
+            h.record(v);
+            let snap = h.snapshot();
+            for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(snap.quantile(q), Some(v), "v={v} q={q}");
+            }
+            assert_eq!(snap.min, v);
+            assert_eq!(snap.max, v);
+        }
+    }
+
+    #[test]
+    fn all_equal_samples_are_exact() {
+        let h = LogHistogram::new();
+        for _ in 0..1000 {
+            h.record(12_345);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), Some(12_345));
+        assert_eq!(snap.quantile(0.99), Some(12_345));
+        assert_eq!(snap.mean(), 12_345.0);
+    }
+
+    #[test]
+    fn max_quantile_is_always_the_maximum() {
+        let h = LogHistogram::new();
+        for v in [1u64, 100, 17, 9_999_999] {
+            h.record(v);
+        }
+        assert_eq!(h.snapshot().quantile(1.0), Some(9_999_999));
+    }
+
+    /// The nearest-rank reference value from a sorted copy of the samples.
+    fn reference_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Quantile accuracy against a sorted reference: the estimate lands
+        /// in the same log2 bucket as the true value, so the absolute error
+        /// is below that bucket's width.
+        #[test]
+        fn quantile_error_is_within_one_bucket(
+            samples in prop::collection::vec(any::<u64>(), 1..200),
+            q_mille in 0u64..=1000,
+        ) {
+            let q = q_mille as f64 / 1000.0;
+            let h = LogHistogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let truth = reference_quantile(&sorted, q);
+            let est = h.snapshot().quantile(q).expect("non-empty");
+            prop_assert_eq!(
+                bucket_index(est), bucket_index(truth),
+                "estimate {} vs truth {}", est, truth
+            );
+            let b = bucket_index(truth);
+            // Bucket width: bucket 0 is the single value 0; bucket b ≥ 1
+            // spans 2^(b-1) values (bucket 64 spans 2^63).
+            let width = if b == 0 { 1 } else { 1u64 << (b - 1).min(63) };
+            prop_assert!(
+                est.abs_diff(truth) < width,
+                "error {} ≥ bucket width {}", est.abs_diff(truth), width
+            );
+        }
+
+        /// Latency-shaped samples (microseconds): p50/p90/p99 all bounded.
+        #[test]
+        fn latency_quantiles_bounded(
+            samples in prop::collection::vec(1u64..5_000_000, 1..400),
+        ) {
+            let h = LogHistogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let snap = h.snapshot();
+            for q in [0.5, 0.9, 0.99] {
+                let truth = reference_quantile(&sorted, q);
+                let est = snap.quantile(q).expect("non-empty");
+                prop_assert_eq!(bucket_index(est), bucket_index(truth));
+            }
+            prop_assert_eq!(snap.quantile(1.0), Some(*sorted.last().unwrap()));
+            prop_assert_eq!(snap.min, sorted[0]);
+            prop_assert_eq!(snap.count, samples.len() as u64);
+        }
+    }
+
+    #[test]
+    fn concurrent_records_reconcile() {
+        use std::sync::Arc;
+        let h = Arc::new(LogHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 40_000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 40_000);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 39_999);
+        // Sum of 0..40_000 regardless of interleaving.
+        assert_eq!(snap.sum, 39_999 * 40_000 / 2);
+    }
+
+    #[test]
+    fn reset_returns_to_empty() {
+        let h = LogHistogram::new();
+        h.record(99);
+        h.reset();
+        let snap = h.snapshot();
+        assert_eq!(snap, HistogramSnapshot::empty());
+    }
+}

@@ -1,0 +1,340 @@
+//! A vendored parser for the Prometheus text exposition format, so CI can
+//! validate [`TelemetrySnapshot::to_prometheus`](crate::TelemetrySnapshot::to_prometheus)
+//! output offline — the observability analogue of the `crates/compat`
+//! shims.
+//!
+//! It understands `# HELP` / `# TYPE` comments and sample lines with
+//! optional labels, and enforces the structural rules a real scraper
+//! would: metric-name syntax, quoted/escaped label values, finite sample
+//! syntax (`NaN`/`+Inf`/`-Inf` accepted as values), and — via
+//! [`validate`] — that histogram bucket series are cumulative and
+//! consistent with their `_count`.
+
+use std::collections::BTreeMap;
+
+/// One sample line: `name{label="v",...} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSeries {
+    /// Metric name (for histogram series this includes the `_bucket` /
+    /// `_sum` / `_count` suffix).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl ParsedSeries {
+    /// The value of a label, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition: the TYPE/HELP metadata plus every sample line.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedExposition {
+    /// `# TYPE <name> <type>` declarations.
+    pub types: BTreeMap<String, String>,
+    /// `# HELP <name> <text>` declarations.
+    pub helps: BTreeMap<String, String>,
+    /// Every sample line, in order.
+    pub series: Vec<ParsedSeries>,
+}
+
+impl ParsedExposition {
+    /// All samples whose (base) name matches.
+    pub fn series_named(&self, name: &str) -> Vec<&ParsedSeries> {
+        self.series.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// The single value of an unlabeled (or uniquely-named) series.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        let hits = self.series_named(name);
+        match hits.as_slice() {
+            [one] => Some(one.value),
+            _ => None,
+        }
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other.parse::<f64>().map_err(|_| format!("bad sample value `{other}`")),
+    }
+}
+
+/// Parse one exposition document.
+pub fn parse(text: &str) -> Result<ParsedExposition, String> {
+    let mut out = ParsedExposition::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let (name, ty) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err("malformed TYPE line".into()))?;
+                if !valid_metric_name(name) {
+                    return Err(err(format!("bad metric name `{name}` in TYPE")));
+                }
+                if !matches!(ty, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(err(format!("unknown metric type `{ty}`")));
+                }
+                if out.types.insert(name.to_string(), ty.to_string()).is_some() {
+                    return Err(err(format!("duplicate TYPE for `{name}`")));
+                }
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+                if !valid_metric_name(name) {
+                    return Err(err(format!("bad metric name `{name}` in HELP")));
+                }
+                out.helps.insert(name.to_string(), help.to_string());
+            }
+            // Other comments are ignored, per the format spec.
+            continue;
+        }
+        out.series.push(parse_sample(line).map_err(err)?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<ParsedSeries, String> {
+    let (name_and_labels, value_text) = match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label set in `{line}`"))?;
+            if close < brace {
+                return Err(format!("mismatched braces in `{line}`"));
+            }
+            ((&line[..brace], Some(&line[brace + 1..close])), line[close + 1..].trim())
+        }
+        None => {
+            let (name, value) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| format!("missing value in `{line}`"))?;
+            ((name, None), value.trim())
+        }
+    };
+    let (name, labels_text) = name_and_labels;
+    if !valid_metric_name(name) {
+        return Err(format!("bad metric name `{name}`"));
+    }
+    let mut labels = Vec::new();
+    if let Some(body) = labels_text {
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let eq = rest.find('=').ok_or_else(|| format!("missing `=` in labels `{body}`"))?;
+            let key = rest[..eq].trim();
+            if !valid_label_name(key) {
+                return Err(format!("bad label name `{key}`"));
+            }
+            let after = rest[eq + 1..].trim_start();
+            if !after.starts_with('"') {
+                return Err(format!("label value for `{key}` is not quoted"));
+            }
+            // Scan the quoted value honoring backslash escapes.
+            let mut value = String::new();
+            let mut chars = after[1..].char_indices();
+            let mut consumed = None;
+            while let Some((i, c)) = chars.next() {
+                match c {
+                    '"' => {
+                        consumed = Some(i + 2); // opening quote + body + closing quote
+                        break;
+                    }
+                    '\\' => match chars.next() {
+                        Some((_, 'n')) => value.push('\n'),
+                        Some((_, '"')) => value.push('"'),
+                        Some((_, '\\')) => value.push('\\'),
+                        other => {
+                            return Err(format!(
+                                "bad escape `\\{}` in label `{key}`",
+                                other.map(|(_, c)| c).unwrap_or(' ')
+                            ))
+                        }
+                    },
+                    c => value.push(c),
+                }
+            }
+            let consumed =
+                consumed.ok_or_else(|| format!("unterminated label value for `{key}`"))?;
+            labels.push((key.to_string(), value));
+            rest = after[consumed..].trim_start();
+            if let Some(stripped) = rest.strip_prefix(',') {
+                rest = stripped.trim_start();
+            } else if !rest.is_empty() {
+                return Err(format!("expected `,` between labels in `{body}`"));
+            }
+        }
+    }
+    Ok(ParsedSeries { name: name.to_string(), labels, value: parse_value(value_text)? })
+}
+
+/// Structural validation beyond syntax: every sample's base name must have
+/// a TYPE declaration, histogram buckets must be cumulative
+/// (non-decreasing in `le` order, ending at `+Inf`), and the `+Inf` bucket
+/// must equal the histogram's `_count`.
+pub fn validate(exposition: &ParsedExposition) -> Result<(), String> {
+    for s in &exposition.series {
+        let base = base_name(&s.name, &exposition.types);
+        if !exposition.types.contains_key(base) {
+            return Err(format!("series `{}` has no TYPE declaration", s.name));
+        }
+    }
+    // Group histogram buckets by base name + non-`le` labels.
+    let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    for s in &exposition.series {
+        if let Some(base) = s.name.strip_suffix("_bucket") {
+            if exposition.types.get(base).map(String::as_str) == Some("histogram") {
+                let le = s.label("le").ok_or_else(|| format!("`{}` missing le", s.name))?;
+                let bound = parse_value(le).map_err(|e| format!("bad le bound: {e}"))?;
+                groups.entry(group_key(base, s)).or_default().push((bound, s.value));
+            }
+        } else if let Some(base) = s.name.strip_suffix("_count") {
+            if exposition.types.get(base).map(String::as_str) == Some("histogram") {
+                counts.insert(group_key(base, s), s.value);
+            }
+        }
+    }
+    for (key, mut buckets) in groups {
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le bounds are ordered"));
+        let mut prev = -1.0;
+        for &(_, cum) in &buckets {
+            if cum < prev {
+                return Err(format!("histogram `{key}` buckets are not cumulative"));
+            }
+            prev = cum;
+        }
+        let last = buckets.last().expect("non-empty group");
+        if !last.0.is_infinite() {
+            return Err(format!("histogram `{key}` lacks a +Inf bucket"));
+        }
+        if let Some(&count) = counts.get(&key) {
+            if (last.1 - count).abs() > f64::EPSILON {
+                return Err(format!(
+                    "histogram `{key}`: +Inf bucket {} != _count {count}",
+                    last.1
+                ));
+            }
+        } else {
+            return Err(format!("histogram `{key}` lacks a _count series"));
+        }
+    }
+    Ok(())
+}
+
+/// Strip a histogram suffix when the remainder is a declared histogram.
+fn base_name<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+fn group_key(base: &str, series: &ParsedSeries) -> String {
+    let mut key = base.to_string();
+    for (k, v) in &series.labels {
+        if k != "le" {
+            key.push_str(&format!("|{k}={v}"));
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_counters_gauges_and_labels() {
+        let text = "\
+# HELP hdhash_served_total Requests served.\n\
+# TYPE hdhash_served_total counter\n\
+hdhash_served_total{shard=\"0\"} 10\n\
+hdhash_served_total{shard=\"1\"} 32\n\
+# TYPE up gauge\n\
+up 1\n";
+        let exp = parse(text).unwrap();
+        assert_eq!(exp.types["hdhash_served_total"], "counter");
+        assert_eq!(exp.helps["hdhash_served_total"], "Requests served.");
+        let series = exp.series_named("hdhash_served_total");
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[1].label("shard"), Some("1"));
+        assert_eq!(series[1].value, 32.0);
+        assert_eq!(exp.value("up"), Some(1.0));
+        validate(&exp).unwrap();
+    }
+
+    #[test]
+    fn histogram_bucket_rules_are_enforced() {
+        let good = "\
+# TYPE lat histogram\n\
+lat_bucket{le=\"1\"} 3\n\
+lat_bucket{le=\"2\"} 5\n\
+lat_bucket{le=\"+Inf\"} 7\n\
+lat_sum 40\n\
+lat_count 7\n";
+        let exp = parse(good).unwrap();
+        validate(&exp).unwrap();
+
+        let non_cumulative = good.replace("lat_bucket{le=\"2\"} 5", "lat_bucket{le=\"2\"} 2");
+        assert!(validate(&parse(&non_cumulative).unwrap()).is_err());
+
+        let wrong_count = good.replace("lat_count 7", "lat_count 9");
+        assert!(validate(&parse(&wrong_count).unwrap()).is_err());
+
+        let no_inf = "\
+# TYPE lat histogram\n\
+lat_bucket{le=\"1\"} 3\n\
+lat_count 3\n";
+        assert!(validate(&parse(no_inf).unwrap()).is_err());
+    }
+
+    #[test]
+    fn rejects_syntax_errors() {
+        assert!(parse("bad name 1\nx").is_err());
+        assert!(parse("metric{label=unquoted} 1\n").is_err());
+        assert!(parse("metric{l=\"v\" 1\n").is_err());
+        assert!(parse("metric notanumber\n").is_err());
+        assert!(parse("# TYPE m bogus_type\nm 1\n").is_err());
+        assert!(parse("9leading_digit 1\n").is_err());
+    }
+
+    #[test]
+    fn untyped_series_fail_validation() {
+        let exp = parse("mystery 4\n").unwrap();
+        assert!(validate(&exp).is_err());
+    }
+
+    #[test]
+    fn escaped_label_values_roundtrip() {
+        let exp = parse("# TYPE m counter\nm{p=\"a\\\"b\\\\c\\nd\"} 1\n").unwrap();
+        assert_eq!(exp.series[0].label("p"), Some("a\"b\\c\nd"));
+    }
+}

@@ -1,0 +1,215 @@
+//! A named-metric registry handing out lock-free handles.
+//!
+//! Registration takes a brief lock on the name table; the returned
+//! [`Counter`] / [`Gauge`] / [`LogHistogram`] handles update through
+//! shared atomics with no lock at all, so hot paths hold a handle and
+//! never touch the registry again.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::hist::LogHistogram;
+use crate::snapshot::TelemetrySnapshot;
+
+/// A monotonically-increasing counter handle. Clones share the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A standalone counter not attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time gauge handle (signed). Clones share the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A standalone gauge not attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, (String, Counter)>,
+    gauges: BTreeMap<String, (String, Gauge)>,
+    histograms: BTreeMap<String, (String, Arc<LogHistogram>)>,
+}
+
+/// A registry of named metrics.
+///
+/// ```
+/// use hdhash_obs::Registry;
+/// let reg = Registry::new();
+/// let served = reg.counter("served_total", "Requests served.");
+/// served.add(3);
+/// // A second registration by the same name shares the cell.
+/// reg.counter("served_total", "Requests served.").inc();
+/// assert_eq!(served.get(), 4);
+/// let snap = reg.export();
+/// assert_eq!(snap.get("served_total"), Some(4.0));
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`. The first registration's
+    /// help text wins.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let mut inner = self.inner.lock();
+        inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Counter::new()))
+            .1
+            .clone()
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let mut inner = self.inner.lock();
+        inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Gauge::new()))
+            .1
+            .clone()
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<LogHistogram> {
+        let mut inner = self.inner.lock();
+        Arc::clone(
+            &inner
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| (help.to_string(), Arc::new(LogHistogram::new())))
+                .1,
+        )
+    }
+
+    /// Append every registered metric to `snapshot` (unlabeled series).
+    pub fn export_into(&self, snapshot: &mut TelemetrySnapshot) {
+        let inner = self.inner.lock();
+        for (name, (help, counter)) in &inner.counters {
+            snapshot.push_counter(name, help, &[], counter.get());
+        }
+        for (name, (help, gauge)) in &inner.gauges {
+            snapshot.push_gauge(name, help, &[], gauge.get() as f64);
+        }
+        for (name, (help, hist)) in &inner.histograms {
+            snapshot.push_histogram(name, help, &[], hist.snapshot());
+        }
+    }
+
+    /// A fresh snapshot holding every registered metric.
+    pub fn export(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new();
+        self.export_into(&mut snap);
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_cells_and_survive_registry_drop_scope() {
+        let reg = Registry::new();
+        let a = reg.counter("hits", "Hits.");
+        let b = reg.counter("hits", "ignored duplicate help");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        let g = reg.gauge("depth", "Queue depth.");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(reg.gauge("depth", "").get(), 5);
+        let h = reg.histogram("lat", "Latency.");
+        h.record(10);
+        assert_eq!(reg.histogram("lat", "").count(), 1);
+    }
+
+    #[test]
+    fn concurrent_handle_updates_are_lock_free_and_exact() {
+        let reg = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = reg.counter("n", "");
+                std::thread::spawn(move || {
+                    for _ in 0..50_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("n", "").get(), 200_000);
+    }
+
+    #[test]
+    fn export_covers_all_metric_kinds() {
+        let reg = Registry::new();
+        reg.counter("c_total", "A counter.").add(4);
+        reg.gauge("g", "A gauge.").set(-2);
+        reg.histogram("h", "A histogram.").record(100);
+        let snap = reg.export();
+        assert_eq!(snap.get("c_total"), Some(4.0));
+        assert_eq!(snap.get("g"), Some(-2.0));
+        let text = snap.to_prometheus();
+        let parsed = crate::promparse::parse(&text).unwrap();
+        crate::promparse::validate(&parsed).unwrap();
+        assert_eq!(parsed.value("h_count"), Some(1.0));
+    }
+}

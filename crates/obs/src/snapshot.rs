@@ -1,0 +1,400 @@
+//! The unified telemetry snapshot and its exporters.
+//!
+//! A [`TelemetrySnapshot`] is an ordered list of named samples — counters,
+//! gauges, and histogram states, optionally labeled — that any subsystem
+//! can append to. One snapshot describes the whole process (engine +
+//! gossip + TCP + chaos), and both exporters render from the same list:
+//! [`TelemetrySnapshot::to_prometheus`] emits text exposition format and
+//! [`TelemetrySnapshot::to_json`] a machine-readable JSON document.
+
+use std::fmt::Write;
+
+use crate::hist::{bucket_upper_inclusive, HistogramSnapshot};
+
+/// The exposition type of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Log2-bucketed distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A sample's value: scalar for counters/gauges, full bucket state for
+/// histograms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter or gauge reading.
+    Number(f64),
+    /// Histogram state; quantiles derive from it at export time.
+    /// Boxed: the bucket array dwarfs the scalar variant.
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One named, optionally labeled sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Series name, e.g. `hdhash_engine_served_total`.
+    pub name: String,
+    /// Human description for `# HELP`.
+    pub help: String,
+    /// Exposition type.
+    pub kind: MetricKind,
+    /// Label pairs, e.g. `[("shard", "0")]`.
+    pub labels: Vec<(String, String)>,
+    /// The reading.
+    pub value: MetricValue,
+}
+
+/// An ordered collection of samples covering the whole process.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    samples: Vec<MetricSample>,
+}
+
+impl TelemetrySnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All samples in insertion order.
+    pub fn samples(&self) -> &[MetricSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the snapshot holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Append a counter sample.
+    pub fn push_counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.push(name, help, MetricKind::Counter, labels, MetricValue::Number(value as f64));
+    }
+
+    /// Append a gauge sample.
+    pub fn push_gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push(name, help, MetricKind::Gauge, labels, MetricValue::Number(value));
+    }
+
+    /// Append a histogram sample.
+    pub fn push_histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        state: HistogramSnapshot,
+    ) {
+        self.push(
+            name,
+            help,
+            MetricKind::Histogram,
+            labels,
+            MetricValue::Histogram(Box::new(state)),
+        );
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        value: MetricValue,
+    ) {
+        self.samples.push(MetricSample {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            value,
+        });
+    }
+
+    /// The scalar value of the first sample named `name` (any labels).
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.samples.iter().find(|s| s.name == name).and_then(|s| match &s.value {
+            MetricValue::Number(n) => Some(*n),
+            MetricValue::Histogram(_) => None,
+        })
+    }
+
+    /// The scalar value of the sample matching `name` and every label pair.
+    pub fn get_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && labels.iter().all(|(k, v)| {
+                        s.labels.iter().any(|(sk, sv)| sk == k && sv == v)
+                    })
+            })
+            .and_then(|s| match &s.value {
+                MetricValue::Number(n) => Some(*n),
+                MetricValue::Histogram(_) => None,
+            })
+    }
+
+    /// Sum of every scalar sample named `name` across label sets.
+    pub fn total(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match &s.value {
+                MetricValue::Number(n) => Some(*n),
+                MetricValue::Histogram(_) => None,
+            })
+            .sum()
+    }
+
+    /// The histogram state of the first sample named `name`.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.samples.iter().find(|s| s.name == name).and_then(|s| match &s.value {
+            MetricValue::Histogram(h) => Some(h.as_ref()),
+            MetricValue::Number(_) => None,
+        })
+    }
+
+    /// Render as Prometheus text exposition format.
+    ///
+    /// `# HELP` / `# TYPE` are emitted once per name (first occurrence
+    /// wins); histograms expand to cumulative `_bucket{le=…}` series plus
+    /// `_sum` and `_count`. The output parses and validates with this
+    /// crate's own [`promparse`](crate::promparse) module — CI depends on
+    /// that round trip.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(self.samples.len() * 64);
+        let mut declared: Vec<&str> = Vec::new();
+        for first in &self.samples {
+            if declared.contains(&first.name.as_str()) {
+                continue;
+            }
+            declared.push(&first.name);
+            if !first.help.is_empty() {
+                writeln!(out, "# HELP {} {}", first.name, first.help).expect("write to String");
+            }
+            writeln!(out, "# TYPE {} {}", first.name, first.kind.name()).expect("write to String");
+            for s in self.samples.iter().filter(|s| s.name == first.name) {
+                match &s.value {
+                    MetricValue::Number(n) => {
+                        writeln!(out, "{}{} {}", s.name, render_labels(&s.labels, None), fmt_num(*n))
+                            .expect("write to String");
+                    }
+                    MetricValue::Histogram(h) => render_histogram(&mut out, s, h),
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as a single JSON document (`{"samples": [...]}`), parseable
+    /// by [`jsonlite`](crate::jsonlite). Histogram samples carry count /
+    /// sum / min / max and derived p50 / p90 / p99.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.samples.len() * 96 + 16);
+        out.push_str("{\"samples\":[");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"labels\":{{",
+                escape_json(&s.name),
+                s.kind.name()
+            )
+            .expect("write to String");
+            for (j, (k, v)) in s.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v))
+                    .expect("write to String");
+            }
+            out.push_str("},");
+            match &s.value {
+                MetricValue::Number(n) => {
+                    write!(out, "\"value\":{}", fmt_num(*n)).expect("write to String");
+                }
+                MetricValue::Histogram(h) => {
+                    write!(
+                        out,
+                        "\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                         \"p50\":{},\"p90\":{},\"p99\":{}",
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.max,
+                        h.quantile(0.50).unwrap_or(0),
+                        h.quantile(0.90).unwrap_or(0),
+                        h.quantile(0.99).unwrap_or(0),
+                    )
+                    .expect("write to String");
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Render a label set, optionally with an extra `le` pair appended.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{k}=\"{}\"", escape_label(v)).expect("write to String");
+    }
+    if let Some(bound) = le {
+        if !labels.is_empty() {
+            out.push(',');
+        }
+        write!(out, "le=\"{bound}\"").expect("write to String");
+    }
+    out.push('}');
+    out
+}
+
+fn render_histogram(out: &mut String, s: &MetricSample, h: &HistogramSnapshot) {
+    let mut cum = 0u64;
+    for (b, &n) in h.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cum += n;
+        let bound = bucket_upper_inclusive(b).to_string();
+        writeln!(out, "{}_bucket{} {}", s.name, render_labels(&s.labels, Some(&bound)), cum)
+            .expect("write to String");
+    }
+    writeln!(out, "{}_bucket{} {}", s.name, render_labels(&s.labels, Some("+Inf")), h.count)
+        .expect("write to String");
+    writeln!(out, "{}_sum{} {}", s.name, render_labels(&s.labels, None), h.sum)
+        .expect("write to String");
+    writeln!(out, "{}_count{} {}", s.name, render_labels(&s.labels, None), h.count)
+        .expect("write to String");
+}
+
+/// Print scalars the way the exposition format expects: integers without a
+/// fractional part, everything else via `f64` Display.
+fn fmt_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn escape_json(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LogHistogram;
+    use crate::{jsonlite, promparse};
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new();
+        snap.push_counter("hdhash_served_total", "Requests served.", &[("shard", "0")], 10);
+        snap.push_counter("hdhash_served_total", "Requests served.", &[("shard", "1")], 32);
+        snap.push_gauge("hdhash_queue_depth", "Jobs queued.", &[], 5.0);
+        let h = LogHistogram::new();
+        for v in [100u64, 200, 300, 5000] {
+            h.record(v);
+        }
+        snap.push_histogram("hdhash_latency_us", "Request latency (µs).", &[], h.snapshot());
+        snap
+    }
+
+    #[test]
+    fn accessors_find_samples() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.get("hdhash_served_total"), Some(10.0));
+        assert_eq!(snap.get_labeled("hdhash_served_total", &[("shard", "1")]), Some(32.0));
+        assert_eq!(snap.total("hdhash_served_total"), 42.0);
+        assert_eq!(snap.get("hdhash_queue_depth"), Some(5.0));
+        assert_eq!(snap.histogram("hdhash_latency_us").map(|h| h.count), Some(4));
+        assert_eq!(snap.get("missing"), None);
+        assert_eq!(snap.len(), 4);
+    }
+
+    #[test]
+    fn prometheus_roundtrips_through_vendored_parser() {
+        let snap = sample_snapshot();
+        let text = snap.to_prometheus();
+        let parsed = promparse::parse(&text).expect("own output parses");
+        promparse::validate(&parsed).expect("own output validates");
+        assert_eq!(parsed.types["hdhash_served_total"], "counter");
+        assert_eq!(parsed.types["hdhash_latency_us"], "histogram");
+        let served = parsed.series_named("hdhash_served_total");
+        assert_eq!(served.len(), 2);
+        assert_eq!(served[0].label("shard"), Some("0"));
+        assert_eq!(parsed.value("hdhash_latency_us_count"), Some(4.0));
+        assert_eq!(parsed.value("hdhash_latency_us_sum"), Some(5600.0));
+        // HELP/TYPE emitted once despite two shard series.
+        assert_eq!(text.matches("# TYPE hdhash_served_total").count(), 1);
+    }
+
+    #[test]
+    fn json_roundtrips_through_vendored_parser() {
+        let snap = sample_snapshot();
+        let v = jsonlite::parse(&snap.to_json()).expect("own output parses");
+        let samples = v.get("samples").and_then(|s| s.as_arr()).expect("samples array");
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].get("name").and_then(|n| n.as_str()), Some("hdhash_served_total"));
+        assert_eq!(
+            samples[0].get("labels").and_then(|l| l.get("shard")).and_then(|s| s.as_str()),
+            Some("0")
+        );
+        let hist = &samples[3];
+        assert_eq!(hist.get("count").and_then(|c| c.as_f64()), Some(4.0));
+        assert!(hist.get("p99").and_then(|p| p.as_f64()).is_some());
+    }
+
+    #[test]
+    fn empty_histogram_exports_cleanly() {
+        let mut snap = TelemetrySnapshot::new();
+        snap.push_histogram("empty_h", "Nothing yet.", &[], LogHistogram::new().snapshot());
+        let parsed = promparse::parse(&snap.to_prometheus()).unwrap();
+        promparse::validate(&parsed).unwrap();
+        assert_eq!(parsed.value("empty_h_count"), Some(0.0));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut snap = TelemetrySnapshot::new();
+        snap.push_counter("m_total", "Weird labels.", &[("path", "a\"b\\c")], 1);
+        let parsed = promparse::parse(&snap.to_prometheus()).unwrap();
+        assert_eq!(parsed.series[0].label("path"), Some("a\"b\\c"));
+    }
+}

@@ -1,6 +1,7 @@
 //! Serving-engine configuration.
 
 use crate::ServeError;
+use hdhash_obs::TraceConfig;
 
 /// Which scheduling substrate moves accepted jobs to the worker threads
 /// (see the [`scheduler`](crate::scheduler) module for the data flow of
@@ -78,6 +79,9 @@ pub struct ServeConfig {
     pub seed: u64,
     /// The scheduling substrate between `submit` and the workers.
     pub scheduler: SchedulerKind,
+    /// Request-path tracing (disabled by default; see
+    /// [`hdhash_obs::Tracer`] and `docs/OBSERVABILITY.md`).
+    pub trace: TraceConfig,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +95,7 @@ impl Default for ServeConfig {
             codebook_size: 256,
             seed: 0x5E27E,
             scheduler: SchedulerKind::SharedQueue,
+            trace: TraceConfig::disabled(),
         }
     }
 }
@@ -121,6 +126,18 @@ impl ServeConfig {
                 "dimension {} must be at least 2 × codebook_size {}",
                 self.dimension, self.codebook_size
             )));
+        }
+        if self.trace.enabled {
+            if self.trace.sample_every == 0 {
+                return Err(ServeError::InvalidConfig(
+                    "trace.sample_every must be positive when tracing is enabled".into(),
+                ));
+            }
+            if self.trace.ring_capacity == 0 {
+                return Err(ServeError::InvalidConfig(
+                    "trace.ring_capacity must be positive when tracing is enabled".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -168,5 +185,27 @@ mod tests {
         // Any scheduler choice passes structural validation.
         let c = ServeConfig { scheduler: SchedulerKind::WorkStealing, ..ServeConfig::default() };
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn enabled_tracing_validates_its_knobs() {
+        let good = ServeConfig { trace: TraceConfig::sampled(64), ..ServeConfig::default() };
+        assert!(good.validate().is_ok());
+        let zero_rate = ServeConfig {
+            trace: TraceConfig { enabled: true, sample_every: 0, ring_capacity: 16 },
+            ..ServeConfig::default()
+        };
+        assert!(matches!(zero_rate.validate(), Err(ServeError::InvalidConfig(_))));
+        let zero_ring = ServeConfig {
+            trace: TraceConfig { enabled: true, sample_every: 1, ring_capacity: 0 },
+            ..ServeConfig::default()
+        };
+        assert!(matches!(zero_ring.validate(), Err(ServeError::InvalidConfig(_))));
+        // Disabled tracing skips the knob checks entirely.
+        let off = ServeConfig {
+            trace: TraceConfig { enabled: false, sample_every: 0, ring_capacity: 0 },
+            ..ServeConfig::default()
+        };
+        assert!(off.validate().is_ok());
     }
 }

@@ -3,12 +3,13 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use hdhash_core::HdHashTable;
 use hdhash_hdc::{Hypervector, SignatureDelta};
+use hdhash_obs::{SpanKind, Tracer};
 use hdhash_table::{DynamicHashTable, RequestKey, ServerId, TableError};
 
 use crate::config::ServeConfig;
@@ -48,6 +49,9 @@ pub(crate) struct EngineCore {
     /// test hook behind [`ServeEngine::inject_worker_panic`].
     panic_key: Mutex<Option<RequestKey>>,
     pub(crate) shutdown: AtomicBool,
+    /// Request-path trace collector (per [`ServeConfig::trace`]; a cheap
+    /// no-op when tracing is disabled).
+    pub(crate) tracer: Arc<Tracer>,
 }
 
 impl EngineCore {
@@ -63,8 +67,10 @@ impl EngineCore {
                 .map_err(|e| ServeError::InvalidConfig(e.to_string()))?;
             shards.push(Shard::new(i, table));
         }
+        let tracer = Arc::new(Tracer::new(config.trace));
         Ok(Self {
-            scheduler: scheduler::build(&config),
+            scheduler: scheduler::build(&config, Arc::clone(&tracer)),
+            tracer,
             park: Mutex::new(()),
             ready: Condvar::new(),
             metrics: (0..config.shards).map(|_| ShardMetrics::default()).collect(),
@@ -87,7 +93,11 @@ impl EngineCore {
     }
 
     fn submit(&self, key: RequestKey) -> Result<Ticket, ServeError> {
-        let (job, ticket) = LookupJob::new(key, self.shard_of(key));
+        let (mut job, ticket) = LookupJob::new(key, self.shard_of(key));
+        job.trace_id = self.tracer.sample();
+        if let Some(id) = job.trace_id {
+            self.tracer.record(SpanKind::Submit, id, 0, job.shard as u64, 0);
+        }
         {
             let _guard = self.park.lock();
             if self.shutdown.load(Ordering::Acquire) {
@@ -110,6 +120,7 @@ impl EngineCore {
     /// allocates only the per-batch result vector.
     pub(crate) fn serve_batch(
         &self,
+        worker: usize,
         batch: &mut Vec<LookupJob>,
         keys: &mut Vec<RequestKey>,
         latencies: &mut Vec<Duration>,
@@ -124,6 +135,13 @@ impl EngineCore {
             }
             let jobs = &batch[start..end];
             self.maybe_inject_panic(jobs);
+            // Trace work is gated on the group actually containing a
+            // sampled job, so at production sampling rates most groups pay
+            // one `any` scan over a short slice and nothing else (and with
+            // tracing disabled, one branch).
+            let group_traced =
+                self.tracer.is_enabled() && jobs.iter().any(|job| job.trace_id.is_some());
+            let group_started = if group_traced { Some(Instant::now()) } else { None };
             // One snapshot per shard-group: every response in the group is
             // computed against a single consistent epoch.
             let snapshot = self.shards[shard_idx].load();
@@ -144,6 +162,26 @@ impl EngineCore {
                     epoch: snapshot.epoch,
                     latency,
                 });
+                if let Some(id) = job.trace_id {
+                    self.tracer.record(
+                        SpanKind::ResponseFill,
+                        id,
+                        worker as u32,
+                        shard_idx as u64,
+                        latency.as_micros() as u64,
+                    );
+                }
+            }
+            if let Some(started) = group_started {
+                let id = jobs.iter().find_map(|job| job.trace_id).unwrap_or(0);
+                self.tracer.record_span(
+                    SpanKind::BatchExec,
+                    id,
+                    worker as u32,
+                    shard_idx as u64,
+                    jobs.len() as u64,
+                    started,
+                );
             }
             self.metrics[shard_idx].record_batch(jobs.len(), failures, latencies);
             self.completed.fetch_add(jobs.len() as u64, Ordering::Relaxed);
@@ -380,6 +418,14 @@ impl ServeEngine {
         }
     }
 
+    /// The engine's request-path tracer. Drain it for JSONL / Chrome
+    /// trace export, or read [`Tracer::stats`] for sampling and overflow
+    /// accounting. Shared with the workers — cheap `Arc` clone.
+    #[must_use]
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.core.tracer)
+    }
+
     /// Arms the fault-injection hook: the next worker batch containing
     /// `key` panics before serving any of its jobs. The panic is caught by
     /// the worker loop, every ticket of the abandoned batch resolves with
@@ -410,7 +456,14 @@ impl ServeEngine {
         self.core.scheduler.drain_into(&mut batch);
         if !batch.is_empty() {
             let (mut keys, mut latencies) = (Vec::new(), Vec::new());
-            self.core.serve_batch(&mut batch, &mut keys, &mut latencies);
+            // The drain runs inline on the caller's thread; report it on
+            // the lane one past the last worker.
+            self.core.serve_batch(
+                self.core.config.workers,
+                &mut batch,
+                &mut keys,
+                &mut latencies,
+            );
         }
     }
 }
@@ -437,6 +490,7 @@ mod tests {
             codebook_size: 64,
             seed: 42,
             scheduler: SchedulerKind::SharedQueue,
+            trace: hdhash_obs::TraceConfig::disabled(),
         }
     }
 
@@ -599,6 +653,62 @@ mod tests {
         direct.join(ServerId::new(1)).expect("fresh");
         direct.join(ServerId::new(5)).expect("fresh");
         assert_eq!(engine.shard_signatures(), direct.shard_signatures());
+    }
+
+    #[test]
+    fn sampled_requests_produce_trace_events() {
+        use hdhash_obs::TraceConfig;
+        for kind in [SchedulerKind::SharedQueue, SchedulerKind::WorkStealing] {
+            let config = ServeConfig {
+                scheduler: kind,
+                trace: TraceConfig { enabled: true, sample_every: 1, ring_capacity: 8192 },
+                ..test_config()
+            };
+            let mut engine = ServeEngine::new(config).expect("valid config");
+            engine.join(ServerId::new(1)).expect("fresh server");
+            let tickets: Vec<_> = (0..100u64)
+                .map(|k| engine.submit(RequestKey::new(k)).expect("accepted"))
+                .collect();
+            for ticket in tickets {
+                let _ = ticket.wait();
+            }
+            engine.shutdown();
+            let tracer = engine.tracer();
+            let events = tracer.drain();
+            let count = |k| events.iter().filter(|e| e.kind == k).count();
+            assert_eq!(count(SpanKind::Submit), 100, "{kind:?}");
+            assert_eq!(count(SpanKind::ResponseFill), 100, "{kind:?}");
+            assert!(count(SpanKind::BatchExec) >= 1, "{kind:?}");
+            assert!(count(SpanKind::Pickup) >= 1, "{kind:?}");
+            // Every request-scoped event carries a nonzero trace id, and
+            // each sampled request's Submit has a matching ResponseFill.
+            let submits: std::collections::HashSet<u64> = events
+                .iter()
+                .filter(|e| e.kind == SpanKind::Submit)
+                .map(|e| e.trace_id)
+                .collect();
+            let fills: std::collections::HashSet<u64> = events
+                .iter()
+                .filter(|e| e.kind == SpanKind::ResponseFill)
+                .map(|e| e.trace_id)
+                .collect();
+            assert_eq!(submits, fills, "{kind:?}");
+            assert!(!submits.contains(&0));
+            assert_eq!(tracer.stats().events_dropped, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn disabled_tracing_stays_silent() {
+        let mut engine = ServeEngine::new(test_config()).expect("valid config");
+        engine.join(ServerId::new(1)).expect("fresh server");
+        for k in 0..20u64 {
+            let _ = engine.submit(RequestKey::new(k)).expect("accepted").wait();
+        }
+        engine.shutdown();
+        let tracer = engine.tracer();
+        assert_eq!(tracer.drain().len(), 0);
+        assert_eq!(tracer.stats().requests_sampled, 0);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 
 use hdhash_hdc::maintenance::signature_diff;
 use hdhash_hdc::Hypervector;
+use hdhash_obs::{SpanKind, Tracer};
 use parking_lot::Mutex;
 
 use crate::replication::{MemberRecord, ReplicatedEngine};
@@ -304,6 +305,11 @@ pub struct GossipNode<T: Transport> {
     /// In-flight sync exchanges awaiting a `SyncResponse`, keyed by the
     /// peer the request went to.
     outstanding: Mutex<BTreeMap<ReplicaId, OutstandingSync>>,
+    /// Span sink for round / sync lifecycle events; disabled by default
+    /// (every site is gated on [`Tracer::is_enabled`], so the cost is one
+    /// branch per round when off). Install one with
+    /// [`with_tracer`](Self::with_tracer).
+    tracer: Arc<Tracer>,
 }
 
 /// Bookkeeping for one unanswered `SyncRequest`.
@@ -337,7 +343,24 @@ impl<T: Transport> GossipNode<T> {
             counters: Counters::default(),
             last_heard: Mutex::new(BTreeMap::new()),
             outstanding: Mutex::new(BTreeMap::new()),
+            tracer: Arc::new(Tracer::disabled()),
         }
+    }
+
+    /// Installs a span sink for gossip lifecycle events (rounds, sync
+    /// start / retry / complete / abandon). Builder-style so test and
+    /// bench construction stays one expression.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The replica id gossip events report as their lane (trace lanes are
+    /// `u32`; replica ids are small integers in practice).
+    #[allow(clippy::cast_possible_truncation)]
+    fn trace_lane(&self) -> u32 {
+        self.transport.local().get() as u32
     }
 
     /// The replica this node gossips for.
@@ -356,6 +379,8 @@ impl<T: Transport> GossipNode<T> {
     pub fn tick(&self) {
         let round = self.round.fetch_add(1, Ordering::Relaxed) + 1;
         Counters::add(&self.counters.rounds, 1);
+        let traced = self.tracer.is_enabled();
+        let round_started = traced.then(Instant::now);
         // Opportunistic GC: expire whatever the whole peer set has
         // acknowledged by now (cheap no-op when nothing qualifies). The
         // gate is the *full* peer set, dead peers included — expiring a
@@ -382,6 +407,16 @@ impl<T: Transport> GossipNode<T> {
             if self.send(peer, message) {
                 Counters::add(&self.counters.adverts_sent, 1);
             }
+        }
+        if let Some(started) = round_started {
+            self.tracer.record_span(
+                SpanKind::GossipRound,
+                0,
+                self.trace_lane(),
+                round,
+                targets.len() as u64,
+                started,
+            );
         }
     }
 
@@ -471,10 +506,14 @@ impl<T: Transport> GossipNode<T> {
     /// already outstanding — a retransmission chain is in progress).
     fn track_sync(&self, peer: ReplicaId) {
         let round = self.round.load(Ordering::Relaxed);
-        self.outstanding
-            .lock()
-            .entry(peer)
-            .or_insert(OutstandingSync { attempt: 0, deadline: round + self.retry_delay(peer, 0) });
+        let mut inserted = false;
+        self.outstanding.lock().entry(peer).or_insert_with(|| {
+            inserted = true;
+            OutstandingSync { attempt: 0, deadline: round + self.retry_delay(peer, 0) }
+        });
+        if inserted && self.tracer.is_enabled() {
+            self.tracer.record(SpanKind::SyncStart, 0, self.trace_lane(), peer.get(), round);
+        }
     }
 
     /// Backoff before attempt `attempt`'s deadline: `base · 2^attempt`
@@ -498,7 +537,7 @@ impl<T: Transport> GossipNode<T> {
     /// can only help.
     fn retry_expired_syncs(&self, round: u64) {
         let mut retransmit = Vec::new();
-        let mut abandoned = 0u64;
+        let mut abandoned = Vec::new();
         {
             let mut outstanding = self.outstanding.lock();
             let peers: Vec<ReplicaId> = outstanding.keys().copied().collect();
@@ -508,18 +547,31 @@ impl<T: Transport> GossipNode<T> {
                     continue;
                 }
                 if entry.attempt >= self.config.sync_retry_cap {
+                    let attempt = entry.attempt;
                     outstanding.remove(&peer);
-                    abandoned += 1;
+                    abandoned.push((peer, attempt));
                 } else {
                     entry.attempt += 1;
                     let attempt = entry.attempt;
                     entry.deadline = round + self.retry_delay(peer, attempt);
-                    retransmit.push(peer);
+                    retransmit.push((peer, attempt));
                 }
             }
         }
-        Counters::add(&self.counters.sync_abandoned, abandoned);
-        for peer in retransmit {
+        Counters::add(&self.counters.sync_abandoned, abandoned.len() as u64);
+        let traced = self.tracer.is_enabled();
+        for &(peer, attempt) in &abandoned {
+            if traced {
+                self.tracer.record(
+                    SpanKind::SyncAbandon,
+                    0,
+                    self.trace_lane(),
+                    peer.get(),
+                    u64::from(attempt),
+                );
+            }
+        }
+        for (peer, attempt) in retransmit {
             let (stamp, records) = self.replica.sync_payload();
             let message =
                 GossipMessage::SyncRequest { round, stamp, records, diverged: Vec::new() };
@@ -527,6 +579,15 @@ impl<T: Transport> GossipNode<T> {
             if self.send(peer, message) {
                 Counters::add(&self.counters.sync_retries, 1);
                 Counters::add(&self.counters.retry_bytes, bytes);
+                if traced {
+                    self.tracer.record(
+                        SpanKind::SyncRetry,
+                        0,
+                        self.trace_lane(),
+                        peer.get(),
+                        u64::from(attempt),
+                    );
+                }
             }
         }
     }
@@ -676,58 +737,79 @@ impl<T: Transport> GossipNode<T> {
                 let message = GossipMessage::SyncResponse { round, stamp, records };
                 self.send(from, message);
             }
-            GossipMessage::SyncResponse { stamp, records, .. } => {
+            GossipMessage::SyncResponse { round, stamp, records } => {
                 // The exchange completed; stop any retransmission chain.
-                self.outstanding.lock().remove(&from);
+                let was_tracked = self.outstanding.lock().remove(&from).is_some();
+                if was_tracked && self.tracer.is_enabled() {
+                    self.tracer.record(SpanKind::SyncComplete, 0, self.trace_lane(), from.get(), round);
+                }
                 self.merge_from(from, stamp, &records);
             }
         }
     }
 }
 
-impl<T: Transport + 'static> GossipNode<T> {
+impl<T: Transport + Sync + 'static> GossipNode<T> {
     /// Moves the node onto a scheduler thread: between ticks (every
     /// `config.period`) it blocks on the transport and handles incoming
     /// traffic. Stop (and get the node back, e.g. for final metrics) with
     /// [`GossipHandle::stop`].
     #[must_use]
     pub fn spawn(self) -> GossipHandle<T> {
+        let node = Arc::new(self);
+        let worker = Arc::clone(&node);
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
-            .name(format!("hdhash-gossip-{}", self.transport.local()))
+            .name(format!("hdhash-gossip-{}", node.transport.local()))
             .spawn(move || {
                 while !flag.load(Ordering::Acquire) {
-                    self.tick();
-                    let deadline = Instant::now() + self.config.period;
+                    worker.tick();
+                    let deadline = Instant::now() + worker.config.period;
                     loop {
                         let now = Instant::now();
                         if now >= deadline || flag.load(Ordering::Acquire) {
                             break;
                         }
-                        if let Some(envelope) = self.transport.recv_timeout(deadline - now)
+                        if let Some(envelope) = worker.transport.recv_timeout(deadline - now)
                         {
-                            self.handle(envelope);
+                            worker.handle(envelope);
                         }
                     }
                 }
                 // Final drain so an in-flight push–pull settles.
-                self.pump();
-                self
+                worker.pump();
             })
             .expect("spawn gossip scheduler");
-        GossipHandle { stop, thread }
+        GossipHandle { node, stop, thread }
     }
 }
 
-/// Handle on a spawned gossip scheduler thread.
+/// Handle on a spawned gossip scheduler thread. The node itself stays
+/// shared (`Arc`), so [`node`](Self::node) gives a live view — metrics,
+/// peer states, trace drains — while the scheduler keeps running.
 #[derive(Debug)]
 pub struct GossipHandle<T: Transport> {
+    node: Arc<GossipNode<T>>,
     stop: Arc<AtomicBool>,
-    thread: std::thread::JoinHandle<GossipNode<T>>,
+    thread: std::thread::JoinHandle<()>,
 }
 
 impl<T: Transport> GossipHandle<T> {
+    /// Live view of the running node — read metrics or peer health
+    /// without stopping the scheduler.
+    #[must_use]
+    pub fn node(&self) -> &GossipNode<T> {
+        &self.node
+    }
+
+    /// A shared handle on the running node, for observers (metrics
+    /// dumpers) that outlive this borrow but not the scheduler.
+    #[must_use]
+    pub fn shared_node(&self) -> Arc<GossipNode<T>> {
+        Arc::clone(&self.node)
+    }
+
     /// Signals the scheduler to stop and returns the node after its final
     /// drain.
     ///
@@ -735,9 +817,10 @@ impl<T: Transport> GossipHandle<T> {
     ///
     /// Panics if the scheduler thread itself panicked.
     #[must_use]
-    pub fn stop(self) -> GossipNode<T> {
+    pub fn stop(self) -> Arc<GossipNode<T>> {
         self.stop.store(true, Ordering::Release);
-        self.thread.join().expect("gossip scheduler panicked")
+        self.thread.join().expect("gossip scheduler panicked");
+        self.node
     }
 }
 
@@ -809,6 +892,7 @@ mod tests {
             codebook_size: 64,
             seed: 31,
             scheduler: crate::SchedulerKind::default(),
+            trace: Default::default(),
         }
     }
 

@@ -113,6 +113,7 @@ pub mod request;
 pub mod scheduler;
 pub mod shard;
 pub mod tcp;
+pub mod telemetry;
 pub mod transport;
 pub mod wire;
 
@@ -130,6 +131,14 @@ pub use shard::{ShardReceipt, ShardSnapshot};
 pub use tcp::{TcpConfig, TcpEndpoint, TcpNetwork, TcpStats};
 pub use transport::{InProcessNetwork, ReplicaId, Transport, TransportError};
 pub use wire::{FrameError, FRAME_OVERHEAD};
+
+// Telemetry surface: the tracing/export types callers wire through
+// [`ServeConfig::trace`] and the unified snapshot exporters live in
+// [`hdhash_obs`]; re-export the common ones so downstream code only
+// needs this crate.
+pub use hdhash_obs::{
+    SpanKind, TelemetrySnapshot, TraceConfig, TraceEvent, Tracer, TracerStats,
+};
 
 use hdhash_table::TableError;
 

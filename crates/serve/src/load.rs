@@ -168,6 +168,7 @@ mod tests {
             codebook_size: 64,
             seed: 9,
             scheduler,
+            trace: Default::default(),
         })
         .expect("valid config")
     }
@@ -228,6 +229,7 @@ mod tests {
             codebook_size: 64,
             seed: 10,
             scheduler: crate::SchedulerKind::default(),
+            trace: Default::default(),
         })
         .expect("valid config");
         engine.join(hdhash_table::ServerId::new(1)).expect("fresh server");

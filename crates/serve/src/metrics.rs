@@ -1,42 +1,28 @@
-//! Per-shard serving metrics: counters, batch fill, latency reservoir.
+//! Per-shard serving metrics: counters, batch fill, lock-free latency
+//! histogram.
+//!
+//! Latency used to live in a `Mutex<Vec<Duration>>` reservoir: every
+//! batch took the lock to append and every snapshot cloned the whole
+//! 4096-entry ring under it. It is now an atomic log2-bucketed
+//! [`LogHistogram`] — `record_batch` is pure `fetch_add`s and a snapshot
+//! reads 65 bucket counters, so neither side ever blocks the other.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use parking_lot::Mutex;
-
 use hdhash_emulator::LatencyProfile;
+use hdhash_obs::{HistogramSnapshot, LogHistogram};
 
-/// How many latency samples each shard retains (a ring: the most recent
-/// window wins, so long runs report current behaviour, not warm-up).
-const RESERVOIR_CAPACITY: usize = 4096;
-
-/// Writer-side metrics for one shard. All counters are `Relaxed` atomics
-/// (monotone, heuristic); only the latency reservoir takes a lock, briefly.
+/// Writer-side metrics for one shard. Everything is `Relaxed` atomics
+/// (monotone, heuristic) — including the latency distribution; nothing on
+/// the batch path takes a lock.
 #[derive(Debug, Default)]
 pub(crate) struct ShardMetrics {
     served: AtomicU64,
     failed: AtomicU64,
     batches: AtomicU64,
     batch_fill: AtomicU64,
-    latencies: Mutex<Reservoir>,
-}
-
-#[derive(Debug, Default)]
-struct Reservoir {
-    ring: Vec<Duration>,
-    next: usize,
-}
-
-impl Reservoir {
-    fn record(&mut self, sample: Duration) {
-        if self.ring.len() < RESERVOIR_CAPACITY {
-            self.ring.push(sample);
-        } else {
-            self.ring[self.next] = sample;
-            self.next = (self.next + 1) % RESERVOIR_CAPACITY;
-        }
-    }
+    latency_ns: LogHistogram,
 }
 
 impl ShardMetrics {
@@ -46,17 +32,16 @@ impl ShardMetrics {
         self.batch_fill.fetch_add(fill as u64, Ordering::Relaxed);
         self.served.fetch_add(fill as u64, Ordering::Relaxed);
         self.failed.fetch_add(failures as u64, Ordering::Relaxed);
-        let mut reservoir = self.latencies.lock();
-        for &sample in latencies {
-            reservoir.record(sample);
+        for sample in latencies {
+            self.latency_ns.record(sample.as_nanos() as u64);
         }
     }
 
     pub(crate) fn snapshot(&self, shard: usize, epoch: u64, members: usize) -> ShardMetricsSnapshot {
         let batches = self.batches.load(Ordering::Relaxed);
         let fill = self.batch_fill.load(Ordering::Relaxed);
-        let latency =
-            LatencyProfile::from_durations(self.latencies.lock().ring.clone());
+        let hist = self.latency_ns.snapshot();
+        let latency = profile_from_histogram(&hist);
         ShardMetricsSnapshot {
             shard,
             epoch,
@@ -66,8 +51,25 @@ impl ShardMetrics {
             batches,
             mean_batch_fill: if batches == 0 { 0.0 } else { fill as f64 / batches as f64 },
             latency,
+            latency_hist: hist,
         }
     }
+}
+
+/// Derive the classic p50/p90/p99/max profile from histogram buckets.
+/// `None` before any traffic, like the reservoir behaved.
+fn profile_from_histogram(hist: &HistogramSnapshot) -> Option<LatencyProfile> {
+    if hist.count == 0 {
+        return None;
+    }
+    let q = |q: f64| Duration::from_nanos(hist.quantile(q).unwrap_or(0));
+    Some(LatencyProfile {
+        samples: hist.count as usize,
+        p50: q(0.50),
+        p90: q(0.90),
+        p99: q(0.99),
+        max: Duration::from_nanos(hist.max),
+    })
 }
 
 /// Point-in-time metrics for one shard.
@@ -88,9 +90,14 @@ pub struct ShardMetricsSnapshot {
     /// Mean lookups per batch — the coalescing win; 1.0 means the queue
     /// never held more than one request per shard at a time.
     pub mean_batch_fill: f64,
-    /// p50/p90/p99/max over the shard's recent latency window, measured
-    /// submit-to-response (queue wait included). `None` before traffic.
+    /// p50/p90/p99/max over the shard's full latency history, measured
+    /// submit-to-response (queue wait included). Quantiles are log2-bucket
+    /// estimates (error below one bucket width); `max` is exact. `None`
+    /// before traffic.
     pub latency: Option<LatencyProfile>,
+    /// The raw latency distribution in nanoseconds — the bucket state the
+    /// quantiles derive from, exported whole by the telemetry layer.
+    pub latency_hist: HistogramSnapshot,
 }
 
 /// Point-in-time metrics for the whole engine.
@@ -138,6 +145,7 @@ mod tests {
         let latency = snap.latency.expect("samples recorded");
         assert_eq!(latency.samples, 8);
         assert_eq!(latency.max, Duration::from_micros(20));
+        assert_eq!(snap.latency_hist.count, 8);
     }
 
     #[test]
@@ -145,17 +153,32 @@ mod tests {
         let snap = ShardMetrics::default().snapshot(0, 0, 0);
         assert!(snap.latency.is_none());
         assert_eq!(snap.mean_batch_fill, 0.0);
+        assert_eq!(snap.latency_hist.count, 0);
     }
 
     #[test]
-    fn reservoir_wraps_at_capacity() {
-        let mut r = Reservoir::default();
-        for i in 0..(RESERVOIR_CAPACITY + 10) {
-            r.record(Duration::from_nanos(i as u64));
+    fn histogram_snapshot_does_not_block_recording() {
+        // The reservoir this replaced cloned 4096 samples under a lock per
+        // snapshot; the histogram read must tolerate concurrent writers.
+        use std::sync::Arc;
+        let m = Arc::new(ShardMetrics::default());
+        let writer = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    m.record_batch(1, 0, &[Duration::from_nanos(i + 1)]);
+                }
+            })
+        };
+        for _ in 0..500 {
+            let snap = m.snapshot(0, 0, 1);
+            // Monotone, internally consistent reads while writes race.
+            assert!(snap.latency_hist.buckets.iter().sum::<u64>() <= 20_000);
         }
-        assert_eq!(r.ring.len(), RESERVOIR_CAPACITY);
-        // The oldest 10 samples were overwritten.
-        assert!(r.ring.contains(&Duration::from_nanos(RESERVOIR_CAPACITY as u64)));
-        assert!(!r.ring.contains(&Duration::from_nanos(5)));
+        writer.join().unwrap();
+        let snap = m.snapshot(0, 0, 1);
+        assert_eq!(snap.served, 20_000);
+        assert_eq!(snap.latency_hist.count, 20_000);
+        assert_eq!(snap.latency.expect("traffic").max, Duration::from_nanos(20_000));
     }
 }

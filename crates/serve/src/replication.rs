@@ -538,6 +538,7 @@ mod tests {
             codebook_size: 64,
             seed: 77,
             scheduler: crate::SchedulerKind::default(),
+            trace: Default::default(),
         }
     }
 
@@ -790,6 +791,7 @@ mod tests {
             codebook_size: 8,
             seed: 5,
             scheduler: crate::SchedulerKind::default(),
+            trace: Default::default(),
         };
         let a = ReplicatedEngine::new(ReplicaId::new(0), tiny).expect("valid");
         let b = ReplicatedEngine::new(ReplicaId::new(1), tiny).expect("valid");

@@ -248,13 +248,16 @@ pub struct LookupJob {
     pub(crate) shard: usize,
     pub(crate) enqueued: Instant,
     pub(crate) cell: Arc<ResponseCell>,
+    /// Nonzero id when this request was sampled for tracing; `None` for
+    /// the (vast, at production sampling rates) untraced majority.
+    pub(crate) trace_id: Option<u64>,
 }
 
 impl LookupJob {
     pub(crate) fn new(key: RequestKey, shard: usize) -> (Self, Ticket) {
         let cell = Arc::new(ResponseCell::default());
         let ticket = Ticket { cell: Arc::clone(&cell) };
-        (Self { key, shard, enqueued: Instant::now(), cell }, ticket)
+        (Self { key, shard, enqueued: Instant::now(), cell, trace_id: None }, ticket)
     }
 }
 

@@ -40,9 +40,12 @@
 //! ```
 
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use crossbeam::deque::{Steal, Stealer, Worker};
 use crossbeam::queue::ArrayQueue;
+
+use hdhash_obs::{SpanKind, Tracer};
 
 use crate::config::{SchedulerKind, ServeConfig};
 use crate::engine::EngineCore;
@@ -94,12 +97,12 @@ pub trait Scheduler: std::fmt::Debug + Send + Sync {
 }
 
 /// Builds the substrate [`ServeConfig::scheduler`] selects.
-pub(crate) fn build(config: &ServeConfig) -> Box<dyn Scheduler> {
+pub(crate) fn build(config: &ServeConfig, tracer: Arc<Tracer>) -> Box<dyn Scheduler> {
     match config.scheduler {
         SchedulerKind::SharedQueue => Box::new(SharedQueue::new(config.queue_capacity)),
-        SchedulerKind::WorkStealing => {
-            Box::new(WorkStealing::new(config.queue_capacity, config.workers))
-        }
+        SchedulerKind::WorkStealing => Box::new(
+            WorkStealing::new(config.queue_capacity, config.workers).with_tracer(tracer),
+        ),
     }
 }
 
@@ -158,6 +161,9 @@ pub struct WorkStealing {
     locals: Vec<Worker<LookupJob>>,
     /// Thief handles onto every local deque, probed round-robin.
     stealers: Vec<Stealer<LookupJob>>,
+    /// Steal-event collector; the disabled default costs one branch per
+    /// steal.
+    tracer: Arc<Tracer>,
 }
 
 impl WorkStealing {
@@ -168,7 +174,20 @@ impl WorkStealing {
         let locals: Vec<Worker<LookupJob>> =
             (0..workers.max(1)).map(|_| Worker::new_fifo()).collect();
         let stealers = locals.iter().map(Worker::stealer).collect();
-        Self { injector: ArrayQueue::new(capacity), locals, stealers }
+        Self {
+            injector: ArrayQueue::new(capacity),
+            locals,
+            stealers,
+            tracer: Arc::new(Tracer::disabled()),
+        }
+    }
+
+    /// Attach the engine's tracer so successful steals emit
+    /// [`SpanKind::Steal`] events.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = tracer;
+        self
     }
 }
 
@@ -210,7 +229,8 @@ impl Scheduler for WorkStealing {
             //    victims spread under many thieves).
             let n = self.stealers.len();
             'victims: for offset in 1..n {
-                let victim = &self.stealers[(worker + offset) % n];
+                let victim_idx = (worker + offset) % n;
+                let victim = &self.stealers[victim_idx];
                 loop {
                     match victim.steal_batch_and_pop(local) {
                         Steal::Success(job) => {
@@ -220,6 +240,21 @@ impl Scheduler for WorkStealing {
                                     Some(job) => batch.push(job),
                                     None => break,
                                 }
+                            }
+                            // Steals only happen on otherwise-idle
+                            // workers, so recording every one (not just
+                            // sampled ones) costs nothing on the serving
+                            // path and keeps rebalancing visible.
+                            if self.tracer.is_enabled() {
+                                let id =
+                                    batch.iter().find_map(|j| j.trace_id).unwrap_or(0);
+                                self.tracer.record(
+                                    SpanKind::Steal,
+                                    id,
+                                    worker as u32,
+                                    victim_idx as u64,
+                                    batch.len() as u64,
+                                );
                             }
                             break 'victims;
                         }
@@ -303,8 +338,19 @@ pub(crate) fn worker_loop(core: &EngineCore, worker: usize) {
             let _guard = core.park.lock();
             core.ready.notify_one();
         }
+        if core.tracer.is_enabled() {
+            if let Some(sampled) = batch.iter().find(|job| job.trace_id.is_some()) {
+                core.tracer.record(
+                    SpanKind::Pickup,
+                    sampled.trace_id.unwrap_or(0),
+                    worker as u32,
+                    batch.len() as u64,
+                    sampled.enqueued.elapsed().as_micros() as u64,
+                );
+            }
+        }
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            core.serve_batch(&mut batch, &mut keys, &mut latencies);
+            core.serve_batch(worker, &mut batch, &mut keys, &mut latencies);
         }));
         if outcome.is_err() {
             core.contain_panic(&mut batch);

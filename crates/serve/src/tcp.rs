@@ -57,6 +57,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use hdhash_obs::{SpanKind, Tracer};
 use parking_lot::{Condvar, Mutex};
 
 use crate::gossip::GossipMessage;
@@ -108,6 +109,10 @@ impl Default for TcpConfig {
 pub struct TcpStats {
     /// Outbound connections successfully established.
     pub connections_established: u64,
+    /// The subset of established connections that replaced an earlier
+    /// one on the same peer supervisor (the reconnect odometer the
+    /// cluster driver's teardown table reports).
+    pub connections_reconnected: u64,
     /// Inbound connections accepted.
     pub connections_accepted: u64,
     /// Outbound connect attempts that failed (each is followed by a
@@ -140,6 +145,7 @@ pub struct TcpStats {
 #[derive(Debug, Default)]
 struct Counters {
     connections_established: AtomicU64,
+    connections_reconnected: AtomicU64,
     connections_accepted: AtomicU64,
     connect_failures: AtomicU64,
     frames_sent: AtomicU64,
@@ -178,11 +184,26 @@ struct Shared {
     peers: Mutex<BTreeMap<ReplicaId, Arc<PeerState>>>,
     counters: Counters,
     shutdown: AtomicBool,
+    /// Span sink for connection lifecycle events (connect / reconnect /
+    /// accept / condemn). All sites are cold — once per connection event,
+    /// never per frame — so a mutex-guarded slot is fine and lets
+    /// [`TcpNetwork::set_tracer`] swap it in after bind.
+    tracer: Mutex<Arc<Tracer>>,
 }
 
 impl Shared {
     fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Records one connection-lifecycle trace event (no-op when the
+    /// installed tracer is disabled). Lane is the local replica id.
+    #[allow(clippy::cast_possible_truncation)]
+    fn trace(&self, kind: SpanKind, subject: u64, amount: u64) {
+        let tracer = Arc::clone(&self.tracer.lock());
+        if tracer.is_enabled() {
+            tracer.record(kind, 0, self.local.get() as u32, subject, amount);
+        }
     }
 
     /// Sleeps the reconnect backoff for `attempt`, in small slices so
@@ -295,10 +316,12 @@ fn reader_loop(shared: &Shared, mut stream: TcpStream) {
             FrameRead::Closed => return,
             FrameRead::Partial => {
                 bump(&shared.counters.partial_frames, 1);
+                shared.trace(SpanKind::TcpCondemn, 0, 0);
                 return;
             }
             FrameRead::Corrupt => {
                 bump(&shared.counters.corrupt_frames, 1);
+                shared.trace(SpanKind::TcpCondemn, 0, 1);
                 return;
             }
         }
@@ -314,6 +337,7 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener, readers: &Mutex<V
                 // accepted stream must not inherit that.
                 let _ = stream.set_nonblocking(false);
                 bump(&shared.counters.connections_accepted, 1);
+                shared.trace(SpanKind::TcpAccept, 0, 0);
                 let shared = Arc::clone(shared);
                 let handle = std::thread::Builder::new()
                     .name(format!("hdhash-tcp-read-{}", shared.local))
@@ -334,6 +358,7 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener, readers: &Mutex<V
 fn writer_loop(shared: &Shared, peer: &PeerState) {
     let mut stream: Option<TcpStream> = None;
     let mut attempt: u32 = 0;
+    let mut connected_before = false;
     loop {
         // Wait until a message is queued (or shutdown).
         let message = {
@@ -361,6 +386,14 @@ fn writer_loop(shared: &Shared, peer: &PeerState) {
                         let _ = s.set_nodelay(true);
                         let _ = s.set_write_timeout(Some(shared.config.write_timeout));
                         bump(&shared.counters.connections_established, 1);
+                        let kind = if connected_before {
+                            bump(&shared.counters.connections_reconnected, 1);
+                            SpanKind::TcpReconnect
+                        } else {
+                            SpanKind::TcpConnect
+                        };
+                        shared.trace(kind, peer.id.get(), u64::from(attempt));
+                        connected_before = true;
                         attempt = 0;
                         s
                     }
@@ -453,6 +486,7 @@ impl TcpNetwork {
             peers: Mutex::new(BTreeMap::new()),
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
+            tracer: Mutex::new(Arc::new(Tracer::disabled())),
         });
         let readers = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -531,6 +565,13 @@ impl TcpNetwork {
         }
     }
 
+    /// Installs a span sink for connection lifecycle events
+    /// (connect / reconnect / accept / condemn). Takes effect for events
+    /// after the call; safe while supervisors are already running.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.shared.tracer.lock() = tracer;
+    }
+
     /// The registered peer ids, sorted.
     #[must_use]
     pub fn peers(&self) -> Vec<ReplicaId> {
@@ -552,6 +593,7 @@ impl TcpNetwork {
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         TcpStats {
             connections_established: load(&c.connections_established),
+            connections_reconnected: load(&c.connections_reconnected),
             connections_accepted: load(&c.connections_accepted),
             connect_failures: load(&c.connect_failures),
             frames_sent: load(&c.frames_sent),
@@ -621,6 +663,7 @@ impl TcpEndpoint {
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         TcpStats {
             connections_established: load(&c.connections_established),
+            connections_reconnected: load(&c.connections_reconnected),
             connections_accepted: load(&c.connections_accepted),
             connect_failures: load(&c.connect_failures),
             frames_sent: load(&c.frames_sent),

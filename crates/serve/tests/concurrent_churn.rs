@@ -48,6 +48,7 @@ fn config(seed: u64, scheduler: SchedulerKind) -> ServeConfig {
         codebook_size: 64,
         seed,
         scheduler,
+        trace: Default::default(),
     }
 }
 
@@ -237,6 +238,7 @@ fn work_stealing_backpressure_surfaces_queue_full() {
         codebook_size: 64,
         seed: 7,
         scheduler: SchedulerKind::WorkStealing,
+        trace: Default::default(),
     })
     .expect("valid config");
     engine.join(ServerId::new(1)).expect("fresh");
@@ -280,6 +282,7 @@ fn stragglers_in_stolen_batches_complete_at_shutdown() {
             codebook_size: 64,
             seed: 1000 + round,
             scheduler: SchedulerKind::WorkStealing,
+            trace: Default::default(),
         })
         .expect("valid config");
         engine.join(ServerId::new(1)).expect("fresh");

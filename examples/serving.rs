@@ -4,7 +4,15 @@
 //! ```text
 //! cargo run --release --example serving
 //! cargo run --release --example serving -- work-stealing
+//! cargo run --release --example serving -- shared-queue trace.jsonl metrics.prom
 //! ```
+//!
+//! The optional second and third arguments turn the unified telemetry
+//! layer on: the drained trace ring is written as JSONL to the second
+//! argument and a Prometheus exposition covering every layer (engine,
+//! gossip, TCP, tracer) is written to the third. CI's observability job
+//! runs the example this way and validates both files offline (see
+//! `docs/OBSERVABILITY.md`).
 //!
 //! Architecture exercised (see README "Serving layer"):
 //!
@@ -18,16 +26,31 @@
 //! `Ticket` is awaited as a future on the vendored block-on executor, a
 //! window of them in flight at a time.
 
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use hdhash::emulator::{Generator, KeyDistribution, Workload};
+use hdhash::obs::{TraceConfig, TraceEvent, TelemetrySnapshot};
+use hdhash::serve::gossip::{converged, GossipConfig, GossipNode};
+use hdhash::serve::replication::ReplicatedEngine;
+use hdhash::serve::tcp::{TcpConfig, TcpNetwork};
+use hdhash::serve::telemetry::{export_engine, export_gossip, export_tcp, export_tracer};
+use hdhash::serve::transport::ReplicaId;
 use hdhash::serve::{drive, executor, SchedulerKind, ServeConfig, ServeEngine};
 use hdhash::table::{RequestKey, ServerId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scheduler = match std::env::args().nth(1).as_deref() {
+    let mut args = std::env::args().skip(1);
+    let scheduler = match args.next().as_deref() {
         Some(name) => SchedulerKind::parse(name)
             .ok_or_else(|| format!("unknown scheduler `{name}`"))?,
         None => SchedulerKind::SharedQueue,
     };
+    let trace_out = args.next();
+    let metrics_out = args.next();
+    let telemetry_on = trace_out.is_some() || metrics_out.is_some();
+    let trace =
+        if telemetry_on { TraceConfig::sampled(64) } else { TraceConfig::disabled() };
     let config = ServeConfig {
         shards: 4,
         workers: 2,
@@ -37,6 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         codebook_size: 256,
         seed: 2022,
         scheduler,
+        trace,
     };
     println!(
         "engine: {} shards × {} workers, batch capacity {}, queue capacity {}, \
@@ -150,5 +174,128 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "engine totals: {} submitted, {} completed, {} rejected",
         metrics.submitted, metrics.completed, metrics.rejected
     );
+
+    // Phase 3: a 2-replica cluster gossips divergent membership over
+    // loopback TCP until anti-entropy converges it. With telemetry on,
+    // every layer shares one tracer per replica, so the drained ring
+    // interleaves request, gossip, and transport lifecycles.
+    let (events, snapshot) = replicated_phase(trace, &engine)?;
+    println!(
+        "\nphase 3 — replicated anti-entropy over TCP: converged; \
+         {} trace events captured across all layers",
+        events.len()
+    );
+
+    if let Some(path) = trace_out.as_deref() {
+        std::fs::write(path, hdhash::obs::jsonl(&events))?;
+        println!("trace JSONL written to {path} ({} events)", events.len());
+    }
+    if let Some(path) = metrics_out.as_deref() {
+        std::fs::write(path, snapshot.to_prometheus())?;
+        println!("telemetry exposition written to {path}");
+    }
     Ok(())
+}
+
+/// Runs the 2-replica gossip-over-TCP phase and folds the whole
+/// process — the phase-1/2 engine plus both replicas — into one
+/// [`TelemetrySnapshot`] and one drained event list.
+fn replicated_phase(
+    trace: TraceConfig,
+    front: &ServeEngine,
+) -> Result<(Vec<TraceEvent>, TelemetrySnapshot), Box<dyn std::error::Error>> {
+    let tcp = TcpConfig {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_millis(100),
+        write_timeout: Duration::from_secs(1),
+        reconnect_base: Duration::from_millis(10),
+        reconnect_cap: Duration::from_millis(200),
+        outbox_capacity: 1024,
+    };
+    let networks: Vec<TcpNetwork> = (0..2)
+        .map(|i| TcpNetwork::bind(ReplicaId::new(i), "127.0.0.1:0", tcp))
+        .collect::<Result<_, _>>()?;
+    let addrs: Vec<_> = networks.iter().map(TcpNetwork::local_addr).collect();
+    for (i, network) in networks.iter().enumerate() {
+        for (j, &addr) in addrs.iter().enumerate() {
+            if i != j {
+                network.add_peer(ReplicaId::new(j as u64), addr);
+            }
+        }
+    }
+    let config = ServeConfig {
+        shards: 2,
+        workers: 2,
+        dimension: 1024,
+        codebook_size: 32,
+        trace,
+        ..ServeConfig::default()
+    };
+    let peers: Vec<ReplicaId> = (0..2).map(ReplicaId::new).collect();
+    let replicas: Vec<Arc<ReplicatedEngine>> = (0..2)
+        .map(|i| Ok(Arc::new(ReplicatedEngine::new(ReplicaId::new(i), config)?)))
+        .collect::<Result<_, hdhash::serve::ServeError>>()?;
+    let nodes: Vec<GossipNode<_>> = replicas
+        .iter()
+        .zip(&networks)
+        .map(|(replica, network)| {
+            let tracer = replica.engine().tracer();
+            network.set_tracer(Arc::clone(&tracer));
+            GossipNode::new(
+                Arc::clone(replica),
+                network.endpoint(),
+                peers.clone(),
+                GossipConfig { period: Duration::from_millis(10), ..GossipConfig::default() },
+            )
+            .with_tracer(tracer)
+        })
+        .collect();
+
+    // Divergent joins force a real sync exchange, not just adverts.
+    for id in 0..10u64 {
+        replicas[0].join(ServerId::new(id))?;
+    }
+    for id in 6..14u64 {
+        replicas[1].join(ServerId::new(id))?;
+    }
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        for node in &nodes {
+            node.tick();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        for node in &nodes {
+            node.pump();
+        }
+        let views: Vec<&ReplicatedEngine> = replicas.iter().map(Arc::as_ref).collect();
+        if converged(&views) {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err("replicas did not converge over TCP".into());
+        }
+    }
+    // A short lookup burst per replica so the per-replica engine metrics
+    // in the exposition carry real traffic.
+    for replica in &replicas {
+        for k in 0..32u64 {
+            let ticket = replica.submit(RequestKey::new(k))?;
+            let _ = ticket.wait();
+        }
+    }
+
+    let mut snapshot = TelemetrySnapshot::new();
+    export_engine(&mut snapshot, &[("stage", "front")], &front.metrics());
+    export_tracer(&mut snapshot, &[("stage", "front")], &front.tracer().stats());
+    let mut events = front.tracer().drain();
+    for (i, (replica, network)) in replicas.iter().zip(&networks).enumerate() {
+        let idx = i.to_string();
+        let labels: [(&str, &str); 1] = [("replica", idx.as_str())];
+        export_engine(&mut snapshot, &labels, &replica.engine().metrics());
+        export_gossip(&mut snapshot, &labels, &nodes[i].metrics());
+        export_tcp(&mut snapshot, &labels, &network.stats());
+        export_tracer(&mut snapshot, &labels, &replica.engine().tracer().stats());
+        events.extend(replica.engine().tracer().drain());
+    }
+    Ok((events, snapshot))
 }

@@ -211,12 +211,16 @@ impl Shell {
         ))
     }
 
-    /// `serve [shards] [workers] [requests] [scheduler]`: runs a
-    /// closed-loop burst through the sharded serving engine (tickets are
-    /// reaped through the async front end) and prints throughput plus
-    /// per-shard batch-coalescing and latency metrics. `scheduler` is
-    /// `shared-queue` (default) or `work-stealing`.
+    /// `serve [shards] [workers] [requests] [scheduler] [--metrics
+    /// <path>]`: runs a closed-loop burst through the sharded serving
+    /// engine (tickets are reaped through the async front end) and
+    /// prints throughput plus per-shard batch-coalescing and latency
+    /// metrics. `scheduler` is `shared-queue` (default) or
+    /// `work-stealing`. With `--metrics`, tracing is sampled at 1/64 and
+    /// the unified Prometheus exposition is rewritten to `path` every
+    /// 200ms during the burst plus once at the end.
     fn cmd_serve(args: &[&str]) -> Result<String, String> {
+        let (args, metrics_path) = split_metrics_flag(args)?;
         let parse = |i: usize, default: usize| -> Result<usize, String> {
             match args.get(i) {
                 Some(v) => v.parse().map_err(|_| format!("bad number `{v}`")),
@@ -232,12 +236,18 @@ impl Shell {
             })?,
             None => SchedulerKind::SharedQueue,
         };
+        let trace = if metrics_path.is_some() {
+            hdhash::obs::TraceConfig::sampled(64)
+        } else {
+            hdhash::obs::TraceConfig::disabled()
+        };
         let config = hdhash::serve::ServeConfig {
             shards,
             workers,
             dimension: 4096,
             codebook_size: 256,
             scheduler,
+            trace,
             ..hdhash::serve::ServeConfig::default()
         };
         let mut engine =
@@ -251,8 +261,34 @@ impl Shell {
             ..hdhash::emulator::Workload::default()
         };
         let stream = hdhash::emulator::Generator::new(workload).lookup_requests();
-        let report = hdhash::serve::drive(&engine, &stream, 512);
+        let dump = |engine: &hdhash::serve::ServeEngine, path: &str| {
+            let mut snap = hdhash::obs::TelemetrySnapshot::new();
+            hdhash::serve::telemetry::export_engine(&mut snap, &[], &engine.metrics());
+            hdhash::serve::telemetry::export_tracer(&mut snap, &[], &engine.tracer().stats());
+            std::fs::write(path, snap.to_prometheus())
+        };
+        let report = match metrics_path.as_deref() {
+            None => hdhash::serve::drive(&engine, &stream, 512),
+            Some(path) => {
+                let done = std::sync::atomic::AtomicBool::new(false);
+                std::thread::scope(|scope| {
+                let report = scope.spawn(|| {
+                    let report = hdhash::serve::drive(&engine, &stream, 512);
+                    done.store(true, std::sync::atomic::Ordering::Release);
+                    report
+                });
+                while !done.load(std::sync::atomic::Ordering::Acquire) {
+                    let _ = dump(&engine, path);
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                }
+                report.join().expect("drive thread panicked")
+                })
+            }
+        };
         engine.shutdown();
+        if let Some(path) = metrics_path.as_deref() {
+            dump(&engine, path).map_err(|e| format!("write metrics to {path}: {e}"))?;
+        }
         let metrics = engine.metrics();
         let mut out = format!(
             "served {} lookups over {} shard(s) × {} worker(s) [{}]: {:.0} req/s, \
@@ -276,6 +312,9 @@ impl Shell {
                 shard.shard, shard.epoch, shard.members, shard.served, shard.batches,
                 shard.mean_batch_fill
             ));
+        }
+        if let Some(path) = metrics_path.as_deref() {
+            out.push_str(&format!("telemetry exposition written to {path}\n"));
         }
         out.pop();
         Ok(out)
@@ -426,6 +465,168 @@ impl Shell {
     }
 }
 
+/// Splits a trailing `--metrics <path>` flag off a positional argv,
+/// returning the remaining positionals and the path (if given).
+fn split_metrics_flag<'a>(args: &[&'a str]) -> Result<(Vec<&'a str>, Option<String>), String> {
+    let mut positional = Vec::new();
+    let mut path = None;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        if arg == "--metrics" {
+            let p = it.next().ok_or("--metrics needs a <path> argument")?;
+            path = Some((*p).to_string());
+        } else {
+            positional.push(arg);
+        }
+    }
+    Ok((positional, path))
+}
+
+/// Entry point of `hdhash-cli stats [requests] [format]` — one unified
+/// [`TelemetrySnapshot`](hdhash::obs::TelemetrySnapshot) spanning every
+/// layer: a traced serving burst (engine + tracer), a 2-replica
+/// in-process gossip convergence (gossip), a loopback TCP exchange
+/// (tcp), and a seeded lossy chaos run (chaos). `format` is
+/// `prometheus` (default) or `json`.
+fn stats_main(args: &[String]) -> i32 {
+    match run_stats(args) {
+        Ok(out) => {
+            println!("{out}");
+            0
+        }
+        Err(e) => {
+            eprintln!("stats error: {e}");
+            1
+        }
+    }
+}
+
+fn run_stats(args: &[String]) -> Result<String, String> {
+    use hdhash::obs::{TelemetrySnapshot, TraceConfig};
+    use hdhash::serve::chaos::{ChaosNetwork, FaultPlan, LinkFaults};
+    use hdhash::serve::gossip::{converged, run_round, GossipConfig, GossipMessage, GossipNode};
+    use hdhash::serve::replication::ReplicatedEngine;
+    use hdhash::serve::tcp::{TcpConfig, TcpNetwork};
+    use hdhash::serve::telemetry;
+    use hdhash::serve::transport::{InProcessNetwork, ReplicaId, Transport};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let requests: usize = match args.first() {
+        Some(v) => v.parse().map_err(|_| format!("bad request count `{v}`"))?,
+        None => 2_000,
+    };
+    let format = args.get(1).map_or("prometheus", String::as_str);
+    if format != "prometheus" && format != "json" {
+        return Err(format!("unknown format `{format}`; prometheus or json"));
+    }
+    let mut out = TelemetrySnapshot::new();
+
+    // Engine + tracer: a closed-loop burst with every request sampled.
+    let config = hdhash::serve::ServeConfig {
+        shards: 2,
+        workers: 2,
+        dimension: 2048,
+        codebook_size: 64,
+        trace: TraceConfig::sampled(1),
+        ..hdhash::serve::ServeConfig::default()
+    };
+    let mut engine = hdhash::serve::ServeEngine::new(config).map_err(|e| e.to_string())?;
+    for id in 0..32u64 {
+        engine.join(ServerId::new(id)).map_err(|e| e.to_string())?;
+    }
+    let workload = hdhash::emulator::Workload {
+        initial_servers: 0,
+        lookups: requests,
+        ..hdhash::emulator::Workload::default()
+    };
+    let stream = hdhash::emulator::Generator::new(workload).lookup_requests();
+    let _ = hdhash::serve::drive(&engine, &stream, 256);
+    engine.shutdown();
+    telemetry::export_engine(&mut out, &[], &engine.metrics());
+    telemetry::export_tracer(&mut out, &[], &engine.tracer().stats());
+
+    // Gossip: two in-process replicas diverge, then converge.
+    let replica_config = hdhash::serve::ServeConfig {
+        shards: 2,
+        workers: 1,
+        dimension: 1024,
+        codebook_size: 32,
+        ..hdhash::serve::ServeConfig::default()
+    };
+    let network = InProcessNetwork::new();
+    let peers = vec![ReplicaId::new(0), ReplicaId::new(1)];
+    let replicas: Vec<Arc<ReplicatedEngine>> = peers
+        .iter()
+        .map(|&id| {
+            ReplicatedEngine::new(id, replica_config).map(Arc::new).map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let nodes: Vec<_> = peers
+        .iter()
+        .zip(&replicas)
+        .map(|(&id, replica)| {
+            GossipNode::new(
+                Arc::clone(replica),
+                network.endpoint(id),
+                peers.clone(),
+                GossipConfig::default(),
+            )
+        })
+        .collect();
+    for id in 0..8u64 {
+        replicas[0].join(ServerId::new(id)).map_err(|e| e.to_string())?;
+    }
+    for id in 5..12u64 {
+        replicas[1].join(ServerId::new(id)).map_err(|e| e.to_string())?;
+    }
+    let mut rounds = 0;
+    while !converged(&[&replicas[0], &replicas[1]]) {
+        rounds += 1;
+        if rounds > 32 {
+            return Err("gossip failed to converge in 32 rounds".into());
+        }
+        run_round(&nodes);
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        let idx = i.to_string();
+        telemetry::export_gossip(&mut out, &[("replica", idx.as_str())], &node.metrics());
+    }
+
+    // TCP: one advert across a real loopback socket pair.
+    let a = TcpNetwork::bind(ReplicaId::new(0), "127.0.0.1:0", TcpConfig::default())
+        .map_err(|e| e.to_string())?;
+    let b = TcpNetwork::bind(ReplicaId::new(1), "127.0.0.1:0", TcpConfig::default())
+        .map_err(|e| e.to_string())?;
+    a.add_peer(ReplicaId::new(1), b.local_addr());
+    let (ea, eb) = (a.endpoint(), b.endpoint());
+    ea.send(
+        ReplicaId::new(1),
+        GossipMessage::Advert { round: 1, signatures: Vec::new(), ack: None },
+    )
+    .map_err(|e| e.to_string())?;
+    if eb.recv_timeout(Duration::from_secs(10)).is_none() {
+        return Err("loopback TCP advert never arrived".into());
+    }
+    telemetry::export_tcp(&mut out, &[("replica", "0")], &a.stats());
+
+    // Chaos: a seeded lossy link, counters reconciling by construction.
+    let net = ChaosNetwork::new(FaultPlan::new(0x57A75).with_default_link(LinkFaults::lossy(250)));
+    let ca = net.endpoint(ReplicaId::new(0));
+    let cb = net.endpoint(ReplicaId::new(1));
+    for round in 0..40 {
+        ca.send(
+            ReplicaId::new(1),
+            GossipMessage::Advert { round, signatures: Vec::new(), ack: None },
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    while cb.try_recv().is_some() {}
+    telemetry::export_chaos(&mut out, &[], &net.stats());
+
+    Ok(if format == "json" { out.to_json() } else { out.to_prometheus() })
+}
+
 const HELP: &str = r"
 commands:
   new <algorithm> [capacity]   create a table (modular|consistent|rendezvous|hd|hd-parallel|maglev)
@@ -440,16 +641,24 @@ commands:
   clear                        repair all injected noise
   stats                        table summary
   serve [shards] [workers] [n] [sched]  closed-loop burst through the serving engine
-                               (sched: shared-queue | work-stealing)
+                               (sched: shared-queue | work-stealing); add
+                               --metrics <path> to sample tracing at 1/64 and
+                               periodically dump the Prometheus exposition
   replicate [shards] [ops]     anti-entropy demo: diverge two replicas, gossip to convergence
   accel [servers] [d]          projected single-cycle lookup time on HDC hardware
   quit                         exit
 
 process modes (argv, not shell commands):
+  hdhash-cli stats [n] [format]    run traced bursts through every layer and
+                                   print one unified telemetry snapshot
+                                   (format: prometheus | json)
   hdhash-cli cluster [n] [churn]   spawn n replica processes gossiping over
                                    loopback TCP, churn, converge, SIGKILL one,
-                                   restart it, and prove reconvergence
-  hdhash-cli cluster-replica ...   one replica process (spawned by `cluster`)
+                                   restart it, and prove reconvergence; prints
+                                   a per-replica telemetry table at teardown
+  hdhash-cli cluster-replica ...   one replica process (spawned by `cluster`);
+                                   add --metrics <path> [interval_ms] to
+                                   periodically dump its Prometheus exposition
 ";
 
 fn main() {
@@ -457,6 +666,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("cluster") => std::process::exit(cluster::driver_main(&args[1..])),
         Some("cluster-replica") => std::process::exit(cluster::replica_main(&args[1..])),
+        Some("stats") => std::process::exit(stats_main(&args[1..])),
         _ => {}
     }
     let stdin = std::io::stdin();
@@ -526,10 +736,32 @@ mod cluster {
 
     use hdhash::serve::gossip::{GossipConfig, GossipNode};
     use hdhash::serve::replication::ReplicatedEngine;
-    use hdhash::serve::tcp::{TcpConfig, TcpNetwork};
+    use hdhash::serve::tcp::{TcpConfig, TcpEndpoint, TcpNetwork};
     use hdhash::serve::transport::ReplicaId;
     use hdhash::serve::ServeConfig;
-    use hdhash::table::ServerId;
+    use hdhash::table::{RequestKey, ServerId};
+
+    /// Rewrites the replica's whole Prometheus exposition to `path`
+    /// (engine, gossip once started, TCP, tracer — all labeled with the
+    /// replica id). Best-effort: a failed write is retried next tick.
+    fn write_exposition(
+        path: &str,
+        replica: &ReplicatedEngine,
+        endpoint: &TcpEndpoint,
+        gossip: Option<&GossipNode<TcpEndpoint>>,
+    ) {
+        use hdhash::serve::telemetry;
+        let mut snap = hdhash::obs::TelemetrySnapshot::new();
+        let id = replica.id().get().to_string();
+        let labels = [("replica", id.as_str())];
+        telemetry::export_engine(&mut snap, &labels, &replica.engine().metrics());
+        if let Some(node) = gossip {
+            telemetry::export_gossip(&mut snap, &labels, &node.metrics());
+        }
+        telemetry::export_tcp(&mut snap, &labels, &endpoint.stats());
+        telemetry::export_tracer(&mut snap, &labels, &replica.engine().tracer().stats());
+        let _ = std::fs::write(path, snap.to_prometheus());
+    }
 
     /// Socket deadlines tuned for loopback: fast enough that a SIGKILLed
     /// peer is noticed in tens of milliseconds, long enough to never
@@ -573,6 +805,24 @@ mod cluster {
         let codebook: usize = parse(args, 3, "codebook")?;
         let seed: u64 = parse(args, 4, "seed")?;
         let period_ms: u64 = parse(args, 5, "period_ms")?;
+        // Optional: `--metrics <path> [interval_ms]` — a background
+        // thread rewrites the whole Prometheus exposition to `path`
+        // every interval (default 500ms), and tracing turns on at 1/64.
+        let metrics_out = match args.iter().position(|a| a == "--metrics") {
+            None => None,
+            Some(at) => {
+                let path = args
+                    .get(at + 1)
+                    .filter(|p| !p.starts_with("--"))
+                    .ok_or("--metrics needs a <path> argument")?
+                    .clone();
+                let interval: u64 =
+                    args.get(at + 2).map_or(Ok(500), |v| {
+                        v.parse().map_err(|_| format!("bad interval `{v}`"))
+                    })?;
+                Some((path, Duration::from_millis(interval.max(20))))
+            }
+        };
         let local = ReplicaId::new(id);
         let network =
             TcpNetwork::bind(local, "127.0.0.1:0", tcp_config()).map_err(|e| e.to_string())?;
@@ -585,14 +835,43 @@ mod cluster {
             codebook_size: codebook,
             seed,
             scheduler: hdhash::serve::SchedulerKind::default(),
+            trace: if metrics_out.is_some() {
+                hdhash::obs::TraceConfig::sampled(64)
+            } else {
+                hdhash::obs::TraceConfig::disabled()
+            },
         };
         let replica = Arc::new(ReplicatedEngine::new(local, config).map_err(|e| e.to_string())?);
+        network.set_tracer(replica.engine().tracer());
         let mut stdout = std::io::stdout();
         let mut respond = |line: &str| -> Result<(), String> {
             writeln!(stdout, "{line}").and_then(|()| stdout.flush()).map_err(|e| e.to_string())
         };
         respond(&format!("listening {}", network.local_addr().port()))?;
         let mut gossip = None;
+        // Shared view of the running gossip node for the metrics thread
+        // (filled by `start`).
+        let gossip_slot: Arc<std::sync::Mutex<Option<Arc<GossipNode<TcpEndpoint>>>>> =
+            Arc::new(std::sync::Mutex::new(None));
+        let stop_metrics = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let metrics_thread = metrics_out.map(|(path, interval)| {
+            let replica = Arc::clone(&replica);
+            // Stats-only endpoint: it never receives, so it doesn't
+            // compete with the gossip node for inbox messages.
+            let endpoint = network.endpoint();
+            let slot = Arc::clone(&gossip_slot);
+            let stop = Arc::clone(&stop_metrics);
+            std::thread::spawn(move || {
+                loop {
+                    let node = slot.lock().expect("metrics slot poisoned").clone();
+                    write_exposition(&path, &replica, &endpoint, node.as_deref());
+                    if stop.load(std::sync::atomic::Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+        });
         let stdin = std::io::stdin();
         for line in stdin.lock().lines() {
             let line = line.map_err(|e| e.to_string())?;
@@ -624,8 +903,12 @@ mod cluster {
                                 period: Duration::from_millis(period_ms),
                                 ..GossipConfig::default()
                             },
-                        );
-                        gossip = Some(node.spawn());
+                        )
+                        .with_tracer(replica.engine().tracer());
+                        let handle = node.spawn();
+                        *gossip_slot.lock().expect("metrics slot poisoned") =
+                            Some(handle.shared_node());
+                        gossip = Some(handle);
                         "ok".to_string()
                     }
                 }
@@ -648,6 +931,50 @@ mod cluster {
                     let ids: Vec<String> =
                         replica.member_ids().iter().map(|s| s.get().to_string()).collect();
                     format!("members {}", ids.join(" "))
+                }
+                "serve" => match args.first().map(|a| a.parse::<u64>()) {
+                    Some(Ok(n)) => {
+                        let (mut ok, mut failed) = (0u64, 0u64);
+                        for k in 0..n {
+                            match replica.submit(RequestKey::new(k)) {
+                                Ok(ticket) => {
+                                    if ticket.wait().result.is_ok() {
+                                        ok += 1;
+                                    } else {
+                                        failed += 1;
+                                    }
+                                }
+                                Err(_) => failed += 1,
+                            }
+                        }
+                        format!("served {ok} {failed}")
+                    }
+                    _ => "err usage: serve <n>".to_string(),
+                },
+                "telemetry" => {
+                    let metrics = replica.engine().metrics();
+                    let p99_us = metrics
+                        .shards
+                        .iter()
+                        .filter_map(|s| s.latency.as_ref())
+                        .map(|l| l.p99.as_micros() as u64)
+                        .max()
+                        .unwrap_or(0);
+                    let (gossip_bytes, rounds) = match gossip.as_ref() {
+                        Some(handle) => {
+                            let m = handle.node().metrics();
+                            (m.bytes_sent, m.rounds)
+                        }
+                        None => (0, 0),
+                    };
+                    format!(
+                        "telemetry served={} p99_us={} gossip_bytes={} rounds={} reconnects={}",
+                        metrics.completed,
+                        p99_us,
+                        gossip_bytes,
+                        rounds,
+                        network.stats().connections_reconnected,
+                    )
                 }
                 "sig" => {
                     let mut out = String::from("sig");
@@ -689,6 +1016,10 @@ mod cluster {
         }
         if let Some(handle) = gossip {
             let _ = handle.stop();
+        }
+        stop_metrics.store(true, std::sync::atomic::Ordering::Release);
+        if let Some(thread) = metrics_thread {
+            let _ = thread.join();
         }
         Ok(())
     }
@@ -901,6 +1232,14 @@ mod cluster {
              ({} hex chars/shard set)",
             sig.len() - 4
         );
+        // Serve a lookup burst on every replica so the teardown
+        // telemetry has real latency numbers behind it.
+        for replica in &mut replicas {
+            let reply = replica.command("serve 256")?;
+            if !reply.starts_with("served ") {
+                return Err(format!("replica{}: `serve` -> `{reply}`", replica.id));
+            }
+        }
         // Wire ledger + orderly teardown.
         let mut total_bytes = 0u64;
         for replica in &mut replicas {
@@ -913,6 +1252,30 @@ mod cluster {
             }
         }
         println!("[cluster] total measured wire bytes sent: {total_bytes}");
+        // Per-replica telemetry summary: the first place to look when a
+        // SIGKILL/restart run fails on CI.
+        println!(
+            "[cluster] telemetry summary: {:>8} {:>10} {:>8} {:>14} {:>8} {:>12}",
+            "replica", "served", "p99_us", "gossip_bytes", "rounds", "reconnects"
+        );
+        for replica in &mut replicas {
+            let line = replica.command("telemetry")?;
+            let get = |key: &str| -> String {
+                line.split_whitespace()
+                    .find_map(|field| field.strip_prefix(key).and_then(|f| f.strip_prefix('=')))
+                    .unwrap_or("?")
+                    .to_string()
+            };
+            println!(
+                "[cluster] telemetry summary: {:>8} {:>10} {:>8} {:>14} {:>8} {:>12}",
+                replica.id,
+                get("served"),
+                get("p99_us"),
+                get("gossip_bytes"),
+                get("rounds"),
+                get("reconnects"),
+            );
+        }
         for replica in &mut replicas {
             replica.quit();
         }

@@ -77,6 +77,7 @@ pub use hdhash_core as core;
 pub use hdhash_emulator as emulator;
 pub use hdhash_hashfn as hashfn;
 pub use hdhash_maglev as maglev;
+pub use hdhash_obs as obs;
 pub use hdhash_hdc as hdc;
 pub use hdhash_rendezvous as rendezvous;
 pub use hdhash_ring as ring;
