@@ -5,10 +5,9 @@
 //! of a seed, so every experiment in the repository is reproducible.
 
 use hdhash_hashfn::SplitMix64;
-use hdhash_table::{RequestKey, ServerId};
+use hdhash_table::ServerId;
 
 use crate::request::Request;
-use crate::zipf::Zipf;
 
 /// How lookup keys are drawn.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,28 +99,15 @@ impl Generator {
     }
 
     /// Only the lookup phase.
+    ///
+    /// Delegates to the streaming [`KeySampler`](crate::shaping::KeySampler)
+    /// so batch workloads and open-loop scenarios draw from one key
+    /// stream: the same distribution and seed yield the same keys in the
+    /// same order on both paths.
     #[must_use]
     pub fn lookup_requests(&self) -> Vec<Request> {
-        let mut rng = SplitMix64::new(self.workload.seed);
-        match self.workload.keys {
-            KeyDistribution::Uniform => (0..self.workload.lookups)
-                .map(|_| Request::Lookup(RequestKey::new(rng.next_u64())))
-                .collect(),
-            KeyDistribution::Zipf { universe, exponent } => {
-                let zipf = Zipf::new(universe, exponent);
-                (0..self.workload.lookups)
-                    .map(|_| {
-                        let rank = zipf.sample(&mut rng) as u64;
-                        // Scramble the rank so hot keys are not numerically
-                        // adjacent (they are arbitrary identifiers).
-                        Request::Lookup(RequestKey::new(hdhash_hashfn::mix64(rank)))
-                    })
-                    .collect()
-            }
-            KeyDistribution::Sequential => (0..self.workload.lookups as u64)
-                .map(|k| Request::Lookup(RequestKey::new(k)))
-                .collect(),
-        }
+        let mut sampler = crate::shaping::KeySampler::new(self.workload.keys, self.workload.seed);
+        (0..self.workload.lookups).map(|_| Request::Lookup(sampler.next_key())).collect()
     }
 
     /// A churn schedule: after the initial joins, interleaves lookups with
@@ -163,6 +149,7 @@ impl Generator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hdhash_table::RequestKey;
 
     #[test]
     fn default_stream_shape() {

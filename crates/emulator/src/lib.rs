@@ -27,6 +27,11 @@
 //! * [`metrics`] / [`runner`] — the experiment drivers regenerating the
 //!   efficiency (Fig. 4), robustness (Fig. 5) and uniformity (Fig. 6)
 //!   series;
+//! * [`shaping`] — open-loop arrival curves (constant / diurnal / flash
+//!   crowd), streaming key samplers and correlated probe bursts for the
+//!   serving layer's scenario engine;
+//! * [`replay`] — the shared replay-outcome shape letting one recorded
+//!   trace be compared across the emulator module and the live engine;
 //! * [`report`] — plain-text and CSV rendering of result series.
 //!
 //! [`NoisyTable`]: hdhash_table::NoisyTable
@@ -42,9 +47,11 @@ pub mod generator;
 pub mod metrics;
 pub mod module;
 pub mod noise;
+pub mod replay;
 pub mod report;
 pub mod request;
 pub mod runner;
+pub mod shaping;
 pub mod stats;
 pub mod trace;
 pub mod zipf;
@@ -59,7 +66,9 @@ pub use metrics::{
 };
 pub use module::HashTableModule;
 pub use noise::NoisePlan;
+pub use replay::{ReplayCounters, ReplayReport};
 pub use request::Request;
 pub use runner::{EfficiencyConfig, RobustnessConfig, UniformityConfig};
+pub use shaping::{ArrivalProcess, ArrivalShape, BurstProcess, BurstShape, KeySampler};
 pub use trace::Trace;
 pub use zipf::Zipf;

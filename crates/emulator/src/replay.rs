@@ -1,0 +1,173 @@
+//! Shared replay-outcome reporting: the emulator ↔ serve seam.
+//!
+//! A recorded [`Trace`] can be replayed two ways: through
+//! the paper-figure emulator ([`HashTableModule`]) or through the live
+//! serving engine (`hdhash-serve`'s `load::drive`). Before this module the
+//! two worlds reported results in unrelated shapes — `ExecutionStats`
+//! here, `LoadReport` there — so nothing could assert that the *same*
+//! trace produces the *same* outcome on both sides. [`ReplayReport`] is
+//! the common denominator: deterministic counters (equatable across
+//! worlds) plus wall-clock measurements (reported, never compared).
+
+use std::time::Duration;
+
+use crate::metrics::LatencyProfile;
+use crate::module::HashTableModule;
+use crate::request::{Request, Response};
+use crate::trace::Trace;
+
+/// Deterministic outcome counters of a replayed request stream.
+///
+/// Every field is a pure function of the request stream and the table's
+/// membership semantics — no wall-clock influence — so two replays of the
+/// same trace through different substrates can be compared with `==`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayCounters {
+    /// Control (join/leave) requests executed.
+    pub controls: usize,
+    /// Control requests the table rejected (duplicate join, unknown
+    /// leave).
+    pub control_failures: usize,
+    /// Lookup requests that completed with a response.
+    pub lookups: usize,
+    /// Lookups that completed with an error (e.g. an empty pool).
+    pub lookup_failures: usize,
+    /// Lookups shed before execution (open-loop backpressure; always zero
+    /// for the emulator module, which executes everything).
+    pub shed: usize,
+    /// Lookups whose response never arrived within the reap timeout
+    /// (always zero for the synchronous emulator module).
+    pub timed_out: usize,
+}
+
+impl ReplayCounters {
+    /// Lookups offered to the substrate (completed + shed + timed out).
+    #[must_use]
+    pub fn offered_lookups(&self) -> usize {
+        self.lookups + self.shed + self.timed_out
+    }
+}
+
+/// The outcome of one trace replay: comparable counters plus wall-clock
+/// measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Deterministic counters (compare these across substrates).
+    pub counters: ReplayCounters,
+    /// Wall time spent executing lookups.
+    pub elapsed: Duration,
+    /// Latency percentiles when the substrate records per-request
+    /// latencies (the serve driver does; the emulator module reports only
+    /// the aggregate and leaves this `None`).
+    pub latency: Option<LatencyProfile>,
+}
+
+impl ReplayReport {
+    /// Builds a report from a request stream and its aligned responses
+    /// (one response per request, in order — the emulator module's
+    /// contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` and `responses` differ in length.
+    #[must_use]
+    pub fn from_responses(
+        requests: &[Request],
+        responses: &[Response],
+        elapsed: Duration,
+    ) -> Self {
+        assert_eq!(
+            requests.len(),
+            responses.len(),
+            "a module replay answers every request exactly once"
+        );
+        let mut counters = ReplayCounters::default();
+        for (request, response) in requests.iter().zip(responses) {
+            let failed = matches!(response, Response::Failed(_));
+            if request.is_control() {
+                counters.controls += 1;
+                counters.control_failures += usize::from(failed);
+            } else {
+                counters.lookups += 1;
+                counters.lookup_failures += usize::from(failed);
+            }
+        }
+        Self { counters, elapsed, latency: None }
+    }
+}
+
+impl Trace {
+    /// Replays the trace on an emulator module and reports the shared
+    /// outcome shape (see [`ReplayReport`]).
+    pub fn replay_report(&self, module: &mut HashTableModule) -> ReplayReport {
+        let (responses, stats) = self.replay(module);
+        let report = ReplayReport::from_responses(self.requests(), &responses, stats.lookup_time);
+        debug_assert_eq!(report.counters.lookups, stats.lookups);
+        debug_assert_eq!(report.counters.controls, stats.controls);
+        debug_assert_eq!(
+            report.counters.lookup_failures + report.counters.control_failures,
+            stats.failures
+        );
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::AlgorithmKind;
+    use crate::generator::{Generator, Workload};
+
+    fn sample_trace() -> Trace {
+        let requests = Generator::new(Workload {
+            initial_servers: 8,
+            lookups: 120,
+            ..Workload::default()
+        })
+        .requests();
+        Trace::new("replay-sample", requests)
+    }
+
+    #[test]
+    fn module_replay_report_counts() {
+        let trace = sample_trace();
+        let mut module = HashTableModule::new(AlgorithmKind::Hd.build(8));
+        let report = trace.replay_report(&mut module);
+        assert_eq!(
+            report.counters,
+            ReplayCounters { controls: 8, lookups: 120, ..ReplayCounters::default() }
+        );
+        assert_eq!(report.counters.offered_lookups(), 120);
+        assert!(report.latency.is_none());
+    }
+
+    #[test]
+    fn control_failures_are_separated_from_lookup_failures() {
+        use hdhash_table::{RequestKey, ServerId};
+        // Lookup on an empty pool fails; the duplicate join fails too.
+        let requests = vec![
+            Request::Lookup(RequestKey::new(7)),
+            Request::Join(ServerId::new(1)),
+            Request::Join(ServerId::new(1)),
+            Request::Lookup(RequestKey::new(8)),
+        ];
+        let trace = Trace::new("failures", requests);
+        let mut module = HashTableModule::new(AlgorithmKind::Consistent.build(4));
+        let report = trace.replay_report(&mut module);
+        assert_eq!(report.counters.controls, 2);
+        assert_eq!(report.counters.control_failures, 1);
+        assert_eq!(report.counters.lookups, 2);
+        assert_eq!(report.counters.lookup_failures, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly once")]
+    fn mismatched_lengths_panic() {
+        let _ = ReplayReport::from_responses(
+            &[Request::Lookup(hdhash_table::RequestKey::new(1))],
+            &[],
+            Duration::ZERO,
+        );
+    }
+
+}

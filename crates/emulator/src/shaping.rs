@@ -1,0 +1,407 @@
+//! Arrival shaping: open-loop traffic curves for the scenario engine.
+//!
+//! The paper's experiments drive closed-loop streams — every request is
+//! issued the moment the previous one completes, so the offered load is
+//! whatever the table can absorb. Real directory services face *open-loop*
+//! traffic: requests arrive on the world's schedule, not the server's.
+//! This module provides the deterministic arrival machinery the scenario
+//! engine (`hdhash-serve`'s `scenario` module) builds on:
+//!
+//! * [`ArrivalShape`] / [`ArrivalProcess`] — per-tick request counts under
+//!   a constant, diurnal (sinusoidal) or flash-crowd (step spike) curve,
+//!   with a fractional-carry accumulator so integer per-tick counts
+//!   conserve the shape's discrete integral to within one request;
+//! * [`KeySampler`] — a streaming form of
+//!   [`Generator::lookup_requests`](crate::Generator::lookup_requests)
+//!   drawing one key at a time from a [`KeyDistribution`], bit-identical
+//!   to the batch generator for the same seed;
+//! * [`BurstShape`] / [`BurstProcess`] — correlated probe bursts layered
+//!   on top of the base curve, driven by the two-state Markov fleet model
+//!   of [`CorrelatedErrorProcess`] (one scenario tick = one model step):
+//!   monitoring probes cluster in time exactly the way the field-study
+//!   errors do.
+//!
+//! Everything here is a pure function of a seed; the property suite in
+//! `crates/emulator/tests/shaping_properties.rs` pins conservation, skew
+//! and stream-equality guarantees.
+
+use hdhash_hashfn::{mix64, SplitMix64};
+use hdhash_table::RequestKey;
+
+use crate::correlated::{CorrelatedErrorModel, CorrelatedErrorProcess};
+use crate::generator::KeyDistribution;
+use crate::zipf::Zipf;
+
+/// The offered-load curve of a scenario, in requests per virtual tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalShape {
+    /// A flat `rate` requests per tick.
+    Constant {
+        /// Requests per tick.
+        rate: f64,
+    },
+    /// A day/night sinusoid: `mean · (1 + amplitude · sin(2πt / period))`.
+    ///
+    /// Over any whole number of periods the discrete integral equals
+    /// `mean · ticks` (to floating-point rounding), which is the property
+    /// the shaper test suite pins.
+    Diurnal {
+        /// Mean requests per tick.
+        mean: f64,
+        /// Relative swing in `[0, 1]`; 1 means the trough reaches zero.
+        amplitude: f64,
+        /// Ticks per full day/night cycle.
+        period: usize,
+    },
+    /// A step spike: `base` everywhere except ticks
+    /// `start..start + duration`, which offer `peak`.
+    FlashCrowd {
+        /// Baseline requests per tick.
+        base: f64,
+        /// Requests per tick during the crowd.
+        peak: f64,
+        /// First tick of the crowd.
+        start: usize,
+        /// Crowd length in ticks.
+        duration: usize,
+    },
+}
+
+impl ArrivalShape {
+    /// The instantaneous rate at a tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is invalid (see [`validate`](Self::validate)).
+    #[must_use]
+    pub fn rate_at(&self, tick: usize) -> f64 {
+        self.validate();
+        match *self {
+            ArrivalShape::Constant { rate } => rate,
+            ArrivalShape::Diurnal { mean, amplitude, period } => {
+                let phase = 2.0 * std::f64::consts::PI * (tick % period) as f64 / period as f64;
+                mean * (1.0 + amplitude * phase.sin())
+            }
+            ArrivalShape::FlashCrowd { base, peak, start, duration } => {
+                if tick >= start && tick < start + duration {
+                    peak
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// The discrete integral `Σ rate_at(t)` over `0..ticks` — the total
+    /// offered load an [`ArrivalProcess`] conserves to within one request.
+    #[must_use]
+    pub fn offered(&self, ticks: usize) -> f64 {
+        (0..ticks).map(|t| self.rate_at(t)).sum()
+    }
+
+    /// Checks the shape parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is negative or non-finite, a diurnal amplitude
+    /// leaves `[0, 1]`, or a diurnal period is zero.
+    pub fn validate(&self) {
+        let finite_rate = |r: f64, what: &str| {
+            assert!(r.is_finite() && r >= 0.0, "{what} must be a finite non-negative rate: {r}");
+        };
+        match *self {
+            ArrivalShape::Constant { rate } => finite_rate(rate, "constant rate"),
+            ArrivalShape::Diurnal { mean, amplitude, period } => {
+                finite_rate(mean, "diurnal mean");
+                assert!(
+                    (0.0..=1.0).contains(&amplitude),
+                    "diurnal amplitude must be in [0, 1]: {amplitude}"
+                );
+                assert!(period > 0, "diurnal period must be at least one tick");
+            }
+            ArrivalShape::FlashCrowd { base, peak, .. } => {
+                finite_rate(base, "flash-crowd base");
+                finite_rate(peak, "flash-crowd peak");
+            }
+        }
+    }
+}
+
+/// Turns an [`ArrivalShape`] into integer per-tick arrival counts.
+///
+/// A fractional-carry accumulator keeps the remainder of each tick's rate
+/// and rolls it into the next, so after `T` ticks the emitted total
+/// differs from [`ArrivalShape::offered`]`(T)` by strictly less than one
+/// request — fractional rates are neither lost nor invented.
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_emulator::shaping::{ArrivalProcess, ArrivalShape};
+///
+/// let mut arrivals = ArrivalProcess::new(ArrivalShape::Constant { rate: 2.5 });
+/// let counts: Vec<usize> = (0..4).map(|_| arrivals.next_tick()).collect();
+/// assert_eq!(counts, vec![2, 3, 2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    shape: ArrivalShape,
+    tick: usize,
+    carry: f64,
+}
+
+impl ArrivalProcess {
+    /// Creates the process at tick zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is invalid (see [`ArrivalShape::validate`]).
+    #[must_use]
+    pub fn new(shape: ArrivalShape) -> Self {
+        shape.validate();
+        Self { shape, tick: 0, carry: 0.0 }
+    }
+
+    /// The shape being emitted.
+    #[must_use]
+    pub fn shape(&self) -> &ArrivalShape {
+        &self.shape
+    }
+
+    /// Ticks emitted so far.
+    #[must_use]
+    pub fn tick(&self) -> usize {
+        self.tick
+    }
+
+    /// The number of requests arriving in the next tick.
+    pub fn next_tick(&mut self) -> usize {
+        let want = self.shape.rate_at(self.tick) + self.carry;
+        // `want` is finite and ≥ 0 (validated rate, carry ∈ [0, 1)).
+        let whole = want.floor();
+        self.carry = want - whole;
+        self.tick += 1;
+        whole as usize
+    }
+}
+
+/// A streaming lookup-key sampler over a [`KeyDistribution`].
+///
+/// Draws keys one at a time in *exactly* the order
+/// [`Generator::lookup_requests`](crate::Generator::lookup_requests)
+/// materializes them, so a scenario that samples keys per tick and a batch
+/// generator given the same seed produce identical streams (pinned by the
+/// shaping property suite).
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    rng: SplitMix64,
+    kind: SamplerKind,
+}
+
+#[derive(Debug, Clone)]
+enum SamplerKind {
+    Uniform,
+    Zipf(Zipf),
+    Sequential { next: u64 },
+}
+
+impl KeySampler {
+    /// Creates a sampler for a distribution and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate Zipf distribution (empty universe or a
+    /// non-finite/negative exponent), matching [`Zipf::new`].
+    #[must_use]
+    pub fn new(keys: KeyDistribution, seed: u64) -> Self {
+        let kind = match keys {
+            KeyDistribution::Uniform => SamplerKind::Uniform,
+            KeyDistribution::Zipf { universe, exponent } => {
+                SamplerKind::Zipf(Zipf::new(universe, exponent))
+            }
+            KeyDistribution::Sequential => SamplerKind::Sequential { next: 0 },
+        };
+        Self { rng: SplitMix64::new(seed), kind }
+    }
+
+    /// Draws the next lookup key.
+    pub fn next_key(&mut self) -> RequestKey {
+        match &mut self.kind {
+            SamplerKind::Uniform => RequestKey::new(self.rng.next_u64()),
+            SamplerKind::Zipf(zipf) => {
+                let rank = zipf.sample(&mut self.rng) as u64;
+                // Scramble the rank so hot keys are not numerically
+                // adjacent, exactly as the batch generator does.
+                RequestKey::new(mix64(rank))
+            }
+            SamplerKind::Sequential { next } => {
+                let key = RequestKey::new(*next);
+                *next += 1;
+                key
+            }
+        }
+    }
+}
+
+/// Parameters of a correlated probe-burst overlay.
+///
+/// Models a monitoring fleet whose probes cluster in time the way the
+/// Schroeder et al. field-study errors do: each of `machines` probers runs
+/// the two-state healthy/degraded Markov chain of
+/// [`CorrelatedErrorProcess`], and every upset event it emits in a tick
+/// contributes `probes_per_upset` extra lookups to that tick's arrivals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstShape {
+    /// Probing machines in the fleet.
+    pub machines: usize,
+    /// Extra lookups per upset event.
+    pub probes_per_upset: usize,
+    /// The per-machine burst chain (rate + correlation factor).
+    pub model: CorrelatedErrorModel,
+}
+
+impl Default for BurstShape {
+    fn default() -> Self {
+        Self { machines: 32, probes_per_upset: 25, model: CorrelatedErrorModel::field_study() }
+    }
+}
+
+/// Deterministic per-tick extra arrivals from a [`BurstShape`].
+///
+/// # Examples
+///
+/// ```
+/// use hdhash_emulator::shaping::{BurstProcess, BurstShape};
+///
+/// let mut bursts = BurstProcess::new(BurstShape::default(), 7);
+/// let year: usize = (0..12).map(|_| bursts.next_tick()).sum();
+/// assert_eq!(year % 25, 0); // every burst is a whole number of probes
+/// ```
+#[derive(Debug, Clone)]
+pub struct BurstProcess {
+    process: CorrelatedErrorProcess,
+    probes_per_upset: usize,
+}
+
+impl BurstProcess {
+    /// Creates the burst process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape.machines == 0` or the model rates are invalid,
+    /// matching [`CorrelatedErrorProcess::new`].
+    #[must_use]
+    pub fn new(shape: BurstShape, seed: u64) -> Self {
+        Self {
+            process: CorrelatedErrorProcess::new(shape.machines, shape.model, seed),
+            probes_per_upset: shape.probes_per_upset,
+        }
+    }
+
+    /// Extra probe lookups arriving in the next tick (a multiple of the
+    /// shape's `probes_per_upset`).
+    pub fn next_tick(&mut self) -> usize {
+        let upsets: usize = self.process.advance_month().iter().map(|e| e.upsets).sum();
+        upsets * self.probes_per_upset
+    }
+
+    /// Ticks advanced so far.
+    #[must_use]
+    pub fn tick(&self) -> usize {
+        self.process.month()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Generator, Workload};
+    use crate::request::Request;
+
+    #[test]
+    fn constant_process_conserves_rate() {
+        let shape = ArrivalShape::Constant { rate: 3.75 };
+        let mut p = ArrivalProcess::new(shape);
+        let total: usize = (0..1000).map(|_| p.next_tick()).sum();
+        assert!((total as f64 - shape.offered(1000)).abs() < 1.0, "total {total}");
+        assert_eq!(p.tick(), 1000);
+        assert_eq!(p.shape(), &shape);
+    }
+
+    #[test]
+    fn diurnal_rate_swings_about_the_mean() {
+        let shape = ArrivalShape::Diurnal { mean: 100.0, amplitude: 0.5, period: 24 };
+        let peak = shape.rate_at(6); // sin peaks a quarter period in
+        let trough = shape.rate_at(18);
+        assert!((peak - 150.0).abs() < 1e-9, "peak {peak}");
+        assert!((trough - 50.0).abs() < 1e-9, "trough {trough}");
+    }
+
+    #[test]
+    fn flash_crowd_window_is_half_open() {
+        let shape = ArrivalShape::FlashCrowd { base: 10.0, peak: 90.0, start: 4, duration: 2 };
+        let rates: Vec<f64> = (0..8).map(|t| shape.rate_at(t)).collect();
+        assert_eq!(rates, vec![10.0, 10.0, 10.0, 10.0, 90.0, 90.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn zero_rate_emits_nothing() {
+        let mut p = ArrivalProcess::new(ArrivalShape::Constant { rate: 0.0 });
+        assert_eq!((0..100).map(|_| p.next_tick()).sum::<usize>(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn excessive_amplitude_is_rejected() {
+        let _ = ArrivalProcess::new(ArrivalShape::Diurnal {
+            mean: 10.0,
+            amplitude: 1.5,
+            period: 8,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_rate_is_rejected() {
+        let _ = ArrivalProcess::new(ArrivalShape::Constant { rate: -1.0 });
+    }
+
+    #[test]
+    fn sampler_matches_batch_generator() {
+        for keys in [
+            KeyDistribution::Uniform,
+            KeyDistribution::Zipf { universe: 100, exponent: 1.1 },
+            KeyDistribution::Sequential,
+        ] {
+            let workload = Workload { initial_servers: 0, lookups: 500, keys, seed: 99 };
+            let batch: Vec<_> = Generator::new(workload)
+                .lookup_requests()
+                .into_iter()
+                .filter_map(|r| r.lookup_key())
+                .collect();
+            let mut sampler = KeySampler::new(keys, 99);
+            let streamed: Vec<_> = (0..500).map(|_| sampler.next_key()).collect();
+            assert_eq!(streamed, batch, "{keys:?}");
+        }
+    }
+
+    #[test]
+    fn sampler_feeds_requests() {
+        let mut sampler = KeySampler::new(KeyDistribution::Sequential, 0);
+        let request = Request::Lookup(sampler.next_key());
+        assert_eq!(request.lookup_key().map(hdhash_table::RequestKey::get), Some(0));
+    }
+
+    #[test]
+    fn bursts_are_deterministic_and_quantized() {
+        let shape = BurstShape { machines: 16, probes_per_upset: 10, ..BurstShape::default() };
+        let run = || {
+            let mut p = BurstProcess::new(shape, 42);
+            (0..48).map(|_| p.next_tick()).collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.iter().all(|&n| n % 10 == 0));
+        assert!(a.iter().any(|&n| n > 0), "a 48-tick fleet should burst at least once");
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the arrival shapers and the trace round-trip
+//! (the guarantees the scenario engine leans on — see `docs/SCENARIOS.md`).
+
+use hdhash_emulator::shaping::{ArrivalProcess, ArrivalShape, BurstProcess, BurstShape};
+use hdhash_emulator::{
+    AlgorithmKind, Generator, HashTableModule, KeyDistribution, KeySampler, Trace, Workload,
+    Zipf,
+};
+use hdhash_hashfn::{mix64, SplitMix64};
+use proptest::prelude::*;
+
+/// Emits `ticks` arrivals and returns the integer total.
+fn emitted_total(shape: ArrivalShape, ticks: usize) -> usize {
+    let mut process = ArrivalProcess::new(shape);
+    (0..ticks).map(|_| process.next_tick()).sum()
+}
+
+proptest! {
+    /// The fractional-carry accumulator conserves a constant rate: after
+    /// `T` ticks the emitted count differs from `rate · T` by < 1.
+    #[test]
+    fn constant_shape_conserves_total(
+        rate in 0.0f64..500.0,
+        ticks in 1usize..2_000,
+    ) {
+        let shape = ArrivalShape::Constant { rate };
+        let total = emitted_total(shape, ticks) as f64;
+        prop_assert!((total - shape.offered(ticks)).abs() < 1.0,
+            "total {total} vs integral {}", shape.offered(ticks));
+    }
+
+    /// Over any whole number of periods the diurnal curve's discrete
+    /// integral is `mean · ticks` (the sinusoid sums to zero), and the
+    /// process emits it to within one request.
+    #[test]
+    fn diurnal_integral_matches_mean_rate(
+        mean in 0.5f64..300.0,
+        amplitude in 0.0f64..1.0,
+        period in 2usize..64,
+        periods in 1usize..16,
+    ) {
+        let shape = ArrivalShape::Diurnal { mean, amplitude, period };
+        let ticks = period * periods;
+        let expected = mean * ticks as f64;
+        // Discrete sin over equally spaced samples of whole periods sums
+        // to zero; allow floating rounding plus the < 1 carry bound.
+        prop_assert!((shape.offered(ticks) - expected).abs() < 1e-6 * expected.max(1.0));
+        let total = emitted_total(shape, ticks) as f64;
+        prop_assert!((total - expected).abs() < 1.5,
+            "total {total} vs mean·ticks {expected}");
+    }
+
+    /// A flash crowd conserves total request count exactly:
+    /// `base · T + (peak − base) · duration` when the crowd fits the run.
+    #[test]
+    fn flash_crowd_conserves_total(
+        base in 0.0f64..200.0,
+        extra in 0.0f64..2_000.0,
+        start in 0usize..64,
+        duration in 1usize..32,
+        tail in 0usize..64,
+    ) {
+        let peak = base + extra;
+        let ticks = start + duration + tail;
+        let shape = ArrivalShape::FlashCrowd { base, peak, start, duration };
+        let expected = base * ticks as f64 + (peak - base) * duration as f64;
+        prop_assert!((shape.offered(ticks) - expected).abs() < 1e-6 * expected.max(1.0));
+        let total = emitted_total(shape, ticks) as f64;
+        prop_assert!((total - expected).abs() < 1.0,
+            "total {total} vs conserved {expected}");
+    }
+
+    /// The Zipf sampler's empirical hot-key share matches the
+    /// distribution's rank-1 probability (6σ binomial bound — astronomically
+    /// unlikely to trip on a correct sampler).
+    #[test]
+    fn zipf_sampler_skew_matches_parameter(
+        universe in 10usize..400,
+        exponent in 0.6f64..1.6,
+        seed in any::<u64>(),
+    ) {
+        const DRAWS: usize = 8_000;
+        let zipf = Zipf::new(universe, exponent);
+        let p1 = zipf.probability(1);
+        let hot = mix64(1); // rank 1, scrambled the way the sampler emits keys
+        let mut sampler =
+            KeySampler::new(KeyDistribution::Zipf { universe, exponent }, seed);
+        let hits = (0..DRAWS).filter(|_| sampler.next_key().get() == hot).count();
+        let share = hits as f64 / DRAWS as f64;
+        let sigma = (p1 * (1.0 - p1) / DRAWS as f64).sqrt();
+        prop_assert!((share - p1).abs() < 6.0 * sigma + 0.005,
+            "rank-1 share {share} vs p1 {p1} (σ {sigma})");
+    }
+
+    /// The streaming sampler is bit-identical to the batch generator for
+    /// every distribution and seed.
+    #[test]
+    fn sampler_stream_equals_batch_generator(
+        seed in any::<u64>(),
+        lookups in 1usize..600,
+        keys in prop_oneof![
+            Just(KeyDistribution::Uniform),
+            Just(KeyDistribution::Sequential),
+            (2usize..256, 0.5f64..1.5)
+                .prop_map(|(universe, exponent)| KeyDistribution::Zipf { universe, exponent }),
+        ],
+    ) {
+        let workload = Workload { initial_servers: 0, lookups, keys, seed };
+        let batch: Vec<_> = Generator::new(workload)
+            .lookup_requests()
+            .into_iter()
+            .filter_map(|r| r.lookup_key())
+            .collect();
+        let mut sampler = KeySampler::new(keys, seed);
+        let streamed: Vec<_> = (0..lookups).map(|_| sampler.next_key()).collect();
+        prop_assert_eq!(streamed, batch);
+    }
+
+    /// Burst overlays are deterministic per seed and quantized to whole
+    /// upsets.
+    #[test]
+    fn bursts_replay_and_quantize(
+        seed in any::<u64>(),
+        machines in 1usize..48,
+        probes in 1usize..64,
+    ) {
+        let shape = BurstShape { machines, probes_per_upset: probes, ..BurstShape::default() };
+        let run = || {
+            let mut p = BurstProcess::new(shape, seed);
+            (0..36).map(|_| p.next_tick()).collect::<Vec<_>>()
+        };
+        let a = run();
+        prop_assert_eq!(&a, &run());
+        prop_assert!(a.iter().all(|&n| n % probes == 0));
+    }
+
+    /// Trace round-trip: record → write → parse → replay. The parsed trace
+    /// is request-identical and replays to the same deterministic counters
+    /// through the emulator module.
+    #[test]
+    fn trace_text_round_trip_replays_identically(
+        seed in any::<u64>(),
+        servers in 1usize..24,
+        lookups in 1usize..300,
+    ) {
+        let requests = Generator::new(Workload {
+            initial_servers: servers,
+            lookups,
+            seed,
+            ..Workload::default()
+        })
+        .requests();
+        let trace = Trace::new("roundtrip", requests);
+        let parsed = Trace::from_text(&trace.to_text()).expect("parse recorded trace");
+        prop_assert_eq!(parsed.requests(), trace.requests());
+
+        let mut module_a = HashTableModule::new(AlgorithmKind::Hd.build(32));
+        let mut module_b = HashTableModule::new(AlgorithmKind::Hd.build(32));
+        let original = trace.replay_report(&mut module_a);
+        let replayed = parsed.replay_report(&mut module_b);
+        prop_assert_eq!(original.counters, replayed.counters);
+        prop_assert_eq!(original.counters.offered_lookups(), lookups);
+    }
+
+    /// A seeded RNG stream is self-consistent: two samplers with the same
+    /// seed agree, different seeds disagree somewhere (sanity anchor for
+    /// the scenario engine's salted seed streams).
+    #[test]
+    fn sampler_seed_sensitivity(seed in any::<u64>()) {
+        let draw = |s: u64| {
+            let mut rng = SplitMix64::new(s);
+            (0..16).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(draw(seed), draw(seed));
+        prop_assert_ne!(draw(seed), draw(seed ^ 1));
+    }
+}

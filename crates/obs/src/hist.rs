@@ -193,6 +193,61 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The samples recorded between an `earlier` snapshot of the *same*
+    /// histogram and this one — the per-phase delta the scenario engine
+    /// reports.
+    ///
+    /// Bucket counts, `count` and `sum` subtract exactly (saturating, so a
+    /// racing snapshot cannot underflow). Extrema are not recoverable from
+    /// cumulative state: the delta's `min`/`max` are this snapshot's,
+    /// which bound (but may widen) the true phase extrema. Quantiles stay
+    /// bucket-accurate because they derive from the subtracted counts.
+    ///
+    /// ```
+    /// use hdhash_obs::LogHistogram;
+    /// let h = LogHistogram::new();
+    /// h.record(5);
+    /// let phase1 = h.snapshot();
+    /// h.record(5000);
+    /// let delta = h.snapshot().delta_since(&phase1);
+    /// assert_eq!(delta.count, 1);
+    /// assert_eq!(delta.quantile(0.5), Some(5000));
+    /// ```
+    #[must_use]
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        let buckets =
+            std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i]));
+        let count = self.count.saturating_sub(earlier.count);
+        Self {
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: if count == 0 { 0 } else { self.min },
+            max: if count == 0 { 0 } else { self.max },
+        }
+    }
+
+    /// Pointwise sum of two snapshots (e.g. aggregating per-shard
+    /// histograms into an engine-wide one). Extrema combine exactly; the
+    /// sum saturates like recording does.
+    #[must_use]
+    pub fn merge(&self, other: &Self) -> Self {
+        let buckets = std::array::from_fn(|i| self.buckets[i] + other.buckets[i]);
+        let count = self.count + other.count;
+        let min = match (self.count, other.count) {
+            (0, _) => other.min,
+            (_, 0) => self.min,
+            _ => self.min.min(other.min),
+        };
+        Self {
+            buckets,
+            count,
+            sum: self.sum.saturating_add(other.sum),
+            min,
+            max: self.max.max(other.max),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -358,5 +413,70 @@ mod tests {
         h.reset();
         let snap = h.snapshot();
         assert_eq!(snap, HistogramSnapshot::empty());
+    }
+
+    #[test]
+    fn delta_isolates_a_phase() {
+        let h = LogHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let phase1 = h.snapshot();
+        for v in [1_000u64, 2_000, 4_000, 8_000] {
+            h.record(v);
+        }
+        let delta = h.snapshot().delta_since(&phase1);
+        assert_eq!(delta.count, 4);
+        assert_eq!(delta.sum, 15_000);
+        assert_eq!(delta.buckets.iter().sum::<u64>(), 4);
+        // Every delta sample is ≥ 1000, so the median estimate must be too.
+        assert!(delta.quantile(0.5).expect("non-empty") >= 1_000);
+        // Empty delta collapses to the empty snapshot.
+        let same = h.snapshot();
+        assert_eq!(same.delta_since(&same), HistogramSnapshot::empty());
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        a.record(5);
+        a.record(500);
+        b.record(50_000);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 50_505);
+        assert_eq!(merged.min, 5);
+        assert_eq!(merged.max, 50_000);
+        assert_eq!(merged.quantile(1.0), Some(50_000));
+        // Merging with empty is the identity.
+        assert_eq!(merged.merge(&HistogramSnapshot::empty()), merged);
+        assert_eq!(HistogramSnapshot::empty().merge(&merged), merged);
+    }
+
+    proptest! {
+        /// delta_since(earlier) then merge(earlier) round-trips the
+        /// cumulative counts.
+        #[test]
+        fn delta_and_merge_round_trip(
+            first in prop::collection::vec(any::<u64>(), 1..100),
+            second in prop::collection::vec(any::<u64>(), 1..100),
+        ) {
+            let h = LogHistogram::new();
+            for &v in &first {
+                h.record(v);
+            }
+            let early = h.snapshot();
+            for &v in &second {
+                h.record(v);
+            }
+            let late = h.snapshot();
+            let delta = late.delta_since(&early);
+            prop_assert_eq!(delta.count, second.len() as u64);
+            let rebuilt = early.merge(&delta);
+            prop_assert_eq!(rebuilt.buckets, late.buckets);
+            prop_assert_eq!(rebuilt.count, late.count);
+            prop_assert_eq!(rebuilt.sum, late.sum);
+        }
     }
 }

@@ -110,6 +110,7 @@ pub mod load;
 pub mod metrics;
 pub mod replication;
 pub mod request;
+pub mod scenario;
 pub mod scheduler;
 pub mod shard;
 pub mod tcp;
@@ -122,10 +123,13 @@ pub use config::{SchedulerKind, ServeConfig};
 pub use engine::ServeEngine;
 pub use executor::{block_on, block_on_timeout};
 pub use gossip::{GossipConfig, GossipMessage, GossipMetrics, GossipNode, PeerHealth};
-pub use load::{drive, LoadReport};
+pub use load::{drive, drive_trace, LoadReport};
 pub use metrics::{EngineMetrics, ShardMetricsSnapshot};
 pub use replication::{MemberRecord, MembershipLog, ReplicatedEngine};
 pub use request::{ServeResponse, Ticket};
+pub use scenario::{
+    ChurnShape, CrashSpec, PhaseMetrics, Scenario, ScenarioConfig, ScenarioReport,
+};
 pub use scheduler::Scheduler;
 pub use shard::{ShardReceipt, ShardSnapshot};
 pub use tcp::{TcpConfig, TcpEndpoint, TcpNetwork, TcpStats};

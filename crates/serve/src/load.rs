@@ -13,7 +13,8 @@
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-use hdhash_emulator::{metrics::ThroughputSample, LatencyProfile, Request};
+use hdhash_emulator::replay::{ReplayCounters, ReplayReport};
+use hdhash_emulator::{metrics::ThroughputSample, LatencyProfile, Request, Trace};
 
 use crate::engine::ServeEngine;
 use crate::request::Ticket;
@@ -50,6 +51,25 @@ impl LoadReport {
     #[must_use]
     pub fn throughput(&self) -> ThroughputSample {
         ThroughputSample { requests: self.completed, elapsed: self.elapsed }
+    }
+
+    /// Converts to the substrate-neutral replay shape shared with the
+    /// emulator module ([`hdhash_emulator::replay`]), so one recorded
+    /// trace replayed on both sides can be compared counter for counter.
+    #[must_use]
+    pub fn replay_report(&self) -> ReplayReport {
+        ReplayReport {
+            counters: ReplayCounters {
+                controls: self.controls,
+                control_failures: self.control_failures,
+                lookups: self.completed,
+                lookup_failures: self.failures,
+                shed: self.rejected,
+                timed_out: self.timed_out,
+            },
+            elapsed: self.elapsed,
+            latency: self.latency,
+        }
     }
 }
 
@@ -150,6 +170,14 @@ pub fn drive(engine: &ServeEngine, requests: &[Request], window: usize) -> LoadR
     report.elapsed = started.elapsed();
     report.latency = LatencyProfile::from_durations(latencies);
     report
+}
+
+/// Replays a recorded [`Trace`] against a live engine — the serve side of
+/// the emulator ↔ serve seam. Identical to [`drive`] over the trace's
+/// request stream.
+#[must_use]
+pub fn drive_trace(engine: &ServeEngine, trace: &Trace, window: usize) -> LoadReport {
+    drive(engine, trace.requests(), window)
 }
 
 #[cfg(test)]

@@ -627,6 +627,117 @@ fn run_stats(args: &[String]) -> Result<String, String> {
     Ok(if format == "json" { out.to_json() } else { out.to_prometheus() })
 }
 
+/// Entry point of `hdhash-cli simulate <scenario> [--seed N] [--metrics
+/// <path>]` — runs one catalog scenario (see `docs/SCENARIOS.md`) through
+/// the scenario engine and prints its per-phase trajectory. With
+/// `--metrics`, tracing samples at 1/64 and the unified Prometheus
+/// exposition is rewritten to `path` at every phase boundary (the
+/// scenario clock is quiescent there, so the dump never perturbs the
+/// deterministic counters). `SCENARIO_SEED` overrides the default seed;
+/// `--seed` overrides both.
+fn simulate_main(args: &[String]) -> i32 {
+    match run_simulate(args) {
+        Ok(out) => {
+            println!("{out}");
+            0
+        }
+        Err(e) => {
+            eprintln!("simulate error: {e}");
+            1
+        }
+    }
+}
+
+fn run_simulate(args: &[String]) -> Result<String, String> {
+    use hdhash::serve::scenario::{self, catalog, Scenario, ScenarioConfig};
+
+    let mut name = None;
+    let mut seed = std::env::var("SCENARIO_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0x5CE4_A210);
+    let mut metrics_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a <u64> argument")?;
+                seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--metrics" => {
+                metrics_path =
+                    Some(it.next().ok_or("--metrics needs a <path> argument")?.clone());
+            }
+            other if name.is_none() => name = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let names: Vec<&str> = catalog().iter().map(|s| s.name).collect();
+    let name = name.ok_or_else(|| {
+        format!("usage: simulate <scenario> [--seed N] [--metrics path]; one of {names:?}")
+    })?;
+    let s = Scenario::by_name(&name)
+        .ok_or_else(|| format!("unknown scenario `{name}`; one of {names:?}"))?;
+
+    let mut config = ScenarioConfig::small();
+    if metrics_path.is_some() {
+        config.engine.trace = hdhash::obs::TraceConfig::sampled(64);
+    }
+    let mut out = format!(
+        "scenario {name}: {} tick(s) × {} replica(s), seed {seed} \
+         (replay: SCENARIO_SEED={seed} hdhash-cli simulate {name})\n",
+        s.ticks, s.replicas
+    );
+    let report = scenario::run_with_observer(&s, &config, seed, |phase, engine| {
+        out.push_str(&format!(
+            "  phase {}: {:>6} offered, {:>6} done, {:>5} shed, members {:>3}, \
+             epoch {:>3} (lag {}), {:>8.0} req/s",
+            phase.phase,
+            phase.arrivals,
+            phase.completed,
+            phase.shed,
+            phase.members,
+            phase.epoch_max,
+            phase.epoch_lag,
+            phase.throughput_rps(),
+        ));
+        if let Some(p99) = phase.latency.quantile(0.99) {
+            out.push_str(&format!(", p99 {:.1} µs", p99 as f64 / 1e3));
+        }
+        out.push('\n');
+        if let Some(path) = metrics_path.as_deref() {
+            let mut snap = hdhash::obs::TelemetrySnapshot::new();
+            let phase_label = phase.phase.to_string();
+            let labels = [("scenario", name.as_str()), ("phase", phase_label.as_str())];
+            hdhash::serve::telemetry::export_engine(&mut snap, &labels, &engine.metrics());
+            hdhash::serve::telemetry::export_tracer(&mut snap, &labels, &engine.tracer().stats());
+            if let Err(e) = std::fs::write(path, snap.to_prometheus()) {
+                out.push_str(&format!("  (metrics write to {path} failed: {e})\n"));
+            }
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    out.push_str(&format!(
+        "run fingerprint {:#018x}; {} completed, {} shed, {} hung, {} epoch mismatch(es)",
+        report.fingerprint(),
+        report.total(|p| p.completed),
+        report.total(|p| p.shed),
+        report.hung_tickets,
+        report.epoch_mismatches,
+    ));
+    if s.replicas > 1 {
+        out.push_str(&format!(
+            "\nreplica set {} after {} recovery round(s)",
+            if report.converged { "converged (byte-identical signatures)" } else { "DIVERGED" },
+            report.recovery_rounds,
+        ));
+    }
+    if let Some(path) = metrics_path.as_deref() {
+        out.push_str(&format!("\ntelemetry exposition written to {path}"));
+    }
+    Ok(out)
+}
+
 const HELP: &str = r"
 commands:
   new <algorithm> [capacity]   create a table (modular|consistent|rendezvous|hd|hd-parallel|maglev)
@@ -659,6 +770,13 @@ process modes (argv, not shell commands):
   hdhash-cli cluster-replica ...   one replica process (spawned by `cluster`);
                                    add --metrics <path> [interval_ms] to
                                    periodically dump its Prometheus exposition
+  hdhash-cli simulate <scenario>   run one catalog scenario (steady | diurnal |
+                                   flash-crowd | zipf-hotspot | correlated-bursts |
+                                   churn-storm | crash-rejoin) through the
+                                   scenario engine; --seed N pins the run
+                                   (SCENARIO_SEED env works too), --metrics
+                                   <path> dumps the Prometheus exposition at
+                                   every phase boundary
 ";
 
 fn main() {
@@ -667,6 +785,7 @@ fn main() {
         Some("cluster") => std::process::exit(cluster::driver_main(&args[1..])),
         Some("cluster-replica") => std::process::exit(cluster::replica_main(&args[1..])),
         Some("stats") => std::process::exit(stats_main(&args[1..])),
+        Some("simulate") => std::process::exit(simulate_main(&args[1..])),
         _ => {}
     }
     let stdin = std::io::stdin();
@@ -1376,6 +1495,26 @@ mod tests {
         assert!(out.contains("[work-stealing]"), "{out}");
         assert!(out.contains("served 500 lookups"), "{out}");
         assert!(shell.execute("serve 2 2 100 bogus").is_err());
+    }
+
+    #[test]
+    fn simulate_runs_a_catalog_scenario() {
+        let out = run_simulate(&["steady".into(), "--seed".into(), "7".into()])
+            .expect("catalog scenario runs");
+        assert!(out.contains("scenario steady"), "{out}");
+        assert!(out.contains("SCENARIO_SEED=7"), "{out}");
+        assert!(out.contains("phase 0:"), "{out}");
+        assert!(out.contains("run fingerprint"), "{out}");
+        assert!(out.contains("0 hung"), "{out}");
+        // Same seed ⇒ same printed fingerprint line.
+        let rerun = run_simulate(&["steady".into(), "--seed".into(), "7".into()])
+            .expect("rerun");
+        let fp = |s: &str| {
+            s.lines().find(|l| l.starts_with("run fingerprint")).map(str::to_owned)
+        };
+        assert_eq!(fp(&out), fp(&rerun));
+        assert!(run_simulate(&["no-such-scenario".into()]).is_err());
+        assert!(run_simulate(&[]).is_err());
     }
 
     #[test]
