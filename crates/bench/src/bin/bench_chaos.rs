@@ -81,6 +81,7 @@ fn serve_config(shards: usize) -> ServeConfig {
         codebook_size: 64,
         seed: ENGINE_SEED,
         scheduler: hdhash_serve::SchedulerKind::default(),
+        engine: Default::default(),
         trace: Default::default(),
     }
 }

@@ -1,0 +1,80 @@
+//! Emits `BENCH_layout.json`: the full matrix-layout × `ROW_BLOCK` ×
+//! dimension sweep behind the lookup engine's construction-time autotune
+//! table (see `hdhash_hdc::batch`).
+//!
+//! ```text
+//! cargo run --release -p hdhash-bench --bin bench_layout
+//! cargo run --release -p hdhash-bench --bin bench_layout -- quick=1
+//! cargo run --release -p hdhash-bench --bin bench_layout -- dims=4096,10240 blocks=8,16,32
+//! HDHASH_FORCE_SCALAR=1 cargo run --release -p hdhash-bench --bin bench_layout
+//! ```
+//!
+//! Each grid point pins an engine to one layout and block size, then
+//! measures the two bracket workloads (single noisy-probe nearest and the
+//! multi-probe batch sweep). The kernel tier is a per-process axis — the
+//! dispatcher resolves once — so the scalar-tier trajectory comes from a
+//! re-run under `HDHASH_FORCE_SCALAR=1`; the JSON's `machine` stamp names
+//! the tier that actually ran. The `best_per_dim` block is what the
+//! static autotune table in `hdhash_hdc::batch::EngineOptions` pins when
+//! the caller leaves layout/block unset.
+
+use std::fmt::Write as _;
+
+use hdhash_bench::layout_sweep::{best_per_dim, machine_stamp, run_sweep, sweep_json};
+use hdhash_bench::Params;
+
+fn main() {
+    let params = Params::from_env();
+    let quick =
+        params.get_usize("quick", 0) != 0 || std::env::args().any(|a| a == "--quick");
+    let samples = params.get_usize("samples", if quick { 5 } else { 11 });
+    let members = params.get_usize("members", if quick { 256 } else { 1024 });
+    let batch_probes = params.get_usize("probes", 64);
+    let dims = params
+        .get_usize_list("dims", if quick { &[10_240][..] } else { &[2_048, 4_096, 10_240][..] });
+    let blocks =
+        params.get_usize_list("blocks", if quick { &[8, 16][..] } else { &[4, 8, 16, 32][..] });
+    let out_path = std::env::args()
+        .skip(1)
+        .find_map(|a| a.strip_prefix("out=").map(str::to_owned))
+        .unwrap_or_else(|| "BENCH_layout.json".to_owned());
+
+    println!(
+        "sweeping dims {dims:?} × layouts × blocks {blocks:?} \
+         ({members} members, {batch_probes}-probe batches, kernel {})",
+        hdhash_simdkernels::kernel_name()
+    );
+    let points = run_sweep(&dims, &blocks, members, batch_probes, samples);
+    for p in &points {
+        println!(
+            "d={:<6} {:<12} block={:<3} nearest {:>9.0} ns  batch {:>9.0} ns/probe",
+            p.dim,
+            p.layout.name(),
+            p.row_block,
+            p.nearest_ns,
+            p.batch_ns_per_probe,
+        );
+    }
+    let winners = best_per_dim(&points);
+    for w in &winners {
+        println!(
+            "winner d={:<6} -> {} block={} (score {:.0} ns)",
+            w.dim,
+            w.layout.name(),
+            w.row_block,
+            w.score()
+        );
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"BENCH_layout\",\n");
+    json.push_str(&machine_stamp());
+    let _ = writeln!(json, "  \"members\": {members},");
+    let _ = writeln!(json, "  \"batch_probes\": {batch_probes},");
+    json.push_str("  \"sweep\": [\n");
+    json.push_str(&sweep_json(&points, 4));
+    json.push_str("  ],\n  \"best_per_dim\": [\n");
+    json.push_str(&sweep_json(&winners, 4));
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("wrote {out_path}");
+}

@@ -7,12 +7,20 @@
 //! cargo run --release -p hdhash-bench --bin bench_lookup -- out=/tmp/B.json samples=30
 //! ```
 //!
-//! The JSON is a flat list of comparisons, each with the baseline and
-//! optimized median ns/op and the speedup factor, so successive PRs can
-//! track the perf trajectory with a stable schema.
+//! The JSON's `comparisons` list is flat — each entry has the baseline
+//! and optimized median ns/op and the speedup factor — so successive PRs
+//! can track the perf trajectory with a stable schema. On top of that the
+//! report carries a `machine` stamp (dispatched kernel tier, host ISA,
+//! cores), a `layout_sweep` block (the layout × `ROW_BLOCK` grid behind
+//! the engine's construction-time autotune; full grid via the
+//! `bench_layout` bin) and the `autotune_defaults` the sweep elected.
+//! Re-run under `HDHASH_FORCE_SCALAR=1` for the scalar-tier trajectory —
+//! the stamp names the tier that ran.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
+use hdhash_bench::layout_sweep;
 use hdhash_bench::Params;
 use hdhash_core::HdHashTable;
 use hdhash_hdc::maintenance::MembershipCentroid;
@@ -278,8 +286,32 @@ fn main() {
         optimized_ns: fast,
     });
 
+    // --- layout × ROW_BLOCK sweep ---------------------------------------
+    // The compact grid feeding the engine's construction-time autotune
+    // table (hdhash_hdc::batch): both layouts at the block sizes that
+    // bracket the default, on the dimensions the repo actually serves.
+    // The finer exploration grid lives in the bench_layout bin.
+    let sweep_dims = params.get_usize_list("sweep_dims", &[2_048, 4_096, 10_240][..]);
+    let sweep_blocks = params.get_usize_list("sweep_blocks", &[8, 16, 32][..]);
+    let sweep_members = params.get_usize("sweep_members", 1024);
+    let sweep =
+        layout_sweep::run_sweep(&sweep_dims, &sweep_blocks, sweep_members, 64, samples.min(9));
+    let winners = layout_sweep::best_per_dim(&sweep);
+    for w in &winners {
+        println!(
+            "layout autotune d={:<6} -> {} block={} (nearest {:.0} ns, batch {:.0} ns/probe)",
+            w.dim,
+            w.layout.name(),
+            w.row_block,
+            w.nearest_ns,
+            w.batch_ns_per_probe,
+        );
+    }
+
     // --- report ----------------------------------------------------------
-    let mut json = String::from("{\n  \"benchmark\": \"BENCH_lookup\",\n  \"comparisons\": [\n");
+    let mut json = String::from("{\n  \"benchmark\": \"BENCH_lookup\",\n");
+    json.push_str(&layout_sweep::machine_stamp());
+    json.push_str("  \"comparisons\": [\n");
     for (i, c) in comparisons.iter().enumerate() {
         json.push_str(&format!(
             "    {{\n      \"name\": \"{}\",\n      \"baseline\": \"{}\",\n      \
@@ -294,6 +326,12 @@ fn main() {
             if i + 1 == comparisons.len() { "" } else { "," }
         ));
     }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"layout_sweep_members\": {sweep_members},");
+    json.push_str("  \"layout_sweep\": [\n");
+    json.push_str(&layout_sweep::sweep_json(&sweep, 4));
+    json.push_str("  ],\n  \"autotune_defaults\": [\n");
+    json.push_str(&layout_sweep::sweep_json(&winners, 4));
     json.push_str("  ]\n}\n");
 
     for c in &comparisons {

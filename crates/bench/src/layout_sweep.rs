@@ -1,0 +1,178 @@
+//! The layout × `ROW_BLOCK` × dimension sweep behind the lookup engine's
+//! construction-time autotune table.
+//!
+//! One [`SweepPoint`] measures a single engine configuration on the two
+//! workloads that bracket the engine's duty cycle: single-probe nearest
+//! (noisy probes — the inference contract) and the cache-blocked
+//! multi-probe batch. [`run_sweep`] walks the full grid;
+//! [`best_per_dim`] reduces it to the per-dimension winner that the
+//! static table in `hdhash_hdc::batch` pins at engine construction.
+//!
+//! The kernel tier is a per-process axis (the dispatcher resolves once),
+//! so a tier trajectory is produced by re-running the sweep under
+//! `HDHASH_FORCE_SCALAR=1` — every emitted block carries the
+//! machine stamp ([`machine_stamp`]) naming the tier that actually ran.
+
+use std::time::Instant;
+
+use hdhash_hdc::{BatchLookup, EngineOptions, Hypervector, MatrixLayout, Rng};
+
+/// One measured grid point of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Hypervector dimension of the engine under test.
+    pub dim: usize,
+    /// Matrix layout the engine was pinned to.
+    pub layout: MatrixLayout,
+    /// Scan block size / interleave lane count the engine was pinned to.
+    pub row_block: usize,
+    /// Median ns per single-probe `nearest_one` (noisy probe).
+    pub nearest_ns: f64,
+    /// Median ns per probe through `nearest_batch_into`.
+    pub batch_ns_per_probe: f64,
+}
+
+impl SweepPoint {
+    /// The scalar rank used to pick per-dimension winners: the sum of the
+    /// two per-op medians, weighting both workloads equally.
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        self.nearest_ns + self.batch_ns_per_probe
+    }
+}
+
+/// Median ns/op over `samples` timed runs of `op`, each amortized over
+/// `iters` calls (one untimed warm-up first).
+fn median_ns<F: FnMut()>(samples: usize, iters: usize, mut op: F) -> f64 {
+    op();
+    let mut times: Vec<f64> = (0..samples.max(3))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+/// Measures one engine configuration on the two bracket workloads.
+#[must_use]
+pub fn run_point(
+    dim: usize,
+    layout: MatrixLayout,
+    row_block: usize,
+    members: usize,
+    batch_probes: usize,
+    samples: usize,
+) -> SweepPoint {
+    let mut rng = Rng::new(0x5EE9 ^ dim as u64);
+    let stored: Vec<Hypervector> =
+        (0..members).map(|_| Hypervector::random(dim, &mut rng)).collect();
+    let options = EngineOptions::default().with_layout(layout).with_row_block(row_block);
+    let mut engine = BatchLookup::with_options(dim, options);
+    for hv in &stored {
+        engine.push(hv).expect("dims");
+    }
+    // Noisy member copies: the representative inference probe (every HDC
+    // lookup has a near match). Cycle through several so one probe's
+    // distance profile can't be branch-predicted away.
+    let probes: Vec<Hypervector> = (0..batch_probes.max(8))
+        .map(|i| {
+            let mut p = stored[(i * 37) % members].clone();
+            p.flip_bits(rng.distinct_indices(dim / 20, dim));
+            p
+        })
+        .collect();
+    let mut cursor = 0usize;
+    let nearest_ns = median_ns(samples, 16, || {
+        std::hint::black_box(engine.nearest_one(&probes[cursor % probes.len()]));
+        cursor = cursor.wrapping_add(1);
+    });
+    let batch_refs: Vec<&Hypervector> = probes.iter().take(batch_probes).collect();
+    let mut out = Vec::new();
+    let batch_ns = median_ns(samples, 2, || {
+        engine.nearest_batch_into(&batch_refs, &mut out);
+        std::hint::black_box(out.len());
+    });
+    SweepPoint {
+        dim,
+        layout,
+        row_block,
+        nearest_ns,
+        batch_ns_per_probe: batch_ns / batch_refs.len() as f64,
+    }
+}
+
+/// Walks the full `dims × layouts × row_blocks` grid.
+#[must_use]
+pub fn run_sweep(
+    dims: &[usize],
+    row_blocks: &[usize],
+    members: usize,
+    batch_probes: usize,
+    samples: usize,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &dim in dims {
+        for layout in MatrixLayout::ALL {
+            for &row_block in row_blocks {
+                points.push(run_point(dim, layout, row_block, members, batch_probes, samples));
+            }
+        }
+    }
+    points
+}
+
+/// The per-dimension winner of a sweep: the point with the lowest
+/// [`SweepPoint::score`] among those sharing the dimension.
+#[must_use]
+pub fn best_per_dim(points: &[SweepPoint]) -> Vec<SweepPoint> {
+    let mut dims: Vec<usize> = points.iter().map(|p| p.dim).collect();
+    dims.dedup();
+    dims.iter()
+        .filter_map(|&d| {
+            points
+                .iter()
+                .filter(|p| p.dim == d)
+                .min_by(|a, b| a.score().partial_cmp(&b.score()).expect("finite"))
+                .copied()
+        })
+        .collect()
+}
+
+/// JSON fragment naming the hardware the sweep ran on: the dispatched
+/// kernel tier, the host's best supported tier, and the core count.
+/// Indented to sit inside a top-level object.
+#[must_use]
+pub fn machine_stamp() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    format!(
+        "  \"machine\": {{\"kernel\": \"{}\", \"host_isa\": \"{}\", \"cores\": {cores}}},\n",
+        hdhash_simdkernels::kernel_name(),
+        hdhash_simdkernels::host_isa(),
+    )
+}
+
+/// Renders sweep points as a JSON array (no trailing comma), indented by
+/// `indent` spaces per line.
+#[must_use]
+pub fn sweep_json(points: &[SweepPoint], indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let mut json = String::new();
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "{pad}{{\"dim\": {}, \"layout\": \"{}\", \"row_block\": {}, \
+             \"nearest_ns\": {:.0}, \"batch_ns_per_probe\": {:.0}}}{}\n",
+            p.dim,
+            p.layout.name(),
+            p.row_block,
+            p.nearest_ns,
+            p.batch_ns_per_probe,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json
+}

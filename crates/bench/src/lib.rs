@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod layout_sweep;
 pub mod params;
 pub mod telemetry_embed;
 

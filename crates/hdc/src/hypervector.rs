@@ -161,10 +161,10 @@ impl Hypervector {
         }
     }
 
-    /// Number of set bits.
+    /// Number of set bits, via the runtime-dispatched popcount kernel.
     #[must_use]
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        hdhash_simdkernels::popcount_words(&self.words)
     }
 
     /// Hamming distance to `other`.

@@ -21,7 +21,7 @@
 //! distance argmin *is* the similarity argmax, ties (earliest insert)
 //! included.
 
-use crate::batch::{BatchLookup, Hit};
+use crate::batch::{BatchLookup, EngineOptions, Hit};
 use crate::hypervector::{DimensionMismatchError, Hypervector};
 use crate::similarity::SimilarityMetric;
 
@@ -91,15 +91,35 @@ impl<K: Clone + Send + Sync> AssociativeMemory<K> {
     /// Panics if `d == 0`.
     #[must_use]
     pub fn new(d: usize) -> Self {
+        Self::with_engine_options(d, EngineOptions::default())
+    }
+
+    /// Creates an empty memory whose scan engine uses explicit
+    /// [`EngineOptions`] (matrix layout / row block); unset fields are
+    /// autotuned exactly as in [`new`](Self::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `options.row_block == Some(0)`.
+    #[must_use]
+    pub fn with_engine_options(d: usize, options: EngineOptions) -> Self {
         assert!(d > 0, "dimension must be positive");
         Self {
             dimension: d,
             metric: SimilarityMetric::default(),
             strategy: SearchStrategy::default(),
             entries: Vec::new(),
-            engine: BatchLookup::new(d),
+            engine: BatchLookup::with_options(d, options),
             shard_plan: Vec::new(),
         }
+    }
+
+    /// The resolved scan-engine layout options (post-autotune).
+    #[must_use]
+    pub fn engine_options(&self) -> EngineOptions {
+        EngineOptions::default()
+            .with_layout(self.engine.layout())
+            .with_row_block(self.engine.row_block())
     }
 
     /// Sets the similarity metric (builder style).
@@ -157,10 +177,10 @@ impl<K: Clone + Send + Sync> AssociativeMemory<K> {
     /// Removes all entries whose key satisfies the predicate; returns how
     /// many were removed.
     ///
-    /// The scan matrix is compacted **in place**
-    /// ([`BatchLookup::retain_rows`]): removing one server from a large
-    /// memory is a single forward copy pass, never a re-read of every
-    /// stored hypervector.
+    /// The scan matrix is compacted without reallocating
+    /// ([`BatchLookup::retain_rows`]: an in-place forward copy pass, or an
+    /// arena swap under the interleaved layout) — removing one server from
+    /// a large memory never re-reads every stored hypervector.
     pub fn remove_where<F: FnMut(&K) -> bool>(&mut self, mut predicate: F) -> usize {
         // Evaluate the predicate once per entry, in row order, so the
         // entry list and the matrix stay row-for-row in sync.
@@ -270,18 +290,11 @@ impl<K: Clone + Send + Sync> AssociativeMemory<K> {
         }
         // Integer distances; (distance, insert index) orders exactly like
         // (−similarity, insert index) because both metrics are strictly
-        // decreasing in distance.
-        let mut scored: Vec<(usize, usize)> = (0..self.entries.len())
-            .map(|i| {
-                (
-                    hdhash_simdkernels::hamming_distance_words(
-                        probe.as_words(),
-                        self.engine.row(i),
-                    ),
-                    i,
-                )
-            })
-            .collect();
+        // decreasing in distance. One fused-kernel pass scores every row.
+        let mut dists = Vec::new();
+        self.engine.distances_into(probe, &mut dists);
+        let mut scored: Vec<(usize, usize)> =
+            dists.iter().enumerate().map(|(i, &d)| (d as usize, i)).collect();
         let k = k.min(scored.len());
         if k < scored.len() {
             scored.select_nth_unstable(k - 1);

@@ -6,7 +6,9 @@
 
 use hdhash_hdc::batch::Hit;
 use hdhash_hdc::ops::{bundle, permute, reference, MajorityBundler};
-use hdhash_hdc::{AssociativeMemory, BatchLookup, Hypervector, Rng};
+use hdhash_hdc::{
+    AssociativeMemory, BatchLookup, EngineOptions, Hypervector, MatrixLayout, Rng,
+};
 use proptest::prelude::*;
 
 /// Dimensions biased toward word-boundary edge cases.
@@ -23,6 +25,26 @@ fn dims() -> impl Strategy<Value = usize> {
         Just(1000),
         Just(10_000),
     ]
+}
+
+/// Engine construction options spanning both matrix layouts and row-block
+/// heights that do and do not divide typical populations (1 = degenerate
+/// single-lane interleave, 16 = the production default).
+fn engine_options() -> impl Strategy<Value = EngineOptions> {
+    (
+        prop_oneof![Just(MatrixLayout::RowMajor), Just(MatrixLayout::Interleaved)],
+        prop_oneof![Just(1usize), Just(3), Just(7), Just(16)],
+    )
+        .prop_map(|(layout, row_block)| {
+            EngineOptions::default().with_layout(layout).with_row_block(row_block)
+        })
+}
+
+/// Row `i` of an engine as an owned word vector (layout-independent).
+fn engine_row(engine: &BatchLookup, i: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    engine.copy_row_into(i, &mut out);
+    out
 }
 
 proptest! {
@@ -294,19 +316,22 @@ proptest! {
         }
     }
 
-    /// In-place row compaction under churn equals a fresh engine built
-    /// from the surviving rows — matrix contents and scan results alike.
+    /// Row compaction under churn equals a fresh engine built from the
+    /// surviving rows — matrix contents and scan results alike — under
+    /// both layouts (in-place copy for row-major, arena re-laning for
+    /// interleaved) and non-divisor row blocks.
     #[test]
     fn retained_rows_equal_fresh_engine(
         seed in any::<u64>(),
         d in dims(),
         n in 1usize..30,
         keep_mask in prop::collection::vec(any::<bool>(), 30),
+        options in engine_options(),
     ) {
         let mut rng = Rng::new(seed);
         let rows: Vec<Hypervector> =
             (0..n).map(|_| Hypervector::random(d, &mut rng)).collect();
-        let mut engine = BatchLookup::new(d);
+        let mut engine = BatchLookup::with_options(d, options);
         for hv in &rows {
             engine.push(hv).unwrap();
         }
@@ -314,12 +339,13 @@ proptest! {
         let survivors: Vec<&Hypervector> =
             rows.iter().enumerate().filter(|(i, _)| keep_mask[*i]).map(|(_, hv)| hv).collect();
         prop_assert_eq!(engine.len(), survivors.len());
-        let mut fresh = BatchLookup::new(d);
+        let mut fresh = BatchLookup::with_options(d, options);
         for hv in &survivors {
             fresh.push(hv).unwrap();
         }
-        for i in 0..survivors.len() {
-            prop_assert_eq!(engine.row(i), fresh.row(i));
+        for (i, hv) in survivors.iter().enumerate() {
+            prop_assert_eq!(engine_row(&engine, i), engine_row(&fresh, i));
+            prop_assert_eq!(engine_row(&engine, i), hv.as_words().to_vec());
         }
         let probe = Hypervector::random(d, &mut rng);
         let got = engine.nearest_one(&probe).map(|h| (h.row, h.distance));
@@ -330,6 +356,86 @@ proptest! {
             .min()
             .map(|(dist, i)| (i, dist));
         prop_assert_eq!(got, want);
+    }
+
+    /// Cross-layout × cross-tier pin: the same membership behind every
+    /// (layout, row_block) resolves every scan shape — plain argmin,
+    /// batch, bounded range, quantized arg-max, and bulk distances —
+    /// byte-identically to the bit-at-a-time reference, on non-×64
+    /// dimensions and after row compaction. The dispatched kernel under
+    /// all of this is whatever tier the host runs (scalar/AVX2/AVX-512),
+    /// so a pass pins that tier against the reference too.
+    #[test]
+    fn layouts_agree_with_reference_after_churn(
+        seed in any::<u64>(),
+        d in dims(),
+        n in 1usize..30,
+        keep_mask in prop::collection::vec(any::<bool>(), 30),
+        noisy in any::<bool>(),
+        options in engine_options(),
+    ) {
+        let mut rng = Rng::new(seed);
+        let all_rows: Vec<Hypervector> =
+            (0..n).map(|_| Hypervector::random(d, &mut rng)).collect();
+        let mut engine = BatchLookup::with_options(d, options);
+        for hv in &all_rows {
+            engine.push(hv).unwrap();
+        }
+        engine.retain_rows(|row| keep_mask[row]);
+        let rows: Vec<&Hypervector> = all_rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep_mask[*i])
+            .map(|(_, hv)| hv)
+            .collect();
+        let probe = if noisy && !rows.is_empty() {
+            let victim = rng.next_below(rows.len() as u64) as usize;
+            let mut p = rows[victim].clone();
+            p.flip_bits(rng.distinct_indices(d / 20, d));
+            p
+        } else {
+            Hypervector::random(d, &mut rng)
+        };
+        let naive = rows
+            .iter()
+            .enumerate()
+            .map(|(i, hv)| (reference::hamming(&probe, hv), i))
+            .min()
+            .map(|(dist, i)| (i, dist));
+        prop_assert_eq!(engine.nearest_one(&probe).map(|h| (h.row, h.distance)), naive);
+        let mut out = Vec::new();
+        engine.nearest_batch_into(&[&probe], &mut out);
+        prop_assert_eq!(out[0].map(|h| (h.row, h.distance)), naive);
+        let mut dists = Vec::new();
+        engine.distances_into(&probe, &mut dists);
+        prop_assert_eq!(dists.len(), rows.len());
+        for (i, hv) in rows.iter().enumerate() {
+            prop_assert_eq!(dists[i] as usize, reference::hamming(&probe, hv));
+        }
+        if !rows.is_empty() {
+            let order = |row: usize| row % 3;
+            let quantum = (d / 8).max(1);
+            let want = rows
+                .iter()
+                .enumerate()
+                .map(|(row, hv)| {
+                    ((reference::hamming(&probe, hv) + quantum / 2) / quantum, order(row), row)
+                })
+                .min();
+            prop_assert_eq!(
+                engine.nearest_quantized_by(&probe, quantum, 0, rows.len(), order),
+                want
+            );
+            let bound = d / 2;
+            let want_bounded = rows
+                .iter()
+                .enumerate()
+                .map(|(i, hv)| (reference::hamming(&probe, hv), i))
+                .filter(|&(dist, _)| dist <= bound)
+                .min()
+                .map(|(dist, i)| Hit { row: i, distance: dist });
+            prop_assert_eq!(engine.nearest_in_range(&probe, 0, rows.len(), bound), want_bounded);
+        }
     }
 
     /// `nearest_k` with partial selection equals a full sort of the naive

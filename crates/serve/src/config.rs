@@ -1,6 +1,7 @@
 //! Serving-engine configuration.
 
 use crate::ServeError;
+use hdhash_hdc::EngineOptions;
 use hdhash_obs::TraceConfig;
 
 /// Which scheduling substrate moves accepted jobs to the worker threads
@@ -79,6 +80,11 @@ pub struct ServeConfig {
     pub seed: u64,
     /// The scheduling substrate between `submit` and the workers.
     pub scheduler: SchedulerKind,
+    /// Lookup-engine construction options for every shard's table: matrix
+    /// layout and scan block size. Fields left unset are autotuned per
+    /// dimension; benches override them to A/B layouts
+    /// (see [`hdhash_hdc::MatrixLayout`]).
+    pub engine: EngineOptions,
     /// Request-path tracing (disabled by default; see
     /// [`hdhash_obs::Tracer`] and `docs/OBSERVABILITY.md`).
     pub trace: TraceConfig,
@@ -95,6 +101,7 @@ impl Default for ServeConfig {
             codebook_size: 256,
             seed: 0x5E27E,
             scheduler: SchedulerKind::SharedQueue,
+            engine: EngineOptions::default(),
             trace: TraceConfig::disabled(),
         }
     }
@@ -126,6 +133,9 @@ impl ServeConfig {
                 "dimension {} must be at least 2 × codebook_size {}",
                 self.dimension, self.codebook_size
             )));
+        }
+        if self.engine.row_block == Some(0) {
+            return Err(ServeError::InvalidConfig("engine.row_block must be positive".into()));
         }
         if self.trace.enabled {
             if self.trace.sample_every == 0 {
@@ -185,6 +195,22 @@ mod tests {
         // Any scheduler choice passes structural validation.
         let c = ServeConfig { scheduler: SchedulerKind::WorkStealing, ..ServeConfig::default() };
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn engine_options_validate_and_default_to_autotune() {
+        use hdhash_hdc::MatrixLayout;
+        assert_eq!(ServeConfig::default().engine, EngineOptions::default());
+        let pinned = ServeConfig {
+            engine: EngineOptions::default().with_layout(MatrixLayout::Interleaved),
+            ..ServeConfig::default()
+        };
+        assert!(pinned.validate().is_ok());
+        let zero_block = ServeConfig {
+            engine: EngineOptions::default().with_row_block(0),
+            ..ServeConfig::default()
+        };
+        assert!(matches!(zero_block.validate(), Err(ServeError::InvalidConfig(_))));
     }
 
     #[test]

@@ -892,6 +892,7 @@ mod tests {
             codebook_size: 64,
             seed: 31,
             scheduler: crate::SchedulerKind::default(),
+            engine: Default::default(),
             trace: Default::default(),
         }
     }

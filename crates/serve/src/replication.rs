@@ -538,6 +538,7 @@ mod tests {
             codebook_size: 64,
             seed: 77,
             scheduler: crate::SchedulerKind::default(),
+            engine: Default::default(),
             trace: Default::default(),
         }
     }
@@ -791,6 +792,7 @@ mod tests {
             codebook_size: 8,
             seed: 5,
             scheduler: crate::SchedulerKind::default(),
+            engine: Default::default(),
             trace: Default::default(),
         };
         let a = ReplicatedEngine::new(ReplicaId::new(0), tiny).expect("valid");

@@ -48,6 +48,7 @@ fn config(seed: u64, scheduler: SchedulerKind) -> ServeConfig {
         codebook_size: 64,
         seed,
         scheduler,
+        engine: Default::default(),
         trace: Default::default(),
     }
 }
@@ -238,6 +239,7 @@ fn work_stealing_backpressure_surfaces_queue_full() {
         codebook_size: 64,
         seed: 7,
         scheduler: SchedulerKind::WorkStealing,
+        engine: Default::default(),
         trace: Default::default(),
     })
     .expect("valid config");
@@ -282,6 +284,7 @@ fn stragglers_in_stolen_batches_complete_at_shutdown() {
             codebook_size: 64,
             seed: 1000 + round,
             scheduler: SchedulerKind::WorkStealing,
+            engine: Default::default(),
             trace: Default::default(),
         })
         .expect("valid config");

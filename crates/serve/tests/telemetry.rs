@@ -32,6 +32,7 @@ fn serve_config(seed: u64) -> ServeConfig {
         seed,
         scheduler: hdhash_serve::SchedulerKind::default(),
         // Sample every request: this suite asserts on event presence.
+        engine: Default::default(),
         trace: TraceConfig::sampled(1),
     }
 }

@@ -4,38 +4,50 @@
 //! popcount the result (Hamming distance). Every other crate in the
 //! workspace is `#![forbid(unsafe_code)]`; this leaf crate is the single,
 //! auditable exception, holding the feature-gated SIMD implementations of
-//! that kernel behind a safe API:
+//! that kernel behind a safe API.
 //!
-//! * **AVX2** (`x86_64`, detected at runtime) — 256-bit XOR plus the
-//!   nibble-LUT popcount (`vpshufb` per-byte counts folded with
-//!   `vpsadbw`), sixteen words per iteration;
+//! ## The dispatch ladder
+//!
+//! * **AVX-512** (`x86_64`, requires `avx512f` + `avx512vpopcntdq`) —
+//!   512-bit XOR plus the native `vpopcntq` instruction: one popcount per
+//!   eight words, no LUT dance;
+//! * **AVX2** (`x86_64`) — 256-bit XOR plus the nibble-LUT popcount
+//!   (`vpshufb` per-byte counts folded with `vpsadbw`), sixteen words per
+//!   iteration;
 //! * **scalar** — portable `u64::count_ones` in 16-word blocks, the exact
 //!   kernel previously inlined in `hdhash-hdc`, and the behavioural
-//!   specification the vector path must match bit-for-bit.
+//!   specification every vector path must match bit-for-bit.
 //!
 //! Dispatch is resolved once per process and cached in a [`OnceLock`]:
 //! the first call probes the CPU (`is_x86_feature_detected!`) and installs
 //! function pointers; every later call is an indirect call with no
 //! re-detection. Binaries therefore run on any x86-64 — no compile-time
-//! `-C target-cpu` requirement — and still use AVX2 where it exists.
+//! `-C target-cpu` requirement — and still use the widest tier the host
+//! exposes. The multi-row entry points ([`xor_popcount_rows`],
+//! [`xor_popcount_interleaved`]) amortize that indirect call across a
+//! whole row block instead of re-entering the dispatcher per row.
 //!
-//! Forcing the scalar path (CI's portability job, A/B benchmarking):
+//! Steering the ladder (CI portability jobs, A/B benchmarking):
 //!
-//! * environment: `HDHASH_FORCE_SCALAR=1` (any non-empty value except
-//!   `0`), checked once at dispatch time;
+//! * `HDHASH_FORCE_SCALAR=1` (any non-empty value except `0`) — collapse
+//!   to the scalar tier, checked once at dispatch time;
+//! * `HDHASH_DISABLE_AVX512=1` (same convention) — cap the ladder at
+//!   AVX2, the kill switch for the newest tier;
 //! * compile time: the `force-scalar` cargo feature.
 //!
-//! [`kernel_name`] reports which kernel was installed.
+//! [`kernel_name`] reports which kernel was installed; [`host_isa`]
+//! reports what the hardware supports regardless of any kill switch (the
+//! machine-capability stamp benchmarks record).
 //!
 //! ## Exactness
 //!
-//! Both kernels compute the same integers: popcount is exact, so the AVX2
+//! All tiers compute the same integers: popcount is exact, so a vector
 //! path is not an approximation of the scalar path — it is the same
 //! function. `hamming_within_words` checks its abandonment bound at the
-//! same 16-word block granularity in both implementations, and its
+//! same 16-word block granularity in every implementation, and its
 //! *result* (`Some(d)` iff `d <= limit`) is fully determined by the
-//! inputs either way. The property suite in `tests/equivalence.rs` pins
-//! both claims.
+//! inputs either way. The property suite in `tests/equivalence.rs` and
+//! the in-crate cross-tier tests pin both claims.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
@@ -52,6 +64,9 @@ struct Kernel {
     name: &'static str,
     distance: fn(&[u64], &[u64]) -> usize,
     within: fn(&[u64], &[u64], usize) -> Option<usize>,
+    popcount: fn(&[u64]) -> usize,
+    xor_rows: fn(&[u64], &[u64], usize, &mut [u32]),
+    xor_interleaved: fn(&[u64], &[u64], usize, &mut [u32]),
 }
 
 static KERNEL: OnceLock<Kernel> = OnceLock::new();
@@ -62,12 +77,30 @@ fn kernel() -> &'static Kernel {
             return SCALAR;
         }
         #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
-            return Kernel {
-                name: "avx2",
-                distance: avx2::hamming_distance,
-                within: avx2::hamming_within,
-            };
+        {
+            if !avx512_disabled()
+                && std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+            {
+                return Kernel {
+                    name: "avx512",
+                    distance: avx512::hamming_distance,
+                    within: avx512::hamming_within,
+                    popcount: avx512::popcount,
+                    xor_rows: avx512::xor_popcount_rows,
+                    xor_interleaved: avx512::xor_popcount_interleaved,
+                };
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return Kernel {
+                    name: "avx2",
+                    distance: avx2::hamming_distance,
+                    within: avx2::hamming_within,
+                    popcount: avx2::popcount,
+                    xor_rows: avx2::xor_popcount_rows,
+                    xor_interleaved: avx2::xor_popcount_interleaved,
+                };
+            }
         }
         SCALAR
     })
@@ -77,6 +110,9 @@ const SCALAR: Kernel = Kernel {
     name: "scalar",
     distance: scalar::hamming_distance_words,
     within: scalar::hamming_within_words,
+    popcount: scalar::popcount_words,
+    xor_rows: scalar::xor_popcount_rows,
+    xor_interleaved: scalar::xor_popcount_interleaved,
 };
 
 /// Whether the scalar fallback is forced (feature or environment).
@@ -84,17 +120,49 @@ fn scalar_forced() -> bool {
     if cfg!(feature = "force-scalar") {
         return true;
     }
-    match std::env::var_os("HDHASH_FORCE_SCALAR") {
+    env_flag("HDHASH_FORCE_SCALAR")
+}
+
+/// Whether the AVX-512 tier is disabled by its kill switch (the ladder
+/// then caps at AVX2).
+#[cfg(target_arch = "x86_64")]
+fn avx512_disabled() -> bool {
+    env_flag("HDHASH_DISABLE_AVX512")
+}
+
+/// `true` iff the variable is set to a non-empty value other than `"0"`.
+fn env_flag(name: &str) -> bool {
+    match std::env::var_os(name) {
         Some(v) => !v.is_empty() && v != *"0",
         None => false,
     }
 }
 
 /// The name of the kernel the dispatcher installed for this process:
-/// `"avx2"` or `"scalar"`.
+/// `"avx512"`, `"avx2"` or `"scalar"`.
 #[must_use]
 pub fn kernel_name() -> &'static str {
     kernel().name
+}
+
+/// The widest tier this *hardware* supports (`"avx512"`, `"avx2"` or
+/// `"scalar"`), ignoring every kill switch — the machine-capability stamp
+/// benchmark reports carry so a scalar-forced run is distinguishable from
+/// a host that genuinely lacks the ISA.
+#[must_use]
+pub fn host_isa() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+        {
+            return "avx512";
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return "avx2";
+        }
+    }
+    "scalar"
 }
 
 /// Hamming distance between two equal-length packed word rows
@@ -120,6 +188,82 @@ pub fn hamming_distance_words(a: &[u64], b: &[u64]) -> usize {
 pub fn hamming_within_words(a: &[u64], b: &[u64], limit: usize) -> Option<usize> {
     assert_eq!(a.len(), b.len(), "word rows must have equal length");
     (kernel().within)(a, b, limit)
+}
+
+/// Total population count of a packed word row (the dispatched kernel
+/// behind `Hypervector::count_ones` and the maintenance readouts).
+#[must_use]
+pub fn popcount_words(words: &[u64]) -> usize {
+    (kernel().popcount)(words)
+}
+
+/// Fused multi-row distance: `out[r] = popcount(probe ^ rows[r])`, where
+/// row `r` starts at `rows[r * row_stride]` and spans `probe.len()`
+/// words. One dispatcher entry covers the whole block — the per-row
+/// indirect call of [`hamming_distance_words`] is amortized away, and a
+/// prefix scan (`probe.len() < row_stride`) expresses its stride to the
+/// kernel instead of slicing per row.
+///
+/// Overwrites `out`; see [`xor_popcount_interleaved`] for the
+/// accumulating column-blocked twin.
+///
+/// # Panics
+///
+/// Panics if `probe.len() > row_stride` (for non-empty `out`) or `rows`
+/// is too short for `out.len()` rows.
+pub fn xor_popcount_rows(probe: &[u64], rows: &[u64], row_stride: usize, out: &mut [u32]) {
+    let Some(last) = out.len().checked_sub(1) else {
+        return;
+    };
+    assert!(probe.len() <= row_stride, "probe wider than the row stride");
+    assert!(
+        rows.len() >= last * row_stride + probe.len(),
+        "row matrix shorter than out.len() rows"
+    );
+    (kernel().xor_rows)(probe, rows, row_stride, out);
+}
+
+/// Fused column-blocked distance accumulation for the word-interleaved
+/// matrix layout: `block` holds `probe.len()` groups of `lanes`
+/// consecutive words — group `w` stores word `w` of `lanes` different
+/// rows — and the kernel adds `popcount(probe[w] ^ block[w*lanes + l])`
+/// into `out[l]` for every word and lane. Because the accumulation walks
+/// `block` strictly sequentially, an incremental-prefix scan widening
+/// from `k0` to `k1` words passes `probe[k0..k1]` and the matching block
+/// segment, never touching a word twice.
+///
+/// **Accumulates** into `out` (callers zero it for a fresh round);
+/// see [`xor_popcount_rows`] for the overwriting row-major twin.
+///
+/// # Panics
+///
+/// Panics unless `block.len() == probe.len() * lanes` and
+/// `out.len() == lanes`.
+pub fn xor_popcount_interleaved(probe: &[u64], block: &[u64], lanes: usize, out: &mut [u32]) {
+    assert_eq!(block.len(), probe.len() * lanes, "block must hold probe.len() × lanes words");
+    assert_eq!(out.len(), lanes, "one accumulator per lane");
+    (kernel().xor_interleaved)(probe, block, lanes, out);
+}
+
+/// Best-effort software prefetch of `words[index..]` into L1 (a no-op off
+/// x86-64 or out of bounds). Scan loops drop hints a block ahead so the
+/// next row block is in flight while the current one is counted.
+#[inline]
+pub fn prefetch_words(words: &[u64], index: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if index < words.len() {
+        // SAFETY: the pointer is in bounds and PREFETCHT0 has no
+        // architectural effect — it cannot fault or write.
+        unsafe {
+            std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+                words.as_ptr().add(index).cast::<i8>(),
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (words, index);
+    }
 }
 
 /// The portable kernels — always available, always correct, and the
@@ -166,6 +310,37 @@ pub mod scalar {
             None
         }
     }
+
+    /// Scalar population count of a word row.
+    #[must_use]
+    pub fn popcount_words(words: &[u64]) -> usize {
+        words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Scalar fused multi-row distance (see
+    /// [`xor_popcount_rows`](super::xor_popcount_rows)).
+    pub fn xor_popcount_rows(probe: &[u64], rows: &[u64], row_stride: usize, out: &mut [u32]) {
+        for (r, slot) in out.iter_mut().enumerate() {
+            let base = r * row_stride;
+            *slot = hamming_distance_words(probe, &rows[base..base + probe.len()]) as u32;
+        }
+    }
+
+    /// Scalar fused column-blocked accumulation (see
+    /// [`xor_popcount_interleaved`](super::xor_popcount_interleaved)).
+    pub fn xor_popcount_interleaved(
+        probe: &[u64],
+        block: &[u64],
+        lanes: usize,
+        out: &mut [u32],
+    ) {
+        for (w, &pw) in probe.iter().enumerate() {
+            let group = &block[w * lanes..(w + 1) * lanes];
+            for (slot, &bw) in out.iter_mut().zip(group) {
+                *slot += (pw ^ bw).count_ones();
+            }
+        }
+    }
 }
 
 /// The AVX2 kernels (x86-64 only, installed after runtime detection).
@@ -174,8 +349,9 @@ mod avx2 {
     use super::BLOCK_WORDS;
     use std::arch::x86_64::{
         __m256i, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_extract_epi64,
-        _mm256_loadu_si256, _mm256_sad_epu8, _mm256_set1_epi8, _mm256_setr_epi8,
-        _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_srli_epi16, _mm256_xor_si256,
+        _mm256_loadu_si256, _mm256_sad_epu8, _mm256_set1_epi64x, _mm256_set1_epi8,
+        _mm256_setr_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_srli_epi16,
+        _mm256_storeu_si256, _mm256_xor_si256,
     };
 
     /// Per-64-bit-lane popcount of one 256-bit vector: the classic
@@ -264,6 +440,62 @@ mod avx2 {
         }
     }
 
+    #[target_feature(enable = "avx2")]
+    fn popcount_impl(words: &[u64]) -> usize {
+        let mut chunks = words.chunks_exact(4);
+        let mut acc = _mm256_setzero_si256();
+        for chunk in chunks.by_ref() {
+            // SAFETY: the chunk holds exactly four u64s (32 bytes).
+            let v = unsafe { _mm256_loadu_si256(chunk.as_ptr().cast()) };
+            acc = _mm256_add_epi64(acc, popcount_epi64(v));
+        }
+        let mut total = horizontal_sum(acc) as usize;
+        for w in chunks.remainder() {
+            total += w.count_ones() as usize;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn xor_rows_impl(probe: &[u64], rows: &[u64], row_stride: usize, out: &mut [u32]) {
+        for (r, slot) in out.iter_mut().enumerate() {
+            let base = r * row_stride;
+            *slot = distance_impl(probe, &rows[base..base + probe.len()]) as u32;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn interleaved_impl(probe: &[u64], block: &[u64], lanes: usize, out: &mut [u32]) {
+        let mut lane = 0usize;
+        // Four lanes per accumulator: word `w` of lanes `l..l+4` sits at
+        // `block[w*lanes + l ..][..4]`, one unaligned 256-bit load.
+        while lane + 4 <= lanes {
+            let mut acc = _mm256_setzero_si256();
+            for (w, &pw) in probe.iter().enumerate() {
+                let vp = _mm256_set1_epi64x(pw as i64);
+                // SAFETY: w*lanes + lane + 4 <= probe.len()*lanes ==
+                // block.len(), checked by the public wrapper.
+                let vb =
+                    unsafe { _mm256_loadu_si256(block.as_ptr().add(w * lanes + lane).cast()) };
+                acc = _mm256_add_epi64(acc, popcount_epi64(_mm256_xor_si256(vp, vb)));
+            }
+            let mut sums = [0u64; 4];
+            // SAFETY: `sums` is exactly 32 bytes.
+            unsafe { _mm256_storeu_si256(sums.as_mut_ptr().cast(), acc) };
+            for (slot, sum) in out[lane..lane + 4].iter_mut().zip(sums) {
+                *slot += sum as u32;
+            }
+            lane += 4;
+        }
+        for l in lane..lanes {
+            let mut sum = 0u32;
+            for (w, &pw) in probe.iter().enumerate() {
+                sum += (pw ^ block[w * lanes + l]).count_ones();
+            }
+            out[l] += sum;
+        }
+    }
+
     /// Safe entry point: sound only when installed after AVX2 detection,
     /// which the dispatcher guarantees.
     pub fn hamming_distance(a: &[u64], b: &[u64]) -> usize {
@@ -279,6 +511,209 @@ mod avx2 {
         debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
         // SAFETY: as for `hamming_distance`.
         unsafe { within_impl(a, b, limit) }
+    }
+
+    /// Safe entry point: sound only when installed after AVX2 detection.
+    pub fn popcount(words: &[u64]) -> usize {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+        // SAFETY: as for `hamming_distance`.
+        unsafe { popcount_impl(words) }
+    }
+
+    /// Safe entry point: sound only when installed after AVX2 detection.
+    pub fn xor_popcount_rows(probe: &[u64], rows: &[u64], row_stride: usize, out: &mut [u32]) {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+        // SAFETY: as for `hamming_distance`.
+        unsafe { xor_rows_impl(probe, rows, row_stride, out) }
+    }
+
+    /// Safe entry point: sound only when installed after AVX2 detection.
+    pub fn xor_popcount_interleaved(
+        probe: &[u64],
+        block: &[u64],
+        lanes: usize,
+        out: &mut [u32],
+    ) {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+        // SAFETY: as for `hamming_distance`.
+        unsafe { interleaved_impl(probe, block, lanes, out) }
+    }
+}
+
+/// The AVX-512 kernels (x86-64 only, installed after runtime detection of
+/// `avx512f` **and** `avx512vpopcntdq`). Where AVX2 spends five
+/// instructions per 256-bit popcount (the nibble-LUT dance), `vpopcntq`
+/// counts a whole 512-bit vector — eight words — in one.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use super::BLOCK_WORDS;
+    use std::arch::x86_64::{
+        __m512i, _mm512_add_epi64, _mm512_loadu_si512, _mm512_popcnt_epi64,
+        _mm512_reduce_add_epi64, _mm512_set1_epi64, _mm512_setzero_si512, _mm512_storeu_si512,
+        _mm512_xor_si512,
+    };
+
+    /// Whether both required features are present (the dispatcher's gate,
+    /// re-asserted by every safe entry point in debug builds).
+    fn detected() -> bool {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+    }
+
+    /// XOR + per-lane popcount of one 8-word (512-bit) chunk.
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    fn xor_popcount_chunk(a: &[u64], b: &[u64]) -> __m512i {
+        debug_assert_eq!(a.len(), 8);
+        debug_assert_eq!(b.len(), 8);
+        // SAFETY: both chunks hold exactly eight u64s (64 bytes), so the
+        // unaligned 512-bit loads stay in bounds.
+        let (va, vb) = unsafe {
+            (
+                _mm512_loadu_si512(a.as_ptr().cast()),
+                _mm512_loadu_si512(b.as_ptr().cast()),
+            )
+        };
+        _mm512_popcnt_epi64(_mm512_xor_si512(va, vb))
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    fn distance_impl(a: &[u64], b: &[u64]) -> usize {
+        let mut chunks_a = a.chunks_exact(8);
+        let mut chunks_b = b.chunks_exact(8);
+        let mut acc = _mm512_setzero_si512();
+        for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+            acc = _mm512_add_epi64(acc, xor_popcount_chunk(ca, cb));
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as usize;
+        for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+            total += (x ^ y).count_ones() as usize;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    fn within_impl(a: &[u64], b: &[u64], limit: usize) -> Option<usize> {
+        let mut total = 0usize;
+        let mut blocks_a = a.chunks_exact(BLOCK_WORDS);
+        let mut blocks_b = b.chunks_exact(BLOCK_WORDS);
+        for (ba, bb) in blocks_a.by_ref().zip(blocks_b.by_ref()) {
+            // One 16-word block is exactly two 512-bit chunks.
+            let acc = _mm512_add_epi64(
+                xor_popcount_chunk(&ba[..8], &bb[..8]),
+                xor_popcount_chunk(&ba[8..], &bb[8..]),
+            );
+            total += _mm512_reduce_add_epi64(acc) as usize;
+            if total > limit {
+                return None;
+            }
+        }
+        for (x, y) in blocks_a.remainder().iter().zip(blocks_b.remainder()) {
+            total += (x ^ y).count_ones() as usize;
+        }
+        if total <= limit {
+            Some(total)
+        } else {
+            None
+        }
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    fn popcount_impl(words: &[u64]) -> usize {
+        let mut chunks = words.chunks_exact(8);
+        let mut acc = _mm512_setzero_si512();
+        for chunk in chunks.by_ref() {
+            // SAFETY: the chunk holds exactly eight u64s (64 bytes).
+            let v = unsafe { _mm512_loadu_si512(chunk.as_ptr().cast()) };
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as usize;
+        for w in chunks.remainder() {
+            total += w.count_ones() as usize;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    fn xor_rows_impl(probe: &[u64], rows: &[u64], row_stride: usize, out: &mut [u32]) {
+        for (r, slot) in out.iter_mut().enumerate() {
+            let base = r * row_stride;
+            *slot = distance_impl(probe, &rows[base..base + probe.len()]) as u32;
+        }
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq")]
+    fn interleaved_impl(probe: &[u64], block: &[u64], lanes: usize, out: &mut [u32]) {
+        let mut lane = 0usize;
+        // Eight lanes per accumulator: word `w` of lanes `l..l+8` sits at
+        // `block[w*lanes + l ..][..8]`, one unaligned 512-bit load.
+        while lane + 8 <= lanes {
+            let mut acc = _mm512_setzero_si512();
+            for (w, &pw) in probe.iter().enumerate() {
+                let vp = _mm512_set1_epi64(pw as i64);
+                // SAFETY: w*lanes + lane + 8 <= probe.len()*lanes ==
+                // block.len(), checked by the public wrapper.
+                let vb =
+                    unsafe { _mm512_loadu_si512(block.as_ptr().add(w * lanes + lane).cast()) };
+                acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_xor_si512(vp, vb)));
+            }
+            let mut sums = [0u64; 8];
+            // SAFETY: `sums` is exactly 64 bytes.
+            unsafe { _mm512_storeu_si512(sums.as_mut_ptr().cast(), acc) };
+            for (slot, sum) in out[lane..lane + 8].iter_mut().zip(sums) {
+                *slot += sum as u32;
+            }
+            lane += 8;
+        }
+        for l in lane..lanes {
+            let mut sum = 0u32;
+            for (w, &pw) in probe.iter().enumerate() {
+                sum += (pw ^ block[w * lanes + l]).count_ones();
+            }
+            out[l] += sum;
+        }
+    }
+
+    /// Safe entry point: sound only when installed after AVX-512
+    /// detection, which the dispatcher guarantees.
+    pub fn hamming_distance(a: &[u64], b: &[u64]) -> usize {
+        debug_assert!(detected());
+        // SAFETY: the dispatcher only installs this function pointer after
+        // `is_x86_feature_detected!` confirmed avx512f + avx512vpopcntdq.
+        unsafe { distance_impl(a, b) }
+    }
+
+    /// Safe entry point: sound only when installed after AVX-512 detection.
+    pub fn hamming_within(a: &[u64], b: &[u64], limit: usize) -> Option<usize> {
+        debug_assert!(detected());
+        // SAFETY: as for `hamming_distance`.
+        unsafe { within_impl(a, b, limit) }
+    }
+
+    /// Safe entry point: sound only when installed after AVX-512 detection.
+    pub fn popcount(words: &[u64]) -> usize {
+        debug_assert!(detected());
+        // SAFETY: as for `hamming_distance`.
+        unsafe { popcount_impl(words) }
+    }
+
+    /// Safe entry point: sound only when installed after AVX-512 detection.
+    pub fn xor_popcount_rows(probe: &[u64], rows: &[u64], row_stride: usize, out: &mut [u32]) {
+        debug_assert!(detected());
+        // SAFETY: as for `hamming_distance`.
+        unsafe { xor_rows_impl(probe, rows, row_stride, out) }
+    }
+
+    /// Safe entry point: sound only when installed after AVX-512 detection.
+    pub fn xor_popcount_interleaved(
+        probe: &[u64],
+        block: &[u64],
+        lanes: usize,
+        out: &mut [u32],
+    ) {
+        debug_assert!(detected());
+        // SAFETY: as for `hamming_distance`.
+        unsafe { interleaved_impl(probe, block, lanes, out) }
     }
 }
 
@@ -306,9 +741,21 @@ mod tests {
             .collect()
     }
 
+    /// Builds a word-interleaved block from `lanes` row prefixes.
+    fn interleave(rows: &[Vec<u64>], words: usize) -> Vec<u64> {
+        let lanes = rows.len();
+        let mut block = vec![0u64; words * lanes];
+        for (l, row) in rows.iter().enumerate() {
+            for w in 0..words {
+                block[w * lanes + l] = row[w];
+            }
+        }
+        block
+    }
+
     #[test]
     fn dispatched_distance_matches_scalar() {
-        for len in [0usize, 1, 3, 4, 5, 15, 16, 17, 31, 32, 64, 157, 160] {
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 64, 157, 160] {
             let a = pattern(len, 1);
             let b = pattern(len, 2);
             assert_eq!(
@@ -339,6 +786,154 @@ mod tests {
     }
 
     #[test]
+    fn dispatched_popcount_matches_scalar() {
+        for len in [0usize, 1, 4, 7, 8, 9, 16, 31, 157, 160] {
+            let a = pattern(len, 5);
+            assert_eq!(popcount_words(&a), scalar::popcount_words(&a), "len={len}");
+        }
+    }
+
+    #[test]
+    fn fused_rows_match_per_row_distances() {
+        // Full-width rows (stride == probe width) and prefix scans
+        // (stride > probe width) both match per-row dispatch.
+        for (rows, stride, probe_words) in
+            [(7usize, 160usize, 160usize), (5, 160, 16), (12, 21, 13), (1, 4, 4), (3, 8, 0)]
+        {
+            let matrix = pattern(rows * stride, 6);
+            let probe = pattern(probe_words, 7);
+            let mut out = vec![0u32; rows];
+            xor_popcount_rows(&probe, &matrix, stride, &mut out);
+            for (r, &got) in out.iter().enumerate() {
+                let base = r * stride;
+                let want =
+                    scalar::hamming_distance_words(&probe, &matrix[base..base + probe_words]);
+                assert_eq!(got as usize, want, "row {r} stride {stride}");
+            }
+        }
+        // Empty out is a no-op regardless of the other arguments.
+        xor_popcount_rows(&pattern(4, 8), &[], 0, &mut []);
+    }
+
+    #[test]
+    fn fused_interleaved_accumulates_exact_distances() {
+        // Lane counts crossing every vector width: below 4, between 4 and
+        // 8, at 8/16, and a ragged 13.
+        for lanes in [1usize, 3, 4, 5, 8, 13, 16] {
+            for words in [0usize, 1, 5, 16, 40] {
+                let rows: Vec<Vec<u64>> =
+                    (0..lanes).map(|l| pattern(words, 100 + l as u64)).collect();
+                let probe = pattern(words, 999);
+                let block = interleave(&rows, words);
+                // Seed the accumulators to prove the kernel adds rather
+                // than overwrites.
+                let mut out = vec![7u32; lanes];
+                xor_popcount_interleaved(&probe, &block, lanes, &mut out);
+                for (l, row) in rows.iter().enumerate() {
+                    let want = scalar::hamming_distance_words(&probe, row);
+                    assert_eq!(
+                        out[l] as usize,
+                        want + 7,
+                        "lanes={lanes} words={words} lane {l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_interleaved_segments_sum_to_full_distance() {
+        // Widening a prefix in segments must equal one full-width pass.
+        let (lanes, words) = (8usize, 48usize);
+        let rows: Vec<Vec<u64>> = (0..lanes).map(|l| pattern(words, 50 + l as u64)).collect();
+        let probe = pattern(words, 51);
+        let block = interleave(&rows, words);
+        let mut whole = vec![0u32; lanes];
+        xor_popcount_interleaved(&probe, &block, lanes, &mut whole);
+        let mut staged = vec![0u32; lanes];
+        for (from, to) in [(0usize, 4usize), (4, 16), (16, 48)] {
+            xor_popcount_interleaved(
+                &probe[from..to],
+                &block[from * lanes..to * lanes],
+                lanes,
+                &mut staged,
+            );
+        }
+        assert_eq!(staged, whole);
+    }
+
+    /// Every tier the host supports must agree with the scalar
+    /// specification on every entry point — regardless of which tier the
+    /// dispatcher installed for this process.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn all_supported_tiers_match_scalar_spec() {
+        type Tier = (
+            &'static str,
+            fn(&[u64], &[u64]) -> usize,
+            fn(&[u64], &[u64], usize) -> Option<usize>,
+            fn(&[u64]) -> usize,
+            fn(&[u64], &[u64], usize, &mut [u32]),
+            fn(&[u64], &[u64], usize, &mut [u32]),
+        );
+        let mut tiers: Vec<Tier> = Vec::new();
+        if std::arch::is_x86_feature_detected!("avx2") {
+            tiers.push((
+                "avx2",
+                avx2::hamming_distance,
+                avx2::hamming_within,
+                avx2::popcount,
+                avx2::xor_popcount_rows,
+                avx2::xor_popcount_interleaved,
+            ));
+        }
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+        {
+            tiers.push((
+                "avx512",
+                avx512::hamming_distance,
+                avx512::hamming_within,
+                avx512::popcount,
+                avx512::xor_popcount_rows,
+                avx512::xor_popcount_interleaved,
+            ));
+        }
+        for (name, distance, within, popcount, xor_rows, xor_inter) in tiers {
+            for len in [0usize, 1, 5, 8, 9, 16, 17, 31, 157, 160] {
+                let a = pattern(len, 11);
+                let b = pattern(len, 12);
+                let exact = scalar::hamming_distance_words(&a, &b);
+                assert_eq!(distance(&a, &b), exact, "{name} distance len={len}");
+                assert_eq!(popcount(&a), scalar::popcount_words(&a), "{name} popcount");
+                for limit in [0usize, exact.saturating_sub(1), exact, exact + 1] {
+                    assert_eq!(
+                        within(&a, &b, limit),
+                        scalar::hamming_within_words(&a, &b, limit),
+                        "{name} within len={len} limit={limit}"
+                    );
+                }
+            }
+            let (n, stride, k) = (9usize, 37usize, 21usize);
+            let matrix = pattern(n * stride, 13);
+            let probe = pattern(k, 14);
+            let (mut got, mut want) = (vec![0u32; n], vec![0u32; n]);
+            xor_rows(&probe, &matrix, stride, &mut got);
+            scalar::xor_popcount_rows(&probe, &matrix, stride, &mut want);
+            assert_eq!(got, want, "{name} xor_popcount_rows");
+            for lanes in [3usize, 8, 13, 16] {
+                let words = 19usize;
+                let block = pattern(words * lanes, 15);
+                let probe = pattern(words, 16);
+                let (mut got, mut want) = (vec![1u32; lanes], vec![1u32; lanes]);
+                xor_inter(&probe, &block, lanes, &mut got);
+                scalar::xor_popcount_interleaved(&probe, &block, lanes, &mut want);
+                assert_eq!(got, want, "{name} interleaved lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
     fn identical_rows_have_zero_distance() {
         let a = pattern(160, 9);
         assert_eq!(hamming_distance_words(&a, &a), 0);
@@ -348,7 +943,10 @@ mod tests {
     #[test]
     fn kernel_name_is_known() {
         let name = kernel_name();
-        assert!(name == "avx2" || name == "scalar", "unexpected kernel {name}");
+        assert!(
+            name == "avx512" || name == "avx2" || name == "scalar",
+            "unexpected kernel {name}"
+        );
         if std::env::var_os("HDHASH_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != *"0")
             || cfg!(feature = "force-scalar")
         {
@@ -357,8 +955,44 @@ mod tests {
     }
 
     #[test]
+    fn host_isa_is_at_least_the_installed_kernel() {
+        let isa = host_isa();
+        assert!(isa == "avx512" || isa == "avx2" || isa == "scalar", "unexpected isa {isa}");
+        // The installed kernel never exceeds what the hardware supports.
+        let rank = |t: &str| match t {
+            "avx512" => 2,
+            "avx2" => 1,
+            _ => 0,
+        };
+        assert!(rank(kernel_name()) <= rank(isa), "installed kernel above hardware tier");
+    }
+
+    #[test]
+    fn prefetch_is_a_safe_no_op() {
+        let words = pattern(32, 20);
+        prefetch_words(&words, 0);
+        prefetch_words(&words, 31);
+        prefetch_words(&words, 32); // out of bounds: silently skipped
+        prefetch_words(&[], 0);
+    }
+
+    #[test]
     #[should_panic(expected = "equal length")]
     fn length_mismatch_panics() {
         let _ = hamming_distance_words(&[0], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row matrix shorter")]
+    fn short_row_matrix_panics() {
+        let mut out = [0u32; 3];
+        xor_popcount_rows(&[1, 2], &[0u64; 5], 2, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe.len() × lanes")]
+    fn interleaved_shape_mismatch_panics() {
+        let mut out = [0u32; 2];
+        xor_popcount_interleaved(&[1, 2], &[0u64; 3], 2, &mut out);
     }
 }

@@ -1,0 +1,25 @@
+//! `HDHASH_DISABLE_AVX512` must cap the dispatch ladder at AVX2 while
+//! leaving results bit-identical to the scalar reference.
+//!
+//! Own test binary, single test: the dispatcher resolves once per process,
+//! so the env var has to win the race against every other kernel call.
+
+#[test]
+fn avx512_kill_switch_caps_the_ladder() {
+    std::env::set_var("HDHASH_DISABLE_AVX512", "1");
+
+    let name = hdhash_simdkernels::kernel_name();
+    assert_ne!(name, "avx512", "disabled tier must never be dispatched");
+    assert!(["scalar", "avx2"].contains(&name), "unexpected tier {name}");
+
+    let a: Vec<u64> = (0..80u64).map(|i| i.wrapping_mul(0xA076_1D64_78BD_642F)).collect();
+    let b: Vec<u64> = (0..80u64).map(|i| i.rotate_left(17) ^ 0x0F0F_F0F0_AAAA_5555).collect();
+    assert_eq!(
+        hdhash_simdkernels::hamming_distance_words(&a, &b),
+        hdhash_simdkernels::scalar::hamming_distance_words(&a, &b)
+    );
+    assert_eq!(
+        hdhash_simdkernels::popcount_words(&b),
+        hdhash_simdkernels::scalar::popcount_words(&b)
+    );
+}
